@@ -1,0 +1,21 @@
+"""Benchmark conftest: import path + a shared default trial budget.
+
+The benchmarks regenerate every paper artifact with a reduced trial budget
+(full fidelity is the CLI's job: ``repro-khop all``).  Override with the
+``REPRO_TRIALS`` environment variable.
+"""
+
+import os
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+#: Trials per cell used by the benchmark harness (small but statistically
+#: meaningful; the shape assertions below are robust at this budget).
+BENCH_TRIALS = int(os.environ.get("REPRO_TRIALS", "3"))
+
+#: Reduced N grid for benchmark sweeps.
+BENCH_NS = (50, 100, 150)

@@ -1,0 +1,50 @@
+"""Benchmarks A1/A2 — ablations over membership policies and priorities."""
+
+from conftest import BENCH_TRIALS
+
+from repro.figures import ablations
+
+
+def test_bench_membership_ablation(benchmark):
+    rows = benchmark.pedantic(
+        lambda: ablations.run_membership(trials=BENCH_TRIALS), rounds=1, iterations=1
+    )
+    by = {r.policy: r for r in rows}
+    print()
+    print(ablations.render(rows, [], []) if False else "")
+    print(
+        "membership ablation:",
+        {p: (round(r.cluster_size_std, 2), round(r.mean_head_distance, 2)) for p, r in by.items()},
+    )
+    # distance-based minimizes member-to-head distance
+    assert (
+        by["distance-based"].mean_head_distance
+        <= by["id-based"].mean_head_distance + 1e-9
+    )
+    # size-based minimizes cluster-size spread
+    assert by["size-based"].cluster_size_std <= by["id-based"].cluster_size_std + 1e-9
+
+
+def test_bench_priority_ablation(benchmark):
+    rows = benchmark.pedantic(
+        lambda: ablations.run_priority(trials=BENCH_TRIALS), rounds=1, iterations=1
+    )
+    print()
+    print("priority ablation:", {r.scheme: round(r.num_heads, 1) for r in rows})
+    assert {r.scheme for r in rows} == {"lowest-id", "highest-degree", "random-timer"}
+    # all schemes produce valid, similarly sized head sets (within 2x)
+    counts = [r.num_heads for r in rows]
+    assert max(counts) <= 2.0 * min(counts) + 2
+
+
+def test_bench_neighbor_rule_ablation(benchmark):
+    rows = benchmark.pedantic(
+        lambda: ablations.run_neighbor_rules(trials=BENCH_TRIALS),
+        rounds=1,
+        iterations=1,
+    )
+    by = {r.rule: r.pairs for r in rows}
+    print()
+    print("neighbor-rule pairs at k=1:", {k: round(v, 1) for k, v in by.items()})
+    # the paper's refinement chain: A-NCR needs the fewest connections
+    assert by["A-NCR"] <= by["Wu-Lou 2.5-hop"] <= by["NC(2k+1)"]

@@ -1,0 +1,54 @@
+"""Benchmark A8 — related-work clustering baselines (§1/§2 comparisons).
+
+* Max-Min d-cluster [2] vs the paper's lowest-ID k-hop clustering: head
+  counts (Max-Min lacks the independent-set property and typically elects
+  more heads).
+* Krishna k-clusters [8] vs the paper's definition: membership
+  multiplicity (the overlap the paper's non-overlapping definition
+  avoids).
+"""
+
+import numpy as np
+from conftest import BENCH_TRIALS
+
+from repro.analysis.tables import format_table
+from repro.core.clustering import khop_cluster
+from repro.core.kcluster import kcluster_stats
+from repro.core.maxmin import maxmin_cluster
+from repro.net.topology import random_topology
+
+
+def _measure(n=80, degree=8.0, ks=(1, 2), trials=BENCH_TRIALS):
+    rows = []
+    for k in ks:
+        li_heads, mm_heads, mult = [], [], []
+        for t in range(trials):
+            topo = random_topology(n, degree, seed=9900 + 10 * k + t)
+            li_heads.append(khop_cluster(topo.graph, k).num_clusters)
+            mm_heads.append(maxmin_cluster(topo.graph, k).num_clusters)
+            mult.append(kcluster_stats(topo.graph, k)["mean_multiplicity"])
+        rows.append(
+            (
+                k,
+                float(np.mean(li_heads)),
+                float(np.mean(mm_heads)),
+                float(np.mean(mult)),
+            )
+        )
+    return rows
+
+
+def test_bench_alternatives(benchmark):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["k", "lowest-ID heads", "Max-Min heads", "k-cluster multiplicity"],
+            [(k, f"{a:.1f}", f"{b:.1f}", f"{m:.2f}") for k, a, b, m in rows],
+        )
+    )
+    for k, li, mm, mult in rows:
+        # Krishna clusters overlap; the paper's partition does not.
+        assert mult > 1.0
+        # both algorithms elect a non-trivial number of heads
+        assert li >= 1 and mm >= 1

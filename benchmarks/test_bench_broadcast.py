@@ -1,0 +1,54 @@
+"""Benchmark A4 — broadcast cost: blind flooding vs the k-hop backbone.
+
+The paper's §1 motivation: clustering confines flooding.  Measures mean
+transmissions for blind flooding (= N on connected graphs) against
+backbone broadcast (tree-mode intra-cluster dissemination) across k.
+"""
+
+import numpy as np
+from conftest import BENCH_TRIALS
+
+from repro.analysis.tables import format_table
+from repro.cds.broadcast import backbone_broadcast, blind_flood
+from repro.cds.builder import build_cds
+from repro.core.clustering import khop_cluster
+from repro.core.pipeline import build_backbone
+from repro.net.paths import PathOracle
+from repro.net.topology import random_topology
+
+
+def _measure(n=100, degree=6.0, ks=(1, 2, 3), trials=BENCH_TRIALS, sources=5):
+    rows = []
+    for k in ks:
+        flood_tx, bb_tx = [], []
+        for t in range(trials):
+            topo = random_topology(n, degree, seed=1000 * k + t)
+            cl = khop_cluster(topo.graph, k)
+            cds = build_cds(build_backbone(cl, "AC-LMST"))
+            oracle = PathOracle(topo.graph)
+            rng = np.random.default_rng(t)
+            for src in rng.choice(n, size=sources, replace=False):
+                f = blind_flood(topo.graph, int(src))
+                b = backbone_broadcast(cds, oracle, int(src), mode="tree")
+                assert f.delivered_all and b.delivered_all
+                flood_tx.append(f.transmissions)
+                bb_tx.append(b.transmissions)
+        rows.append((k, float(np.mean(flood_tx)), float(np.mean(bb_tx))))
+    return rows
+
+
+def test_bench_broadcast(benchmark):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["k", "flooding tx", "backbone tx", "saving"],
+            [
+                (k, f"{f:.1f}", f"{b:.1f}", f"{100 * (1 - b / f):.0f}%")
+                for k, f, b in rows
+            ],
+        )
+    )
+    # the backbone broadcast must beat flooding at every k
+    for k, flood, backbone in rows:
+        assert backbone < flood, (k, flood, backbone)

@@ -1,0 +1,28 @@
+"""Benchmark X1 — the paper's §4 summary claims, checked programmatically.
+
+Runs reduced Figure-5/6 sweeps, evaluates all six claims via
+:mod:`repro.figures.claims`, prints the verdict report, and asserts the
+claims that are robust at a small trial budget (1: A-NCR helps, 2: LMST on
+top helps, 3: scalability, 5: k-monotonicity, 6: near-G-MST).  Claim 4's
+"AC-LMST vs NC-LMST gap is small" is printed but not asserted — at low
+budgets the gap estimate is noisy.
+"""
+
+from conftest import BENCH_NS, BENCH_TRIALS
+
+from repro.figures import claims, figure5, figure6
+
+
+def _verdicts():
+    sparse = figure5.run(trials=BENCH_TRIALS, ks=(1, 2, 3, 4), ns=BENCH_NS)
+    dense = figure6.run(trials=BENCH_TRIALS, ks=(2, 3), ns=BENCH_NS)
+    return claims.check_claims(sparse, dense)
+
+
+def test_bench_claims(benchmark):
+    verdicts = benchmark.pedantic(_verdicts, rounds=1, iterations=1)
+    print()
+    print(claims.render_verdicts(verdicts))
+    by_id = {v.claim_id: v for v in verdicts}
+    for cid in (1, 2, 3, 5, 6):
+        assert by_id[cid].holds, f"claim {cid}: {by_id[cid].evidence}"

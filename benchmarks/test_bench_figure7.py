@@ -1,0 +1,35 @@
+"""Benchmark E7 — Figure 7: the effect of k (heads and CDS size, D = 6).
+
+Regenerates both panels under AC-LMST and asserts the paper's two
+monotonicity claims: more k, fewer clusterheads; more k, smaller CDS.
+"""
+
+import numpy as np
+from conftest import BENCH_NS, BENCH_TRIALS
+
+from repro.figures import figure7
+
+
+def _sweep():
+    return figure7.run(trials=BENCH_TRIALS, ks=(1, 2, 3, 4), ns=BENCH_NS)
+
+
+def test_bench_figure7(benchmark):
+    result = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print()
+    print(figure7.render(result))
+
+    heads_by_k = [
+        np.mean([result.cell(n, 6.0, k).num_heads.mean for n in BENCH_NS])
+        for k in (1, 2, 3, 4)
+    ]
+    cds_by_k = [
+        np.mean(
+            [result.cell(n, 6.0, k).cds_size["AC-LMST"].mean for n in BENCH_NS]
+        )
+        for k in (1, 2, 3, 4)
+    ]
+    # Figure 7(a): larger k, fewer clusterheads.
+    assert all(a > b for a, b in zip(heads_by_k, heads_by_k[1:])), heads_by_k
+    # Figure 7(b): larger k, smaller CDS.
+    assert all(a > b for a, b in zip(cds_by_k, cds_by_k[1:])), cds_by_k

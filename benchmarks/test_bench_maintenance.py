@@ -1,0 +1,57 @@
+"""Benchmark A5 — §3.3 maintenance: locality of failure repair.
+
+Kills random nodes one at a time (fresh backbone each time) and tabulates
+the repair action by role.  Asserts the paper's locality argument: most
+failures are members (no action) or gateways (local fix); full
+re-clustering is reserved for the rare clusterhead failures.
+"""
+
+import numpy as np
+from conftest import BENCH_TRIALS
+
+from repro.analysis.tables import format_table
+from repro.core.clustering import khop_cluster
+from repro.core.pipeline import build_backbone
+from repro.maintenance.repair import repair
+from repro.net.topology import random_topology
+
+
+def _measure(n=100, degree=6.0, k=2, trials=BENCH_TRIALS, kills_per_trial=12):
+    actions = {"none": 0, "gateway-reselect": 0, "recluster": 0, "partition": 0}
+    by_role = {"member": 0, "gateway": 0, "head": 0}
+    localities = []
+    for t in range(trials):
+        topo = random_topology(n, degree, seed=5000 + t)
+        backbone = build_backbone(khop_cluster(topo.graph, k), "AC-LMST")
+        rng = np.random.default_rng(t)
+        for node in rng.choice(n, size=kills_per_trial, replace=False):
+            out = repair(backbone, int(node))
+            actions[out.action] += 1
+            by_role[out.role] += 1
+            if out.backbone is not None:
+                localities.append(out.locality)
+    return actions, by_role, localities
+
+
+def test_bench_maintenance(benchmark):
+    actions, by_role, localities = benchmark.pedantic(
+        _measure, rounds=1, iterations=1
+    )
+    total = sum(actions.values())
+    print()
+    print(
+        format_table(
+            ["action", "count", "share"],
+            [(a, c, f"{100 * c / total:.0f}%") for a, c in actions.items()],
+        )
+    )
+    print(f"roles killed: {by_role}; mean repair locality "
+          f"{np.mean(localities):.2f} (1.0 = untouched heads)")
+
+    # member failures dominate (heads are few), so cheap repairs dominate:
+    cheap = actions["none"] + actions["gateway-reselect"] + actions["partition"]
+    assert actions["recluster"] <= cheap
+    # reclustering happens at most about as often as head kills (escalations
+    # from stretched members are possible but rare)
+    assert actions["recluster"] <= by_role["head"] + 0.25 * total
+    assert np.mean(localities) > 0.5

@@ -1,0 +1,26 @@
+"""Benchmark A3 — communication overhead vs k (distributed pipeline).
+
+The paper's §5 names the overhead/efficiency tradeoff as future work; this
+bench quantifies it on the round simulator: total transmissions grow with
+k while the CDS shrinks.
+"""
+
+from conftest import BENCH_TRIALS
+
+from repro.figures import overhead
+
+
+def _rows():
+    return overhead.run(trials=max(1, BENCH_TRIALS // 2), ks=(1, 2, 3, 4))
+
+
+def test_bench_overhead(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    print()
+    print(overhead.render(rows))
+    tx = [r.total_tx for r in rows]
+    cds = [r.cds_size for r in rows]
+    # overhead grows with k ...
+    assert all(a < b for a, b in zip(tx, tx[1:])), tx
+    # ... while the backbone shrinks (the tradeoff).
+    assert cds[-1] < cds[0], cds

@@ -1,0 +1,50 @@
+"""Benchmark A6 — cluster-based routing: table collapse vs path stretch.
+
+The paper's §1/§2 routing motivation, quantified: routing state per node
+under cluster routing vs flat link-state, and the path-stretch price, as
+a function of k.
+"""
+
+import numpy as np
+from conftest import BENCH_TRIALS
+
+from repro.analysis.tables import format_table
+from repro.cds.routing import routing_report
+from repro.core.clustering import khop_cluster
+from repro.core.pipeline import build_backbone
+from repro.net.paths import PathOracle
+from repro.net.topology import random_topology
+
+
+def _measure(n=150, degree=8.0, ks=(1, 2, 3), trials=BENCH_TRIALS):
+    rows = []
+    for k in ks:
+        tables, stretches = [], []
+        for t in range(trials):
+            topo = random_topology(n, degree, seed=7000 + 100 * k + t)
+            res = build_backbone(khop_cluster(topo.graph, k), "AC-LMST")
+            rep = routing_report(
+                res, PathOracle(topo.graph), samples=30, seed=t
+            )
+            tables.append(rep.mean_table)
+            stretches.append(rep.mean_stretch)
+        rows.append(
+            (k, float(np.mean(tables)), n - 1, float(np.mean(stretches)))
+        )
+    return rows
+
+
+def test_bench_routing(benchmark):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["k", "cluster table", "flat table", "mean stretch"],
+            [(k, f"{t:.1f}", flat, f"{s:.2f}") for k, t, flat, s in rows],
+        )
+    )
+    for k, table, flat, stretch in rows:
+        assert table < flat / 2  # the table-size collapse
+        assert 1.0 <= stretch < 3.0  # bounded stretch price
+    # larger clusters (bigger k) mean bigger per-node tables
+    assert rows[0][1] < rows[-1][1]

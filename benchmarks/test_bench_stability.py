@@ -1,0 +1,55 @@
+"""Benchmark A7 — clustering stability under mobility (§1's small-k claim).
+
+"Small k may help to construct a combinatorially stable system": under
+random-waypoint mobility, the fraction of nodes whose k-hop neighborhood
+a topology change touches — the update footprint any maintenance policy
+must pay — grows with k.
+"""
+
+import numpy as np
+from conftest import BENCH_TRIALS
+
+from repro.analysis.tables import format_table
+from repro.maintenance.stability import simulate_stability
+from repro.net.topology import random_topology
+
+
+def _measure(n=80, degree=10.0, ks=(1, 2, 3), steps=10, trials=BENCH_TRIALS):
+    rows = []
+    for k in ks:
+        affected, head_churn, member_churn = [], [], []
+        for t in range(trials):
+            topo = random_topology(n, degree, seed=8800 + t)
+            rep = simulate_stability(
+                topo, k, steps=steps, speed=(1.0, 2.0), seed=t
+            )
+            if rep.steps:
+                affected.append(rep.mean("affected_nodes"))
+                head_churn.append(rep.mean("head_churn"))
+                member_churn.append(rep.mean("membership_churn"))
+        rows.append(
+            (
+                k,
+                float(np.mean(affected)),
+                float(np.mean(head_churn)),
+                float(np.mean(member_churn)),
+            )
+        )
+    return rows
+
+
+def test_bench_stability(benchmark):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["k", "affected nodes", "head churn", "membership churn"],
+            [
+                (k, f"{a:.2f}", f"{h:.2f}", f"{m:.2f}")
+                for k, a, h, m in rows
+            ],
+        )
+    )
+    # the update footprint grows with k (the paper's small-k argument)
+    affected = [a for _, a, _, _ in rows]
+    assert affected[0] <= affected[-1] + 1e-9, affected

@@ -1,0 +1,12 @@
+"""Root conftest: make ``src/`` importable without an installed package.
+
+Lets ``pytest`` run directly from a fresh checkout (and in offline
+environments where editable installs are unavailable).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

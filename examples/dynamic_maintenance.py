@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Scenario: node churn and power-aware clusterhead rotation (§3.3).
+
+Part 1 — failure repair: nodes disappear one by one; each failure is
+handled by the paper's role-dependent ladder (member: nothing; gateway:
+local gateway re-selection; clusterhead: re-election) and the repaired
+backbone is re-verified.
+
+Part 2 — clusterhead rotation: residual-energy priority vs static
+lowest-ID election over many epochs; rotation spreads the head role and
+keeps the minimum residual energy higher.
+
+Run:  python examples/dynamic_maintenance.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+
+from repro import khop_cluster, random_topology
+from repro.core.pipeline import build_backbone
+from repro.maintenance import repair, simulate_rotation
+from repro.net.energy import EnergyParams
+
+
+def failure_demo() -> None:
+    topo = random_topology(n=120, degree=8.0, seed=21)
+    backbone = build_backbone(khop_cluster(topo.graph, 2), "AC-LMST")
+    print(
+        f"initial backbone: {len(backbone.heads)} heads, "
+        f"{backbone.num_gateways} gateways"
+    )
+    rng = np.random.default_rng(3)
+    for node in rng.choice(topo.n, size=8, replace=False):
+        out = repair(backbone, int(node))
+        note = "ESCALATED" if out.escalated else ""
+        if out.partitioned:
+            print(f"  node {node:3d} ({out.role:7s}) -> network partitioned")
+            continue
+        print(
+            f"  node {node:3d} ({out.role:7s}) -> {out.action:17s} "
+            f"touched {len(out.scope_heads)} heads, "
+            f"locality {out.locality:.2f} {note}"
+        )
+        backbone = out.backbone  # keep applying failures to the repaired net
+
+
+def rotation_demo() -> None:
+    topo = random_topology(n=80, degree=8.0, seed=5)
+    params = EnergyParams(initial=1000.0, idle_member=0.02, idle_backbone=1.0)
+    static = simulate_rotation(
+        topo.graph, 2, epochs=12, scheme="static", params=params
+    )
+    energy = simulate_rotation(
+        topo.graph, 2, epochs=12, scheme="energy", params=params
+    )
+    print(
+        f"\nrotation over 12 epochs (k=2):\n"
+        f"  static lowest-ID : {static.distinct_heads:2d} distinct heads ever; "
+        f"busiest node led {max(static.head_service.values()):2d} epochs; "
+        f"final min residual {static.final_min_residual:7.2f}\n"
+        f"  energy priority  : {energy.distinct_heads:2d} distinct heads ever; "
+        f"busiest node led {max(energy.head_service.values()):2d} epochs; "
+        f"final min residual {energy.final_min_residual:7.2f}"
+    )
+    print(
+        "  -> rotating by residual energy spreads the clusterhead burden "
+        "across many more nodes (note: nodes at topological choke points "
+        "stay gateways under any election, which bounds the min-residual "
+        "gain on some instances)."
+    )
+
+
+def main() -> None:
+    failure_demo()
+    rotation_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so that
+``python setup.py develop`` works in offline environments whose setuptools
+lacks the ``wheel`` package required for PEP 660 editable installs.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,74 @@
+"""repro — Connected k-Hop Clustering in Ad Hoc Networks (ICPP 2005).
+
+A full Python reproduction of Yang, Wu & Cao's connected k-hop clustering
+system: the iterative k-hop lowest-ID clustering algorithm, the
+adjacency-based neighbor clusterhead selection rule (**A-NCR**), the local
+minimum-spanning-tree gateway algorithm (**LMSTGA**), their combination
+**AC-LMST**, the NC/Mesh baselines and the centralized G-MST lower bound —
+plus the unit-disk network substrate, a round-based distributed simulator,
+and the experiment harness that regenerates every figure of the paper.
+
+Quickstart::
+
+    from repro import random_topology, run_pipeline
+
+    topo = random_topology(100, degree=6, seed=42)
+    result = run_pipeline(topo, k=2, algorithm="AC-LMST")
+    print(f"{len(result.heads)} clusterheads, {result.num_gateways} gateways,"
+          f" CDS size {result.cds_size}")
+"""
+
+from .core import (
+    ALGORITHMS,
+    BackboneResult,
+    Clustering,
+    build_all_backbones,
+    build_backbone,
+    khop_cluster,
+    run_pipeline,
+    validate_clustering,
+)
+from .cds import KhopCDS, backbone_broadcast, blind_flood, build_cds, verify_backbone
+from .errors import (
+    CalibrationError,
+    DisconnectedGraphError,
+    InvalidParameterError,
+    ProtocolError,
+    ReproError,
+    ValidationError,
+)
+from .net import Graph, PathOracle, Topology, random_topology, unit_disk_graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core pipeline
+    "ALGORITHMS",
+    "BackboneResult",
+    "Clustering",
+    "khop_cluster",
+    "validate_clustering",
+    "build_backbone",
+    "build_all_backbones",
+    "run_pipeline",
+    # CDS & application
+    "KhopCDS",
+    "build_cds",
+    "verify_backbone",
+    "blind_flood",
+    "backbone_broadcast",
+    # substrate
+    "Graph",
+    "PathOracle",
+    "Topology",
+    "random_topology",
+    "unit_disk_graph",
+    # errors
+    "ReproError",
+    "InvalidParameterError",
+    "DisconnectedGraphError",
+    "CalibrationError",
+    "ValidationError",
+    "ProtocolError",
+]

@@ -1,0 +1,33 @@
+"""Experiment harness: statistics, sweeps, tables, terminal plots."""
+
+from .ascii_plot import line_plot, scatter_plot
+from .stats import AdaptiveEstimator, SummaryStat, summarize, t_halfwidth
+from .sweep import (
+    CellKey,
+    CellResult,
+    SweepConfig,
+    SweepResult,
+    default_trial_budget,
+    run_cell,
+    run_sweep,
+)
+from .tables import format_table, sweep_table, write_csv
+
+__all__ = [
+    "SummaryStat",
+    "summarize",
+    "t_halfwidth",
+    "AdaptiveEstimator",
+    "CellKey",
+    "CellResult",
+    "SweepConfig",
+    "SweepResult",
+    "run_cell",
+    "run_sweep",
+    "default_trial_budget",
+    "format_table",
+    "sweep_table",
+    "write_csv",
+    "line_plot",
+    "scatter_plot",
+]

@@ -1,0 +1,127 @@
+"""Terminal line plots — matplotlib-free rendering of the paper's figures.
+
+The benchmark environment is headless and offline, so the figure drivers
+render their series as ASCII charts: one glyph per algorithm, axes labelled
+with the real data ranges.  Good enough to eyeball the orderings and
+crossovers the reproduction is judged on; the exact numbers live in the
+accompanying CSV files.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..errors import InvalidParameterError
+
+__all__ = ["line_plot", "scatter_plot"]
+
+_GLYPHS = "ox+*#@%&"
+
+
+def line_plot(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    title: str = "",
+    width: int = 72,
+    height: int = 20,
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render named (x, y) series on a shared-axes ASCII grid.
+
+    Args:
+        series: name -> list of (x, y) points (each series sorted by x).
+        title/xlabel/ylabel: labels.
+        width/height: plot body size in characters.
+    """
+    if not series:
+        raise InvalidParameterError("no series to plot")
+    pts = [p for s in series.values() for p in s]
+    if not pts:
+        raise InvalidParameterError("series contain no points")
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = min(ys), max(ys)
+    if xmax == xmin:
+        xmax = xmin + 1.0
+    if ymax == ymin:
+        ymax = ymin + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def put(x: float, y: float, ch: str) -> None:
+        col = int(round((x - xmin) / (xmax - xmin) * (width - 1)))
+        row = int(round((y - ymin) / (ymax - ymin) * (height - 1)))
+        grid[height - 1 - row][col] = ch
+
+    legend = []
+    for idx, (name, points) in enumerate(series.items()):
+        glyph = _GLYPHS[idx % len(_GLYPHS)]
+        legend.append(f"{glyph} {name}")
+        ordered = sorted(points)
+        # connect consecutive points with interpolated glyph dots
+        for (x0, y0), (x1, y1) in zip(ordered, ordered[1:]):
+            steps = max(
+                2,
+                int(abs(x1 - x0) / (xmax - xmin) * (width - 1)) + 1,
+            )
+            for s in range(steps + 1):
+                f = s / steps
+                put(x0 + f * (x1 - x0), y0 + f * (y1 - y0), ".")
+        for x, y in ordered:
+            put(x, y, glyph)
+
+    lines = []
+    if title:
+        lines.append(title.center(width + 10))
+    ytop = f"{ymax:.0f}"
+    ybot = f"{ymin:.0f}"
+    pad = max(len(ytop), len(ybot)) + 1
+    for r, row in enumerate(grid):
+        label = ytop if r == 0 else (ybot if r == height - 1 else "")
+        lines.append(label.rjust(pad) + " |" + "".join(row))
+    lines.append(" " * pad + " +" + "-" * width)
+    xaxis = f"{xmin:.0f}".ljust(width - len(f"{xmax:.0f}")) + f"{xmax:.0f}"
+    lines.append(" " * pad + "  " + xaxis)
+    if xlabel or ylabel:
+        lines.append(" " * pad + f"  x: {xlabel}   y: {ylabel}")
+    lines.append(" " * pad + "  " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def scatter_plot(
+    points: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    title: str = "",
+    width: int = 60,
+    height: int = 30,
+) -> str:
+    """Render labelled point sets (e.g. node roles on the deployment area)."""
+    if not points:
+        raise InvalidParameterError("no points to plot")
+    pts = [p for s in points.values() for p in s]
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = min(ys), max(ys)
+    if xmax == xmin:
+        xmax = xmin + 1.0
+    if ymax == ymin:
+        ymax = ymin + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for idx, (name, series) in enumerate(points.items()):
+        glyph = _GLYPHS[idx % len(_GLYPHS)]
+        legend.append(f"{glyph} {name}")
+        for x, y in series:
+            col = int(round((x - xmin) / (xmax - xmin) * (width - 1)))
+            row = int(round((y - ymin) / (ymax - ymin) * (height - 1)))
+            grid[height - 1 - row][col] = glyph
+    lines = []
+    if title:
+        lines.append(title.center(width))
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append("  " + "   ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,152 @@
+"""Statistics engine: Student-t confidence intervals and adaptive stopping.
+
+The paper's §4 protocol: "For each tunable parameter, the simulation is
+repeated 100 times or until the confidence interval is sufficiently small
+(±1%, for the confidence level of 90%)."  :class:`AdaptiveEstimator`
+implements exactly that stopping rule; :func:`t_halfwidth` provides the
+underlying two-sided Student-t interval.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from scipy import stats as _scipy_stats
+
+from ..errors import InvalidParameterError
+
+__all__ = ["SummaryStat", "t_halfwidth", "summarize", "AdaptiveEstimator"]
+
+
+@dataclass(frozen=True)
+class SummaryStat:
+    """Summary of one measured series.
+
+    Attributes:
+        mean: sample mean.
+        std: sample standard deviation (ddof=1; 0.0 for < 2 samples).
+        count: number of samples.
+        halfwidth: two-sided CI half-width at ``confidence``.
+        confidence: the confidence level the half-width refers to.
+    """
+
+    mean: float
+    std: float
+    count: int
+    halfwidth: float
+    confidence: float
+
+    @property
+    def relative_halfwidth(self) -> float:
+        """CI half-width as a fraction of the mean (inf for mean == 0)."""
+        if self.mean == 0:
+            return math.inf
+        return abs(self.halfwidth / self.mean)
+
+    def __str__(self) -> str:
+        return f"{self.mean:.2f} ± {self.halfwidth:.2f} (n={self.count})"
+
+
+def t_halfwidth(samples: Sequence[float], confidence: float = 0.90) -> float:
+    """Two-sided Student-t CI half-width of the sample mean.
+
+    Returns ``inf`` for fewer than 2 samples (no variance estimate) and 0.0
+    for a zero-variance series.
+    """
+    if not (0.0 < confidence < 1.0):
+        raise InvalidParameterError(f"confidence must be in (0, 1), got {confidence}")
+    m = len(samples)
+    if m < 2:
+        return math.inf
+    mean = sum(samples) / m
+    var = sum((x - mean) ** 2 for x in samples) / (m - 1)
+    if var == 0.0:
+        return 0.0
+    tcrit = float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, df=m - 1))
+    return tcrit * math.sqrt(var / m)
+
+
+def summarize(samples: Sequence[float], confidence: float = 0.90) -> SummaryStat:
+    """Full :class:`SummaryStat` of a series."""
+    m = len(samples)
+    if m == 0:
+        raise InvalidParameterError("cannot summarize an empty series")
+    mean = sum(samples) / m
+    if m >= 2:
+        var = sum((x - mean) ** 2 for x in samples) / (m - 1)
+        std = math.sqrt(var)
+    else:
+        std = 0.0
+    return SummaryStat(
+        mean=mean,
+        std=std,
+        count=m,
+        halfwidth=t_halfwidth(samples, confidence),
+        confidence=confidence,
+    )
+
+
+class AdaptiveEstimator:
+    """The paper's stopping rule: N trials or CI within ±rel of the mean.
+
+    Args:
+        max_trials: trial budget (paper: 100).
+        rel_precision: target relative CI half-width (paper: 0.01).
+        confidence: CI confidence level (paper: 0.90).
+        min_trials: never stop before this many samples (variance estimates
+            from 2-3 samples are too noisy to trust the precision test).
+    """
+
+    def __init__(
+        self,
+        max_trials: int = 100,
+        rel_precision: float = 0.01,
+        confidence: float = 0.90,
+        min_trials: int = 10,
+    ) -> None:
+        if max_trials < 1:
+            raise InvalidParameterError("max_trials must be >= 1")
+        if min_trials < 1 or min_trials > max_trials:
+            raise InvalidParameterError("need 1 <= min_trials <= max_trials")
+        if rel_precision <= 0:
+            raise InvalidParameterError("rel_precision must be positive")
+        self.max_trials = max_trials
+        self.rel_precision = rel_precision
+        self.confidence = confidence
+        self.min_trials = min_trials
+        self._samples: list[float] = []
+
+    @property
+    def count(self) -> int:
+        """Samples collected so far."""
+        return len(self._samples)
+
+    def add(self, sample: float) -> None:
+        """Record one sample."""
+        self._samples.append(float(sample))
+
+    def precise_enough(self) -> bool:
+        """Whether the CI is within the target relative half-width."""
+        if self.count < 2:
+            return False
+        stat = summarize(self._samples, self.confidence)
+        return stat.relative_halfwidth <= self.rel_precision
+
+    def done(self) -> bool:
+        """The paper's stopping rule."""
+        if self.count >= self.max_trials:
+            return True
+        if self.count < self.min_trials:
+            return False
+        return self.precise_enough()
+
+    def summary(self) -> SummaryStat:
+        """Summary of everything collected so far."""
+        return summarize(self._samples, self.confidence)
+
+    @property
+    def samples(self) -> tuple[float, ...]:
+        """The raw samples."""
+        return tuple(self._samples)

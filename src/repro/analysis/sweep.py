@@ -1,0 +1,240 @@
+"""Experiment sweep runner — the engine behind every figure.
+
+A *cell* is one parameter combination ``(n, degree, k)``.  For each cell the
+runner draws random connected topologies (seed-derived, reproducible),
+clusters once per trial, builds **all requested algorithms on the same
+clustering** (paired comparison, as the paper plots them), verifies every
+backbone, and feeds the metrics into the paper's adaptive stopping rule
+(100 trials or ±1 % CI at 90 % confidence — whichever first, applied to the
+CDS-size series of every algorithm).
+
+Results are :class:`SweepResult` tables that the figure drivers turn into
+series, ASCII plots and CSV files.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence
+
+from ..cds.verify import verify_backbone
+from ..core.clustering import khop_cluster
+from ..core.pipeline import ALGORITHMS, build_all_backbones
+from ..errors import InvalidParameterError
+from ..net.paths import PathOracle
+from ..net.topology import random_topology
+from .stats import AdaptiveEstimator, SummaryStat, summarize
+
+__all__ = ["CellKey", "CellResult", "SweepConfig", "SweepResult", "run_cell", "run_sweep", "default_trial_budget"]
+
+
+def default_trial_budget(paper_default: int = 100) -> int:
+    """Trial budget, overridable via the ``REPRO_TRIALS`` environment variable.
+
+    The paper runs up to 100 trials per cell; CI jobs and the pytest
+    benchmarks set ``REPRO_TRIALS`` lower to bound runtime.
+    """
+    env = os.environ.get("REPRO_TRIALS")
+    if env is None:
+        return paper_default
+    try:
+        value = int(env)
+    except ValueError:
+        raise InvalidParameterError(f"REPRO_TRIALS must be an int, got {env!r}") from None
+    if value < 1:
+        raise InvalidParameterError("REPRO_TRIALS must be >= 1")
+    return value
+
+
+@dataclass(frozen=True)
+class CellKey:
+    """One parameter combination."""
+
+    n: int
+    degree: float
+    k: int
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Aggregated measurements of one cell.
+
+    Attributes:
+        key: the parameter combination.
+        trials: how many trials were run (adaptive).
+        num_heads: summary of the clusterhead count.
+        gateways: per-algorithm summary of the gateway count.
+        cds_size: per-algorithm summary of the CDS size.
+    """
+
+    key: CellKey
+    trials: int
+    num_heads: SummaryStat
+    gateways: Mapping[str, SummaryStat]
+    cds_size: Mapping[str, SummaryStat]
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Parameters of a sweep (defaults follow the paper's §4 setup)."""
+
+    ns: Sequence[int] = (50, 80, 110, 140, 170, 200)
+    degrees: Sequence[float] = (6.0,)
+    ks: Sequence[int] = (1, 2, 3, 4)
+    algorithms: Sequence[str] = ALGORITHMS
+    max_trials: int = 100
+    min_trials: int = 10
+    rel_precision: float = 0.01
+    confidence: float = 0.90
+    base_seed: int = 20050610  # ICPP 2005 publication era
+    calibration: str = "analytic"
+
+
+@dataclass
+class SweepResult:
+    """All cell results of a sweep, addressable by (n, degree, k)."""
+
+    config: SweepConfig
+    cells: dict[CellKey, CellResult] = field(default_factory=dict)
+
+    def cell(self, n: int, degree: float, k: int) -> CellResult:
+        """Look up one cell."""
+        return self.cells[CellKey(n, float(degree), k)]
+
+    def series(
+        self, metric: str, algorithm: str, degree: float, k: int
+    ) -> list[tuple[int, SummaryStat]]:
+        """A (n, stat) series for one algorithm, e.g. for one plot line.
+
+        ``metric`` is ``"cds_size"``, ``"gateways"`` or ``"num_heads"``
+        (``algorithm`` is ignored for ``num_heads``).
+        """
+        out = []
+        for n in self.config.ns:
+            cell = self.cell(n, degree, k)
+            if metric == "num_heads":
+                out.append((n, cell.num_heads))
+            elif metric == "gateways":
+                out.append((n, cell.gateways[algorithm]))
+            elif metric == "cds_size":
+                out.append((n, cell.cds_size[algorithm]))
+            else:
+                raise InvalidParameterError(f"unknown metric {metric!r}")
+        return out
+
+    def to_csv_rows(self) -> list[dict]:
+        """Flatten to CSV-ready dict rows (one per cell x algorithm)."""
+        rows = []
+        for key in sorted(self.cells, key=lambda c: (c.degree, c.k, c.n)):
+            cell = self.cells[key]
+            for alg in self.config.algorithms:
+                rows.append(
+                    {
+                        "n": key.n,
+                        "degree": key.degree,
+                        "k": key.k,
+                        "algorithm": alg,
+                        "trials": cell.trials,
+                        "num_heads_mean": round(cell.num_heads.mean, 4),
+                        "gateways_mean": round(cell.gateways[alg].mean, 4),
+                        "gateways_ci90": round(cell.gateways[alg].halfwidth, 4),
+                        "cds_size_mean": round(cell.cds_size[alg].mean, 4),
+                        "cds_size_ci90": round(cell.cds_size[alg].halfwidth, 4),
+                    }
+                )
+        return rows
+
+
+def _cell_seed(base_seed: int, key: CellKey, trial: int) -> int:
+    """Deterministic per-trial seed, decorrelated across cells."""
+    return hash((base_seed, key.n, key.degree, key.k, trial)) & 0x7FFFFFFF
+
+
+def run_cell(
+    key: CellKey,
+    *,
+    algorithms: Sequence[str] = ALGORITHMS,
+    max_trials: int = 100,
+    min_trials: int = 10,
+    rel_precision: float = 0.01,
+    confidence: float = 0.90,
+    base_seed: int = 20050610,
+    calibration: str = "analytic",
+    verify: bool = True,
+) -> CellResult:
+    """Run one (n, degree, k) cell with adaptive repetition."""
+    estimators = {
+        alg: AdaptiveEstimator(max_trials, rel_precision, confidence, min_trials)
+        for alg in algorithms
+    }
+    heads_samples: list[float] = []
+    gateway_samples: dict[str, list[float]] = {alg: [] for alg in algorithms}
+    trial = 0
+    while True:
+        if all(e.done() for e in estimators.values()):
+            break
+        if trial >= max_trials:
+            break
+        topo = random_topology(
+            key.n,
+            key.degree,
+            seed=_cell_seed(base_seed, key, trial),
+            calibration=calibration,
+        )
+        clustering = khop_cluster(topo.graph, key.k)
+        oracle = PathOracle(topo.graph)
+        results = build_all_backbones(clustering, tuple(algorithms), oracle=oracle)
+        heads_samples.append(float(clustering.num_clusters))
+        for alg, res in results.items():
+            if verify:
+                verify_backbone(res)
+            estimators[alg].add(float(res.cds_size))
+            gateway_samples[alg].append(float(res.num_gateways))
+        trial += 1
+    return CellResult(
+        key=key,
+        trials=trial,
+        num_heads=summarize(heads_samples, confidence),
+        gateways={
+            alg: summarize(gateway_samples[alg], confidence) for alg in algorithms
+        },
+        cds_size={alg: estimators[alg].summary() for alg in algorithms},
+    )
+
+
+def run_sweep(
+    config: SweepConfig,
+    *,
+    progress: Optional[callable] = None,
+    verify: bool = True,
+) -> SweepResult:
+    """Run every cell of a sweep configuration.
+
+    Args:
+        config: the parameter grid and statistical settings.
+        progress: optional callback ``(CellKey, CellResult) -> None`` called
+            after each cell (the CLI uses it for live output).
+        verify: run full backbone verification on every produced backbone
+            (on by default; the cost is small at paper scales).
+    """
+    result = SweepResult(config=config)
+    for degree in config.degrees:
+        for k in config.ks:
+            for n in config.ns:
+                key = CellKey(n, float(degree), k)
+                cell = run_cell(
+                    key,
+                    algorithms=config.algorithms,
+                    max_trials=config.max_trials,
+                    min_trials=config.min_trials,
+                    rel_precision=config.rel_precision,
+                    confidence=config.confidence,
+                    base_seed=config.base_seed,
+                    calibration=config.calibration,
+                    verify=verify,
+                )
+                result.cells[key] = cell
+                if progress is not None:
+                    progress(key, cell)
+    return result

@@ -1,0 +1,57 @@
+"""Plain-text result tables and CSV export for the experiment drivers."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from .stats import SummaryStat
+from .sweep import SweepResult
+
+__all__ = ["format_table", "sweep_table", "write_csv"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render an aligned monospace table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def sweep_table(
+    result: SweepResult, degree: float, k: int, metric: str = "cds_size"
+) -> str:
+    """One figure panel as a table: rows = N, columns = algorithms."""
+    algs = list(result.config.algorithms)
+    headers = ["N"] + [f"{a}" for a in algs]
+    rows = []
+    for n in result.config.ns:
+        cell = result.cell(n, degree, k)
+        source: Mapping[str, SummaryStat] = getattr(cell, metric)
+        rows.append(
+            [n] + [f"{source[a].mean:.1f}±{source[a].halfwidth:.1f}" for a in algs]
+        )
+    return format_table(headers, rows)
+
+
+def write_csv(path: "str | Path", rows: Sequence[dict]) -> Path:
+    """Write dict rows to CSV (creating parent directories)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if not rows:
+        path.write_text("")
+        return path
+    fields = list(rows[0].keys())
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fields)
+        writer.writeheader()
+        writer.writerows(rows)
+    return path

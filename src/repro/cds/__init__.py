@@ -1,0 +1,30 @@
+"""k-hop CDS assembly, verification and the broadcast application."""
+
+from .broadcast import BroadcastStats, backbone_broadcast, blind_flood
+from .builder import KhopCDS, build_cds, intra_cluster_parents
+from .routing import RoutingReport, route, routing_report, table_sizes
+from .verify import (
+    check_backbone_connected,
+    check_domination,
+    check_gateways_are_members,
+    check_links_realized,
+    verify_backbone,
+)
+
+__all__ = [
+    "KhopCDS",
+    "build_cds",
+    "intra_cluster_parents",
+    "verify_backbone",
+    "check_backbone_connected",
+    "check_domination",
+    "check_links_realized",
+    "check_gateways_are_members",
+    "BroadcastStats",
+    "blind_flood",
+    "backbone_broadcast",
+    "RoutingReport",
+    "route",
+    "routing_report",
+    "table_sizes",
+]

@@ -1,0 +1,118 @@
+"""k-hop CDS assembly and intra-cluster routing structure.
+
+In 1-hop clustering the heads + gateways form a classic connected
+dominating set; for general k they form a **k-hop CDS**: the set is
+connected in ``G`` and every node is within k hops of a head.  This module
+materializes that object from a :class:`~repro.core.pipeline.BackboneResult`
+and adds the intra-cluster BFS trees that the broadcast application uses to
+move traffic between members and their head.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..core.clustering import Clustering
+from ..core.pipeline import BackboneResult
+from ..errors import InvalidParameterError
+from ..types import NodeId
+
+__all__ = ["KhopCDS", "build_cds", "intra_cluster_parents"]
+
+
+@dataclass(frozen=True)
+class KhopCDS:
+    """A materialized k-hop connected dominating set.
+
+    Attributes:
+        clustering: the underlying clustering.
+        heads: clusterhead IDs.
+        gateways: gateway node IDs (disjoint from heads).
+        algorithm: provenance — which pipeline produced it.
+    """
+
+    clustering: Clustering
+    heads: frozenset[NodeId]
+    gateways: frozenset[NodeId]
+    algorithm: str
+
+    @property
+    def nodes(self) -> frozenset[NodeId]:
+        """All CDS members: heads plus gateways."""
+        return self.heads | self.gateways
+
+    @property
+    def size(self) -> int:
+        """CDS size (the paper's y-axis in Figures 5-7)."""
+        return len(self.heads) + len(self.gateways)
+
+    def role(self, u: NodeId) -> str:
+        """``"head"``, ``"gateway"`` or ``"member"`` for node ``u``."""
+        if u in self.heads:
+            return "head"
+        if u in self.gateways:
+            return "gateway"
+        return "member"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"KhopCDS({self.algorithm}, heads={len(self.heads)}, "
+            f"gateways={len(self.gateways)})"
+        )
+
+
+def build_cds(result: BackboneResult) -> KhopCDS:
+    """Materialize the CDS of a pipeline result.
+
+    Raises:
+        InvalidParameterError: if the result's gateways intersect its heads
+            (would indicate a pipeline bug; gateways are non-heads by
+            construction).
+    """
+    heads = frozenset(result.heads)
+    if heads & result.gateways:
+        raise InvalidParameterError(
+            f"gateway set intersects heads: {sorted(heads & result.gateways)}"
+        )
+    return KhopCDS(
+        clustering=result.clustering,
+        heads=heads,
+        gateways=result.gateways,
+        algorithm=result.algorithm,
+    )
+
+
+def intra_cluster_parents(clustering: Clustering) -> Mapping[NodeId, NodeId]:
+    """BFS parent pointers from every member toward its clusterhead.
+
+    For each cluster, parents follow the canonical min-ID-predecessor
+    convention **restricted to the member set**, so intra-cluster traffic
+    never leaves the cluster.  Heads map to themselves.  Every cluster is
+    connected as a node set (members reached the head through k-hop paths in
+    G, but the paper's clusters are defined by distance, not induced
+    connectivity) — when a member has no in-cluster neighbor closer to the
+    head, its parent falls back to the canonical G-path predecessor, which
+    may cross clusters; the broadcast layer accounts for such relays.
+    """
+    g = clustering.graph
+    parents: dict[NodeId, NodeId] = {}
+    for head in clustering.heads:
+        dist = g.bfs_distances(head)
+        members = set(clustering.members(head))
+        for u in sorted(members):
+            if u == head:
+                parents[u] = head
+                continue
+            closer = [
+                w
+                for w in g.neighbors(u)
+                if dist[w] == dist[u] - 1 and w in members
+            ]
+            if closer:
+                parents[u] = min(closer)
+            else:
+                parents[u] = min(
+                    w for w in g.neighbors(u) if dist[w] == dist[u] - 1
+                )
+    return parents

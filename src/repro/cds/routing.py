@@ -1,0 +1,174 @@
+"""Cluster-based routing over the k-hop backbone (§1/§2 motivation).
+
+The paper motivates clustering with routing: "helping to achieve smaller
+routing tables and fewer route updates" ((α,t)-cluster, the B-protocol,
+MMWN).  This module quantifies that on any produced backbone:
+
+* **flat link-state baseline** — every node stores a route to every other
+  node: table size n-1, stretch 1 by definition;
+* **cluster-based routing** — a node stores routes only to its own
+  cluster's members plus its head; heads additionally store the backbone
+  table (one entry per clusterhead).  A packet travels source -> its head
+  (canonical path), head -> destination head over selected virtual links
+  (shortest path in the cluster graph G'), destination head -> destination.
+
+:func:`route` returns the actual walk; :func:`routing_report` samples
+source/destination pairs and reports mean/max stretch and table sizes —
+the table-size collapse is the win, the stretch is the price.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.pipeline import BackboneResult
+from ..errors import InvalidParameterError, ValidationError
+from ..net.paths import PathOracle
+from ..types import NodeId
+
+__all__ = ["RoutingReport", "route", "table_sizes", "routing_report"]
+
+
+def _backbone_shortest(
+    result: BackboneResult, src_head: NodeId, dst_head: NodeId
+) -> list[NodeId]:
+    """Shortest head sequence over selected virtual links (Dijkstra)."""
+    if src_head == dst_head:
+        return [src_head]
+    adj: dict[NodeId, list[tuple[int, NodeId]]] = {h: [] for h in result.heads}
+    for a, b in result.selected_links:
+        w = result.virtual_graph.link(a, b).weight
+        adj[a].append((w, b))
+        adj[b].append((w, a))
+    dist = {src_head: 0}
+    prev: dict[NodeId, NodeId] = {}
+    pq = [(0, src_head)]
+    while pq:
+        d, u = heapq.heappop(pq)
+        if u == dst_head:
+            break
+        if d > dist.get(u, float("inf")):
+            continue
+        for w, v in adj[u]:
+            nd = d + w
+            if nd < dist.get(v, float("inf")):
+                dist[v] = nd
+                prev[v] = u
+                heapq.heappush(pq, (nd, v))
+    if dst_head not in prev and dst_head != src_head:
+        raise ValidationError(
+            f"backbone does not connect heads {src_head} and {dst_head}"
+        )
+    seq = [dst_head]
+    while seq[-1] != src_head:
+        seq.append(prev[seq[-1]])
+    return list(reversed(seq))
+
+
+def route(
+    result: BackboneResult,
+    oracle: PathOracle,
+    source: NodeId,
+    target: NodeId,
+) -> tuple[NodeId, ...]:
+    """The cluster-routing walk from ``source`` to ``target``.
+
+    Same cluster: direct canonical path (members know their own cluster).
+    Different clusters: source -> head -> backbone -> head -> target.
+    The returned walk may revisit nodes (e.g. the source's head path
+    overlapping the backbone); its *length* is what stretch measures.
+    """
+    cl = result.clustering
+    if not (0 <= source < cl.graph.n and 0 <= target < cl.graph.n):
+        raise InvalidParameterError("route endpoints out of range")
+    if source == target:
+        return (source,)
+    hs, ht = cl.cluster_of(source), cl.cluster_of(target)
+    if hs == ht:
+        return oracle.path(source, target)
+    walk: list[NodeId] = list(oracle.path(source, hs))
+    head_seq = _backbone_shortest(result, hs, ht)
+    for a, b in zip(head_seq, head_seq[1:]):
+        seg = result.virtual_graph.link(*(sorted((a, b)))).path
+        if seg[0] != a:
+            seg = tuple(reversed(seg))
+        walk.extend(seg[1:])
+    walk.extend(oracle.path(ht, target)[1:])
+    return tuple(walk)
+
+
+def table_sizes(result: BackboneResult) -> dict[NodeId, int]:
+    """Per-node routing-table entry counts under cluster routing.
+
+    Members store their cluster co-members; heads additionally store one
+    backbone entry per other clusterhead.
+    """
+    cl = result.clustering
+    out: dict[NodeId, int] = {}
+    n_heads = len(result.heads)
+    for h in cl.heads:
+        size = len(cl.members(h))
+        for u in cl.members(h):
+            out[u] = size - 1  # routes to co-members
+        out[h] = (size - 1) + (n_heads - 1)  # plus the backbone table
+    return out
+
+
+@dataclass(frozen=True)
+class RoutingReport:
+    """Sampled routing metrics for one backbone.
+
+    Attributes:
+        pairs: number of sampled (source, target) pairs.
+        mean_stretch / max_stretch: walk length over shortest-path length.
+        mean_table / max_table: cluster-routing table sizes.
+        flat_table: the link-state baseline table size (n - 1).
+    """
+
+    pairs: int
+    mean_stretch: float
+    max_stretch: float
+    mean_table: float
+    max_table: int
+    flat_table: int
+
+
+def routing_report(
+    result: BackboneResult,
+    oracle: PathOracle,
+    *,
+    samples: int = 50,
+    seed: int = 0,
+) -> RoutingReport:
+    """Sample random pairs and measure stretch + table sizes.
+
+    Every sampled walk is validated edge-by-edge against the real graph
+    before being counted.
+    """
+    g = result.clustering.graph
+    if g.n < 2:
+        raise InvalidParameterError("routing needs at least two nodes")
+    rng = np.random.default_rng(seed)
+    stretches = []
+    for _ in range(samples):
+        s, t = rng.choice(g.n, size=2, replace=False)
+        walk = route(result, oracle, int(s), int(t))
+        for a, b in zip(walk, walk[1:]):
+            if not g.has_edge(a, b):
+                raise ValidationError(f"routing walk uses non-edge ({a},{b})")
+        shortest = g.hop_distance(int(s), int(t))
+        stretches.append((len(walk) - 1) / shortest)
+    tables = table_sizes(result)
+    sizes = list(tables.values())
+    return RoutingReport(
+        pairs=samples,
+        mean_stretch=float(np.mean(stretches)),
+        max_stretch=float(np.max(stretches)),
+        mean_table=float(np.mean(sizes)),
+        max_table=int(np.max(sizes)),
+        flat_table=g.n - 1,
+    )

@@ -1,0 +1,95 @@
+"""Backbone verification — the executable form of Theorems 1 and 2.
+
+Checks that a produced backbone really is a **connected k-hop CDS**:
+
+* the CDS node set induces a connected subgraph of ``G`` (Theorem 2's
+  conclusion for the gateway algorithms);
+* heads k-hop dominate every node (from the clustering);
+* every selected virtual link is fully realized inside the CDS (its interior
+  nodes are gateways), so the abstract cluster graph G' the theorems argue
+  about actually exists in the network.
+
+Every pipeline result in every test and benchmark passes through
+:func:`verify_backbone` — reproduced numbers are only reported for verified
+backbones.
+"""
+
+from __future__ import annotations
+
+from ..core.pipeline import BackboneResult
+from ..errors import ValidationError
+from ..net.graph import UNREACHABLE
+
+__all__ = [
+    "check_backbone_connected",
+    "check_domination",
+    "check_links_realized",
+    "check_gateways_are_members",
+    "verify_backbone",
+]
+
+
+def check_backbone_connected(result: BackboneResult) -> None:
+    """Heads + gateways induce a connected subgraph of G."""
+    if not result.clustering.graph.is_connected_subset(result.cds):
+        raise ValidationError(
+            f"{result.algorithm}: CDS of size {result.cds_size} is not "
+            "connected in G"
+        )
+
+
+def check_domination(result: BackboneResult) -> None:
+    """Every node is within k hops of some clusterhead."""
+    g = result.clustering.graph
+    k = result.clustering.k
+    heads = result.heads
+    for u in g.nodes():
+        if not any(g.hop_distance(u, h) <= k for h in heads):
+            raise ValidationError(
+                f"{result.algorithm}: node {u} is more than k={k} hops "
+                "from every clusterhead"
+            )
+
+
+def check_links_realized(result: BackboneResult) -> None:
+    """Interiors of selected virtual links are all gateways; paths valid."""
+    g = result.clustering.graph
+    for a, b in sorted(result.selected_links):
+        link = result.virtual_graph.link(a, b)
+        # consecutive path nodes must be G-edges
+        for x, y in zip(link.path, link.path[1:]):
+            if not g.has_edge(x, y):
+                raise ValidationError(
+                    f"{result.algorithm}: virtual link {a}-{b} uses "
+                    f"non-edge ({x},{y})"
+                )
+        missing = set(link.interior) - result.gateways
+        if missing:
+            raise ValidationError(
+                f"{result.algorithm}: link {a}-{b} interior nodes "
+                f"{sorted(missing)} were not marked as gateways"
+            )
+        d = g.hop_distance(a, b)
+        if d >= UNREACHABLE or link.weight != d:
+            raise ValidationError(
+                f"{result.algorithm}: link {a}-{b} has weight {link.weight}, "
+                f"graph distance is {d} — not a shortest path"
+            )
+
+
+def check_gateways_are_members(result: BackboneResult) -> None:
+    """Gateways are non-clusterhead nodes (members)."""
+    heads = set(result.heads)
+    bad = sorted(result.gateways & heads)
+    if bad:
+        raise ValidationError(
+            f"{result.algorithm}: clusterheads {bad} were marked as gateways"
+        )
+
+
+def verify_backbone(result: BackboneResult) -> None:
+    """Run the full battery of backbone checks (raises on first failure)."""
+    check_gateways_are_members(result)
+    check_links_realized(result)
+    check_backbone_connected(result)
+    check_domination(result)

@@ -1,0 +1,98 @@
+"""Command-line interface: regenerate any paper artifact from the terminal.
+
+Installed as ``repro-khop`` (see pyproject).  Examples::
+
+    repro-khop figure5 --trials 20          # Figure 5 with a reduced budget
+    repro-khop figure4 --k 3 --seed 11      # a Figure-4 style instance
+    repro-khop claims --trials 10           # check the six §4 claims
+    repro-khop overhead                     # distributed message overhead
+    repro-khop all --trials 5               # everything, quickly
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Optional, Sequence
+
+from .figures import ablations, claims, figure4, figure5, figure6, figure7, overhead
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-khop`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-khop",
+        description=(
+            "Reproduce 'Connected k-Hop Clustering in Ad Hoc Networks' "
+            "(Yang, Wu, Cao — ICPP 2005)"
+        ),
+    )
+    parser.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        help="trial budget per experiment cell (default: paper's 100 / ±1%% CI rule)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p4 = sub.add_parser("figure4", help="single-instance gateway gallery")
+    p4.add_argument("--n", type=int, default=100)
+    p4.add_argument("--degree", type=float, default=6.0)
+    p4.add_argument("--k", type=int, default=2)
+    p4.add_argument("--seed", type=int, default=4)
+
+    sub.add_parser("figure5", help="CDS size vs N, sparse (D=6)")
+    sub.add_parser("figure6", help="CDS size vs N, dense (D=10)")
+    sub.add_parser("figure7", help="effect of k (heads and CDS size)")
+    sub.add_parser("claims", help="verify the six §4 summary claims")
+    sub.add_parser("overhead", help="distributed message overhead vs k")
+    sub.add_parser("ablations", help="membership/priority/neighbor-rule ablations")
+    sub.add_parser("all", help="run every artifact")
+    return parser
+
+
+def _apply_budget(trials: Optional[int]) -> None:
+    if trials is not None:
+        os.environ["REPRO_TRIALS"] = str(trials)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    _apply_budget(args.trials)
+
+    if args.command == "figure4":
+        data = figure4.run(n=args.n, degree=args.degree, k=args.k, seed=args.seed)
+        print(figure4.render(data))
+    elif args.command == "figure5":
+        figure5.main()
+    elif args.command == "figure6":
+        figure6.main()
+    elif args.command == "figure7":
+        figure7.main()
+    elif args.command == "claims":
+        sparse = figure5.run(trials=args.trials)
+        dense = figure6.run(trials=args.trials)
+        verdicts = claims.check_claims(sparse, dense)
+        print(claims.render_verdicts(verdicts))
+        if not all(v.holds for v in verdicts):
+            return 1
+    elif args.command == "overhead":
+        overhead.main()
+    elif args.command == "ablations":
+        ablations.main()
+    elif args.command == "all":
+        figure4.main()
+        figure5.main()
+        figure6.main()
+        figure7.main()
+        overhead.main()
+        ablations.main()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

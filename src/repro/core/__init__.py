@@ -1,0 +1,103 @@
+"""The paper's primary contribution: k-hop clustering, A-NCR, LMSTGA.
+
+Layout:
+
+* :mod:`~repro.core.priorities`, :mod:`~repro.core.membership` — the
+  pluggable election and join policies of §3.
+* :mod:`~repro.core.clustering` — the iterative k-hop clustering engine.
+* :mod:`~repro.core.validate` — invariant checks (k-hop DS / IS, partition).
+* :mod:`~repro.core.neighbor` — phase 1: NC, **A-NCR**, Wu-Lou coverage.
+* :mod:`~repro.core.virtual_graph` — virtual links / the cluster graph.
+* :mod:`~repro.core.mesh`, :mod:`~repro.core.lmst`, :mod:`~repro.core.gmst`,
+  :mod:`~repro.core.wulou` — phase 2 gateway algorithms.
+* :mod:`~repro.core.pipeline` — the five end-to-end algorithms of §4.
+"""
+
+from .clustering import Clustering, khop_cluster
+from .gmst import gmst_gateways, gmst_selected_links, gmst_virtual_graph
+from .hierarchy import ClusterHierarchy, HierarchyLevel, build_hierarchy
+from .lmst import lmst_gateways, lmst_selected_links, local_mst_edges
+from .membership import (
+    DistanceBasedJoin,
+    IDBasedJoin,
+    JoinContext,
+    MembershipPolicy,
+    SizeBasedJoin,
+    resolve_membership,
+)
+from .mesh import mesh_gateways, mesh_selected_links
+from .neighbor import (
+    adjacent_head_pairs,
+    ancr_neighbors,
+    cluster_graph_connected,
+    is_symmetric,
+    nc_neighbors,
+    neighbor_pairs,
+    wu_lou_neighbors,
+)
+from .pipeline import (
+    ALGORITHMS,
+    BackboneResult,
+    algorithm_names,
+    build_all_backbones,
+    build_backbone,
+    run_pipeline,
+)
+from .priorities import (
+    ExplicitPriority,
+    HighestDegree,
+    LowestID,
+    PriorityScheme,
+    RandomTimer,
+    ResidualEnergy,
+    resolve_priority,
+)
+from .validate import validate_clustering
+from .virtual_graph import VirtualGraph, VirtualLink
+from .wulou import wu_lou_gateways
+
+__all__ = [
+    "Clustering",
+    "khop_cluster",
+    "ClusterHierarchy",
+    "HierarchyLevel",
+    "build_hierarchy",
+    "validate_clustering",
+    "PriorityScheme",
+    "LowestID",
+    "HighestDegree",
+    "ResidualEnergy",
+    "RandomTimer",
+    "ExplicitPriority",
+    "resolve_priority",
+    "MembershipPolicy",
+    "IDBasedJoin",
+    "DistanceBasedJoin",
+    "SizeBasedJoin",
+    "JoinContext",
+    "resolve_membership",
+    "nc_neighbors",
+    "ancr_neighbors",
+    "wu_lou_neighbors",
+    "adjacent_head_pairs",
+    "neighbor_pairs",
+    "is_symmetric",
+    "cluster_graph_connected",
+    "VirtualGraph",
+    "VirtualLink",
+    "mesh_selected_links",
+    "mesh_gateways",
+    "local_mst_edges",
+    "lmst_selected_links",
+    "lmst_gateways",
+    "gmst_virtual_graph",
+    "gmst_selected_links",
+    "gmst_gateways",
+    "wu_lou_gateways",
+    "ALGORITHMS",
+    "algorithm_names",
+    "BackboneResult",
+    "build_backbone",
+    "build_all_backbones",
+    "run_pipeline",
+]

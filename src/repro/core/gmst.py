@@ -1,0 +1,38 @@
+"""G-MST — the centralized global-MST baseline (§4's lower-bound curve).
+
+A global minimum spanning tree is computed over the **metric closure** of
+the clusterheads (every head pair, weighted by hop distance, with the same
+``(hops, min_id, max_id)`` total order as everywhere else); the interior
+nodes of the chosen canonical paths become gateways.  The paper uses this
+centralized scheme as the lower-bound comparator: "G-MST has a constant
+approximation ratio to the optimal k-hop CDS for a constant k".
+
+This is *not* a localized algorithm — it needs global topology knowledge —
+which is exactly why the paper builds A-NCR + LMSTGA instead.
+"""
+
+from __future__ import annotations
+
+from ..net.paths import PathOracle
+from ..types import Edge
+from .clustering import Clustering
+from .lmst import _kruskal
+from .virtual_graph import VirtualGraph
+
+__all__ = ["gmst_selected_links", "gmst_gateways", "gmst_virtual_graph"]
+
+
+def gmst_virtual_graph(clustering: Clustering, oracle: PathOracle) -> VirtualGraph:
+    """The metric-closure virtual graph G-MST runs on."""
+    return VirtualGraph.metric_closure(clustering, oracle)
+
+
+def gmst_selected_links(vgraph: VirtualGraph) -> set[Edge]:
+    """Edges of the unique global MST of the (complete) virtual graph."""
+    edges = [(link.order_key(), (link.u, link.v)) for link in vgraph.links()]
+    return _kruskal(vgraph.heads, edges)
+
+
+def gmst_gateways(vgraph: VirtualGraph) -> frozenset[int]:
+    """Gateways of G-MST: interiors of the global MST's links."""
+    return vgraph.gateways_for(gmst_selected_links(vgraph))

@@ -1,0 +1,168 @@
+"""Hierarchical (multi-level) clustering — the §2 extension.
+
+"High level clustering, clustering applied recursively over clusterheads,
+is also feasible and effective in even larger networks."  This module
+realizes that: level-1 k-hop clustering of ``G`` produces a cluster graph
+G'' (adjacent clusterheads); level 2 clusters *that* graph the same way;
+and so on, until a single apex cluster remains or a level limit is hit.
+
+Each level l > 1 works on the **adjacent-cluster graph of the previous
+level**: vertices are the previous level's clusterheads, edges join heads
+of adjacent clusters.  Theorem 1 guarantees each such graph is connected,
+so the recursion is well-defined all the way up.
+
+The result is the tree-of-clusters hierarchy used by frameworks like MMWN
+[15]: every node has a chain of heads ``level-1 head -> level-2 head ->
+...``, and aggregate routing state shrinks geometrically with each level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..errors import InvalidParameterError
+from ..net.graph import Graph
+from ..types import NodeId
+from .clustering import Clustering, khop_cluster
+from .neighbor import adjacent_head_pairs
+
+__all__ = ["HierarchyLevel", "ClusterHierarchy", "build_hierarchy"]
+
+
+@dataclass(frozen=True)
+class HierarchyLevel:
+    """One level of the hierarchy.
+
+    Attributes:
+        level: 1-based level index.
+        graph: the graph clustered at this level (level 1: the network G;
+            level l: the adjacent-cluster graph of level l-1, with vertices
+            relabelled 0..h-1).
+        clustering: the k-hop clustering of ``graph``.
+        node_ids: original network IDs of this level's graph vertices
+            (``node_ids[i]`` is the network node that vertex ``i``
+            represents).
+    """
+
+    level: int
+    graph: Graph
+    clustering: Clustering
+    node_ids: tuple[NodeId, ...]
+
+    @property
+    def heads(self) -> tuple[NodeId, ...]:
+        """This level's clusterheads, as original network IDs."""
+        return tuple(self.node_ids[h] for h in self.clustering.heads)
+
+
+@dataclass(frozen=True)
+class ClusterHierarchy:
+    """A full multi-level clustering.
+
+    Attributes:
+        levels: bottom-up list of levels (levels[0] clusters the network).
+        ks: the per-level k parameters used.
+    """
+
+    levels: tuple[HierarchyLevel, ...]
+    ks: tuple[int, ...]
+
+    @property
+    def depth(self) -> int:
+        """Number of levels built."""
+        return len(self.levels)
+
+    @property
+    def apex_heads(self) -> tuple[NodeId, ...]:
+        """Clusterheads of the top level (original network IDs)."""
+        return self.levels[-1].heads
+
+    def head_chain(self, node: NodeId) -> tuple[NodeId, ...]:
+        """The node's chain of heads, one per level, bottom-up.
+
+        ``head_chain(u)[0]`` is u's level-1 clusterhead; the last entry is
+        its apex-cluster head.  Every entry is an original network ID.
+        """
+        chain: list[NodeId] = []
+        current = node
+        for lvl in self.levels:
+            try:
+                idx = lvl.node_ids.index(current)
+            except ValueError:  # pragma: no cover - defensive
+                raise InvalidParameterError(
+                    f"node {current} is not a vertex of level {lvl.level}"
+                ) from None
+            head_idx = lvl.clustering.cluster_of(idx)
+            current = lvl.node_ids[head_idx]
+            chain.append(current)
+        return tuple(chain)
+
+    def heads_per_level(self) -> list[int]:
+        """Clusterhead counts per level (monotonically non-increasing)."""
+        return [len(lvl.clustering.heads) for lvl in self.levels]
+
+
+def _adjacent_cluster_graph(
+    clustering: Clustering, node_ids: Sequence[NodeId]
+) -> tuple[Graph, tuple[NodeId, ...]]:
+    """The (relabelled) adjacent-cluster graph G'' of one level."""
+    heads = clustering.heads
+    index = {h: i for i, h in enumerate(heads)}
+    edges = [
+        (index[a], index[b]) for a, b in adjacent_head_pairs(clustering)
+    ]
+    graph = Graph(len(heads), edges)
+    ids = tuple(node_ids[h] for h in heads)
+    return graph, ids
+
+
+def build_hierarchy(
+    graph: Graph,
+    ks: "int | Sequence[int]",
+    *,
+    max_levels: int = 8,
+    membership: Optional[str] = None,
+) -> ClusterHierarchy:
+    """Cluster recursively until one cluster remains (or levels run out).
+
+    Args:
+        graph: connected network graph.
+        ks: a single k used at every level, or a per-level sequence (the
+            last entry repeats if more levels are needed).
+        max_levels: recursion cap.
+        membership: membership policy name for every level (default
+            ID-based).
+
+    Returns:
+        The bottom-up :class:`ClusterHierarchy`.
+    """
+    if isinstance(ks, int):
+        ks_seq: list[int] = [ks]
+    else:
+        ks_seq = list(ks)
+        if not ks_seq:
+            raise InvalidParameterError("ks must not be empty")
+    if max_levels < 1:
+        raise InvalidParameterError("max_levels must be >= 1")
+
+    levels: list[HierarchyLevel] = []
+    used_ks: list[int] = []
+    cur_graph = graph
+    cur_ids: tuple[NodeId, ...] = tuple(graph.nodes())
+    for level in range(1, max_levels + 1):
+        k = ks_seq[min(level - 1, len(ks_seq) - 1)]
+        clustering = khop_cluster(cur_graph, k, membership=membership)
+        levels.append(
+            HierarchyLevel(
+                level=level,
+                graph=cur_graph,
+                clustering=clustering,
+                node_ids=cur_ids,
+            )
+        )
+        used_ks.append(k)
+        if clustering.num_clusters <= 1:
+            break
+        cur_graph, cur_ids = _adjacent_cluster_graph(clustering, cur_ids)
+    return ClusterHierarchy(levels=tuple(levels), ks=tuple(used_ks))

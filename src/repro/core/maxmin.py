@@ -1,0 +1,150 @@
+"""Max-Min d-cluster formation (Amis, Prakash, Vuong, Huynh — Infocom 2000).
+
+The paper's related work ([2]) cites Max-Min as the k-hop *core* style
+alternative to its own lowest-ID k-hop clustering: a 2d-round localized
+heuristic in which node IDs flood outward for ``d`` rounds of MAX, then
+``d`` rounds of MIN, and the rule set below elects clusterheads.  We
+implement it as a comparison baseline (ablation): same k-hop dominating
+property, but clusterheads may be closer than k+1 hops to each other
+(no independent-set guarantee), typically electing *more* heads.
+
+Algorithm (original formulation, synchronous):
+
+1. ``winner_0(u) = u``.
+2. Floodmax, d rounds: ``winner_r(u) = max over closed neighborhood of
+   winner_{r-1}``.
+3. Floodmin, d rounds, starting from the floodmax result.
+4. Rules at each node u:
+   * if u's own ID appears among its floodmin values -> u is a head
+     (rule: it "won" some region);
+   * else if some ID appears in both u's floodmax and floodmin value
+     lists (a *node pair*), the minimum such ID is u's head;
+   * else u's head is its floodmax winner ``winner_d(u)``.
+5. Each non-head joins the chosen head's cluster (heads within d hops by
+   construction of the floods).
+
+After rule evaluation some chosen heads may themselves have deferred to
+another head; we resolve chains by pointer-jumping to the final head, and
+(as in the original paper's "convergecast" fix-ups) any node whose chosen
+head resolves to something more than d hops away falls back to the
+nearest elected head within d hops — every elected head's own cluster is
+within range because it heard its own ID come back.
+"""
+
+from __future__ import annotations
+
+from ..errors import DisconnectedGraphError, InvalidParameterError
+from ..net.graph import Graph
+from ..types import NodeId
+from .clustering import Clustering
+
+__all__ = ["maxmin_cluster"]
+
+
+def maxmin_cluster(graph: Graph, d: int, *, require_connected: bool = True) -> Clustering:
+    """Run Max-Min d-cluster formation; returns a :class:`Clustering`.
+
+    The result satisfies the d-hop dominating property (every node within
+    d hops of its head) but **not** the d-hop independent-set property —
+    use it as the related-work baseline it is, not as a drop-in for the
+    paper's clustering (validation: run only ``check_partition`` and
+    ``check_dominating`` on it).
+    """
+    if d < 1:
+        raise InvalidParameterError(f"d must be >= 1, got {d}")
+    if require_connected and not graph.is_connected():
+        raise DisconnectedGraphError("maxmin_cluster requires a connected graph")
+    n = graph.n
+    if n == 0:
+        return Clustering(graph=graph, k=d, head_of=(), heads=(), rounds=0,
+                          priority_name="maxmin", membership_name="maxmin")
+
+    # --- floodmax -------------------------------------------------------- #
+    winner = list(range(n))
+    maxlog = [[u] for u in range(n)]  # winner_r(u) per round, r=0..d
+    for _ in range(d):
+        new = [
+            max(winner[u], *(winner[v] for v in graph.neighbors(u)))
+            if graph.neighbors(u)
+            else winner[u]
+            for u in range(n)
+        ]
+        winner = new
+        for u in range(n):
+            maxlog[u].append(winner[u])
+    floodmax_winner = winner[:]
+
+    # --- floodmin -------------------------------------------------------- #
+    minlog = [[floodmax_winner[u]] for u in range(n)]
+    for _ in range(d):
+        new = [
+            min(winner[u], *(winner[v] for v in graph.neighbors(u)))
+            if graph.neighbors(u)
+            else winner[u]
+            for u in range(n)
+        ]
+        winner = new
+        for u in range(n):
+            minlog[u].append(winner[u])
+
+    # --- election rules --------------------------------------------------- #
+    chosen = [-1] * n
+    for u in range(n):
+        min_vals = set(minlog[u][1:])  # floodmin rounds 1..d
+        max_vals = set(maxlog[u][1:])  # floodmax rounds 1..d
+        if u in min_vals:
+            chosen[u] = u
+        else:
+            pairs = min_vals & max_vals
+            if pairs:
+                chosen[u] = min(pairs)
+            else:
+                chosen[u] = floodmax_winner[u]
+
+    heads = sorted(u for u in range(n) if chosen[u] == u)
+    head_set = set(heads)
+
+    # --- resolution ------------------------------------------------------- #
+    # Chains: u chose h, but h itself chose h'. Pointer-jump to the root.
+    def resolve(u: NodeId) -> NodeId:
+        seen = set()
+        cur = u
+        while chosen[cur] != cur:
+            if cur in seen:  # cycle (possible in pathological ties): break by min
+                return min(seen)
+            seen.add(cur)
+            cur = chosen[cur]
+        return cur
+
+    head_of = [0] * n
+    dist = graph.hop_distances
+    for u in range(n):
+        h = resolve(u)
+        if h not in head_set or dist[u, h] > d:
+            # convergecast fix-up: nearest elected head within d hops
+            in_range = [x for x in heads if dist[u, x] <= d]
+            if not in_range:
+                # no elected head within range: u becomes a head itself
+                head_set.add(u)
+                heads = sorted(head_set)
+                h = u
+            else:
+                h = min(in_range, key=lambda x: (int(dist[u, x]), x))
+        head_of[u] = h
+    # heads that lost all members to fix-ups may still self-head; keep them
+    final_heads = tuple(sorted({head_of[u] for u in range(n)} | {
+        h for h in head_set if head_of[h] == h
+    }))
+    # normalize: every final head heads itself
+    for h in final_heads:
+        head_of[h] = h
+
+    return Clustering(
+        graph=graph,
+        k=d,
+        head_of=tuple(head_of),
+        heads=final_heads,
+        rounds=2 * d,
+        priority_name="maxmin",
+        membership_name="maxmin",
+    )

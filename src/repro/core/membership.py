@@ -1,0 +1,134 @@
+"""Cluster membership policies — which cluster does a covered node join?
+
+§3 of the paper: "For a non-clusterhead that has received more than one
+clusterhead declaration message within its k-hop neighborhood, there are
+several ways for it to decide which cluster to join. (1) ID-based ...
+(2) Distance-based ... (3) Size-based ...".
+
+A policy ranks the candidate clusterheads a node heard from; the node joins
+the best-ranked one.  All policies end with deterministic tie-breaks (hop
+distance, then head ID) so clusterings are reproducible.
+
+Size-based membership is stateful within a clustering round: nodes are
+assigned in increasing node-ID order and each assignment immediately updates
+the cluster sizes, mirroring a sequential admission process that balances
+cluster sizes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..errors import InvalidParameterError
+from ..types import NodeId
+
+__all__ = [
+    "JoinContext",
+    "MembershipPolicy",
+    "IDBasedJoin",
+    "DistanceBasedJoin",
+    "SizeBasedJoin",
+    "resolve_membership",
+]
+
+
+@dataclass(frozen=True)
+class JoinContext:
+    """Information available to a joining node.
+
+    Attributes:
+        node: the joining (non-clusterhead) node.
+        candidates: clusterheads within k hops that declared this round,
+            sorted by ID.
+        distances: hop distance from ``node`` to each head (same order as
+            ``candidates``).
+        sizes: current size of each candidate's cluster **including the head
+            itself and members admitted earlier in this round** (same order).
+    """
+
+    node: NodeId
+    candidates: Sequence[NodeId]
+    distances: Sequence[int]
+    sizes: Sequence[int]
+
+    def __post_init__(self) -> None:
+        if not self.candidates:
+            raise InvalidParameterError(f"node {self.node} has no candidate heads")
+        if not (len(self.candidates) == len(self.distances) == len(self.sizes)):
+            raise InvalidParameterError("candidates/distances/sizes length mismatch")
+
+
+class MembershipPolicy(ABC):
+    """Strategy choosing one clusterhead from a :class:`JoinContext`."""
+
+    #: Human-readable policy name for provenance.
+    name: str = "abstract"
+
+    @abstractmethod
+    def choose(self, ctx: JoinContext) -> NodeId:
+        """Return the clusterhead ``ctx.node`` joins."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class IDBasedJoin(MembershipPolicy):
+    """Join the candidate clusterhead with the smallest ID (paper option 1)."""
+
+    name = "id-based"
+
+    def choose(self, ctx: JoinContext) -> NodeId:
+        return min(ctx.candidates)
+
+
+class DistanceBasedJoin(MembershipPolicy):
+    """Join the nearest candidate clusterhead (paper option 2).
+
+    Tie-break: smallest head ID among nearest candidates.
+    """
+
+    name = "distance-based"
+
+    def choose(self, ctx: JoinContext) -> NodeId:
+        best = min(zip(ctx.distances, ctx.candidates))
+        return best[1]
+
+
+class SizeBasedJoin(MembershipPolicy):
+    """Join the currently smallest candidate cluster (paper option 3).
+
+    Tie-breaks: among equally small clusters prefer the nearest head, then
+    the smallest head ID.  Combined with the sequential node-ID assignment
+    order in the clustering engine this balances cluster sizes greedily.
+    """
+
+    name = "size-based"
+
+    def choose(self, ctx: JoinContext) -> NodeId:
+        ranked = sorted(zip(ctx.sizes, ctx.distances, ctx.candidates))
+        return ranked[0][2]
+
+
+_NAMED: Mapping[str, type[MembershipPolicy]] = {
+    "id-based": IDBasedJoin,
+    "distance-based": DistanceBasedJoin,
+    "size-based": SizeBasedJoin,
+}
+
+
+def resolve_membership(spec: "MembershipPolicy | str | None") -> MembershipPolicy:
+    """Resolve a membership spec: an instance, a name, or None (ID-based)."""
+    if spec is None:
+        return IDBasedJoin()
+    if isinstance(spec, MembershipPolicy):
+        return spec
+    if isinstance(spec, str):
+        try:
+            return _NAMED[spec]()
+        except KeyError:
+            raise InvalidParameterError(
+                f"unknown membership policy {spec!r}; known: {sorted(_NAMED)}"
+            ) from None
+    raise InvalidParameterError(f"cannot interpret membership spec {spec!r}")

@@ -1,0 +1,28 @@
+"""Mesh-based gateway selection (baseline, [16] generalized to k hops).
+
+The mesh scheme connects every clusterhead to **all** of its neighbor
+clusterheads: for each selected neighbor pair the interior nodes of the
+canonical virtual link become gateways.  Combined with the NC rule this is
+the paper's NC-Mesh baseline; combined with A-NCR it is AC-Mesh.
+
+Because A-NCR neighbor sets are subsets of NC neighbor sets and both use the
+same canonical paths, AC-Mesh gateway sets are always subsets of NC-Mesh
+gateway sets — an invariant the property tests enforce.
+"""
+
+from __future__ import annotations
+
+from ..types import Edge
+from .virtual_graph import VirtualGraph
+
+__all__ = ["mesh_selected_links", "mesh_gateways"]
+
+
+def mesh_selected_links(vgraph: VirtualGraph) -> set[Edge]:
+    """The mesh keeps every virtual link of the neighbor relation."""
+    return {(link.u, link.v) for link in vgraph.links()}
+
+
+def mesh_gateways(vgraph: VirtualGraph) -> frozenset[int]:
+    """Gateways of the mesh scheme: interiors of all virtual links."""
+    return vgraph.gateways_for(mesh_selected_links(vgraph))

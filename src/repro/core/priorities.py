@@ -1,0 +1,156 @@
+"""Node priority schemes for clusterhead election.
+
+The paper's clustering uses "the traditional lowest ID clustering algorithm"
+but explicitly lists alternatives (§2): node degree, node speed, sum of
+distances, random timers, and — for the power-aware variant of §3.3 —
+residual energy.  A priority scheme assigns every node a totally ordered
+*key*; **lower keys win** the clusterhead election.  Every scheme appends
+the node ID as the final tie-breaker, so keys are always strictly totally
+ordered and elections deterministic.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from ..net.graph import Graph
+
+__all__ = [
+    "PriorityScheme",
+    "LowestID",
+    "HighestDegree",
+    "ResidualEnergy",
+    "RandomTimer",
+    "ExplicitPriority",
+    "resolve_priority",
+]
+
+#: A priority key: any totally ordered tuple ending in the node ID.
+PriorityKey = Tuple
+
+
+class PriorityScheme(ABC):
+    """Strategy object producing one comparable key per node (lower wins)."""
+
+    #: Human-readable scheme name, used in result provenance.
+    name: str = "abstract"
+
+    @abstractmethod
+    def keys(self, graph: Graph) -> list[PriorityKey]:
+        """Per-node keys, indexed by node ID."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class LowestID(PriorityScheme):
+    """The paper's default: the node with the smallest ID wins."""
+
+    name = "lowest-id"
+
+    def keys(self, graph: Graph) -> list[PriorityKey]:
+        return [(u,) for u in graph.nodes()]
+
+
+class HighestDegree(PriorityScheme):
+    """Degree-based priority [Gerla & Tsai]: well-connected nodes win.
+
+    Key is ``(-degree, id)`` so higher degree sorts first and ties fall back
+    to lowest ID.
+    """
+
+    name = "highest-degree"
+
+    def keys(self, graph: Graph) -> list[PriorityKey]:
+        return [(-graph.degree(u), u) for u in graph.nodes()]
+
+
+class ResidualEnergy(PriorityScheme):
+    """Energy-based priority (§3.3): the node with most residual energy wins.
+
+    Args:
+        residuals: per-node residual energy (e.g. from
+            :meth:`repro.net.energy.EnergyModel.residuals`).
+    """
+
+    name = "residual-energy"
+
+    def __init__(self, residuals: Sequence[float]) -> None:
+        self._residuals = [float(r) for r in residuals]
+
+    def keys(self, graph: Graph) -> list[PriorityKey]:
+        if len(self._residuals) != graph.n:
+            raise InvalidParameterError(
+                f"residual vector has {len(self._residuals)} entries for a "
+                f"{graph.n}-node graph"
+            )
+        return [(-self._residuals[u], u) for u in graph.nodes()]
+
+
+class RandomTimer(PriorityScheme):
+    """Random-timer priority [18]: each node draws a uniform backoff.
+
+    The node whose timer fires first (smallest draw) wins; node ID breaks
+    the (measure-zero, but float) ties.  Deterministic given ``seed``.
+    """
+
+    name = "random-timer"
+
+    def __init__(self, seed: int) -> None:
+        self._seed = int(seed)
+
+    def keys(self, graph: Graph) -> list[PriorityKey]:
+        rng = np.random.default_rng(self._seed)
+        draws = rng.random(graph.n)
+        return [(float(draws[u]), u) for u in graph.nodes()]
+
+
+class ExplicitPriority(PriorityScheme):
+    """Adapter for caller-supplied keys (ID appended as tie-break).
+
+    Useful in tests and in the maintenance code, which re-clusters with
+    hand-crafted priorities.
+    """
+
+    name = "explicit"
+
+    def __init__(self, values: Sequence[float]) -> None:
+        self._values = list(values)
+
+    def keys(self, graph: Graph) -> list[PriorityKey]:
+        if len(self._values) != graph.n:
+            raise InvalidParameterError(
+                f"priority vector has {len(self._values)} entries for a "
+                f"{graph.n}-node graph"
+            )
+        return [(self._values[u], u) for u in graph.nodes()]
+
+
+_NAMED = {
+    "lowest-id": LowestID,
+    "highest-degree": HighestDegree,
+}
+
+
+def resolve_priority(spec: "PriorityScheme | str | None") -> PriorityScheme:
+    """Resolve a priority spec: a scheme instance, a name, or None (default).
+
+    Accepted names: ``"lowest-id"``, ``"highest-degree"``.  Schemes needing
+    state (energy, random timer) must be passed as instances.
+    """
+    if spec is None:
+        return LowestID()
+    if isinstance(spec, PriorityScheme):
+        return spec
+    if isinstance(spec, str):
+        try:
+            return _NAMED[spec]()
+        except KeyError:
+            raise InvalidParameterError(
+                f"unknown priority scheme {spec!r}; known: {sorted(_NAMED)}"
+            ) from None
+    raise InvalidParameterError(f"cannot interpret priority spec {spec!r}")

@@ -1,0 +1,83 @@
+"""Structural validation of clusterings (the paper's stated invariants).
+
+Each ``check_*`` function raises :class:`~repro.errors.ValidationError` with
+a precise message on the first violation; :func:`validate_clustering` runs
+the full battery.  The property-based tests drive these checks over large
+random graph families, so any algorithmic regression in the clustering core
+surfaces as a validation failure rather than a silently wrong experiment.
+"""
+
+from __future__ import annotations
+
+from ..errors import ValidationError
+from ..net.graph import UNREACHABLE
+from .clustering import Clustering
+
+__all__ = [
+    "check_partition",
+    "check_dominating",
+    "check_independent",
+    "check_heads_consistent",
+    "validate_clustering",
+]
+
+
+def check_heads_consistent(clustering: Clustering) -> None:
+    """Heads list matches the fixed points of ``head_of``."""
+    fixed = tuple(
+        u for u in clustering.graph.nodes() if clustering.head_of[u] == u
+    )
+    if fixed != clustering.heads:
+        raise ValidationError(
+            f"heads tuple {clustering.heads} != head_of fixed points {fixed}"
+        )
+
+
+def check_partition(clustering: Clustering) -> None:
+    """Every node belongs to exactly one cluster led by a real head."""
+    heads = set(clustering.heads)
+    for u in clustering.graph.nodes():
+        h = clustering.head_of[u]
+        if h < 0:
+            raise ValidationError(f"node {u} was never assigned a cluster")
+        if h not in heads:
+            raise ValidationError(f"node {u} assigned to non-head {h}")
+    total = sum(len(clustering.members(h)) for h in clustering.heads)
+    if total != clustering.graph.n:
+        raise ValidationError(
+            f"cluster sizes sum to {total}, expected {clustering.graph.n}"
+        )
+
+
+def check_dominating(clustering: Clustering) -> None:
+    """k-hop dominating set: every member is within k hops of its head."""
+    g = clustering.graph
+    for u in g.nodes():
+        h = clustering.head_of[u]
+        d = g.hop_distance(u, h)
+        if d >= UNREACHABLE or d > clustering.k:
+            raise ValidationError(
+                f"node {u} is {d} hops from its head {h} (> k={clustering.k})"
+            )
+
+
+def check_independent(clustering: Clustering) -> None:
+    """k-hop independent set: heads are pairwise more than k hops apart."""
+    g = clustering.graph
+    heads = clustering.heads
+    for i, h1 in enumerate(heads):
+        for h2 in heads[i + 1 :]:
+            d = g.hop_distance(h1, h2)
+            if d <= clustering.k:
+                raise ValidationError(
+                    f"heads {h1} and {h2} are only {d} hops apart "
+                    f"(<= k={clustering.k})"
+                )
+
+
+def validate_clustering(clustering: Clustering) -> None:
+    """Run every clustering invariant check; raises on the first failure."""
+    check_heads_consistent(clustering)
+    check_partition(clustering)
+    check_dominating(clustering)
+    check_independent(clustering)

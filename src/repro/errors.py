@@ -1,0 +1,64 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch a single base class at the
+boundary of their application code.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidParameterError",
+    "DisconnectedGraphError",
+    "CalibrationError",
+    "ValidationError",
+    "ProtocolError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A user-supplied parameter is out of its documented domain.
+
+    Examples: a negative node count, ``k < 1`` for k-hop clustering, or an
+    unknown algorithm name passed to the pipeline registry.
+    """
+
+
+class DisconnectedGraphError(ReproError):
+    """An operation that requires a connected graph received a disconnected one.
+
+    The paper's algorithms (Theorem 1 and 2) assume the underlying ad hoc
+    network ``G`` is connected; clustering a disconnected graph would produce
+    a backbone that cannot be connected by any gateway selection.
+    """
+
+
+class CalibrationError(ReproError):
+    """Topology generation failed to hit the requested target.
+
+    Raised when the random-topology generator exhausts its retry budget
+    without producing a connected unit-disk graph, or when empirical radius
+    calibration cannot bracket the requested average degree.
+    """
+
+
+class ValidationError(ReproError):
+    """A structural invariant documented by the paper does not hold.
+
+    Raised by :mod:`repro.core.validate` and :mod:`repro.cds.verify` when a
+    produced clustering or backbone violates the k-hop dominating-set,
+    independent-set, or connectivity properties.
+    """
+
+
+class ProtocolError(ReproError):
+    """A distributed protocol on the round simulator reached a bad state.
+
+    Examples: a message delivered to a dead node, a protocol that failed to
+    converge within its round budget, or inconsistent local views.
+    """

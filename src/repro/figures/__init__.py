@@ -1,0 +1,14 @@
+"""Figure/experiment drivers: one module per paper artifact + ablations."""
+
+from . import ablations, claims, common, figure4, figure5, figure6, figure7, overhead
+
+__all__ = [
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "claims",
+    "ablations",
+    "overhead",
+    "common",
+]

@@ -1,0 +1,217 @@
+"""Ablation studies over the paper's pluggable design choices.
+
+The paper names alternatives it does not evaluate head-to-head; these
+ablations fill that gap:
+
+* **membership policies** (§3: ID-based vs distance-based vs size-based) —
+  effect on cluster-size balance, member-to-head distance, and final CDS;
+* **priority schemes** (§2/§3.3: lowest-ID vs highest-degree vs
+  random-timer vs residual-energy) — effect on head count and CDS size;
+* **neighbor rules at k = 1** (§3.1: NC / Wu-Lou 2.5-hop / A-NCR) —
+  neighbor-pair counts, confirming the inclusion chain A-NCR ⊆ Wu-Lou ⊆ NC
+  that motivates A-NCR as the tightest safe rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..analysis.sweep import default_trial_budget
+from ..analysis.tables import format_table, write_csv
+from ..core.clustering import khop_cluster
+from ..core.neighbor import (
+    ancr_neighbors,
+    nc_neighbors,
+    neighbor_pairs,
+    wu_lou_neighbors,
+)
+from ..core.pipeline import build_backbone
+from ..core.priorities import LowestID, HighestDegree, RandomTimer
+from ..net.topology import random_topology
+from .common import RESULTS_DIR
+
+__all__ = [
+    "MembershipRow",
+    "PriorityRow",
+    "NeighborRuleRow",
+    "run_membership",
+    "run_priority",
+    "run_neighbor_rules",
+    "render",
+    "main",
+]
+
+
+@dataclass(frozen=True)
+class MembershipRow:
+    """Mean metrics for one membership policy."""
+
+    policy: str
+    cluster_size_std: float
+    mean_head_distance: float
+    cds_size: float
+
+
+@dataclass(frozen=True)
+class PriorityRow:
+    """Mean metrics for one priority scheme."""
+
+    scheme: str
+    num_heads: float
+    cds_size: float
+
+
+@dataclass(frozen=True)
+class NeighborRuleRow:
+    """Mean neighbor-pair counts for one k=1 neighbor rule."""
+
+    rule: str
+    pairs: float
+
+
+def run_membership(
+    *,
+    n: int = 100,
+    degree: float = 6.0,
+    k: int = 2,
+    trials: Optional[int] = None,
+    base_seed: int = 31,
+) -> list[MembershipRow]:
+    """Compare the three §3 membership policies."""
+    budget = trials if trials is not None else default_trial_budget(30)
+    rows = []
+    for policy in ("id-based", "distance-based", "size-based"):
+        stds, dists, cds = [], [], []
+        for t in range(budget):
+            topo = random_topology(n, degree, seed=base_seed + t)
+            cl = khop_cluster(topo.graph, k, membership=policy)
+            sizes = list(cl.cluster_sizes().values())
+            stds.append(float(np.std(sizes)))
+            dists.append(
+                float(np.mean([cl.head_distance(u) for u in cl.non_heads()]))
+            )
+            cds.append(float(build_backbone(cl, "AC-LMST").cds_size))
+        rows.append(
+            MembershipRow(
+                policy=policy,
+                cluster_size_std=float(np.mean(stds)),
+                mean_head_distance=float(np.mean(dists)),
+                cds_size=float(np.mean(cds)),
+            )
+        )
+    return rows
+
+
+def run_priority(
+    *,
+    n: int = 100,
+    degree: float = 6.0,
+    k: int = 2,
+    trials: Optional[int] = None,
+    base_seed: int = 57,
+) -> list[PriorityRow]:
+    """Compare clusterhead priority schemes."""
+    budget = trials if trials is not None else default_trial_budget(30)
+    schemes = {
+        "lowest-id": lambda t: LowestID(),
+        "highest-degree": lambda t: HighestDegree(),
+        "random-timer": lambda t: RandomTimer(seed=base_seed * 7919 + t),
+    }
+    rows = []
+    for name, factory in schemes.items():
+        heads, cds = [], []
+        for t in range(budget):
+            topo = random_topology(n, degree, seed=base_seed + t)
+            cl = khop_cluster(topo.graph, k, priority=factory(t))
+            heads.append(float(cl.num_clusters))
+            cds.append(float(build_backbone(cl, "AC-LMST").cds_size))
+        rows.append(
+            PriorityRow(
+                scheme=name,
+                num_heads=float(np.mean(heads)),
+                cds_size=float(np.mean(cds)),
+            )
+        )
+    return rows
+
+
+def run_neighbor_rules(
+    *,
+    n: int = 100,
+    degree: float = 6.0,
+    trials: Optional[int] = None,
+    base_seed: int = 73,
+) -> list[NeighborRuleRow]:
+    """Compare NC / Wu-Lou / A-NCR neighbor-pair counts at k = 1."""
+    budget = trials if trials is not None else default_trial_budget(30)
+    counts = {"NC(2k+1)": [], "Wu-Lou 2.5-hop": [], "A-NCR": []}
+    for t in range(budget):
+        topo = random_topology(n, degree, seed=base_seed + t)
+        cl = khop_cluster(topo.graph, 1)
+        counts["NC(2k+1)"].append(len(neighbor_pairs(nc_neighbors(cl))))
+        counts["Wu-Lou 2.5-hop"].append(len(neighbor_pairs(wu_lou_neighbors(cl))))
+        counts["A-NCR"].append(len(neighbor_pairs(ancr_neighbors(cl))))
+    return [
+        NeighborRuleRow(rule=name, pairs=float(np.mean(vals)))
+        for name, vals in counts.items()
+    ]
+
+
+def render(
+    membership: Sequence[MembershipRow],
+    priority: Sequence[PriorityRow],
+    neighbor: Sequence[NeighborRuleRow],
+) -> str:
+    """All three ablation tables."""
+    return "\n\n".join(
+        [
+            "Ablation A1 — membership policy (N=100, D=6, k=2, AC-LMST):\n"
+            + format_table(
+                ["policy", "cluster-size std", "mean head distance", "CDS size"],
+                [
+                    (
+                        r.policy,
+                        f"{r.cluster_size_std:.2f}",
+                        f"{r.mean_head_distance:.2f}",
+                        f"{r.cds_size:.1f}",
+                    )
+                    for r in membership
+                ],
+            ),
+            "Ablation A2 — priority scheme (N=100, D=6, k=2, AC-LMST):\n"
+            + format_table(
+                ["scheme", "clusterheads", "CDS size"],
+                [
+                    (r.scheme, f"{r.num_heads:.1f}", f"{r.cds_size:.1f}")
+                    for r in priority
+                ],
+            ),
+            "Ablation A3 — neighbor rule at k=1 (pairs to connect):\n"
+            + format_table(
+                ["rule", "mean neighbor pairs"],
+                [(r.rule, f"{r.pairs:.1f}") for r in neighbor],
+            ),
+        ]
+    )
+
+
+def main() -> tuple[list[MembershipRow], list[PriorityRow], list[NeighborRuleRow]]:
+    """Run all ablations, print, and export CSVs."""
+    membership = run_membership()
+    priority = run_priority()
+    neighbor = run_neighbor_rules()
+    print(render(membership, priority, neighbor))
+    write_csv(
+        RESULTS_DIR / "ablation_membership.csv",
+        [r.__dict__ for r in membership],
+    )
+    write_csv(RESULTS_DIR / "ablation_priority.csv", [r.__dict__ for r in priority])
+    write_csv(RESULTS_DIR / "ablation_neighbor.csv", [r.__dict__ for r in neighbor])
+    return membership, priority, neighbor
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,189 @@
+"""Programmatic checks of the paper's six §4 summary claims.
+
+The simulation section closes with six qualitative findings.  Given the
+Figure-5/6/7 sweep data, :func:`check_claims` evaluates each one and
+returns machine-checkable verdicts with numeric evidence; EXPERIMENTS.md
+records the output, and the claims benchmark asserts the core ones hold.
+
+The six claims (paraphrased):
+
+1. A-NCR reduces the number of gateway nodes (AC-Mesh < NC-Mesh, k > 1).
+2. AC-LMST (A-NCR + extended LMST) reduces gateways further (vs AC-Mesh).
+3. The approaches scale: CDS size grows smoothly (near-linearly) with N in
+   both sparse and dense networks.
+4. LMST is more effective than A-NCR (the Mesh->LMST saving exceeds the
+   NC->AC saving), and AC-LMST's edge over NC-LMST is small, especially in
+   dense networks.
+5. Larger k gives fewer clusterheads but more gateways, and a smaller
+   total CDS.
+6. AC-LMST is close to the centralized G-MST lower bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..analysis.sweep import SweepResult
+
+__all__ = ["ClaimVerdict", "check_claims", "render_verdicts"]
+
+
+@dataclass(frozen=True)
+class ClaimVerdict:
+    """Outcome of one claim check."""
+
+    claim_id: int
+    description: str
+    holds: bool
+    evidence: str
+
+
+def _mean_over_cells(result: SweepResult, metric: str, alg: str, degree: float, ks) -> float:
+    vals = []
+    for k in ks:
+        for n in result.config.ns:
+            cell = result.cell(n, degree, k)
+            vals.append(getattr(cell, metric)[alg].mean)
+    return float(np.mean(vals))
+
+
+def _linearity(result: SweepResult, alg: str, degree: float, k: int) -> float:
+    """R^2 of a linear fit of CDS size vs N (scalability proxy)."""
+    ns = np.array(result.config.ns, dtype=float)
+    ys = np.array(
+        [result.cell(int(n), degree, k).cds_size[alg].mean for n in ns]
+    )
+    if np.allclose(ys, ys.mean()):
+        return 1.0
+    coeffs = np.polyfit(ns, ys, 1)
+    pred = np.polyval(coeffs, ns)
+    ss_res = float(((ys - pred) ** 2).sum())
+    ss_tot = float(((ys - ys.mean()) ** 2).sum())
+    return 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+
+
+def check_claims(
+    sparse: SweepResult,
+    dense: Optional[SweepResult] = None,
+) -> list[ClaimVerdict]:
+    """Evaluate the six claims on sparse (D=6) and optional dense (D=10) data.
+
+    ``sparse`` must cover the five algorithms and k = 1..4; claims that need
+    dense data degrade gracefully when ``dense`` is None.
+    """
+    d_sparse = sparse.config.degrees[0]
+    ks = [k for k in sparse.config.ks if k > 1]
+    verdicts: list[ClaimVerdict] = []
+
+    # Claim 1: A-NCR reduces gateways (k > 1).
+    nc = _mean_over_cells(sparse, "gateways", "NC-Mesh", d_sparse, ks)
+    ac = _mean_over_cells(sparse, "gateways", "AC-Mesh", d_sparse, ks)
+    verdicts.append(
+        ClaimVerdict(
+            1,
+            "A-NCR reduces gateway count (AC-Mesh < NC-Mesh for k>1)",
+            ac < nc,
+            f"mean gateways over k>1 cells: NC-Mesh {nc:.2f}, AC-Mesh {ac:.2f}",
+        )
+    )
+
+    # Claim 2: AC-LMST reduces further.
+    aclmst = _mean_over_cells(sparse, "gateways", "AC-LMST", d_sparse, ks)
+    verdicts.append(
+        ClaimVerdict(
+            2,
+            "AC-LMST reduces gateways further (AC-LMST < AC-Mesh)",
+            aclmst < ac,
+            f"mean gateways: AC-Mesh {ac:.2f}, AC-LMST {aclmst:.2f}",
+        )
+    )
+
+    # Claim 3: scalability — CDS size ~ linear in N for every algorithm.
+    r2s = [
+        _linearity(sparse, alg, d_sparse, k)
+        for alg in sparse.config.algorithms
+        for k in sparse.config.ks
+    ]
+    worst = min(r2s)
+    verdicts.append(
+        ClaimVerdict(
+            3,
+            "CDS size grows near-linearly with N (scalable)",
+            worst > 0.8,
+            f"worst linear-fit R^2 across algorithms/k: {worst:.3f}",
+        )
+    )
+
+    # Claim 4: LMST saves more than A-NCR; AC-LMST ~ NC-LMST (denser => closer).
+    nclmst = _mean_over_cells(sparse, "gateways", "NC-LMST", d_sparse, ks)
+    lmst_saving = nc - nclmst
+    ancr_saving = nc - ac
+    close_sparse = abs(aclmst - nclmst) / max(nclmst, 1.0)
+    evidence = (
+        f"Mesh->LMST saves {lmst_saving:.2f}, NC->AC saves {ancr_saving:.2f}; "
+        f"|AC-LMST - NC-LMST|/NC-LMST = {close_sparse:.2%} (sparse)"
+    )
+    holds4 = lmst_saving > ancr_saving
+    if dense is not None:
+        d_dense = dense.config.degrees[0]
+        ks_d = [k for k in dense.config.ks if k > 1]
+        nclmst_d = _mean_over_cells(dense, "gateways", "NC-LMST", d_dense, ks_d)
+        aclmst_d = _mean_over_cells(dense, "gateways", "AC-LMST", d_dense, ks_d)
+        close_dense = abs(aclmst_d - nclmst_d) / max(nclmst_d, 1.0)
+        evidence += f"; dense gap {close_dense:.2%}"
+    verdicts.append(
+        ClaimVerdict(4, "LMST is more effective than A-NCR", holds4, evidence)
+    )
+
+    # Claim 5: larger k => fewer heads and smaller CDS (AC-LMST).
+    heads_by_k = []
+    cds_by_k = []
+    for k in sparse.config.ks:
+        hs, cs = [], []
+        for n in sparse.config.ns:
+            cell = sparse.cell(n, d_sparse, k)
+            hs.append(cell.num_heads.mean)
+            cs.append(cell.cds_size["AC-LMST"].mean)
+        heads_by_k.append(float(np.mean(hs)))
+        cds_by_k.append(float(np.mean(cs)))
+    heads_monotone = all(a > b for a, b in zip(heads_by_k, heads_by_k[1:]))
+    cds_monotone = all(a > b for a, b in zip(cds_by_k, cds_by_k[1:]))
+    verdicts.append(
+        ClaimVerdict(
+            5,
+            "larger k => fewer clusterheads and smaller CDS",
+            heads_monotone and cds_monotone,
+            f"mean heads by k: {[round(h,1) for h in heads_by_k]}; "
+            f"mean CDS by k: {[round(c,1) for c in cds_by_k]}",
+        )
+    )
+
+    # Claim 6: AC-LMST close to G-MST.
+    gmst_cds = _mean_over_cells(sparse, "cds_size", "G-MST", d_sparse, sparse.config.ks)
+    aclmst_cds = _mean_over_cells(
+        sparse, "cds_size", "AC-LMST", d_sparse, sparse.config.ks
+    )
+    ratio = aclmst_cds / gmst_cds if gmst_cds else float("inf")
+    verdicts.append(
+        ClaimVerdict(
+            6,
+            "AC-LMST is close to the G-MST lower bound",
+            ratio <= 1.30,
+            f"mean CDS size: AC-LMST {aclmst_cds:.2f}, G-MST {gmst_cds:.2f} "
+            f"(ratio {ratio:.3f})",
+        )
+    )
+    return verdicts
+
+
+def render_verdicts(verdicts: list[ClaimVerdict]) -> str:
+    """Human-readable claim report."""
+    lines = ["Paper §4 summary-claim verification:"]
+    for v in verdicts:
+        flag = "HOLDS " if v.holds else "FAILS "
+        lines.append(f"  [{flag}] ({v.claim_id}) {v.description}")
+        lines.append(f"           {v.evidence}")
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Figure 5 — CDS size vs N in sparse networks (average degree D = 6).
+
+Four panels (k = 1..4), five curves each (NC-Mesh, AC-Mesh, NC-LMST,
+AC-LMST, G-MST).  Expected shape per the paper: near-linear growth in N;
+mesh above LMST; A-NCR helps for k > 1; G-MST lowest; AC-LMST close to
+G-MST.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..analysis.sweep import SweepResult
+from .common import PAPER_NS, cds_sweep, render_cds_panels, save_sweep_csv
+
+__all__ = ["DEGREE", "run", "render", "main"]
+
+#: Sparse-network average degree of Figure 5.
+DEGREE = 6.0
+
+
+def run(
+    *,
+    trials: Optional[int] = None,
+    ks: Sequence[int] = (1, 2, 3, 4),
+    ns: Sequence[int] = PAPER_NS,
+) -> SweepResult:
+    """Run the Figure-5 sweep (trials default to the paper's 100/±1% rule)."""
+    return cds_sweep(DEGREE, ks=ks, ns=ns, trials=trials)
+
+
+def render(result: SweepResult) -> str:
+    """Render all panels."""
+    return render_cds_panels(result, DEGREE, figure_name="Figure 5")
+
+
+def main() -> SweepResult:
+    """Run, print, and export ``results/figure5.csv``."""
+    result = run()
+    print(render(result))
+    save_sweep_csv(result, "figure5")
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

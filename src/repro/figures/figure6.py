@@ -1,0 +1,45 @@
+"""Figure 6 — CDS size vs N in dense networks (average degree D = 10).
+
+Same panels as Figure 5 at D = 10.  Expected differences per the paper:
+fewer clusterheads and gateways overall, same algorithm ordering, and a
+smaller AC-LMST advantage over NC-LMST.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..analysis.sweep import SweepResult
+from .common import PAPER_NS, cds_sweep, render_cds_panels, save_sweep_csv
+
+__all__ = ["DEGREE", "run", "render", "main"]
+
+#: Dense-network average degree of Figure 6.
+DEGREE = 10.0
+
+
+def run(
+    *,
+    trials: Optional[int] = None,
+    ks: Sequence[int] = (1, 2, 3, 4),
+    ns: Sequence[int] = PAPER_NS,
+) -> SweepResult:
+    """Run the Figure-6 sweep."""
+    return cds_sweep(DEGREE, ks=ks, ns=ns, trials=trials)
+
+
+def render(result: SweepResult) -> str:
+    """Render all panels."""
+    return render_cds_panels(result, DEGREE, figure_name="Figure 6")
+
+
+def main() -> SweepResult:
+    """Run, print, and export ``results/figure6.csv``."""
+    result = run()
+    print(render(result))
+    save_sweep_csv(result, "figure6")
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,91 @@
+"""Figure 7 — the effect of the clustering parameter k (D = 6, AC-LMST).
+
+Two panels:
+
+* (a) number of clusterheads vs N for k = 1..4 — larger k means fewer,
+  bigger clusters;
+* (b) CDS size vs N for k = 1..4 under LMSTGA/AC-LMST — larger k means a
+  *smaller* total CDS even though each backbone link needs more gateways.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..analysis.ascii_plot import line_plot
+from ..analysis.sweep import SweepResult
+from ..analysis.tables import format_table
+from .common import PAPER_NS, cds_sweep, save_sweep_csv
+
+__all__ = ["DEGREE", "ALGORITHM", "run", "render", "main"]
+
+DEGREE = 6.0
+ALGORITHM = "AC-LMST"
+
+
+def run(
+    *,
+    trials: Optional[int] = None,
+    ks: Sequence[int] = (1, 2, 3, 4),
+    ns: Sequence[int] = PAPER_NS,
+) -> SweepResult:
+    """Run the Figure-7 sweep (AC-LMST only)."""
+    return cds_sweep(DEGREE, ks=ks, ns=ns, algorithms=(ALGORITHM,), trials=trials)
+
+
+def render(result: SweepResult) -> str:
+    """Both panels: clusterhead counts and CDS sizes by k."""
+    ks = result.config.ks
+    ns = result.config.ns
+
+    heads_series = {}
+    cds_series = {}
+    rows = []
+    for n in ns:
+        row = [n]
+        for k in ks:
+            cell = result.cell(n, DEGREE, k)
+            row.append(f"{cell.num_heads.mean:.1f}")
+            row.append(f"{cell.cds_size[ALGORITHM].mean:.1f}")
+        rows.append(row)
+    for k in ks:
+        heads_series[f"k={k}"] = [
+            (float(n), result.cell(n, DEGREE, k).num_heads.mean) for n in ns
+        ]
+        cds_series[f"k={k}"] = [
+            (float(n), result.cell(n, DEGREE, k).cds_size[ALGORITHM].mean)
+            for n in ns
+        ]
+    headers = ["N"]
+    for k in ks:
+        headers += [f"heads k={k}", f"CDS k={k}"]
+    return "\n\n".join(
+        [
+            f"Figure 7 reproduction (D={DEGREE:g}, gateway algorithm {ALGORITHM})",
+            format_table(headers, rows),
+            line_plot(
+                heads_series,
+                title="Figure 7(a): number of clusterheads vs N",
+                xlabel="number of nodes",
+                ylabel="clusterheads",
+            ),
+            line_plot(
+                cds_series,
+                title="Figure 7(b): number of nodes in CDS vs N",
+                xlabel="number of nodes",
+                ylabel="CDS size",
+            ),
+        ]
+    )
+
+
+def main() -> SweepResult:
+    """Run, print, and export ``results/figure7.csv``."""
+    result = run()
+    print(render(result))
+    save_sweep_csv(result, "figure7")
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

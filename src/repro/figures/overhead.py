@@ -1,0 +1,131 @@
+"""Communication overhead vs k (the paper's §5 "future work" experiment).
+
+"Communication overhead increases with the growth of the value of k.  We
+will perform some in-depth simulation which should help in analyzing the
+tradeoff between communication overhead and efficiency of k-hop."
+
+This driver runs the *distributed* pipeline on the round simulator and
+reports, per k: message transmissions by protocol phase (clustering /
+adjacency / gateway), rounds to quiescence, and the resulting CDS size —
+making the overhead-vs-CDS-quality tradeoff explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..analysis.tables import format_table, write_csv
+from ..analysis.sweep import default_trial_budget
+from ..net.topology import random_topology
+from ..sim.runner import run_distributed_pipeline
+from .common import RESULTS_DIR
+
+__all__ = ["OverheadRow", "run", "render", "main"]
+
+
+@dataclass(frozen=True)
+class OverheadRow:
+    """Mean per-k overhead of the distributed AC-LMST pipeline."""
+
+    k: int
+    clustering_tx: float
+    adjacency_tx: float
+    gateway_tx: float
+    total_tx: float
+    rounds: float
+    cds_size: float
+    trials: int
+
+
+def run(
+    *,
+    n: int = 100,
+    degree: float = 6.0,
+    ks: Sequence[int] = (1, 2, 3, 4),
+    algorithm: str = "AC-LMST",
+    trials: Optional[int] = None,
+    base_seed: int = 917,
+) -> list[OverheadRow]:
+    """Measure distributed message overhead for each k."""
+    budget = trials if trials is not None else max(1, default_trial_budget(20) // 2)
+    rows = []
+    for k in ks:
+        cl_tx, adj_tx, gw_tx, tot, rounds, cds = [], [], [], [], [], []
+        for t in range(budget):
+            topo = random_topology(n, degree, seed=base_seed + 1000 * k + t)
+            res = run_distributed_pipeline(topo.graph, k, algorithm)
+            phases = res.stats_by_phase
+            cl_tx.append(phases["clustering"].transmissions)
+            adj_tx.append(
+                phases["adjacency"].transmissions if "adjacency" in phases else 0
+            )
+            gw_tx.append(phases["gateway"].transmissions)
+            tot.append(res.stats.transmissions)
+            rounds.append(res.stats.rounds)
+            cds.append(len(res.cds))
+        rows.append(
+            OverheadRow(
+                k=k,
+                clustering_tx=float(np.mean(cl_tx)),
+                adjacency_tx=float(np.mean(adj_tx)),
+                gateway_tx=float(np.mean(gw_tx)),
+                total_tx=float(np.mean(tot)),
+                rounds=float(np.mean(rounds)),
+                cds_size=float(np.mean(cds)),
+                trials=budget,
+            )
+        )
+    return rows
+
+
+def render(rows: list[OverheadRow]) -> str:
+    """Overhead table."""
+    table = format_table(
+        ["k", "clustering tx", "adjacency tx", "gateway tx", "total tx", "rounds", "CDS size"],
+        [
+            (
+                r.k,
+                f"{r.clustering_tx:.0f}",
+                f"{r.adjacency_tx:.0f}",
+                f"{r.gateway_tx:.0f}",
+                f"{r.total_tx:.0f}",
+                f"{r.rounds:.0f}",
+                f"{r.cds_size:.1f}",
+            )
+            for r in rows
+        ],
+    )
+    return (
+        "Communication overhead of the distributed AC-LMST pipeline "
+        "(N=100, D=6):\n" + table
+    )
+
+
+def main() -> list[OverheadRow]:
+    """Run, print, and export ``results/overhead.csv``."""
+    rows = run()
+    print(render(rows))
+    write_csv(
+        RESULTS_DIR / "overhead.csv",
+        [
+            {
+                "k": r.k,
+                "clustering_tx": round(r.clustering_tx, 2),
+                "adjacency_tx": round(r.adjacency_tx, 2),
+                "gateway_tx": round(r.gateway_tx, 2),
+                "total_tx": round(r.total_tx, 2),
+                "rounds": round(r.rounds, 2),
+                "cds_size": round(r.cds_size, 2),
+                "trials": r.trials,
+            }
+            for r in rows
+        ],
+    )
+    return rows
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,20 @@
+"""§3.3 dynamics: failure repair, churn simulation, clusterhead rotation."""
+
+from .churn import ChurnReport, simulate_churn
+from .repair import RepairOutcome, failure_role, repair
+from .rotation import RotationEpoch, RotationReport, simulate_rotation
+from .stability import StabilityReport, StabilityStep, simulate_stability
+
+__all__ = [
+    "RepairOutcome",
+    "failure_role",
+    "repair",
+    "ChurnReport",
+    "simulate_churn",
+    "RotationEpoch",
+    "RotationReport",
+    "simulate_rotation",
+    "StabilityReport",
+    "StabilityStep",
+    "simulate_stability",
+]

@@ -1,0 +1,249 @@
+"""Node-failure handling (§3.3): role-dependent local repair.
+
+The paper distinguishes three cases when a node "disappears":
+
+* **member** (non-head, non-gateway) — "nothing needs to be done with
+  respect to the existing CDS";
+* **gateway** — "only the corresponding clusterhead needs to re-run the
+  gateway selection process (to have a local fix)";
+* **clusterhead** — "the clusterhead selection process is applied".
+
+:func:`repair` implements exactly that escalation ladder and *validates*
+each cheap fix before accepting it: removing a member can, in sparse
+topologies, stretch another member's head distance beyond k (its only
+k-hop path relayed through the failed node), in which case the repair
+escalates to re-clustering and says so.  Every accepted repair is verified
+(backbone connected, k-hop domination of survivors) on the post-failure
+graph.
+
+Failed nodes stay in the graph as isolated vertices (node numbering is
+preserved for comparability); they are excluded from clusters, backbones
+and all validity checks.
+
+The returned :class:`RepairOutcome` reports the *scope* a real deployment
+would touch (which clusterheads re-ran selection); the maintenance
+benchmark aggregates this into the paper's locality argument: "Since the
+number of clusterheads is relatively small ... the chance of re-applying
+the clusterhead selection process is also small."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.clustering import Clustering, khop_cluster
+from ..core.pipeline import BackboneResult, build_backbone
+from ..cds.verify import check_gateways_are_members, check_links_realized
+from ..errors import InvalidParameterError, ValidationError
+from ..net.graph import Graph
+from ..types import NodeId
+
+__all__ = ["RepairOutcome", "failure_role", "repair"]
+
+
+@dataclass(frozen=True)
+class RepairOutcome:
+    """Result of handling one node failure.
+
+    Attributes:
+        failed_node: the node that disappeared.
+        role: its role at failure time (``member`` / ``gateway`` / ``head``).
+        action: what the repair did: ``"none"`` (CDS untouched),
+            ``"gateway-reselect"``, ``"recluster"``, or ``"partition"``.
+        escalated: True when a cheap fix failed validation and the repair
+            fell back to a more global action than §3.3 promises.
+        scope_heads: clusterheads whose local state had to change.
+        partitioned: the failure disconnected the network (no single
+            backbone can span it; caller must handle components).
+        backbone: the repaired, verified backbone (None when partitioned).
+    """
+
+    failed_node: NodeId
+    role: str
+    action: str
+    escalated: bool
+    scope_heads: frozenset[NodeId]
+    partitioned: bool
+    backbone: Optional[BackboneResult]
+
+    @property
+    def locality(self) -> float:
+        """Fraction of surviving clusterheads untouched (1.0 = fully local)."""
+        if self.backbone is None:
+            return 0.0
+        total = len(self.backbone.heads)
+        if total == 0:
+            return 1.0
+        return 1.0 - len(self.scope_heads & set(self.backbone.heads)) / total
+
+
+def failure_role(backbone: BackboneResult, node: NodeId) -> str:
+    """Classify ``node`` as ``"head"``, ``"gateway"`` or ``"member"``."""
+    if node in set(backbone.heads):
+        return "head"
+    if node in backbone.gateways:
+        return "gateway"
+    return "member"
+
+
+def _excluded_nodes(clustering: Clustering) -> set[NodeId]:
+    """Phantom nodes of earlier failures: self-assigned but not heads.
+
+    Repairs can be chained (the returned backbone fed into the next
+    :func:`repair` call); dead nodes stay in the graph as isolated,
+    self-assigned, non-head vertices, and every later repair must keep
+    ignoring them.
+    """
+    heads = set(clustering.heads)
+    return {
+        u
+        for u in clustering.graph.nodes()
+        if clustering.head_of[u] == u and u not in heads
+    }
+
+
+def _strip_nodes(
+    clustering: Clustering, graph2: Graph, gone: set[NodeId]
+) -> Clustering:
+    """Clustering on the post-failure graph with ``gone`` nodes excluded."""
+    head_of = list(clustering.head_of)
+    for u in gone:
+        head_of[u] = u
+    heads = tuple(h for h in clustering.heads if h not in gone)
+    return Clustering(
+        graph=graph2,
+        k=clustering.k,
+        head_of=tuple(head_of),
+        heads=heads,
+        rounds=clustering.rounds,
+        priority_name=clustering.priority_name,
+        membership_name=clustering.membership_name,
+    )
+
+
+def _old_assignment_valid(
+    clustering: Clustering, graph2: Graph, gone: set[NodeId]
+) -> bool:
+    """Do all survivors still sit within k hops of their (surviving) head?"""
+    k = clustering.k
+    for u in graph2.nodes():
+        if u in gone:
+            continue
+        h = clustering.head_of[u]
+        if h in gone:
+            return False
+        if graph2.hop_distance(u, h) > k:
+            return False
+    return True
+
+
+def _verify_excluding(result: BackboneResult, excluded: set[NodeId]) -> None:
+    """Backbone verification that ignores the dead nodes."""
+    check_gateways_are_members(result)
+    check_links_realized(result)
+    g = result.clustering.graph
+    if not g.is_connected_subset(result.cds):
+        raise ValidationError("repaired CDS is not connected")
+    k = result.clustering.k
+    heads = result.heads
+    for u in g.nodes():
+        if u in excluded:
+            continue
+        if not any(g.hop_distance(u, h) <= k for h in heads):
+            raise ValidationError(f"survivor {u} lost k-hop domination")
+
+
+def _survivors_connected(graph2: Graph, gone: set[NodeId]) -> bool:
+    survivors = [u for u in graph2.nodes() if u not in gone]
+    if len(survivors) <= 1:
+        return True
+    root = survivors[0]
+    seen = {root}
+    stack = [root]
+    while stack:
+        x = stack.pop()
+        for y in graph2.neighbors(x):
+            if y not in gone and y not in seen:
+                seen.add(y)
+                stack.append(y)
+    return len(seen) == len(survivors)
+
+
+def repair(backbone: BackboneResult, node: NodeId) -> RepairOutcome:
+    """Handle the disappearance of ``node`` per the §3.3 ladder.
+
+    Raises:
+        InvalidParameterError: if ``node`` is not a node of the graph.
+    """
+    clustering = backbone.clustering
+    graph = clustering.graph
+    if not (0 <= node < graph.n):
+        raise InvalidParameterError(f"node {node} out of range")
+    role = failure_role(backbone, node)
+    graph2 = graph.without_nodes([node])
+    gone = _excluded_nodes(clustering) | {node}
+
+    if not _survivors_connected(graph2, gone):
+        return RepairOutcome(
+            failed_node=node,
+            role=role,
+            action="partition",
+            escalated=False,
+            scope_heads=frozenset(backbone.heads),
+            partitioned=True,
+            backbone=None,
+        )
+
+    # --- rungs 1 & 2: keep the clustering, maybe re-run gateways -------- #
+    if role in ("member", "gateway") and _old_assignment_valid(
+        clustering, graph2, gone
+    ):
+        surviving = _strip_nodes(clustering, graph2, gone)
+        try:
+            result = build_backbone(surviving, backbone.algorithm)
+            _verify_excluding(result, gone)
+        except ValidationError:
+            result = None
+        if result is not None:
+            if role == "member":
+                action, scope = "none", frozenset()
+            else:
+                affected = {
+                    h
+                    for a, b in backbone.selected_links
+                    if node in backbone.virtual_graph.link(a, b).interior
+                    for h in (a, b)
+                }
+                action, scope = "gateway-reselect", frozenset(affected)
+            return RepairOutcome(
+                failed_node=node,
+                role=role,
+                action=action,
+                escalated=False,
+                scope_heads=scope,
+                partitioned=False,
+                backbone=result,
+            )
+
+    # --- rung 3: clusterhead election re-runs --------------------------- #
+    reclustered = khop_cluster(
+        graph2,
+        clustering.k,
+        membership=clustering.membership_name,
+        require_connected=False,
+    )
+    # Isolated dead nodes elect themselves into phantom singleton
+    # clusters; strip them before building the backbone.
+    stripped = _strip_nodes(reclustered, graph2, gone)
+    result = build_backbone(stripped, backbone.algorithm)
+    _verify_excluding(result, gone)
+    return RepairOutcome(
+        failed_node=node,
+        role=role,
+        action="recluster",
+        escalated=role != "head",
+        scope_heads=frozenset(backbone.heads) | frozenset(result.heads),
+        partitioned=False,
+        backbone=result,
+    )

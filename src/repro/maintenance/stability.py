@@ -1,0 +1,157 @@
+"""Clustering stability under mobility (§1's "combinatorially stable" claim).
+
+The paper argues for small k because "network topology changes frequently
+... small k may help to construct a combinatorially stable system, in
+which the propagation of all topology updates is sufficiently fast to
+reflect the topology change", and §5 promises a movement-sensitive
+maintenance policy as future work.
+
+:func:`simulate_stability` quantifies that tradeoff: nodes move under
+random waypoint; at each step the unit-disk topology is re-snapshotted and
+re-clustered, and we measure how much of the clustering and backbone
+survived the step:
+
+* **head churn** — fraction of clusterheads that changed;
+* **membership churn** — fraction of nodes whose head assignment changed;
+* **backbone churn** — Jaccard distance between consecutive CDS node sets;
+* **re-clustering scope** — fraction of nodes whose k-hop neighborhood
+  changed at all (a lower bound on the update traffic any maintenance
+  policy must pay).
+
+Snapshots whose unit-disk graph is disconnected are skipped (the paper's
+algorithms are defined on connected networks); the report counts them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..core.clustering import khop_cluster
+from ..core.pipeline import build_backbone
+from ..errors import InvalidParameterError
+from ..net.graph import Graph
+from ..net.mobility import RandomWaypoint
+from ..net.topology import Topology
+
+__all__ = ["StabilityStep", "StabilityReport", "simulate_stability"]
+
+
+@dataclass(frozen=True)
+class StabilityStep:
+    """Churn metrics between two consecutive connected snapshots."""
+
+    step: int
+    head_churn: float
+    membership_churn: float
+    backbone_jaccard_distance: float
+    affected_nodes: float
+    edges_changed: int
+
+
+@dataclass
+class StabilityReport:
+    """Aggregate stability metrics of one mobility run.
+
+    Attributes:
+        k: cluster radius used.
+        steps: per-transition metrics (connected snapshot pairs only).
+        skipped_disconnected: snapshots dropped for being disconnected.
+    """
+
+    k: int
+    steps: list[StabilityStep] = field(default_factory=list)
+    skipped_disconnected: int = 0
+
+    def mean(self, metric: str) -> float:
+        """Mean of one per-step metric over the run."""
+        if not self.steps:
+            return float("nan")
+        return float(np.mean([getattr(s, metric) for s in self.steps]))
+
+
+def _jaccard_distance(a: frozenset, b: frozenset) -> float:
+    if not a and not b:
+        return 0.0
+    return 1.0 - len(a & b) / len(a | b)
+
+
+def simulate_stability(
+    topology: Topology,
+    k: int,
+    *,
+    steps: int,
+    speed: tuple[float, float] = (0.5, 1.5),
+    seed: int = 0,
+    algorithm: str = "AC-LMST",
+) -> StabilityReport:
+    """Move nodes, re-cluster each connected snapshot, measure churn.
+
+    Args:
+        topology: initial (connected) topology; its radius is reused for
+            every snapshot.
+        k: cluster radius.
+        steps: mobility steps to simulate.
+        speed: random-waypoint speed range, units per step.
+        seed: RNG seed for the waypoint process.
+        algorithm: backbone pipeline used for the backbone-churn metric.
+    """
+    if steps < 1:
+        raise InvalidParameterError("steps must be >= 1")
+    mob = RandomWaypoint(
+        topology.positions,
+        topology.area,
+        speed,
+        np.random.default_rng(seed),
+    )
+    report = StabilityReport(k=k)
+
+    def snapshot() -> Optional[Graph]:
+        g = mob.snapshot_graph(topology.radius)
+        return g if g.is_connected() else None
+
+    prev_graph = topology.graph
+    prev_cl = khop_cluster(prev_graph, k)
+    prev_backbone = build_backbone(prev_cl, algorithm)
+    for step in range(1, steps + 1):
+        mob.step()
+        g = snapshot()
+        if g is None:
+            report.skipped_disconnected += 1
+            continue
+        cl = khop_cluster(g, k)
+        backbone = build_backbone(cl, algorithm)
+
+        prev_heads = set(prev_cl.heads)
+        heads = set(cl.heads)
+        head_churn = (
+            1.0 - len(prev_heads & heads) / len(prev_heads | heads)
+            if prev_heads | heads
+            else 0.0
+        )
+        changed_members = sum(
+            1
+            for u in g.nodes()
+            if cl.head_of[u] != prev_cl.head_of[u]
+        )
+        old_edges = set(prev_graph.edges)
+        new_edges = set(g.edges)
+        delta_edges = old_edges ^ new_edges
+        touched = {u for e in delta_edges for u in e}
+        affected = set(g.nodes_within(sorted(touched), k)) if touched else set()
+        report.steps.append(
+            StabilityStep(
+                step=step,
+                head_churn=head_churn,
+                membership_churn=changed_members / g.n,
+                backbone_jaccard_distance=_jaccard_distance(
+                    prev_backbone.cds, backbone.cds
+                ),
+                affected_nodes=len(affected) / g.n,
+                edges_changed=len(delta_edges),
+            )
+        )
+        prev_graph, prev_cl, prev_backbone = g, cl, backbone
+    return report

@@ -1,0 +1,58 @@
+"""Network substrate: graphs, geometry, topology generation, energy, mobility.
+
+This subpackage is the paper's "ad hoc network" model: unit-disk graphs over
+uniform random placements in a 100 x 100 area, hop-distance machinery, and
+the auxiliary physical models (battery, mobility/churn) used by the
+power-aware and maintenance discussions of §3.3.
+"""
+
+from .energy import EnergyModel, EnergyParams
+from .generators import (
+    caterpillar,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+    topology_from_graph,
+    two_cliques_bridge,
+)
+from .geometry import PAPER_AREA, pairwise_distances, random_positions
+from .graph import UNREACHABLE, Graph
+from .mobility import ChurnProcess, RandomWaypoint
+from .paths import PathOracle, canonical_path, path_interior
+from .topology import (
+    Topology,
+    calibrate_radius,
+    radius_for_degree,
+    random_topology,
+    unit_disk_graph,
+)
+
+__all__ = [
+    "Graph",
+    "UNREACHABLE",
+    "PathOracle",
+    "canonical_path",
+    "path_interior",
+    "Topology",
+    "random_topology",
+    "unit_disk_graph",
+    "radius_for_degree",
+    "calibrate_radius",
+    "random_positions",
+    "pairwise_distances",
+    "PAPER_AREA",
+    "EnergyModel",
+    "EnergyParams",
+    "RandomWaypoint",
+    "ChurnProcess",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "grid_graph",
+    "two_cliques_bridge",
+    "caterpillar",
+    "topology_from_graph",
+]

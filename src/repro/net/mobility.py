@@ -1,0 +1,157 @@
+"""Mobility and churn processes for the dynamics of §3.3.
+
+The paper's maintenance discussion considers nodes that "disappear" (switch
+off or move away) and distinguishes three repair cases by the failed node's
+role.  Two simple processes drive those experiments:
+
+* :class:`RandomWaypoint` — the standard MANET mobility model: each node
+  picks a uniform waypoint, moves toward it at a uniform speed, then picks a
+  new one.  Used to generate *topology sequences* whose successive unit-disk
+  graphs differ by a few edges.
+* :class:`ChurnProcess` — memoryless on/off switching: each alive node dies
+  with probability ``p_off`` per step, each dead node revives with ``p_on``.
+  Used to generate the failure events consumed by :mod:`repro.maintenance`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from .geometry import Area
+from .graph import Graph
+from .topology import unit_disk_graph
+
+__all__ = ["RandomWaypoint", "ChurnProcess"]
+
+
+class RandomWaypoint:
+    """Random-waypoint mobility over a rectangular area.
+
+    Args:
+        positions: initial ``(n, 2)`` coordinates (copied).
+        area: movement rectangle.
+        speed_range: ``(v_min, v_max)``, units per step, sampled per leg.
+        rng: NumPy generator driving waypoint and speed choices.
+    """
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        area: Area,
+        speed_range: tuple[float, float],
+        rng: np.random.Generator,
+    ) -> None:
+        v_min, v_max = speed_range
+        if not (0 <= v_min <= v_max):
+            raise InvalidParameterError(f"bad speed range {speed_range!r}")
+        self.area = area
+        self._rng = rng
+        self._pos = np.array(positions, dtype=np.float64, copy=True)
+        self._speed_range = (float(v_min), float(v_max))
+        n = self._pos.shape[0]
+        self._targets = self._draw_targets(n)
+        self._speeds = self._draw_speeds(n)
+
+    def _draw_targets(self, count: int) -> np.ndarray:
+        t = self._rng.random((count, 2))
+        t[:, 0] *= self.area[0]
+        t[:, 1] *= self.area[1]
+        return t
+
+    def _draw_speeds(self, count: int) -> np.ndarray:
+        lo, hi = self._speed_range
+        return lo + (hi - lo) * self._rng.random(count)
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Current coordinates (copy)."""
+        return self._pos.copy()
+
+    def step(self) -> np.ndarray:
+        """Advance one time step; returns the new positions (copy).
+
+        Nodes that reach their waypoint this step stop there and draw a new
+        waypoint and speed for the next step.
+        """
+        delta = self._targets - self._pos
+        dist = np.sqrt((delta**2).sum(axis=1))
+        arrive = dist <= self._speeds
+        move = ~arrive & (dist > 0)
+        if move.any():
+            unit = delta[move] / dist[move, None]
+            self._pos[move] += unit * self._speeds[move, None]
+        if arrive.any():
+            self._pos[arrive] = self._targets[arrive]
+            idx = np.flatnonzero(arrive)
+            fresh_t = self._draw_targets(idx.size)
+            fresh_s = self._draw_speeds(idx.size)
+            self._targets[idx] = fresh_t
+            self._speeds[idx] = fresh_s
+        return self.positions
+
+    def snapshot_graph(self, radius: float) -> Graph:
+        """Unit-disk graph of the current positions."""
+        return unit_disk_graph(self._pos, radius)
+
+
+@dataclass
+class ChurnEvent:
+    """One node state flip: ``kind`` is ``"off"`` or ``"on"``."""
+
+    step: int
+    node: int
+    kind: str
+
+
+class ChurnProcess:
+    """Memoryless per-step node on/off churn.
+
+    Args:
+        n: node count.
+        p_off: per-step probability an alive node switches off.
+        p_on: per-step probability a dead node switches back on.
+        rng: NumPy generator.
+    """
+
+    def __init__(
+        self, n: int, p_off: float, p_on: float, rng: np.random.Generator
+    ) -> None:
+        for name, p in (("p_off", p_off), ("p_on", p_on)):
+            if not (0.0 <= p <= 1.0):
+                raise InvalidParameterError(f"{name} must be in [0, 1], got {p}")
+        self.n = n
+        self.p_off = p_off
+        self.p_on = p_on
+        self._rng = rng
+        self._alive = np.ones(n, dtype=bool)
+        self._step = 0
+
+    @property
+    def alive_mask(self) -> np.ndarray:
+        """Boolean alive vector (copy)."""
+        return self._alive.copy()
+
+    def alive_nodes(self) -> tuple[int, ...]:
+        """Sorted tuple of currently-alive node IDs."""
+        return tuple(np.flatnonzero(self._alive).tolist())
+
+    def dead_nodes(self) -> tuple[int, ...]:
+        """Sorted tuple of currently-dead node IDs."""
+        return tuple(np.flatnonzero(~self._alive).tolist())
+
+    def step(self) -> list[ChurnEvent]:
+        """Advance one step; returns the state-flip events in node order."""
+        self._step += 1
+        draws = self._rng.random(self.n)
+        events: list[ChurnEvent] = []
+        for u in range(self.n):
+            if self._alive[u] and draws[u] < self.p_off:
+                self._alive[u] = False
+                events.append(ChurnEvent(self._step, u, "off"))
+            elif not self._alive[u] and draws[u] < self.p_on:
+                self._alive[u] = True
+                events.append(ChurnEvent(self._step, u, "on"))
+        return events

@@ -1,0 +1,110 @@
+"""Canonical shortest paths and the path oracle.
+
+The paper's gateway algorithms all hinge on *which* shortest path is chosen
+between a pair of clusterheads ("virtual links", §3.2): the interior nodes
+of the chosen path become gateways when the link is selected.  The paper
+does not pin the choice down, so this reproduction defines a single
+**canonical shortest path** per unordered pair that is
+
+* deterministic (reruns and different algorithms agree),
+* symmetric (``path(u, v)`` is ``path(v, u)`` reversed), and
+* realizable by a distributed BFS: it equals the predecessor chain produced
+  by a scoped flood from the *smaller-ID* endpoint in which every node
+  adopts its minimum-ID predecessor — exactly what the round-simulator
+  protocols in :mod:`repro.sim.protocols` implement.
+
+Definition
+----------
+For ``s = min(u, v)``, ``t = max(u, v)``: walk backwards from ``t``; at each
+step move to the minimum-ID neighbor that is one hop closer to ``s``.
+Reversing the walk gives the canonical path from ``s`` to ``t``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..errors import DisconnectedGraphError
+from ..types import NodeId
+from .graph import UNREACHABLE, Graph
+
+__all__ = ["canonical_path", "path_interior", "PathOracle"]
+
+
+def canonical_path(graph: Graph, u: NodeId, v: NodeId) -> tuple[int, ...]:
+    """The canonical shortest path between ``u`` and ``v``, oriented u -> v.
+
+    The underlying unordered path is computed from ``min(u, v)`` (see module
+    docstring); if ``u > v`` the result is reversed so it always starts at
+    ``u`` and ends at ``v``.
+
+    Raises:
+        DisconnectedGraphError: if ``v`` is unreachable from ``u``.
+    """
+    if u == v:
+        return (u,)
+    s, t = (u, v) if u < v else (v, u)
+    dist = graph.bfs_distances(s)
+    d = int(dist[t])
+    if d >= UNREACHABLE:
+        raise DisconnectedGraphError(f"no path between {u} and {v}")
+    # Walk back from t toward s picking the min-ID predecessor each hop.
+    rev = [t]
+    cur = t
+    for step in range(d, 0, -1):
+        cur = min(w for w in graph.neighbors(cur) if dist[w] == step - 1)
+        rev.append(cur)
+    path = tuple(reversed(rev))  # s .. t
+    assert path[0] == s and path[-1] == t and len(path) == d + 1
+    return path if u == s else tuple(reversed(path))
+
+
+def path_interior(path: tuple[int, ...]) -> tuple[int, ...]:
+    """Interior (non-endpoint) nodes of a path — the gateway candidates."""
+    return path[1:-1]
+
+
+class PathOracle:
+    """Memoizing provider of canonical paths and hop distances for one graph.
+
+    A single experiment queries the same clusterhead pairs many times
+    (neighbor selection, mesh gateways, LMST gateways, G-MST baseline); the
+    oracle computes each canonical path once.
+
+    The oracle is keyed by unordered pair; :meth:`path` orients the stored
+    path to the requested direction.
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        self._graph = graph
+        self._cache: Dict[Tuple[int, int], tuple[int, ...]] = {}
+
+    @property
+    def graph(self) -> Graph:
+        """The underlying network graph."""
+        return self._graph
+
+    def distance(self, u: NodeId, v: NodeId) -> int:
+        """Hop distance between ``u`` and ``v`` in the underlying graph."""
+        return self._graph.hop_distance(u, v)
+
+    def path(self, u: NodeId, v: NodeId) -> tuple[int, ...]:
+        """Canonical path oriented from ``u`` to ``v`` (cached per pair)."""
+        if u == v:
+            return (u,)
+        key = (u, v) if u < v else (v, u)
+        stored = self._cache.get(key)
+        if stored is None:
+            stored = canonical_path(self._graph, key[0], key[1])
+            self._cache[key] = stored
+        return stored if u == key[0] else tuple(reversed(stored))
+
+    def interior(self, u: NodeId, v: NodeId) -> tuple[int, ...]:
+        """Interior nodes of the canonical ``u``-``v`` path."""
+        return path_interior(self.path(u, v))
+
+    def __len__(self) -> int:
+        """Number of distinct pairs cached so far."""
+        return len(self._cache)

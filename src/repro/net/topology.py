@@ -1,0 +1,209 @@
+"""Random unit-disk topology generation with average-degree calibration.
+
+The paper's simulation setup (§4): ``N`` nodes placed uniformly at random in
+a restricted 100 x 100 area, identical transmission ranges, average node
+degree ``D`` in {6, 10}, and an ideal MAC layer.  Disconnected samples are
+useless for connected-clustering experiments, so the generator redraws until
+the unit-disk graph is connected (standard practice in this literature, and
+implied by the paper's Theorem 1 premise that ``G`` is connected).
+
+Two radius-calibration modes are offered:
+
+* ``"analytic"`` — ``r = sqrt(D * A / (pi * N))`` equates the expected
+  number of nodes in a transmission disk with ``D``; border effects make the
+  realized mean degree slightly lower.
+* ``"empirical"`` — bisect on ``r`` until the realized mean degree over a
+  few position samples is within tolerance of ``D``; slower but tighter.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..errors import CalibrationError, InvalidParameterError
+from .geometry import PAPER_AREA, Area, pairwise_distances, random_positions
+from .graph import Graph
+
+__all__ = ["Topology", "radius_for_degree", "calibrate_radius", "unit_disk_graph", "random_topology"]
+
+
+@dataclass(frozen=True)
+class Topology:
+    """A generated ad hoc network instance.
+
+    Attributes:
+        graph: the unit-disk connectivity graph.
+        positions: ``(n, 2)`` node coordinates.
+        radius: common transmission range used to build ``graph``.
+        area: deployment rectangle.
+        seed: seed of the RNG stream that produced the accepted sample.
+        attempts: how many position draws were needed to get a connected
+            sample (1 = first try); useful for reporting sampling bias.
+    """
+
+    graph: Graph
+    positions: np.ndarray
+    radius: float
+    area: Area = PAPER_AREA
+    seed: Optional[int] = None
+    attempts: int = 1
+    extra: dict = field(default_factory=dict, compare=False)
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self.graph.n
+
+    def realized_degree(self) -> float:
+        """Mean degree of the generated graph."""
+        return self.graph.average_degree()
+
+
+def radius_for_degree(n: int, degree: float, area: Area = PAPER_AREA) -> float:
+    """Analytic transmission range for a target average degree.
+
+    Solves ``degree = (n - 1) * pi * r^2 / A`` (expected neighbors of a node
+    whose disk lies fully inside the area).
+    """
+    if n < 2:
+        raise InvalidParameterError(f"need n >= 2 to talk about degree, got n={n}")
+    if degree <= 0:
+        raise InvalidParameterError(f"target degree must be positive, got {degree}")
+    a = area[0] * area[1]
+    return math.sqrt(degree * a / (math.pi * (n - 1)))
+
+
+def unit_disk_graph(positions: np.ndarray, radius: float) -> Graph:
+    """Unit-disk graph: an edge wherever Euclidean distance <= ``radius``."""
+    if radius < 0:
+        raise InvalidParameterError(f"radius must be >= 0, got {radius}")
+    pos = np.asarray(positions, dtype=np.float64)
+    n = pos.shape[0]
+    dist = pairwise_distances(pos)
+    iu, ju = np.triu_indices(n, k=1)
+    mask = dist[iu, ju] <= radius
+    edges = list(zip(iu[mask].tolist(), ju[mask].tolist()))
+    return Graph(n, edges)
+
+
+def calibrate_radius(
+    n: int,
+    degree: float,
+    area: Area = PAPER_AREA,
+    *,
+    rng: np.random.Generator,
+    samples: int = 8,
+    tol: float = 0.05,
+    max_iter: int = 40,
+) -> float:
+    """Empirically bisect the radius so realized mean degree ~= ``degree``.
+
+    Averages the realized mean degree over ``samples`` independent uniform
+    placements at each candidate radius, then bisects.  ``tol`` is relative
+    (0.05 = within 5 % of target).
+
+    Raises:
+        CalibrationError: if the bracket cannot be established or bisection
+            does not converge in ``max_iter`` steps.
+    """
+    if degree >= n - 1:
+        raise InvalidParameterError(
+            f"target degree {degree} unreachable with n={n} (max is n-1)"
+        )
+    position_sets = [random_positions(n, area, rng) for _ in range(samples)]
+    dists = [pairwise_distances(p) for p in position_sets]
+
+    def realized(r: float) -> float:
+        total = 0.0
+        for d in dists:
+            iu, ju = np.triu_indices(n, k=1)
+            m = int((d[iu, ju] <= r).sum())
+            total += 2.0 * m / n
+        return total / len(dists)
+
+    lo = 0.0
+    hi = radius_for_degree(n, degree, area)
+    grow = 0
+    while realized(hi) < degree:
+        hi *= 1.5
+        grow += 1
+        if grow > 30:
+            raise CalibrationError("could not bracket target degree from above")
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        got = realized(mid)
+        if abs(got - degree) <= tol * degree:
+            return mid
+        if got < degree:
+            lo = mid
+        else:
+            hi = mid
+    raise CalibrationError(
+        f"radius calibration did not converge for n={n}, degree={degree}"
+    )
+
+
+def random_topology(
+    n: int,
+    degree: float,
+    *,
+    seed: int,
+    area: Area = PAPER_AREA,
+    calibration: str = "analytic",
+    radius: Optional[float] = None,
+    require_connected: bool = True,
+    max_attempts: int = 5000,
+) -> Topology:
+    """Generate a random connected unit-disk topology (the paper's workload).
+
+    Args:
+        n: number of nodes (50..200 in the paper).
+        degree: target average node degree (6 or 10 in the paper).
+        seed: base seed; each redraw uses an independent child stream, so a
+            given ``(n, degree, seed)`` is fully reproducible.
+        area: deployment rectangle, default the paper's 100 x 100.
+        calibration: ``"analytic"`` or ``"empirical"`` (see module docs).
+        radius: explicit transmission range; overrides ``calibration`` when
+            given (sweep runners calibrate once per (n, degree) and reuse).
+        require_connected: redraw until the sample is connected.
+        max_attempts: redraw budget before raising.
+
+    Raises:
+        CalibrationError: when no connected sample is found in budget —
+            typically means the requested degree is too low for ``n``.
+    """
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    if calibration not in ("analytic", "empirical"):
+        raise InvalidParameterError(f"unknown calibration mode {calibration!r}")
+    root = np.random.default_rng(seed)
+    if n == 1:
+        return Topology(
+            Graph(1), np.zeros((1, 2)), radius=0.0, area=area, seed=seed, attempts=1
+        )
+    if radius is None:
+        if calibration == "analytic":
+            radius = radius_for_degree(n, degree, area)
+        else:
+            radius = calibrate_radius(n, degree, area, rng=root)
+    for attempt in range(1, max_attempts + 1):
+        positions = random_positions(n, area, root)
+        graph = unit_disk_graph(positions, radius)
+        if not require_connected or graph.is_connected():
+            return Topology(
+                graph=graph,
+                positions=positions,
+                radius=radius,
+                area=area,
+                seed=seed,
+                attempts=attempt,
+            )
+    raise CalibrationError(
+        f"no connected unit-disk sample in {max_attempts} attempts "
+        f"(n={n}, degree={degree}, radius={radius:.2f}); "
+        "increase degree or max_attempts"
+    )

@@ -1,0 +1,21 @@
+"""Round-based distributed simulator and the paper's localized protocols.
+
+The engine models the paper's "ideal MAC layer" assumption: synchronous
+rounds, loss-free local broadcast, per-message transmission/reception
+accounting.  The protocols in :mod:`repro.sim.protocols` realize k-hop
+clustering, A-NCR adjacency detection and NC/AC x Mesh/LMST gateway
+selection with scoped floods only — and are tested to produce *identical*
+results to the centralized reference implementations in :mod:`repro.core`.
+"""
+
+from .engine import Engine, MessageStats
+from .node import ProtocolNode
+from .runner import DistributedRunResult, run_distributed_pipeline
+
+__all__ = [
+    "Engine",
+    "MessageStats",
+    "ProtocolNode",
+    "DistributedRunResult",
+    "run_distributed_pipeline",
+]

@@ -1,0 +1,147 @@
+"""Synchronous round-based message-passing engine (ideal MAC).
+
+The paper's simulation assumes "an ideal MAC layer protocol" — no
+collisions, no losses.  The engine realizes that model:
+
+* time advances in rounds;
+* during a round every node may queue payloads; each queued payload is one
+  radio *transmission* (a local broadcast);
+* at the start of the next round every alive neighbor of the sender
+  receives the payload (one *reception* per neighbor);
+* nodes process their whole inbox at once (synchronous BFS semantics: all
+  shortest-path copies of a flood arrive in the same round, which is what
+  makes min-ID predecessor selection deterministic).
+
+The engine stops at *quiescence*: a round in which no node transmitted and
+every node reports ``idle()``.  A ``max_rounds`` budget guards against
+non-terminating protocols (:class:`~repro.errors.ProtocolError`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..errors import ProtocolError
+from ..net.graph import Graph
+from ..types import NodeId
+from .node import ProtocolNode
+
+__all__ = ["MessageStats", "Engine"]
+
+
+@dataclass
+class MessageStats:
+    """Transmission/reception accounting for one protocol execution.
+
+    Attributes:
+        transmissions: number of radio broadcasts performed.
+        receptions: number of (node, payload) deliveries.
+        per_kind: transmissions by payload class name — the breakdown used
+            by the communication-overhead benchmark (paper §5 future work).
+        rounds: rounds executed until quiescence.
+    """
+
+    transmissions: int = 0
+    receptions: int = 0
+    per_kind: Counter = field(default_factory=Counter)
+    rounds: int = 0
+
+    def merge(self, other: "MessageStats") -> "MessageStats":
+        """Combine stats from sequentially executed protocols."""
+        out = MessageStats(
+            transmissions=self.transmissions + other.transmissions,
+            receptions=self.receptions + other.receptions,
+            per_kind=self.per_kind + other.per_kind,
+            rounds=self.rounds + other.rounds,
+        )
+        return out
+
+
+class Engine:
+    """Drives a set of :class:`ProtocolNode` instances over a graph.
+
+    Args:
+        graph: the radio connectivity graph.
+        nodes: one protocol node per graph node, indexed by ID.
+        alive: optional subset of node IDs that participate (dead nodes
+            neither send nor receive); defaults to all.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        nodes: Sequence[ProtocolNode],
+        *,
+        alive: Iterable[NodeId] | None = None,
+    ) -> None:
+        if len(nodes) != graph.n:
+            raise ProtocolError(
+                f"need one protocol node per graph node: {len(nodes)} != {graph.n}"
+            )
+        for u, node in enumerate(nodes):
+            if node.node_id != u:
+                raise ProtocolError(f"node at index {u} has id {node.node_id}")
+        self.graph = graph
+        self.nodes: List[ProtocolNode] = list(nodes)
+        self.alive = set(graph.nodes()) if alive is None else set(alive)
+        self.stats = MessageStats()
+        self._round = 0
+
+    @property
+    def round(self) -> int:
+        """Rounds executed so far."""
+        return self._round
+
+    def run(self, max_rounds: int = 10_000) -> MessageStats:
+        """Execute until quiescence; returns the accumulated stats.
+
+        Raises:
+            ProtocolError: if the protocol does not quiesce in
+                ``max_rounds`` rounds.
+        """
+        for node in self.nodes:
+            if node.node_id in self.alive:
+                node.start()
+        inflight: Dict[NodeId, List[Tuple[NodeId, object]]] = {}
+        while True:
+            if self._round >= max_rounds:
+                raise ProtocolError(
+                    f"protocol did not quiesce within {max_rounds} rounds"
+                )
+            # --- collect this round's transmissions -----------------------
+            sent_any = False
+            next_inflight: Dict[NodeId, List[Tuple[NodeId, object]]] = {}
+            for node in self.nodes:
+                u = node.node_id
+                if u not in self.alive:
+                    node.outbox.clear()
+                    continue
+                for payload in node.outbox:
+                    sent_any = True
+                    self.stats.transmissions += 1
+                    self.stats.per_kind[type(payload).__name__] += 1
+                    for v in self.graph.neighbors(u):
+                        if v in self.alive:
+                            next_inflight.setdefault(v, []).append((u, payload))
+                            self.stats.receptions += 1
+                node.outbox.clear()
+            inflight = next_inflight
+
+            # --- quiescence check -----------------------------------------
+            if not sent_any and not inflight:
+                if all(
+                    self.nodes[u].idle() for u in self.alive
+                ):
+                    break
+
+            # --- deliver and step -----------------------------------------
+            self._round += 1
+            self.stats.rounds = self._round
+            for node in self.nodes:
+                u = node.node_id
+                if u not in self.alive:
+                    continue
+                node.on_round(self._round, inflight.get(u, ()))
+        return self.stats

@@ -1,0 +1,157 @@
+"""Message types exchanged by the distributed protocols.
+
+All payloads are small frozen dataclasses.  A radio transmission is a
+*local broadcast*: every 1-hop neighbor of the sender receives the payload
+in the next round.  Scoped floods carry a ``ttl`` that is decremented on
+each re-broadcast, so a message born with ``ttl = h - 1`` reaches exactly
+the ``h``-hop neighborhood of its origin, and a ``hops`` counter that tells
+each receiver its distance from the origin (synchronous rounds deliver the
+first copy along shortest paths).
+
+Unicast-style messages (:class:`Mark`, :class:`Notify`, :class:`Join`,
+:class:`BorderReport`) are physically broadcast too — neighbors overhear
+them — but carry a ``target`` field; only the target acts on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+from ..types import NodeId
+
+__all__ = [
+    "Hello",
+    "NeighborRecord",
+    "Candidate",
+    "Declare",
+    "Join",
+    "ClusterHello",
+    "BorderReport",
+    "HeadAnnounce",
+    "HeadInfo",
+    "Mark",
+    "Notify",
+]
+
+
+@dataclass(frozen=True)
+class Hello:
+    """1-hop beacon announcing existence (neighborhood discovery)."""
+
+    origin: NodeId
+
+
+@dataclass(frozen=True)
+class NeighborRecord:
+    """Neighborhood discovery: a node floods its adjacency list ``h`` hops.
+
+    Collecting these records gives every node the subgraph induced by its
+    h-hop ball — the "(2k+1)-hop local information" the paper's localized
+    algorithms are allowed to use.
+    """
+
+    origin: NodeId
+    neighbors: Tuple[NodeId, ...]
+    ttl: int
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """Clustering phase A: an undecided node floods its priority key k hops."""
+
+    origin: NodeId
+    key: tuple
+    ttl: int
+
+
+@dataclass(frozen=True)
+class Declare:
+    """Clustering phase B: a new clusterhead announces itself k hops."""
+
+    head: NodeId
+    ttl: int
+    hops: int
+
+
+@dataclass(frozen=True)
+class Join:
+    """A member registers with its head, routed up the parent chain."""
+
+    member: NodeId
+    head: NodeId
+    target: NodeId
+
+
+@dataclass(frozen=True)
+class ClusterHello:
+    """Post-clustering beacon carrying the sender's cluster (adjacency scan)."""
+
+    origin: NodeId
+    head: NodeId
+
+
+@dataclass(frozen=True)
+class BorderReport:
+    """A border node tells its head about an adjacent cluster."""
+
+    reporter: NodeId
+    own_head: NodeId
+    other_head: NodeId
+    target: NodeId
+
+
+@dataclass(frozen=True)
+class HeadAnnounce:
+    """Gateway wave 1: heads flood their existence 2k+1 hops.
+
+    Every forwarder remembers its min-ID predecessor, building the
+    BFS-parent chains that later realize canonical virtual links.
+    """
+
+    origin: NodeId
+    ttl: int
+    hops: int
+
+
+@dataclass(frozen=True)
+class HeadInfo:
+    """Gateway wave 2: heads flood their neighbor set and virtual distances.
+
+    ``neighbors`` maps each neighbor head of ``origin`` to the hop distance
+    of the corresponding virtual link (algorithm AC-LMST, line 7).
+    """
+
+    origin: NodeId
+    neighbors: Tuple[Tuple[NodeId, int], ...]
+    ttl: int
+
+    def neighbor_map(self) -> Mapping[NodeId, int]:
+        """The neighbor set as a dict (payloads stay hashable)."""
+        return dict(self.neighbors)
+
+
+@dataclass(frozen=True)
+class Mark:
+    """Gateway wave 3: gateway marking hop, routed toward ``link``'s smaller head.
+
+    Travels the BFS-parent chain toward ``toward`` (= min endpoint); each
+    non-head node that forwards it marks itself as a gateway.
+    """
+
+    link: Tuple[NodeId, NodeId]
+    toward: NodeId
+    target: NodeId
+
+
+@dataclass(frozen=True)
+class Notify:
+    """Gateway wave 3: the smaller endpoint asks the larger to start marking.
+
+    Needed when only the smaller endpoint of a virtual link selected it in
+    its local MST: marking must still run from the larger endpoint so the
+    marked path equals the canonical one (oriented from the min-ID head).
+    """
+
+    link: Tuple[NodeId, NodeId]
+    target: NodeId

@@ -1,0 +1,50 @@
+"""Base class for protocol nodes running on the round engine.
+
+A protocol node sees only what a real host would: its own ID, whatever
+messages arrive from 1-hop neighbors, and the round counter.  It has no
+access to the global graph — the distributed/centralized equivalence tests
+rely on that boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from ..types import NodeId
+
+__all__ = ["ProtocolNode"]
+
+
+class ProtocolNode:
+    """One host's protocol state machine.
+
+    Subclasses override :meth:`start` (initial transmissions),
+    :meth:`on_round` (per-round processing of the inbox) and :meth:`idle`
+    (termination vote).  Transmissions are queued by :meth:`send`, one radio
+    broadcast per call.
+    """
+
+    def __init__(self, node_id: NodeId) -> None:
+        self.node_id = node_id
+        #: payloads queued for local broadcast at the end of this round.
+        self.outbox: List[object] = []
+
+    # -- protocol surface ------------------------------------------------ #
+
+    def start(self) -> None:
+        """Called once before round 1; queue initial transmissions here."""
+
+    def on_round(
+        self, round_no: int, inbox: Iterable[Tuple[NodeId, object]]
+    ) -> None:
+        """Process the messages delivered this round (may queue sends)."""
+
+    def idle(self) -> bool:
+        """Whether this node is content for the protocol to terminate."""
+        return True
+
+    # -- helpers ----------------------------------------------------------#
+
+    def send(self, payload: object) -> None:
+        """Queue one local broadcast of ``payload``."""
+        self.outbox.append(payload)

@@ -1,0 +1,17 @@
+"""Distributed protocol implementations of the paper's localized algorithms."""
+
+from .adjacency import AdjacencyNode, run_distributed_adjacency
+from .clustering import DistributedClusteringNode, run_distributed_clustering
+from .discovery import DiscoveryNode, run_discovery
+from .gateway import GatewayNode, run_distributed_gateway
+
+__all__ = [
+    "DiscoveryNode",
+    "run_discovery",
+    "DistributedClusteringNode",
+    "run_distributed_clustering",
+    "AdjacencyNode",
+    "run_distributed_adjacency",
+    "GatewayNode",
+    "run_distributed_gateway",
+]

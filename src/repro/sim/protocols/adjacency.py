@@ -1,0 +1,135 @@
+"""Distributed A-NCR: adjacency detection via border reports.
+
+After clustering, adjacency of clusters (Definition 2) is detected exactly
+where it is visible — at border nodes:
+
+* round 1 — every node broadcasts :class:`~repro.sim.messages.ClusterHello`
+  carrying its cluster membership;
+* round 2 — a node that hears a neighbor from another cluster is a *border
+  node*; it reports each foreign cluster to its own head with a
+  :class:`~repro.sim.messages.BorderReport` routed up the declare-parent
+  chain recorded during clustering (at most k hops);
+* heads accumulate the reports; the result per head is precisely the
+  A-NCR neighbor set (its adjacent clusterheads).
+
+Heads that are themselves border nodes record the adjacency directly.
+Intermediate nodes deduplicate (own_head, other_head) pairs so each chain
+carries each adjacency at most once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from ...errors import ProtocolError
+from ...net.graph import Graph
+from ...types import NodeId
+from ..engine import Engine, MessageStats
+from ..messages import BorderReport, ClusterHello
+from ..node import ProtocolNode
+from .clustering import DistributedClusteringNode
+
+__all__ = ["AdjacencyNode", "run_distributed_adjacency"]
+
+
+class AdjacencyNode(ProtocolNode):
+    """Per-host state machine for adjacency detection."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        head: NodeId,
+        declare_parent: Dict[NodeId, NodeId],
+    ) -> None:
+        super().__init__(node_id)
+        self.head = head
+        self.declare_parent = dict(declare_parent)
+        #: adjacent heads discovered (meaningful on heads).
+        self.adjacent_heads: set[NodeId] = set()
+        #: (own_head, other_head) pairs already forwarded (dedupe).
+        self._forwarded: set[tuple[NodeId, NodeId]] = set()
+        self._reported: set[NodeId] = set()
+
+    @property
+    def is_head(self) -> bool:
+        """Whether this node leads its cluster."""
+        return self.head == self.node_id
+
+    def start(self) -> None:
+        self.send(ClusterHello(origin=self.node_id, head=self.head))
+
+    def on_round(
+        self, round_no: int, inbox: Iterable[Tuple[NodeId, object]]
+    ) -> None:
+        for sender, payload in inbox:
+            if isinstance(payload, ClusterHello):
+                if payload.head != self.head:
+                    self._on_border_detected(payload.head)
+            elif isinstance(payload, BorderReport):
+                self._on_report(payload)
+
+    def _on_border_detected(self, other_head: NodeId) -> None:
+        if other_head in self._reported:
+            return
+        self._reported.add(other_head)
+        if self.is_head:
+            self.adjacent_heads.add(other_head)
+            return
+        parent = self.declare_parent.get(self.head)
+        if parent is None:
+            raise ProtocolError(
+                f"border node {self.node_id} has no parent toward head {self.head}"
+            )
+        self.send(
+            BorderReport(
+                reporter=self.node_id,
+                own_head=self.head,
+                other_head=other_head,
+                target=parent,
+            )
+        )
+
+    def _on_report(self, msg: BorderReport) -> None:
+        if msg.target != self.node_id:
+            return  # overheard
+        if msg.own_head == self.node_id:
+            self.adjacent_heads.add(msg.other_head)
+            return
+        pair = (msg.own_head, msg.other_head)
+        if pair in self._forwarded:
+            return
+        self._forwarded.add(pair)
+        parent = self.declare_parent.get(msg.own_head)
+        if parent is None:
+            raise ProtocolError(
+                f"node {self.node_id} cannot route BorderReport toward "
+                f"head {msg.own_head}"
+            )
+        self.send(
+            BorderReport(
+                reporter=msg.reporter,
+                own_head=msg.own_head,
+                other_head=msg.other_head,
+                target=parent,
+            )
+        )
+
+
+def run_distributed_adjacency(
+    graph: Graph,
+    clustering_nodes: list[DistributedClusteringNode],
+    *,
+    max_rounds: int = 10_000,
+) -> tuple[list[AdjacencyNode], MessageStats]:
+    """Run adjacency detection on top of a finished clustering protocol."""
+    nodes = [
+        AdjacencyNode(
+            c.node_id,
+            head=c.head if c.head is not None else c.node_id,
+            declare_parent=c.declare_parent,
+        )
+        for c in clustering_nodes
+    ]
+    engine = Engine(graph, nodes)
+    stats = engine.run(max_rounds=max_rounds)
+    return nodes, stats

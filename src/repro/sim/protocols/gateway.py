@@ -1,0 +1,320 @@
+"""Distributed gateway selection: NC/AC x Mesh/LMST on the round engine.
+
+Three waves, all scoped to 2k+1 hops (the paper's locality bound):
+
+1. **HeadAnnounce** — every clusterhead floods its existence with hop
+   counting.  Every node records, per announced head, its min-ID
+   predecessor; those BFS-parent chains *are* the canonical virtual links
+   (oriented from the smaller head, matching
+   :func:`repro.net.paths.canonical_path`).  Heads thereby learn their NC
+   neighbor set (all heads within 2k+1 hops) with virtual distances.
+2. **HeadInfo** (LMST only) — each head floods its neighbor set ``S`` and
+   distances (algorithm AC-LMST line 7); heads then build their local view
+   and compute the local MST with the ``(hops, min_id, max_id)`` order.
+3. **Mark / Notify** — for each selected virtual link ``(u, v)`` with
+   ``u < v``, the *larger* endpoint ``v`` initiates a Mark that walks the
+   parent chain toward ``u``; every non-head node on the chain marks itself
+   gateway and forwards.  If only ``u`` selected the link (LMST selections
+   are asymmetric), ``u`` first routes a Notify to ``v`` along the chain
+   toward ``v``, and ``v`` starts the Mark — so the marked nodes are always
+   the canonical interior, identical to the centralized pipelines.
+
+The mesh variant skips wave 2: the neighbor relation is symmetric, so both
+endpoints already know every link and ``v`` marks immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from ...errors import InvalidParameterError, ProtocolError
+from ...net.graph import Graph
+from ...types import Edge, NodeId, normalize_edge
+from ..engine import Engine, MessageStats
+from ..messages import HeadAnnounce, HeadInfo, Mark, Notify
+from ..node import ProtocolNode
+
+__all__ = ["GatewayNode", "run_distributed_gateway"]
+
+
+def _kruskal_local(
+    nodes: set[NodeId], edges: dict[Edge, int]
+) -> set[Edge]:
+    """Kruskal over ``(weight, u, v)``-ordered virtual links (local view)."""
+    parent = {v: v for v in nodes}
+
+    def find(x: NodeId) -> NodeId:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    chosen: set[Edge] = set()
+    for (a, b), _w in sorted(edges.items(), key=lambda kv: (kv[1], kv[0])):
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+            chosen.add((a, b))
+    return chosen
+
+
+class GatewayNode(ProtocolNode):
+    """Per-host state machine of the distributed gateway protocol."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        k: int,
+        is_head: bool,
+        gateway_alg: str,
+        adjacent_set: Optional[frozenset[NodeId]] = None,
+    ) -> None:
+        super().__init__(node_id)
+        if k < 1:
+            raise InvalidParameterError(f"k must be >= 1, got {k}")
+        if gateway_alg not in ("mesh", "lmst"):
+            raise InvalidParameterError(
+                f"gateway_alg must be 'mesh' or 'lmst', got {gateway_alg!r}"
+            )
+        self.k = k
+        self.is_head = is_head
+        self.gateway_alg = gateway_alg
+        #: A-NCR neighbor set (None => NC rule: use announced heads).
+        self.adjacent_set = adjacent_set
+
+        #: head -> min-ID predecessor of its announce flood.
+        self.announce_parent: Dict[NodeId, NodeId] = {}
+        #: head -> hop distance (from announce hop counters).
+        self.announce_dist: Dict[NodeId, int] = {}
+        #: head -> that head's (neighbor, distance) map (wave 2, heads only).
+        self.head_infos: Dict[NodeId, Mapping[NodeId, int]] = {}
+        #: True once this (non-head) node marked itself gateway.
+        self.is_gateway = False
+        #: links this head selected in its local MST / mesh.
+        self.selected_links: set[Edge] = set()
+        #: links whose Mark this head has already initiated (dedupe).
+        self._initiated: set[Edge] = set()
+        self._announce_forwarded: set[NodeId] = set()
+        self._info_forwarded: set[NodeId] = set()
+        self._done_selection = False
+
+        # schedule (see module docstring); wave boundaries in rounds.
+        self._t_info = 2 * k + 2
+        self._t_select = (2 * k + 2) if gateway_alg == "mesh" else (4 * k + 4)
+
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        if self.is_head:
+            self.announce_dist[self.node_id] = 0
+            self.send(HeadAnnounce(origin=self.node_id, ttl=2 * self.k, hops=1))
+
+    def on_round(
+        self, round_no: int, inbox: Iterable[Tuple[NodeId, object]]
+    ) -> None:
+        # group announces per origin so min-ID parent choice is deterministic
+        ann_seen: dict[NodeId, tuple[HeadAnnounce, list[NodeId]]] = {}
+        for sender, payload in inbox:
+            if isinstance(payload, HeadAnnounce):
+                entry = ann_seen.get(payload.origin)
+                if entry is None or payload.hops < entry[0].hops:
+                    ann_seen[payload.origin] = (payload, [sender])
+                elif payload.hops == entry[0].hops:
+                    entry[1].append(sender)
+            elif isinstance(payload, HeadInfo):
+                self._on_head_info(payload)
+            elif isinstance(payload, Mark):
+                self._on_mark(payload)
+            elif isinstance(payload, Notify):
+                self._on_notify(payload)
+
+        for origin, (ann, senders) in ann_seen.items():
+            if origin in self.announce_parent or origin == self.node_id:
+                continue
+            self.announce_parent[origin] = min(senders)
+            self.announce_dist[origin] = ann.hops
+            if ann.ttl > 0 and origin not in self._announce_forwarded:
+                self._announce_forwarded.add(origin)
+                self.send(
+                    HeadAnnounce(origin=origin, ttl=ann.ttl - 1, hops=ann.hops + 1)
+                )
+
+        if self.is_head:
+            if self.gateway_alg == "lmst" and round_no == self._t_info:
+                self._broadcast_info()
+            if round_no == self._t_select and not self._done_selection:
+                self._select_and_initiate()
+
+    # ------------------------------------------------------------------ #
+    # wave 2
+    # ------------------------------------------------------------------ #
+
+    def _neighbor_set(self) -> dict[NodeId, int]:
+        """My neighbor heads with virtual distances (NC or AC rule)."""
+        if self.adjacent_set is None:
+            return {
+                h: d for h, d in self.announce_dist.items() if h != self.node_id
+            }
+        out = {}
+        for h in self.adjacent_set:
+            d = self.announce_dist.get(h)
+            if d is None:
+                raise ProtocolError(
+                    f"head {self.node_id}: adjacent head {h} was never "
+                    "announced within 2k+1 hops"
+                )
+            out[h] = d
+        return out
+
+    def _broadcast_info(self) -> None:
+        nbrs = self._neighbor_set()
+        info = HeadInfo(
+            origin=self.node_id,
+            neighbors=tuple(sorted(nbrs.items())),
+            ttl=2 * self.k,
+        )
+        self.head_infos[self.node_id] = nbrs
+        self.send(info)
+
+    def _on_head_info(self, msg: HeadInfo) -> None:
+        if msg.origin == self.node_id or msg.origin in self.head_infos:
+            return
+        self.head_infos[msg.origin] = msg.neighbor_map()
+        if msg.ttl > 0 and msg.origin not in self._info_forwarded:
+            self._info_forwarded.add(msg.origin)
+            self.send(
+                HeadInfo(origin=msg.origin, neighbors=msg.neighbors, ttl=msg.ttl - 1)
+            )
+
+    # ------------------------------------------------------------------ #
+    # wave 3
+    # ------------------------------------------------------------------ #
+
+    def _select_and_initiate(self) -> None:
+        self._done_selection = True
+        nbrs = self._neighbor_set()
+        if not nbrs:
+            return
+        if self.gateway_alg == "mesh":
+            links = {normalize_edge(self.node_id, v) for v in nbrs}
+        else:
+            links = self._local_mst_links(nbrs)
+        self.selected_links = links
+        for a, b in sorted(links):
+            if self.node_id == b:
+                self._initiate_mark((a, b))
+            elif self.node_id == a:
+                if self.gateway_alg == "mesh":
+                    continue  # symmetric knowledge: b marks on its own
+                self._route_notify((a, b))
+
+    def _local_mst_links(self, nbrs: dict[NodeId, int]) -> set[Edge]:
+        view = {self.node_id, *nbrs}
+        edges: dict[Edge, int] = {}
+        for v, d in nbrs.items():
+            edges[normalize_edge(self.node_id, v)] = d
+        for v in list(nbrs):
+            info = self.head_infos.get(v)
+            if info is None:
+                raise ProtocolError(
+                    f"head {self.node_id} missing HeadInfo of neighbor {v}"
+                )
+            for w, d in info.items():
+                if w in view and w != v:
+                    edges[normalize_edge(v, w)] = d
+        mst = _kruskal_local(view, edges)
+        return {e for e in mst if self.node_id in e}
+
+    def _initiate_mark(self, link: Edge) -> None:
+        if link in self._initiated:
+            return
+        self._initiated.add(link)
+        u = link[0]  # marking always walks toward the smaller endpoint
+        parent = self.announce_parent.get(u)
+        if parent is None:
+            raise ProtocolError(
+                f"head {self.node_id} has no parent toward head {u}"
+            )
+        self.send(Mark(link=link, toward=u, target=parent))
+
+    def _route_notify(self, link: Edge) -> None:
+        v = link[1]
+        parent = self.announce_parent.get(v)
+        if parent is None:
+            raise ProtocolError(
+                f"head {self.node_id} has no parent toward head {v}"
+            )
+        self.send(Notify(link=link, target=parent))
+
+    def _on_mark(self, msg: Mark) -> None:
+        if msg.target != self.node_id:
+            return
+        if self.node_id == msg.toward:
+            return  # reached the smaller endpoint; path fully marked
+        if self.is_head:
+            raise ProtocolError(
+                f"head {self.node_id} lies on the interior of virtual link "
+                f"{msg.link} — shortest paths between heads must not cross heads"
+            )
+        self.is_gateway = True
+        parent = self.announce_parent.get(msg.toward)
+        if parent is None:
+            raise ProtocolError(
+                f"gateway {self.node_id} cannot continue Mark toward {msg.toward}"
+            )
+        self.send(Mark(link=msg.link, toward=msg.toward, target=parent))
+
+    def _on_notify(self, msg: Notify) -> None:
+        if msg.target != self.node_id:
+            return
+        v = msg.link[1]
+        if self.node_id == v:
+            if not self.is_head:
+                raise ProtocolError(
+                    f"Notify for link {msg.link} reached non-head {self.node_id}"
+                )
+            self._initiate_mark(msg.link)
+            return
+        parent = self.announce_parent.get(v)
+        if parent is None:
+            raise ProtocolError(
+                f"node {self.node_id} cannot route Notify toward head {v}"
+            )
+        self.send(Notify(link=msg.link, target=parent))
+
+    def idle(self) -> bool:
+        return self._done_selection or not self.is_head
+
+
+def run_distributed_gateway(
+    graph: Graph,
+    k: int,
+    head_of: Tuple[NodeId, ...],
+    *,
+    gateway_alg: str = "lmst",
+    adjacent_sets: Optional[Mapping[NodeId, frozenset[NodeId]]] = None,
+    max_rounds: int = 100_000,
+) -> tuple[list[GatewayNode], MessageStats]:
+    """Run the gateway protocol over a finished clustering.
+
+    Args:
+        graph: connectivity graph.
+        k: cluster radius the clustering used.
+        head_of: per-node head assignment.
+        gateway_alg: ``"mesh"`` or ``"lmst"``.
+        adjacent_sets: per-head A-NCR sets (from the adjacency protocol)
+            for the AC variants; None selects the NC rule.
+
+    Returns:
+        The protocol nodes (gateway flags, selected links) and stats.
+    """
+    nodes = []
+    for u in graph.nodes():
+        is_head = head_of[u] == u
+        adj = None
+        if adjacent_sets is not None and is_head:
+            adj = frozenset(adjacent_sets[u])
+        nodes.append(GatewayNode(u, k, is_head, gateway_alg, adj))
+    engine = Engine(graph, nodes)
+    stats = engine.run(max_rounds=max_rounds)
+    return nodes, stats

@@ -1,0 +1,40 @@
+"""Shared type aliases and tiny value objects used across the library.
+
+The paper works on an undirected graph ``G`` whose vertices are radio hosts
+identified by unique comparable IDs.  We represent node IDs as dense integers
+``0..n-1`` (the "lowest ID" priority of the paper is then simply the natural
+integer order), hop counts as non-negative ints, and edges as 2-tuples with
+``u < v``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+__all__ = ["NodeId", "Hops", "Edge", "normalize_edge", "normalize_edges"]
+
+#: A network host identifier.  Dense, hashable, totally ordered.
+NodeId = int
+
+#: A hop count (graph distance in G).
+Hops = int
+
+#: An undirected edge, stored with the smaller endpoint first.
+Edge = Tuple[NodeId, NodeId]
+
+
+def normalize_edge(u: NodeId, v: NodeId) -> Edge:
+    """Return the undirected edge ``(min(u, v), max(u, v))``.
+
+    Raises:
+        ValueError: if ``u == v`` (self-loops are meaningless in a radio
+            network and always indicate a caller bug).
+    """
+    if u == v:
+        raise ValueError(f"self-loop edge ({u}, {v}) is not allowed")
+    return (u, v) if u < v else (v, u)
+
+
+def normalize_edges(edges: Iterable[Tuple[NodeId, NodeId]]) -> set[Edge]:
+    """Normalize an iterable of edges into a set of ``(min, max)`` tuples."""
+    return {normalize_edge(u, v) for u, v in edges}

@@ -1,0 +1,112 @@
+"""Tests for the statistics engine."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import AdaptiveEstimator, SummaryStat, summarize, t_halfwidth
+from repro.errors import InvalidParameterError
+
+
+class TestTHalfwidth:
+    def test_single_sample_infinite(self):
+        assert t_halfwidth([5.0]) == math.inf
+
+    def test_zero_variance(self):
+        assert t_halfwidth([3.0, 3.0, 3.0]) == 0.0
+
+    def test_known_value(self):
+        # mean 2, sd 1, n=4 -> se = 0.5; t_{0.95, 3} = 2.3534
+        samples = [1.0, 2.0, 2.0, 3.0]
+        hw = t_halfwidth(samples, confidence=0.90)
+        sd = np.std(samples, ddof=1)
+        expected = 2.353363 * sd / 2.0
+        assert hw == pytest.approx(expected, rel=1e-4)
+
+    def test_bad_confidence(self):
+        with pytest.raises(InvalidParameterError):
+            t_halfwidth([1.0, 2.0], confidence=1.5)
+
+    @given(st.lists(st.floats(0, 100), min_size=5, max_size=50))
+    @settings(max_examples=30)
+    def test_higher_confidence_wider(self, xs):
+        assert t_halfwidth(xs, 0.99) >= t_halfwidth(xs, 0.90) - 1e-12
+
+    @given(st.lists(st.floats(1, 100), min_size=2, max_size=40))
+    @settings(max_examples=30)
+    def test_matches_scipy_interval(self, xs):
+        from scipy import stats as sps
+
+        hw = t_halfwidth(xs, 0.90)
+        mean = np.mean(xs)
+        se = np.std(xs, ddof=1) / math.sqrt(len(xs))
+        if se == 0:
+            assert hw == 0.0
+        else:
+            lo, hi = sps.t.interval(0.90, len(xs) - 1, loc=mean, scale=se)
+            assert hw == pytest.approx((hi - lo) / 2, rel=1e-9)
+
+
+class TestSummarize:
+    def test_empty_raises(self):
+        with pytest.raises(InvalidParameterError):
+            summarize([])
+
+    def test_basic(self):
+        s = summarize([2.0, 4.0])
+        assert s.mean == 3.0
+        assert s.count == 2
+        assert s.std == pytest.approx(math.sqrt(2))
+
+    def test_single(self):
+        s = summarize([7.0])
+        assert s.mean == 7.0 and s.std == 0.0 and s.halfwidth == math.inf
+
+    def test_relative_halfwidth(self):
+        s = SummaryStat(mean=0.0, std=1.0, count=5, halfwidth=0.5, confidence=0.9)
+        assert s.relative_halfwidth == math.inf
+        s2 = SummaryStat(mean=10.0, std=1.0, count=5, halfwidth=0.5, confidence=0.9)
+        assert s2.relative_halfwidth == 0.05
+
+    def test_str(self):
+        assert "n=2" in str(summarize([1.0, 2.0]))
+
+
+class TestAdaptiveEstimator:
+    def test_paper_rule_stops_at_max(self):
+        est = AdaptiveEstimator(max_trials=5, rel_precision=1e-9, min_trials=2)
+        for i in range(5):
+            assert not est.done() or i >= 5
+            est.add(float(i))
+        assert est.done()
+
+    def test_stops_early_on_zero_variance(self):
+        est = AdaptiveEstimator(max_trials=100, min_trials=3)
+        for _ in range(3):
+            est.add(10.0)
+        assert est.precise_enough()
+        assert est.done()
+
+    def test_respects_min_trials(self):
+        est = AdaptiveEstimator(max_trials=100, min_trials=10)
+        for _ in range(5):
+            est.add(10.0)
+        assert not est.done()
+
+    def test_summary_roundtrip(self):
+        est = AdaptiveEstimator()
+        est.add(1.0)
+        est.add(3.0)
+        assert est.summary().mean == 2.0
+        assert est.samples == (1.0, 3.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(InvalidParameterError):
+            AdaptiveEstimator(max_trials=0)
+        with pytest.raises(InvalidParameterError):
+            AdaptiveEstimator(min_trials=20, max_trials=10)
+        with pytest.raises(InvalidParameterError):
+            AdaptiveEstimator(rel_precision=0.0)

@@ -1,0 +1,107 @@
+"""Tests for the sweep runner."""
+
+import pytest
+
+from repro.analysis.sweep import (
+    CellKey,
+    SweepConfig,
+    default_trial_budget,
+    run_cell,
+    run_sweep,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestDefaultTrialBudget:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRIALS", raising=False)
+        assert default_trial_budget() == 100
+        assert default_trial_budget(17) == 17
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRIALS", "7")
+        assert default_trial_budget() == 7
+
+    def test_env_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRIALS", "many")
+        with pytest.raises(InvalidParameterError):
+            default_trial_budget()
+        monkeypatch.setenv("REPRO_TRIALS", "0")
+        with pytest.raises(InvalidParameterError):
+            default_trial_budget()
+
+
+class TestRunCell:
+    def test_small_cell(self):
+        cell = run_cell(
+            CellKey(40, 6.0, 2), max_trials=3, min_trials=2
+        )
+        assert cell.trials == 3
+        assert cell.num_heads.count == 3
+        assert set(cell.gateways) == {
+            "NC-Mesh",
+            "AC-Mesh",
+            "NC-LMST",
+            "AC-LMST",
+            "G-MST",
+        }
+        # invariants of the means
+        assert cell.gateways["AC-Mesh"].mean <= cell.gateways["NC-Mesh"].mean
+        for alg in cell.cds_size:
+            assert cell.cds_size[alg].mean == pytest.approx(
+                cell.gateways[alg].mean + cell.num_heads.mean
+            )
+
+    def test_reproducible(self):
+        a = run_cell(CellKey(30, 6.0, 1), max_trials=2, min_trials=2, base_seed=5)
+        b = run_cell(CellKey(30, 6.0, 1), max_trials=2, min_trials=2, base_seed=5)
+        assert a.cds_size["AC-LMST"].mean == b.cds_size["AC-LMST"].mean
+
+    def test_different_seed_differs(self):
+        a = run_cell(CellKey(40, 6.0, 1), max_trials=3, min_trials=3, base_seed=5)
+        b = run_cell(CellKey(40, 6.0, 1), max_trials=3, min_trials=3, base_seed=6)
+        assert (
+            a.cds_size["AC-LMST"].samples
+            if hasattr(a.cds_size["AC-LMST"], "samples")
+            else a.cds_size["AC-LMST"].mean
+        ) != (b.cds_size["AC-LMST"].mean)
+
+
+class TestRunSweep:
+    def _config(self):
+        return SweepConfig(
+            ns=(30, 40),
+            degrees=(6.0,),
+            ks=(1, 2),
+            max_trials=2,
+            min_trials=2,
+        )
+
+    def test_all_cells_present(self):
+        result = run_sweep(self._config())
+        assert len(result.cells) == 4
+        cell = result.cell(30, 6.0, 1)
+        assert cell.key == CellKey(30, 6.0, 1)
+
+    def test_series_extraction(self):
+        result = run_sweep(self._config())
+        series = result.series("cds_size", "AC-LMST", 6.0, 1)
+        assert [n for n, _ in series] == [30, 40]
+        heads = result.series("num_heads", "ignored", 6.0, 2)
+        assert len(heads) == 2
+
+    def test_series_unknown_metric(self):
+        result = run_sweep(self._config())
+        with pytest.raises(InvalidParameterError):
+            result.series("latency", "AC-LMST", 6.0, 1)
+
+    def test_csv_rows(self):
+        result = run_sweep(self._config())
+        rows = result.to_csv_rows()
+        assert len(rows) == 4 * 5  # cells x algorithms
+        assert {"n", "degree", "k", "algorithm", "cds_size_mean"} <= set(rows[0])
+
+    def test_progress_callback(self):
+        seen = []
+        run_sweep(self._config(), progress=lambda key, cell: seen.append(key))
+        assert len(seen) == 4

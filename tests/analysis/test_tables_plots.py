@@ -1,0 +1,81 @@
+"""Tests for table formatting, CSV export, and ASCII plots."""
+
+import pytest
+
+from repro.analysis.ascii_plot import line_plot, scatter_plot
+from repro.analysis.sweep import SweepConfig, run_sweep
+from repro.analysis.tables import format_table, sweep_table, write_csv
+from repro.errors import InvalidParameterError
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[1].startswith("-")
+        # columns right-justified
+        assert lines[2].endswith("22")
+
+    def test_empty_rows(self):
+        out = format_table(["x"], [])
+        assert "x" in out
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+        p = write_csv(tmp_path / "sub" / "t.csv", rows)
+        text = p.read_text()
+        assert "a,b" in text
+        assert "2,y" in text
+
+    def test_empty(self, tmp_path):
+        p = write_csv(tmp_path / "e.csv", [])
+        assert p.read_text() == ""
+
+
+class TestSweepTable:
+    def test_renders_all_ns(self):
+        cfg = SweepConfig(ns=(30, 40), degrees=(6.0,), ks=(1,), max_trials=2, min_trials=2)
+        res = run_sweep(cfg)
+        out = sweep_table(res, 6.0, 1)
+        assert "30" in out and "40" in out
+        assert "AC-LMST" in out
+
+
+class TestLinePlot:
+    def test_basic(self):
+        out = line_plot({"s": [(0, 0), (10, 10)]}, title="T", xlabel="x", ylabel="y")
+        assert "T" in out
+        assert "o s" in out
+        assert "x: x" in out
+
+    def test_multiple_series_distinct_glyphs(self):
+        out = line_plot({"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]})
+        assert "o a" in out and "x b" in out
+
+    def test_constant_series(self):
+        out = line_plot({"c": [(0, 5), (10, 5)]})
+        assert "5" in out
+
+    def test_empty_raises(self):
+        with pytest.raises(InvalidParameterError):
+            line_plot({})
+        with pytest.raises(InvalidParameterError):
+            line_plot({"s": []})
+
+
+class TestScatterPlot:
+    def test_basic(self):
+        out = scatter_plot({"p": [(0, 0), (5, 5)], "q": [(2, 3)]}, title="S")
+        assert "S" in out
+        assert "o p" in out and "x q" in out
+
+    def test_empty_raises(self):
+        with pytest.raises(InvalidParameterError):
+            scatter_plot({})
+
+    def test_single_point(self):
+        out = scatter_plot({"only": [(1.0, 1.0)]})
+        assert "o only" in out

@@ -1,0 +1,91 @@
+"""Tests for the broadcast application (flooding vs backbone)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cds.broadcast import backbone_broadcast, blind_flood
+from repro.cds.builder import build_cds
+from repro.core.clustering import khop_cluster
+from repro.core.pipeline import build_backbone
+from repro.errors import InvalidParameterError
+from repro.net.generators import grid_graph, path_graph
+from repro.net.graph import Graph
+from repro.net.paths import PathOracle
+
+from ..conftest import connected_graphs, ks
+
+
+class TestBlindFlood:
+    def test_connected_costs_n(self):
+        g = grid_graph(4, 4)
+        stats = blind_flood(g, 5)
+        assert stats.transmissions == 16
+        assert stats.delivered == 16
+        assert stats.delivered_all
+
+    def test_disconnected_partial(self):
+        g = Graph(4, [(0, 1)])
+        stats = blind_flood(g, 0)
+        assert stats.delivered == 2
+        assert not stats.delivered_all
+
+
+class TestBackboneBroadcast:
+    def _setup(self, g, k, alg="AC-LMST"):
+        cl = khop_cluster(g, k)
+        res = build_backbone(cl, alg)
+        return build_cds(res), PathOracle(g)
+
+    def test_full_delivery_tree_mode(self):
+        g = grid_graph(6, 6)
+        cds, oracle = self._setup(g, 2)
+        stats = backbone_broadcast(cds, oracle, source=35, mode="tree")
+        assert stats.delivered_all
+        assert stats.transmissions <= g.n
+
+    def test_full_delivery_flood_mode(self):
+        g = grid_graph(6, 6)
+        cds, oracle = self._setup(g, 2)
+        stats = backbone_broadcast(cds, oracle, source=35, mode="flood")
+        assert stats.delivered_all
+
+    def test_source_is_head(self):
+        g = path_graph(8)
+        cds, oracle = self._setup(g, 1)
+        head = next(iter(cds.heads))
+        stats = backbone_broadcast(cds, oracle, source=head)
+        assert stats.delivered_all
+        assert stats.uplink_tx == 0  # source already on the backbone
+
+    def test_breakdown_sums(self):
+        g = grid_graph(5, 5)
+        cds, oracle = self._setup(g, 2)
+        stats = backbone_broadcast(cds, oracle, source=24)
+        assert stats.transmissions == (
+            stats.uplink_tx + stats.backbone_tx + stats.intra_tx
+        )
+
+    def test_k1_saves_over_flooding(self):
+        # At k=1 the CDS is a classic dominating backbone: broadcast cost
+        # must not exceed flooding on a non-trivial grid.
+        g = grid_graph(6, 6)
+        cds, oracle = self._setup(g, 1)
+        flood = blind_flood(g, 0).transmissions
+        backbone = backbone_broadcast(cds, oracle, source=0).transmissions
+        assert backbone <= flood
+
+    def test_unknown_mode(self):
+        g = path_graph(5)
+        cds, oracle = self._setup(g, 1)
+        with pytest.raises(InvalidParameterError):
+            backbone_broadcast(cds, oracle, 0, mode="quantum")
+
+    @given(connected_graphs(), ks, st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_always_delivers_everywhere(self, g, k, data):
+        source = data.draw(st.integers(0, g.n - 1))
+        cds, oracle = self._setup(g, k)
+        for mode in ("tree", "flood"):
+            stats = backbone_broadcast(cds, oracle, source, mode=mode)
+            assert stats.delivered_all, (mode, source)

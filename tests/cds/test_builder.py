@@ -1,0 +1,68 @@
+"""Tests for k-hop CDS assembly and intra-cluster trees."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.cds.builder import build_cds, intra_cluster_parents
+from repro.core.clustering import khop_cluster
+from repro.core.pipeline import build_backbone
+from repro.errors import InvalidParameterError
+from repro.net.generators import grid_graph, path_graph
+
+from ..conftest import connected_graphs, ks
+
+
+class TestBuildCds:
+    def test_roles(self):
+        cl = khop_cluster(path_graph(6), 1)
+        cds = build_cds(build_backbone(cl, "NC-Mesh"))
+        assert cds.role(0) == "head"
+        assert cds.role(1) == "gateway"
+        assert cds.role(5) == "member"
+        assert cds.size == len(cds.heads) + len(cds.gateways)
+        assert cds.nodes == cds.heads | cds.gateways
+
+    def test_heads_and_gateways_disjoint(self):
+        cl = khop_cluster(grid_graph(5, 5), 2)
+        cds = build_cds(build_backbone(cl, "AC-LMST"))
+        assert not (cds.heads & cds.gateways)
+
+    @given(connected_graphs(), ks)
+    @settings(max_examples=30, deadline=None)
+    def test_size_matches_backbone(self, g, k):
+        cl = khop_cluster(g, k)
+        res = build_backbone(cl, "AC-LMST")
+        cds = build_cds(res)
+        assert cds.size == res.cds_size
+
+
+class TestIntraClusterParents:
+    def test_parents_point_toward_head(self):
+        cl = khop_cluster(path_graph(6), 2)
+        parents = intra_cluster_parents(cl)
+        assert parents[0] == 0  # head maps to itself
+        assert parents[2] == 1
+        assert parents[1] == 0
+
+    def test_chains_terminate_at_head(self):
+        g = grid_graph(5, 5)
+        cl = khop_cluster(g, 2)
+        parents = intra_cluster_parents(cl)
+        for u in g.nodes():
+            seen = set()
+            cur = u
+            while parents[cur] != cur:
+                assert cur not in seen  # no cycles
+                seen.add(cur)
+                cur = parents[cur]
+            assert cl.is_head(cur)
+
+    @given(connected_graphs(), ks)
+    @settings(max_examples=30, deadline=None)
+    def test_parents_strictly_closer(self, g, k):
+        cl = khop_cluster(g, k)
+        parents = intra_cluster_parents(cl)
+        for u in g.nodes():
+            h = cl.cluster_of(u)
+            if u != h:
+                assert g.hop_distance(parents[u], h) == g.hop_distance(u, h) - 1

@@ -1,0 +1,107 @@
+"""Tests for cluster-based routing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cds.routing import route, routing_report, table_sizes
+from repro.core.clustering import khop_cluster
+from repro.core.pipeline import build_backbone
+from repro.errors import InvalidParameterError
+from repro.net.generators import grid_graph, path_graph
+from repro.net.paths import PathOracle
+from repro.net.topology import random_topology
+
+from ..conftest import connected_graphs, ks
+
+
+def setup(g, k=2, alg="AC-LMST"):
+    res = build_backbone(khop_cluster(g, k), alg)
+    return res, PathOracle(g)
+
+
+class TestRoute:
+    def test_same_node(self):
+        res, oracle = setup(path_graph(6), 1)
+        assert route(res, oracle, 3, 3) == (3,)
+
+    def test_same_cluster_direct(self):
+        g = path_graph(6)
+        res, oracle = setup(g, 2)  # clusters {0,1,2}, {3,4,5}
+        assert route(res, oracle, 1, 2) == oracle.path(1, 2)
+
+    def test_cross_cluster_via_heads(self):
+        g = path_graph(6)
+        res, oracle = setup(g, 2)
+        walk = route(res, oracle, 2, 5)
+        assert walk[0] == 2 and walk[-1] == 5
+        # passes through both heads
+        assert 0 in walk and 3 in walk
+
+    def test_out_of_range(self):
+        res, oracle = setup(path_graph(4), 1)
+        with pytest.raises(InvalidParameterError):
+            route(res, oracle, 0, 9)
+
+    @given(connected_graphs(min_n=4), ks, st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_walks_are_valid_and_terminate(self, g, k, data):
+        res, oracle = setup(g, k)
+        s = data.draw(st.integers(0, g.n - 1))
+        t = data.draw(st.integers(0, g.n - 1))
+        walk = route(res, oracle, s, t)
+        assert walk[0] == s and walk[-1] == t
+        for a, b in zip(walk, walk[1:]):
+            assert g.has_edge(a, b)
+
+
+class TestTableSizes:
+    def test_every_node_has_entry(self):
+        g = grid_graph(5, 5)
+        res, _ = setup(g, 1)
+        tables = table_sizes(res)
+        assert set(tables) == set(g.nodes())
+
+    def test_heads_store_backbone(self):
+        g = grid_graph(5, 5)
+        res, _ = setup(g, 1)
+        tables = table_sizes(res)
+        cl = res.clustering
+        for h in res.heads:
+            expected = (len(cl.members(h)) - 1) + (len(res.heads) - 1)
+            assert tables[h] == expected
+
+    def test_members_store_cluster_only(self):
+        g = grid_graph(5, 5)
+        res, _ = setup(g, 2)
+        tables = table_sizes(res)
+        cl = res.clustering
+        for u in cl.non_heads():
+            assert tables[u] == len(cl.members(cl.cluster_of(u))) - 1
+
+
+class TestRoutingReport:
+    def test_stretch_at_least_one(self):
+        topo = random_topology(80, 8.0, seed=3)
+        res, oracle = setup(topo.graph, 2)
+        report = routing_report(res, oracle, samples=40, seed=1)
+        assert report.mean_stretch >= 1.0
+        assert report.max_stretch >= report.mean_stretch
+
+    def test_tables_collapse_vs_flat(self):
+        topo = random_topology(120, 8.0, seed=5)
+        res, oracle = setup(topo.graph, 2)
+        report = routing_report(res, oracle, samples=20, seed=2)
+        assert report.flat_table == 119
+        assert report.mean_table < report.flat_table / 2
+
+    def test_stretch_reasonable_at_paper_scale(self):
+        topo = random_topology(100, 6.0, seed=7)
+        res, oracle = setup(topo.graph, 2)
+        report = routing_report(res, oracle, samples=60, seed=3)
+        assert report.mean_stretch < 2.5  # cluster routing pays a bounded price
+
+    def test_two_node_graph_works(self):
+        res, oracle = setup(path_graph(2), 1)
+        report = routing_report(res, oracle, samples=3)
+        assert report.mean_stretch == 1.0

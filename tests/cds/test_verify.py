@@ -1,0 +1,68 @@
+"""Tests for backbone verification (positive + synthetic negative cases)."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cds.verify import (
+    check_backbone_connected,
+    check_domination,
+    check_gateways_are_members,
+    check_links_realized,
+    verify_backbone,
+)
+from repro.core.clustering import khop_cluster
+from repro.core.pipeline import ALGORITHMS, build_backbone
+from repro.errors import ValidationError
+from repro.net.generators import grid_graph, path_graph
+
+from ..conftest import connected_graphs, ks
+
+
+class TestPositive:
+    @given(connected_graphs(), ks, st.sampled_from(ALGORITHMS))
+    @settings(max_examples=50, deadline=None)
+    def test_pipelines_always_verify(self, g, k, alg):
+        verify_backbone(build_backbone(khop_cluster(g, k), alg))
+
+
+class TestNegative:
+    def _backbone(self):
+        cl = khop_cluster(path_graph(8), 1)
+        return build_backbone(cl, "NC-Mesh")
+
+    def test_missing_gateway_detected(self):
+        res = self._backbone()
+        assert res.gateways  # needs at least one gateway on a path
+        broken = dataclasses.replace(res, gateways=frozenset())
+        with pytest.raises(ValidationError):
+            check_links_realized(broken)
+
+    def test_head_as_gateway_detected(self):
+        res = self._backbone()
+        broken = dataclasses.replace(
+            res, gateways=res.gateways | {res.heads[0]}
+        )
+        with pytest.raises(ValidationError):
+            check_gateways_are_members(broken)
+
+    def test_disconnected_cds_detected(self):
+        res = self._backbone()
+        # drop all links AND gateways: heads alone are not connected
+        broken = dataclasses.replace(
+            res, gateways=frozenset(), selected_links=frozenset()
+        )
+        with pytest.raises(ValidationError):
+            check_backbone_connected(broken)
+
+    def test_domination_failure_detected(self):
+        # clustering that k-dominates, then lie about k
+        cl = khop_cluster(path_graph(12), 3)
+        res = build_backbone(cl, "AC-LMST")
+        shrunk = dataclasses.replace(
+            res, clustering=dataclasses.replace(cl, k=1)
+        )
+        with pytest.raises(ValidationError):
+            check_domination(shrunk)

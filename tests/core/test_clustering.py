@@ -1,0 +1,220 @@
+"""Tests for the k-hop clustering engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clustering import khop_cluster
+from repro.core.priorities import ExplicitPriority, HighestDegree
+from repro.core.validate import validate_clustering
+from repro.errors import DisconnectedGraphError, InvalidParameterError
+from repro.net.generators import (
+    caterpillar,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+    two_cliques_bridge,
+)
+from repro.net.graph import Graph
+
+from ..conftest import connected_graphs, ks
+
+
+class TestBasics:
+    def test_k_must_be_positive(self):
+        with pytest.raises(InvalidParameterError):
+            khop_cluster(path_graph(3), 0)
+
+    def test_disconnected_raises_by_default(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        with pytest.raises(DisconnectedGraphError):
+            khop_cluster(g, 1)
+
+    def test_disconnected_allowed_explicitly(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        cl = khop_cluster(g, 1, require_connected=False)
+        assert set(cl.heads) == {0, 2}
+
+    def test_single_node(self):
+        cl = khop_cluster(Graph(1), 1)
+        assert cl.heads == (0,)
+        assert cl.head_of == (0,)
+
+    def test_complete_graph_single_cluster(self):
+        cl = khop_cluster(complete_graph(6), 1)
+        assert cl.heads == (0,)
+        assert all(h == 0 for h in cl.head_of)
+
+    def test_provenance_recorded(self):
+        cl = khop_cluster(path_graph(5), 2, membership="distance-based")
+        assert cl.priority_name == "lowest-id"
+        assert cl.membership_name == "distance-based"
+
+
+class TestLowestIdSemantics:
+    def test_path_k1(self):
+        # path 0-1-2-3-4-5: 0 declares; 1 joins; 2 declares (lowest among
+        # remaining in its 1-hop: {2,3}); 3 joins; 4 declares; 5 joins.
+        cl = khop_cluster(path_graph(6), 1)
+        assert cl.heads == (0, 2, 4)
+        assert cl.head_of == (0, 0, 2, 2, 4, 4)
+
+    def test_path_k2(self):
+        # 0 covers 1,2; then 3 is lowest among {3,4,5}; covers 4,5.
+        cl = khop_cluster(path_graph(6), 2)
+        assert cl.heads == (0, 3)
+        assert cl.head_of == (0, 0, 0, 3, 3, 3)
+
+    def test_star_hub_not_head_when_high_id(self):
+        # star with hub 0: 0 is lowest ID, so it heads everything at k=1.
+        cl = khop_cluster(star_graph(5), 1)
+        assert cl.heads == (0,)
+
+    def test_two_cliques_k1(self):
+        g = two_cliques_bridge(4, 3)  # A=0..3, bridge=4,5,6, B=7..10
+        cl = khop_cluster(g, 1)
+        assert 0 in cl.heads  # lowest overall
+        assert 7 in cl.heads  # lowest in far clique after bridge rounds
+        validate_clustering(cl)
+
+    def test_heads_prefer_low_ids(self):
+        cl = khop_cluster(grid_graph(4, 4), 2)
+        assert cl.heads[0] == 0
+        validate_clustering(cl)
+
+    def test_iterative_rounds_counted(self):
+        cl = khop_cluster(path_graph(10), 1)
+        assert cl.rounds >= 2  # needs multiple declare/join rounds
+
+
+class TestMembershipPolicies:
+    def test_id_based_prefers_low_head(self):
+        # node 2 is 1 hop from head 0 (via edge) and 1 hop from head 9?
+        # Construct: 0-2, 2-9 with 0 and 9 both heads at k=1 requires
+        # d(0,9) > 1: path 0-2-9 gives d=2. Both 0,9 head only if 9 not
+        # covered: 9's neighborhood {2}; after round 1, 2 joined 0; round 2:
+        # 9 declares. But then 2 already joined. Use k=1 with two pendant
+        # chains instead: heads 0 and 3, node 6 adjacent to both.
+        g = Graph(7, [(0, 6), (3, 6), (0, 1), (3, 4), (1, 2), (4, 5)])
+        cl_id = khop_cluster(g, 1, membership="id-based")
+        assert cl_id.head_of[6] == 0
+
+    def test_distance_based_prefers_near_head(self):
+        # k=2: heads 0 and 1 cannot coexist... build explicit priorities.
+        g = path_graph(7)
+        # force heads at 0 and 6 with explicit priority
+        prio = ExplicitPriority([0, 9, 9, 9, 9, 9, 1])
+        cl = khop_cluster(g, 3, priority=prio, membership="distance-based")
+        assert set(cl.heads) == {0, 6}
+        assert cl.head_of[2] == 0  # distance 2 vs 4
+        assert cl.head_of[4] == 6  # distance 4 vs 2
+        # tie at node 3 (3 vs 3) -> lower head ID
+        assert cl.head_of[3] == 0
+
+    def test_size_based_balances(self):
+        # hub-and-spokes where ID-based would dump everyone on head 0
+        g = Graph(8, [(0, i) for i in range(2, 8)] + [(1, i) for i in range(2, 8)])
+        prio = ExplicitPriority([0, 1, 9, 9, 9, 9, 9, 9])
+        cl_size = khop_cluster(g, 1, priority=prio, membership="size-based")
+        sizes = cl_size.cluster_sizes()
+        assert set(cl_size.heads) == {0, 1}
+        assert abs(sizes[0] - sizes[1]) <= 1
+        cl_id = khop_cluster(g, 1, priority=prio, membership="id-based")
+        assert cl_id.cluster_sizes()[0] == 7  # everyone piles on head 0
+
+    def test_unknown_policy(self):
+        with pytest.raises(InvalidParameterError):
+            khop_cluster(path_graph(3), 1, membership="nope")
+
+
+class TestPriorities:
+    def test_highest_degree_picks_hub(self):
+        g = star_graph(6)
+        # hub 0 has degree 6; with highest-degree priority it still wins.
+        cl = khop_cluster(g, 1, priority=HighestDegree())
+        assert cl.heads == (0,)
+
+    def test_highest_degree_vs_lowest_id_differ(self):
+        # node 5 is the hub; lowest-ID would pick 0.
+        g = Graph(6, [(5, i) for i in range(5)])
+        cl_deg = khop_cluster(g, 1, priority="highest-degree")
+        assert cl_deg.heads == (5,)
+        cl_id = khop_cluster(g, 1, priority="lowest-id")
+        assert 0 in cl_id.heads
+
+    def test_explicit_priority_wrong_length(self):
+        with pytest.raises(InvalidParameterError):
+            khop_cluster(path_graph(3), 1, priority=ExplicitPriority([1.0]))
+
+
+class TestClusteringAccessors:
+    def test_members_include_head(self):
+        cl = khop_cluster(path_graph(6), 2)
+        assert 0 in cl.members(0)
+        assert sum(len(cl.members(h)) for h in cl.heads) == 6
+
+    def test_members_of_non_head_raises(self):
+        cl = khop_cluster(path_graph(6), 2)
+        with pytest.raises(InvalidParameterError):
+            cl.members(1)
+
+    def test_clusters_mapping(self):
+        cl = khop_cluster(path_graph(6), 2)
+        clusters = cl.clusters()
+        assert set(clusters) == set(cl.heads)
+
+    def test_head_distance(self):
+        cl = khop_cluster(path_graph(6), 2)
+        assert cl.head_distance(2) == 2
+        assert cl.head_distance(0) == 0
+
+    def test_non_heads(self):
+        cl = khop_cluster(path_graph(6), 2)
+        assert set(cl.non_heads()) == {1, 2, 4, 5}
+
+
+class TestPropertyInvariants:
+    @given(connected_graphs(), ks)
+    @settings(max_examples=60, deadline=None)
+    def test_all_invariants_hold(self, g, k):
+        cl = khop_cluster(g, k)
+        validate_clustering(cl)
+
+    @given(connected_graphs(), ks, st.sampled_from(["id-based", "distance-based", "size-based"]))
+    @settings(max_examples=40, deadline=None)
+    def test_invariants_for_all_policies(self, g, k, policy):
+        cl = khop_cluster(g, k, membership=policy)
+        validate_clustering(cl)
+
+    @given(connected_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_larger_k_never_more_heads(self, g):
+        counts = [khop_cluster(g, k).num_clusters for k in (1, 2, 3)]
+        assert counts[0] >= counts[1] >= counts[2]
+
+    @given(connected_graphs(), ks)
+    @settings(max_examples=30, deadline=None)
+    def test_head_zero_always_elected(self, g, k):
+        # node 0 has the globally lowest ID: always a clusterhead.
+        cl = khop_cluster(g, k)
+        assert 0 in cl.heads
+
+    def test_caterpillar_spine_heads(self):
+        g = caterpillar(8, 3)
+        cl = khop_cluster(g, 2)
+        validate_clustering(cl)
+        assert all(h < 8 for h in cl.heads)  # heads on the spine (low IDs)
+
+    @given(connected_graphs(), ks)
+    @settings(max_examples=30, deadline=None)
+    def test_k_at_least_diameter_single_cluster(self, g, k):
+        if g.diameter() <= k:
+            cl = khop_cluster(g, k)
+            assert cl.num_clusters == 1
+
+    def test_cycle_alternating(self):
+        cl = khop_cluster(cycle_graph(9), 1)
+        validate_clustering(cl)
+        assert cl.num_clusters >= 3

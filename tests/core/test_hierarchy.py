@@ -1,0 +1,86 @@
+"""Tests for hierarchical (recursive) clustering."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.hierarchy import build_hierarchy
+from repro.core.validate import validate_clustering
+from repro.errors import InvalidParameterError
+from repro.net.generators import grid_graph, path_graph
+
+from ..conftest import connected_graphs, ks
+
+
+class TestBuildHierarchy:
+    def test_terminates_at_single_cluster(self):
+        h = build_hierarchy(grid_graph(8, 8), 1)
+        assert h.heads_per_level()[-1] == 1
+        assert len(h.apex_heads) == 1
+
+    def test_head_counts_strictly_decrease(self):
+        h = build_hierarchy(path_graph(40), 1)
+        counts = h.heads_per_level()
+        assert all(a > b for a, b in zip(counts, counts[1:]))
+
+    def test_every_level_valid(self):
+        h = build_hierarchy(grid_graph(7, 7), 1)
+        for lvl in h.levels:
+            validate_clustering(lvl.clustering)
+
+    def test_head_chain_consistent(self):
+        g = grid_graph(6, 6)
+        h = build_hierarchy(g, 1)
+        apex = h.apex_heads[0]
+        for u in g.nodes():
+            chain = h.head_chain(u)
+            assert len(chain) == h.depth
+            assert chain[-1] == apex
+            # first entry is u's level-1 head
+            assert chain[0] == h.levels[0].clustering.cluster_of(u)
+
+    def test_per_level_ks(self):
+        g = grid_graph(8, 8)
+        h = build_hierarchy(g, [1, 2])
+        assert h.ks[0] == 1
+        if h.depth > 1:
+            assert h.ks[1] == 2
+
+    def test_level_node_ids_are_previous_heads(self):
+        g = grid_graph(8, 8)
+        h = build_hierarchy(g, 1)
+        if h.depth >= 2:
+            assert h.levels[1].node_ids == h.levels[0].heads
+
+    def test_max_levels_cap(self):
+        h = build_hierarchy(path_graph(60), 1, max_levels=2)
+        assert h.depth == 2
+
+    def test_single_node_graph(self):
+        from repro.net.graph import Graph
+
+        h = build_hierarchy(Graph(1), 2)
+        assert h.depth == 1
+        assert h.apex_heads == (0,)
+
+    def test_invalid_params(self):
+        with pytest.raises(InvalidParameterError):
+            build_hierarchy(path_graph(5), [])
+        with pytest.raises(InvalidParameterError):
+            build_hierarchy(path_graph(5), 1, max_levels=0)
+
+    @given(connected_graphs(), ks)
+    @settings(max_examples=40, deadline=None)
+    def test_hierarchy_invariants(self, g, k):
+        h = build_hierarchy(g, k)
+        counts = h.heads_per_level()
+        # monotone decrease except possibly the (capped) last level
+        assert all(a > b for a, b in zip(counts, counts[1:]))
+        for lvl in h.levels:
+            validate_clustering(lvl.clustering)
+        # apex reached unless capped
+        if h.depth < 8:
+            assert counts[-1] == 1
+        # every node's chain ends at an apex head
+        apex = set(h.apex_heads)
+        for u in range(0, g.n, max(1, g.n // 5)):
+            assert h.head_chain(u)[-1] in apex

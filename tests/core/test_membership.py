@@ -1,0 +1,69 @@
+"""Tests for membership (join) policies."""
+
+import pytest
+
+from repro.core.membership import (
+    DistanceBasedJoin,
+    IDBasedJoin,
+    JoinContext,
+    SizeBasedJoin,
+    resolve_membership,
+)
+from repro.errors import InvalidParameterError
+
+
+def ctx(candidates, distances, sizes, node=42):
+    return JoinContext(node=node, candidates=candidates, distances=distances, sizes=sizes)
+
+
+class TestJoinContext:
+    def test_requires_candidates(self):
+        with pytest.raises(InvalidParameterError):
+            ctx([], [], [])
+
+    def test_length_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            ctx([1, 2], [1], [1, 1])
+
+
+class TestPolicies:
+    def test_id_based(self):
+        assert IDBasedJoin().choose(ctx([7, 3, 9], [1, 2, 1], [5, 1, 1])) == 3
+
+    def test_distance_based(self):
+        assert DistanceBasedJoin().choose(ctx([7, 3, 9], [2, 3, 1], [1, 1, 1])) == 9
+
+    def test_distance_tie_breaks_by_id(self):
+        assert DistanceBasedJoin().choose(ctx([7, 3], [2, 2], [1, 1])) == 3
+
+    def test_size_based(self):
+        assert SizeBasedJoin().choose(ctx([7, 3, 9], [1, 1, 1], [4, 2, 8])) == 3
+
+    def test_size_tie_breaks_by_distance_then_id(self):
+        assert SizeBasedJoin().choose(ctx([7, 3], [1, 2], [4, 4])) == 7
+        assert SizeBasedJoin().choose(ctx([7, 3], [2, 2], [4, 4])) == 3
+
+    def test_names(self):
+        assert IDBasedJoin().name == "id-based"
+        assert DistanceBasedJoin().name == "distance-based"
+        assert SizeBasedJoin().name == "size-based"
+
+
+class TestResolver:
+    def test_default(self):
+        assert isinstance(resolve_membership(None), IDBasedJoin)
+
+    def test_by_name(self):
+        assert isinstance(resolve_membership("size-based"), SizeBasedJoin)
+
+    def test_instance_passthrough(self):
+        p = DistanceBasedJoin()
+        assert resolve_membership(p) is p
+
+    def test_unknown(self):
+        with pytest.raises(InvalidParameterError):
+            resolve_membership("random")
+
+    def test_bad_type(self):
+        with pytest.raises(InvalidParameterError):
+            resolve_membership(3.14)

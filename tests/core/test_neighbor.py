@@ -1,0 +1,146 @@
+"""Tests for neighbor-clusterhead selection rules (NC, A-NCR, Wu-Lou)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.clustering import khop_cluster
+from repro.core.neighbor import (
+    adjacent_head_pairs,
+    ancr_neighbors,
+    cluster_graph_connected,
+    is_symmetric,
+    nc_neighbors,
+    neighbor_pairs,
+    resolve_neighbor_rule,
+    wu_lou_neighbors,
+)
+from repro.errors import InvalidParameterError
+from repro.net.generators import grid_graph, path_graph, two_cliques_bridge
+
+from ..conftest import connected_graphs, ks
+
+
+class TestNCRule:
+    def test_path_k1_exact(self):
+        cl = khop_cluster(path_graph(6), 1)
+        nc = nc_neighbors(cl)
+        assert nc[0] == (2,)
+        assert nc[2] == (0, 4)
+        assert nc[4] == (2,)
+
+    def test_symmetric(self):
+        cl = khop_cluster(grid_graph(5, 5), 1)
+        assert is_symmetric(nc_neighbors(cl))
+
+    @given(connected_graphs(), ks)
+    @settings(max_examples=40, deadline=None)
+    def test_nc_within_range_and_symmetric(self, g, k):
+        cl = khop_cluster(g, k)
+        nc = nc_neighbors(cl)
+        assert is_symmetric(nc)
+        for h, nbrs in nc.items():
+            for w in nbrs:
+                assert 1 <= g.hop_distance(h, w) <= 2 * k + 1
+
+
+class TestAdjacency:
+    def test_path_adjacent_pairs(self):
+        cl = khop_cluster(path_graph(6), 1)  # clusters {0,1},{2,3},{4,5}
+        pairs = adjacent_head_pairs(cl)
+        assert pairs == {(0, 2), (2, 4)}
+
+    def test_two_cliques(self):
+        g = two_cliques_bridge(4, 5)
+        cl = khop_cluster(g, 1)
+        pairs = adjacent_head_pairs(cl)
+        # chain of clusters along the bridge: adjacency forms a path, so
+        # the number of pairs is heads - 1 (tree) or more
+        assert cluster_graph_connected(cl.heads, pairs)
+
+    def test_single_cluster_no_pairs(self):
+        cl = khop_cluster(grid_graph(2, 2), 2)
+        assert cl.num_clusters == 1
+        assert adjacent_head_pairs(cl) == set()
+        assert ancr_neighbors(cl) == {cl.heads[0]: ()}
+
+    @given(connected_graphs(), ks)
+    @settings(max_examples=60, deadline=None)
+    def test_theorem1_adjacent_graph_connected(self, g, k):
+        """Theorem 1: the adjacent cluster graph G'' is connected."""
+        cl = khop_cluster(g, k)
+        pairs = adjacent_head_pairs(cl)
+        assert cluster_graph_connected(cl.heads, pairs)
+
+    @given(connected_graphs(), ks)
+    @settings(max_examples=40, deadline=None)
+    def test_adjacent_heads_distance_bounds(self, g, k):
+        """Adjacent heads are k+1 .. 2k+1 hops apart (paper §3.1)."""
+        cl = khop_cluster(g, k)
+        for a, b in adjacent_head_pairs(cl):
+            d = g.hop_distance(a, b)
+            assert k + 1 <= d <= 2 * k + 1
+
+    @given(connected_graphs(), ks)
+    @settings(max_examples=40, deadline=None)
+    def test_ancr_subset_of_nc(self, g, k):
+        """A-NCR refines NC: every adjacent head is within 2k+1 hops."""
+        cl = khop_cluster(g, k)
+        nc = nc_neighbors(cl)
+        ac = ancr_neighbors(cl)
+        for h in cl.heads:
+            assert set(ac[h]) <= set(nc[h])
+
+    @given(connected_graphs(), ks)
+    @settings(max_examples=30, deadline=None)
+    def test_ancr_symmetric(self, g, k):
+        cl = khop_cluster(g, k)
+        assert is_symmetric(ancr_neighbors(cl))
+
+
+class TestWuLou:
+    def test_requires_k1(self):
+        cl = khop_cluster(path_graph(8), 2)
+        with pytest.raises(InvalidParameterError):
+            wu_lou_neighbors(cl)
+
+    def test_covers_2hop_heads(self):
+        cl = khop_cluster(path_graph(6), 1)
+        wl = wu_lou_neighbors(cl)
+        assert 2 in wl[0]
+        assert set(wl[2]) == {0, 4}
+
+    @given(connected_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_inclusion_chain_at_k1(self, g):
+        """A-NCR ⊆ Wu-Lou ⊆ NC as pair sets at k = 1."""
+        cl = khop_cluster(g, 1)
+        ac_pairs = neighbor_pairs(ancr_neighbors(cl))
+        wl_pairs = neighbor_pairs(wu_lou_neighbors(cl))
+        nc_pairs = neighbor_pairs(nc_neighbors(cl))
+        assert ac_pairs <= wl_pairs <= nc_pairs
+
+    @given(connected_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_wu_lou_pairs_connect_heads(self, g):
+        """The 2.5-hop coverage pairs keep the cluster graph connected."""
+        cl = khop_cluster(g, 1)
+        pairs = neighbor_pairs(wu_lou_neighbors(cl))
+        assert cluster_graph_connected(cl.heads, pairs)
+
+
+class TestHelpers:
+    def test_cluster_graph_connected_trivial(self):
+        assert cluster_graph_connected((), set())
+        assert cluster_graph_connected((5,), set())
+        assert not cluster_graph_connected((1, 2), set())
+        assert cluster_graph_connected((1, 2), {(1, 2)})
+
+    def test_resolve_neighbor_rule(self):
+        assert resolve_neighbor_rule("NC") is nc_neighbors
+        assert resolve_neighbor_rule("AC") is ancr_neighbors
+        with pytest.raises(InvalidParameterError):
+            resolve_neighbor_rule("XX")
+
+    def test_neighbor_pairs_drops_direction(self):
+        pairs = neighbor_pairs({1: (2,), 2: ()})
+        assert pairs == {(1, 2)}

@@ -1,0 +1,134 @@
+"""Tests for the end-to-end backbone pipelines (the paper's five algorithms)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cds.verify import verify_backbone
+from repro.core.pipeline import (
+    ALGORITHMS,
+    algorithm_names,
+    build_all_backbones,
+    build_backbone,
+    run_pipeline,
+)
+from repro.core.clustering import khop_cluster
+from repro.errors import InvalidParameterError
+from repro.net.generators import grid_graph, path_graph, two_cliques_bridge
+from repro.net.paths import PathOracle
+
+from ..conftest import connected_graphs, ks
+
+
+class TestRegistry:
+    def test_names(self):
+        assert algorithm_names() == (
+            "NC-Mesh",
+            "AC-Mesh",
+            "NC-LMST",
+            "AC-LMST",
+            "G-MST",
+        )
+
+    def test_unknown_algorithm(self):
+        cl = khop_cluster(path_graph(4), 1)
+        with pytest.raises(InvalidParameterError):
+            build_backbone(cl, "BOGUS")
+
+
+class TestBuildBackbone:
+    def test_path_nc_mesh(self):
+        cl = khop_cluster(path_graph(6), 1)
+        res = build_backbone(cl, "NC-Mesh")
+        assert res.gateways == frozenset({1, 3})
+        assert res.cds == frozenset({0, 1, 2, 3, 4})
+        assert res.cds_size == 5
+        assert res.num_gateways == 2
+
+    def test_gmst_has_no_neighbor_map(self):
+        cl = khop_cluster(grid_graph(4, 4), 1)
+        res = build_backbone(cl, "G-MST")
+        assert res.neighbor_map is None
+        assert len(res.selected_links) == len(cl.heads) - 1
+
+    def test_localized_algorithms_have_neighbor_map(self):
+        cl = khop_cluster(grid_graph(4, 4), 1)
+        for alg in ("NC-Mesh", "AC-Mesh", "NC-LMST", "AC-LMST"):
+            res = build_backbone(cl, alg)
+            assert res.neighbor_map is not None
+
+    def test_single_cluster_empty_backbone(self):
+        cl = khop_cluster(grid_graph(2, 3), 3)
+        for alg in ALGORITHMS:
+            res = build_backbone(cl, alg)
+            assert res.gateways == frozenset()
+            assert res.cds_size == 1
+            verify_backbone(res)
+
+    def test_shared_oracle_consistency(self):
+        g = grid_graph(5, 5)
+        cl = khop_cluster(g, 1)
+        oracle = PathOracle(g)
+        a = build_backbone(cl, "AC-LMST", oracle=oracle)
+        b = build_backbone(cl, "AC-LMST")
+        assert a.gateways == b.gateways  # oracle caching never changes results
+
+
+class TestRunPipeline:
+    def test_accepts_graph_and_topology(self, topo100):
+        res_t = run_pipeline(topo100, k=2)
+        res_g = run_pipeline(topo100.graph, k=2)
+        assert res_t.gateways == res_g.gateways
+
+    def test_default_algorithm_is_aclmst(self, topo100):
+        assert run_pipeline(topo100, k=2).algorithm == "AC-LMST"
+
+    def test_policies_forwarded(self, topo100):
+        res = run_pipeline(
+            topo100, k=2, membership="distance-based", priority="highest-degree"
+        )
+        assert res.clustering.membership_name == "distance-based"
+        assert res.clustering.priority_name == "highest-degree"
+
+
+class TestTheoremsEndToEnd:
+    @given(connected_graphs(), ks, st.sampled_from(ALGORITHMS))
+    @settings(max_examples=80, deadline=None)
+    def test_every_backbone_valid(self, g, k, alg):
+        """Theorem 2 (and its NC/mesh analogues): backbones verify."""
+        cl = khop_cluster(g, k)
+        res = build_backbone(cl, alg)
+        verify_backbone(res)
+
+    @given(connected_graphs(), ks)
+    @settings(max_examples=40, deadline=None)
+    def test_ac_mesh_never_more_gateways_than_nc_mesh(self, g, k):
+        cl = khop_cluster(g, k)
+        res = build_all_backbones(cl, ("NC-Mesh", "AC-Mesh"))
+        assert res["AC-Mesh"].gateways <= res["NC-Mesh"].gateways
+
+    @given(connected_graphs(), ks)
+    @settings(max_examples=40, deadline=None)
+    def test_gmst_no_worse_than_best_localized(self, g, k):
+        """G-MST (with n_heads - 1 links) uses the fewest selected links."""
+        cl = khop_cluster(g, k)
+        res = build_all_backbones(cl)
+        n_links_gmst = len(res["G-MST"].selected_links)
+        for alg in ("NC-Mesh", "AC-Mesh", "NC-LMST", "AC-LMST"):
+            assert n_links_gmst <= max(len(res[alg].selected_links), n_links_gmst)
+
+    @given(connected_graphs(), ks)
+    @settings(max_examples=40, deadline=None)
+    def test_lmst_links_at_most_mesh_links(self, g, k):
+        cl = khop_cluster(g, k)
+        res = build_all_backbones(cl, ("NC-Mesh", "NC-LMST", "AC-Mesh", "AC-LMST"))
+        assert res["NC-LMST"].selected_links <= res["NC-Mesh"].selected_links
+        assert res["AC-LMST"].selected_links <= res["AC-Mesh"].selected_links
+
+    def test_two_cliques_bridge_gateways_on_bridge(self):
+        g = two_cliques_bridge(5, 4)  # bridge nodes 5..8
+        cl = khop_cluster(g, 1)
+        res = build_backbone(cl, "AC-LMST")
+        verify_backbone(res)
+        # connecting the cliques requires bridge nodes as gateways
+        assert res.gateways & {5, 6, 7, 8}

@@ -1,0 +1,84 @@
+"""Tests for priority schemes."""
+
+import pytest
+
+from repro.core.priorities import (
+    ExplicitPriority,
+    HighestDegree,
+    LowestID,
+    RandomTimer,
+    ResidualEnergy,
+    resolve_priority,
+)
+from repro.errors import InvalidParameterError
+from repro.net.generators import path_graph, star_graph
+
+
+class TestSchemes:
+    def test_lowest_id_keys(self):
+        keys = LowestID().keys(path_graph(3))
+        assert keys == [(0,), (1,), (2,)]
+        assert min(keys) == (0,)
+
+    def test_highest_degree_keys(self):
+        g = star_graph(3)
+        keys = HighestDegree().keys(g)
+        assert min(keys) == (-3, 0)  # hub wins
+
+    def test_residual_energy_orders_by_energy(self):
+        g = path_graph(3)
+        keys = ResidualEnergy([5.0, 50.0, 5.0]).keys(g)
+        assert min(keys) == (-50.0, 1)
+        # tie between 0 and 2 broken by id
+        assert keys[0] < keys[2]
+
+    def test_residual_energy_length_check(self):
+        with pytest.raises(InvalidParameterError):
+            ResidualEnergy([1.0]).keys(path_graph(3))
+
+    def test_random_timer_deterministic(self):
+        g = path_graph(5)
+        a = RandomTimer(seed=3).keys(g)
+        b = RandomTimer(seed=3).keys(g)
+        c = RandomTimer(seed=4).keys(g)
+        assert a == b
+        assert a != c
+
+    def test_random_timer_keys_distinct(self):
+        keys = RandomTimer(seed=0).keys(path_graph(10))
+        assert len(set(keys)) == 10
+
+    def test_explicit(self):
+        keys = ExplicitPriority([3.0, 1.0, 2.0]).keys(path_graph(3))
+        assert min(keys) == (1.0, 1)
+
+    def test_explicit_length_check(self):
+        with pytest.raises(InvalidParameterError):
+            ExplicitPriority([1.0, 2.0]).keys(path_graph(3))
+
+
+class TestResolver:
+    def test_none_defaults_to_lowest_id(self):
+        assert isinstance(resolve_priority(None), LowestID)
+
+    def test_instance_passthrough(self):
+        p = HighestDegree()
+        assert resolve_priority(p) is p
+
+    def test_by_name(self):
+        assert isinstance(resolve_priority("lowest-id"), LowestID)
+        assert isinstance(resolve_priority("highest-degree"), HighestDegree)
+
+    def test_unknown_name(self):
+        with pytest.raises(InvalidParameterError):
+            resolve_priority("chaotic")
+
+    def test_bad_type(self):
+        with pytest.raises(InvalidParameterError):
+            resolve_priority(42)
+
+    def test_all_keys_end_with_id(self):
+        g = star_graph(4)
+        for scheme in (LowestID(), HighestDegree(), RandomTimer(1)):
+            keys = scheme.keys(g)
+            assert [k[-1] for k in keys] == list(g.nodes())

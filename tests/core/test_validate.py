@@ -1,0 +1,69 @@
+"""Tests for clustering validation (negative cases especially)."""
+
+import pytest
+
+from repro.core.clustering import Clustering, khop_cluster
+from repro.core.validate import (
+    check_dominating,
+    check_heads_consistent,
+    check_independent,
+    check_partition,
+    validate_clustering,
+)
+from repro.errors import ValidationError
+from repro.net.generators import path_graph
+
+
+def make(graph, k, head_of, heads):
+    return Clustering(
+        graph=graph, k=k, head_of=tuple(head_of), heads=tuple(heads), rounds=1
+    )
+
+
+class TestNegativeCases:
+    def test_unassigned_node(self):
+        g = path_graph(3)
+        cl = make(g, 1, [0, 0, -1], [0])
+        with pytest.raises(ValidationError):
+            check_partition(cl)
+
+    def test_assigned_to_non_head(self):
+        g = path_graph(3)
+        cl = make(g, 1, [0, 0, 1], [0])
+        with pytest.raises(ValidationError):
+            check_partition(cl)
+
+    def test_heads_inconsistent(self):
+        g = path_graph(3)
+        cl = make(g, 1, [0, 0, 2], [0])  # 2 is a fixed point but not listed
+        with pytest.raises(ValidationError):
+            check_heads_consistent(cl)
+
+    def test_domination_violated(self):
+        g = path_graph(4)
+        cl = make(g, 1, [0, 0, 0, 0], [0])  # node 3 is 3 hops from head 0
+        with pytest.raises(ValidationError):
+            check_dominating(cl)
+
+    def test_independence_violated(self):
+        g = path_graph(3)
+        cl = make(g, 1, [0, 1, 1], [0, 1])  # heads 0,1 are neighbors
+        with pytest.raises(ValidationError):
+            check_independent(cl)
+
+    def test_validate_runs_all(self):
+        g = path_graph(3)
+        bad = make(g, 1, [0, 1, 1], [0, 1])
+        with pytest.raises(ValidationError):
+            validate_clustering(bad)
+
+
+class TestPositiveCases:
+    def test_real_clustering_passes(self):
+        for k in (1, 2, 3):
+            validate_clustering(khop_cluster(path_graph(12), k))
+
+    def test_hand_built_valid(self):
+        g = path_graph(4)
+        cl = make(g, 1, [0, 0, 2, 2], [0, 2])
+        validate_clustering(cl)

@@ -1,0 +1,120 @@
+"""Integration tests for the figure drivers and the claims checker."""
+
+import pytest
+
+from repro.figures import ablations, claims, figure4, figure5, figure6, figure7, overhead
+
+
+@pytest.fixture(scope="module")
+def tiny_sparse():
+    """A miniature Figure-5 style sweep (fast but structurally complete)."""
+    return figure5.run(trials=4, ks=(1, 2, 3, 4), ns=(40, 70, 100))
+
+
+@pytest.fixture(scope="module")
+def tiny_dense():
+    return figure6.run(trials=3, ks=(2, 3), ns=(40, 70))
+
+
+class TestFigure4:
+    def test_runs_and_orders(self):
+        data = figure4.run(n=80, k=2, seed=1)
+        counts = data.gateway_counts()
+        assert set(counts) == {"G-MST", "NC-Mesh", "NC-LMST", "AC-LMST"}
+        assert counts["G-MST"] <= counts["NC-Mesh"]
+        assert counts["NC-LMST"] <= counts["NC-Mesh"]
+
+    def test_render_contains_counts(self):
+        data = figure4.run(n=60, k=2, seed=2)
+        out = figure4.render(data)
+        assert "clusterheads" in out
+        assert "AC-LMST" in out
+
+
+class TestFigure5And6:
+    def test_sweep_shape(self, tiny_sparse):
+        assert len(tiny_sparse.cells) == 4 * 3
+        out = figure5.render(tiny_sparse)
+        assert "Figure 5" in out
+        assert "k = 4" in out
+
+    def test_cds_grows_with_n(self, tiny_sparse):
+        for k in (1, 2):
+            series = tiny_sparse.series("cds_size", "NC-Mesh", 6.0, k)
+            assert series[-1][1].mean > series[0][1].mean
+
+    def test_dense_runs(self, tiny_dense):
+        out = figure6.render(tiny_dense)
+        assert "Figure 6" in out
+
+    def test_dense_fewer_heads_than_sparse(self, tiny_sparse, tiny_dense):
+        sparse_heads = tiny_sparse.cell(70, 6.0, 2).num_heads.mean
+        dense_heads = tiny_dense.cell(70, 10.0, 2).num_heads.mean
+        assert dense_heads <= sparse_heads + 1  # dense nets need fewer heads
+
+
+class TestFigure7:
+    def test_monotone_in_k(self):
+        res = figure7.run(trials=4, ks=(1, 2, 3), ns=(60, 100))
+        heads = [res.cell(100, 6.0, k).num_heads.mean for k in (1, 2, 3)]
+        assert heads[0] > heads[1] > heads[2]
+        out = figure7.render(res)
+        assert "Figure 7(a)" in out and "Figure 7(b)" in out
+
+
+class TestClaims:
+    def test_verdict_structure(self, tiny_sparse, tiny_dense):
+        verdicts = claims.check_claims(tiny_sparse, tiny_dense)
+        assert [v.claim_id for v in verdicts] == [1, 2, 3, 4, 5, 6]
+        out = claims.render_verdicts(verdicts)
+        assert "A-NCR" in out
+
+    def test_core_claims_hold_on_small_sweep(self, tiny_sparse):
+        verdicts = {v.claim_id: v for v in claims.check_claims(tiny_sparse)}
+        # the robust claims should hold even on a small budget
+        assert verdicts[1].holds, verdicts[1].evidence
+        assert verdicts[3].holds, verdicts[3].evidence
+        assert verdicts[6].holds, verdicts[6].evidence
+
+
+class TestOverheadAndAblations:
+    def test_overhead_increases_with_k(self):
+        rows = overhead.run(trials=2, ks=(1, 2, 3))
+        assert rows[0].total_tx < rows[-1].total_tx
+        assert "overhead" in overhead.render(rows).lower()
+
+    def test_membership_ablation(self):
+        rows = ablations.run_membership(trials=3)
+        byname = {r.policy: r for r in rows}
+        assert set(byname) == {"id-based", "distance-based", "size-based"}
+        # distance-based joins the nearest head: mean head distance minimal
+        assert (
+            byname["distance-based"].mean_head_distance
+            <= byname["id-based"].mean_head_distance + 1e-9
+        )
+        # size-based balances: smallest size spread
+        assert (
+            byname["size-based"].cluster_size_std
+            <= byname["id-based"].cluster_size_std + 1e-9
+        )
+
+    def test_priority_ablation(self):
+        rows = ablations.run_priority(trials=2)
+        assert {r.scheme for r in rows} == {
+            "lowest-id",
+            "highest-degree",
+            "random-timer",
+        }
+
+    def test_neighbor_rule_ablation_ordering(self):
+        rows = ablations.run_neighbor_rules(trials=3)
+        by = {r.rule: r.pairs for r in rows}
+        assert by["A-NCR"] <= by["Wu-Lou 2.5-hop"] <= by["NC(2k+1)"]
+
+    def test_ablation_render(self):
+        out = ablations.render(
+            ablations.run_membership(trials=2),
+            ablations.run_priority(trials=2),
+            ablations.run_neighbor_rules(trials=2),
+        )
+        assert "Ablation A1" in out and "Ablation A3" in out

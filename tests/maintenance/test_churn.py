@@ -1,0 +1,59 @@
+"""Tests for the cumulative churn simulation."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.maintenance.churn import simulate_churn
+from repro.net.generators import grid_graph
+from repro.net.topology import random_topology
+
+
+class TestSimulateChurn:
+    def test_absorbs_failures_on_dense_graph(self):
+        g = grid_graph(7, 7)
+        report = simulate_churn(g, 2, failures=6, seed=1)
+        assert len(report.outcomes) <= 6
+        if report.stopped_at is None:
+            assert report.survivors_backbone is not None
+            assert sum(report.actions.values()) == 6
+
+    def test_roles_and_actions_tally(self):
+        topo = random_topology(80, 10.0, seed=2)
+        report = simulate_churn(topo.graph, 2, failures=8, seed=3)
+        assert sum(report.roles.values()) == len(report.outcomes)
+        assert sum(report.actions.values()) == len(report.outcomes)
+
+    def test_mean_locality_mostly_high(self):
+        topo = random_topology(80, 10.0, seed=5)
+        report = simulate_churn(topo.graph, 2, failures=10, seed=7)
+        if report.outcomes and report.stopped_at is None:
+            assert report.mean_locality > 0.3
+
+    def test_recluster_rate_bounded(self):
+        topo = random_topology(100, 10.0, seed=11)
+        report = simulate_churn(topo.graph, 2, failures=10, seed=13)
+        assert 0.0 <= report.recluster_rate <= 1.0
+
+    def test_stops_on_partition(self):
+        from repro.net.generators import two_cliques_bridge
+
+        g = two_cliques_bridge(5, 1)  # node 5 cuts the graph
+        report = simulate_churn(g, 1, failures=g.n - 1, seed=0)
+        if report.stopped_at is not None:
+            assert report.outcomes[-1].partitioned
+            assert report.survivors_backbone is None
+
+    def test_invalid_failure_count(self):
+        g = grid_graph(3, 3)
+        with pytest.raises(InvalidParameterError):
+            simulate_churn(g, 1, failures=0, seed=0)
+        with pytest.raises(InvalidParameterError):
+            simulate_churn(g, 1, failures=9, seed=0)
+
+    def test_deterministic(self):
+        g = grid_graph(6, 6)
+        a = simulate_churn(g, 1, failures=5, seed=9)
+        b = simulate_churn(g, 1, failures=5, seed=9)
+        assert [o.failed_node for o in a.outcomes] == [
+            o.failed_node for o in b.outcomes
+        ]

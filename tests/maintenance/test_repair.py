@@ -1,0 +1,111 @@
+"""Tests for §3.3 failure repair."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clustering import khop_cluster
+from repro.core.pipeline import build_backbone
+from repro.errors import InvalidParameterError
+from repro.maintenance.repair import failure_role, repair
+from repro.net.generators import grid_graph, path_graph, two_cliques_bridge
+
+from ..conftest import connected_graphs
+
+
+def backbone_for(g, k=1, alg="AC-LMST"):
+    return build_backbone(khop_cluster(g, k), alg)
+
+
+class TestFailureRole:
+    def test_roles_partition_nodes(self):
+        res = backbone_for(grid_graph(5, 5), k=1)
+        roles = {failure_role(res, u) for u in res.clustering.graph.nodes()}
+        assert roles <= {"head", "gateway", "member"}
+        assert failure_role(res, res.heads[0]) == "head"
+
+
+class TestRepairLadder:
+    def test_member_failure_no_action(self):
+        g = grid_graph(5, 5)
+        res = backbone_for(g, k=1)
+        member = next(
+            u
+            for u in g.nodes()
+            if failure_role(res, u) == "member" and g.without_nodes([u]).is_connected_subset(
+                [v for v in g.nodes() if v != u]
+            )
+        )
+        out = repair(res, member)
+        if not out.partitioned and not out.escalated:
+            assert out.role == "member"
+            assert out.action == "none"
+            assert out.scope_heads == frozenset()
+            assert out.locality == 1.0
+
+    def test_gateway_failure_local_fix(self):
+        g = grid_graph(6, 6)
+        res = backbone_for(g, k=2)
+        gateways = sorted(res.gateways)
+        assert gateways
+        out = repair(res, gateways[0])
+        assert out.role == "gateway"
+        if not out.partitioned and out.action == "gateway-reselect":
+            assert out.scope_heads  # some heads re-ran selection
+            assert out.backbone is not None
+
+    def test_head_failure_reclusters(self):
+        g = grid_graph(6, 6)
+        res = backbone_for(g, k=2)
+        head = res.heads[-1]
+        out = repair(res, head)
+        assert out.role == "head"
+        if not out.partitioned:
+            assert out.action == "recluster"
+            assert not out.escalated
+            assert out.backbone is not None
+            assert head not in out.backbone.heads
+
+    def test_partition_detected(self):
+        # the middle bridge node disconnects the two cliques
+        g = two_cliques_bridge(4, 1)  # bridge node 4 is a cut vertex
+        res = backbone_for(g, k=1)
+        out = repair(res, 4)
+        assert out.partitioned
+        assert out.backbone is None
+        assert out.locality == 0.0
+
+    def test_bad_node_rejected(self):
+        res = backbone_for(path_graph(6))
+        with pytest.raises(InvalidParameterError):
+            repair(res, 17)
+
+    def test_cut_member_escalates_or_partitions(self):
+        # path: every interior node is a cut vertex
+        g = path_graph(9)
+        res = backbone_for(g, k=2)
+        for u in range(1, 8):
+            out = repair(res, u)
+            assert out.partitioned  # removing interior path node splits G
+
+    @given(connected_graphs(min_n=4, max_n=14), st.integers(1, 2), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_repair_always_yields_valid_backbone_or_partition(self, g, k, data):
+        res = backbone_for(g, k=k)
+        node = data.draw(st.integers(0, g.n - 1))
+        out = repair(res, node)
+        if out.partitioned:
+            assert out.backbone is None
+        else:
+            bb = out.backbone
+            assert bb is not None
+            # survivors are k-hop dominated and the CDS is connected
+            g2 = bb.clustering.graph
+            assert g2.is_connected_subset(bb.cds)
+            for u in g2.nodes():
+                if u == node:
+                    continue
+                assert any(
+                    g2.hop_distance(u, h) <= k for h in bb.heads
+                )
+            assert node not in bb.cds

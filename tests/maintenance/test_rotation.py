@@ -1,0 +1,54 @@
+"""Tests for energy-based clusterhead rotation."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.maintenance.rotation import simulate_rotation
+from repro.net.energy import EnergyParams
+from repro.net.generators import grid_graph
+
+
+class TestRotation:
+    def test_static_scheme_keeps_same_heads(self):
+        g = grid_graph(5, 5)
+        report = simulate_rotation(g, 2, epochs=5, scheme="static")
+        head_sets = {e.heads for e in report.epochs}
+        assert len(head_sets) == 1  # lowest-ID on a static graph never moves
+
+    def test_energy_scheme_rotates(self):
+        g = grid_graph(5, 5)
+        static = simulate_rotation(g, 2, epochs=8, scheme="static")
+        energy = simulate_rotation(g, 2, epochs=8, scheme="energy")
+        assert energy.distinct_heads > static.distinct_heads
+
+    def test_energy_scheme_balances_min_residual(self):
+        g = grid_graph(5, 5)
+        params = EnergyParams(initial=100.0, idle_member=0.01, idle_backbone=0.5)
+        static = simulate_rotation(
+            g, 2, epochs=10, scheme="static", params=params
+        )
+        energy = simulate_rotation(
+            g, 2, epochs=10, scheme="energy", params=params
+        )
+        assert energy.final_min_residual > static.final_min_residual
+
+    def test_epoch_records(self):
+        g = grid_graph(4, 4)
+        report = simulate_rotation(g, 1, epochs=3)
+        assert len(report.epochs) == 3
+        assert report.epochs[0].min_residual >= report.epochs[-1].min_residual
+        assert all(e.cds_size >= len(e.heads) for e in report.epochs)
+
+    def test_invalid_params(self):
+        g = grid_graph(3, 3)
+        with pytest.raises(InvalidParameterError):
+            simulate_rotation(g, 1, epochs=0)
+        with pytest.raises(InvalidParameterError):
+            simulate_rotation(g, 1, epochs=1, scheme="psychic")
+
+    def test_head_service_counter(self):
+        g = grid_graph(4, 4)
+        report = simulate_rotation(g, 2, epochs=4, scheme="static")
+        assert sum(report.head_service.values()) == sum(
+            len(e.heads) for e in report.epochs
+        )

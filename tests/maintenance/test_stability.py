@@ -1,0 +1,56 @@
+"""Tests for the mobility-stability experiment."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.maintenance.stability import simulate_stability
+from repro.net.topology import random_topology
+
+
+class TestSimulateStability:
+    def test_zero_speed_zero_churn(self):
+        topo = random_topology(60, 8.0, seed=1)
+        report = simulate_stability(topo, 2, steps=3, speed=(0.0, 0.0), seed=0)
+        assert len(report.steps) == 3
+        for s in report.steps:
+            assert s.head_churn == 0.0
+            assert s.membership_churn == 0.0
+            assert s.backbone_jaccard_distance == 0.0
+            assert s.edges_changed == 0
+
+    def test_movement_produces_churn(self):
+        topo = random_topology(60, 10.0, seed=2)
+        report = simulate_stability(topo, 2, steps=10, speed=(2.0, 4.0), seed=3)
+        # at these speeds some snapshots must change
+        assert report.skipped_disconnected + len(report.steps) == 10
+        if report.steps:
+            assert any(s.edges_changed > 0 for s in report.steps)
+
+    def test_metrics_bounded(self):
+        topo = random_topology(50, 10.0, seed=5)
+        report = simulate_stability(topo, 1, steps=8, speed=(1.0, 2.0), seed=7)
+        for s in report.steps:
+            assert 0.0 <= s.head_churn <= 1.0
+            assert 0.0 <= s.membership_churn <= 1.0
+            assert 0.0 <= s.backbone_jaccard_distance <= 1.0
+            assert 0.0 <= s.affected_nodes <= 1.0
+
+    def test_mean_helper(self):
+        topo = random_topology(50, 10.0, seed=5)
+        report = simulate_stability(topo, 1, steps=5, speed=(1.0, 2.0), seed=7)
+        if report.steps:
+            m = report.mean("membership_churn")
+            assert 0.0 <= m <= 1.0
+
+    def test_invalid_steps(self):
+        topo = random_topology(30, 8.0, seed=0)
+        with pytest.raises(InvalidParameterError):
+            simulate_stability(topo, 1, steps=0)
+
+    def test_affected_nodes_grow_with_k(self):
+        """§1's argument: larger k means topology changes touch more nodes."""
+        topo = random_topology(80, 10.0, seed=11)
+        small = simulate_stability(topo, 1, steps=12, speed=(1.0, 2.0), seed=13)
+        large = simulate_stability(topo, 3, steps=12, speed=(1.0, 2.0), seed=13)
+        if small.steps and large.steps:
+            assert large.mean("affected_nodes") >= small.mean("affected_nodes")

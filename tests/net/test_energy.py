@@ -1,0 +1,76 @@
+"""Tests for the energy model."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.net.energy import EnergyModel, EnergyParams
+
+
+class TestEnergyParams:
+    def test_defaults_valid(self):
+        p = EnergyParams()
+        assert p.initial > p.death_threshold
+
+    def test_invalid_initial(self):
+        with pytest.raises(InvalidParameterError):
+            EnergyParams(initial=0.0, death_threshold=0.0)
+
+    def test_negative_cost(self):
+        with pytest.raises(InvalidParameterError):
+            EnergyParams(tx_cost=-1.0)
+
+
+class TestEnergyModel:
+    def test_initial_state(self):
+        m = EnergyModel(4)
+        assert m.n == 4
+        assert all(m.is_alive(u) for u in range(4))
+        assert m.alive_nodes() == (0, 1, 2, 3)
+
+    def test_tx_rx_charging(self):
+        m = EnergyModel(2, EnergyParams(initial=10.0, tx_cost=2.0, rx_cost=1.0))
+        m.charge_tx(0, 3)
+        m.charge_rx(1, 4)
+        assert m.residual(0) == pytest.approx(4.0)
+        assert m.residual(1) == pytest.approx(6.0)
+
+    def test_death(self):
+        m = EnergyModel(1, EnergyParams(initial=3.0, tx_cost=2.0))
+        m.charge_tx(0, 2)
+        assert not m.is_alive(0)
+        assert m.alive_nodes() == ()
+
+    def test_idle_round_backbone_drains_more(self):
+        m = EnergyModel(3, EnergyParams(initial=10.0, idle_member=0.1, idle_backbone=0.5))
+        m.charge_idle_round({1})
+        assert m.residual(0) == pytest.approx(9.9)
+        assert m.residual(1) == pytest.approx(9.5)
+        assert m.residual(2) == pytest.approx(9.9)
+
+    def test_idle_round_empty_backbone(self):
+        m = EnergyModel(2)
+        before = m.residuals()
+        m.charge_idle_round(set())
+        after = m.residuals()
+        assert (before - after > 0).all()
+
+    def test_priority_keys_prefer_energy(self):
+        m = EnergyModel(3, EnergyParams(initial=10.0, tx_cost=1.0))
+        m.charge_tx(0, 5)
+        keys = m.priority_keys()
+        # node 0 drained: worst key; nodes 1, 2 tie on energy -> id order
+        assert min(keys) == keys[1]
+        assert max(keys) == keys[0]
+
+    def test_negative_messages_rejected(self):
+        m = EnergyModel(1)
+        with pytest.raises(InvalidParameterError):
+            m.charge_tx(0, -1)
+        with pytest.raises(InvalidParameterError):
+            m.charge_rx(0, -1)
+
+    def test_residuals_is_copy(self):
+        m = EnergyModel(2)
+        r = m.residuals()
+        r[0] = -100
+        assert m.is_alive(0)

@@ -1,0 +1,93 @@
+"""Tests for the structured topology generators."""
+
+import math
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.net.generators import (
+    caterpillar,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+    topology_from_graph,
+    two_cliques_bridge,
+)
+
+
+class TestBasicShapes:
+    def test_path(self):
+        g = path_graph(4)
+        assert g.n == 4 and g.m == 3
+        assert g.diameter() == 3
+
+    def test_path_single(self):
+        assert path_graph(1).m == 0
+
+    def test_cycle(self):
+        g = cycle_graph(5)
+        assert g.n == 5 and g.m == 5
+        assert all(g.degree(u) == 2 for u in g.nodes())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(InvalidParameterError):
+            cycle_graph(2)
+
+    def test_star(self):
+        g = star_graph(6)
+        assert g.degree(0) == 6
+        assert g.diameter() == 2
+
+    def test_complete(self):
+        g = complete_graph(5)
+        assert g.m == 10
+        assert g.diameter() == 1
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.n == 12
+        assert g.m == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert g.diameter() == 2 + 3
+
+
+class TestCompositeShapes:
+    def test_two_cliques_bridge_structure(self):
+        g = two_cliques_bridge(4, 3)
+        assert g.n == 11
+        assert g.is_connected()
+        # clique A complete
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert g.has_edge(i, j)
+        # bridge is a path 0 - 4 - 5 - 6 - 7
+        assert g.has_edge(0, 4) and g.has_edge(4, 5) and g.has_edge(6, 7)
+
+    def test_two_cliques_zero_bridge(self):
+        g = two_cliques_bridge(3, 0)
+        assert g.n == 6
+        assert g.has_edge(0, 3)
+
+    def test_caterpillar(self):
+        g = caterpillar(3, 2)
+        assert g.n == 3 + 6
+        assert g.degree(0) == 1 + 2  # spine end + legs
+        assert g.degree(1) == 2 + 2
+        # leaves have degree 1
+        assert all(g.degree(u) == 1 for u in range(3, 9))
+
+    def test_invalid_params(self):
+        with pytest.raises(InvalidParameterError):
+            two_cliques_bridge(0, 2)
+        with pytest.raises(InvalidParameterError):
+            caterpillar(0, 1)
+
+
+class TestTopologyFromGraph:
+    def test_wraps_with_positions(self):
+        g = cycle_graph(8)
+        topo = topology_from_graph(g)
+        assert topo.graph is g
+        assert topo.positions.shape == (8, 2)
+        assert math.isnan(topo.radius)

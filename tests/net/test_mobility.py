@@ -1,0 +1,85 @@
+"""Tests for mobility and churn processes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.net.mobility import ChurnProcess, RandomWaypoint
+
+
+class TestRandomWaypoint:
+    def _make(self, n=10, seed=0, speed=(1.0, 2.0)):
+        rng = np.random.default_rng(seed)
+        pos = rng.random((n, 2)) * 100
+        return RandomWaypoint(pos, (100.0, 100.0), speed, np.random.default_rng(seed + 1))
+
+    def test_positions_stay_in_area(self):
+        rw = self._make()
+        for _ in range(200):
+            pos = rw.step()
+            assert (pos >= 0).all()
+            assert (pos <= 100).all()
+
+    def test_step_moves_at_most_speed(self):
+        rw = self._make(speed=(0.5, 1.5))
+        before = rw.positions
+        after = rw.step()
+        moved = np.sqrt(((after - before) ** 2).sum(axis=1))
+        assert (moved <= 1.5 + 1e-9).all()
+
+    def test_zero_speed_stationary(self):
+        rw = self._make(speed=(0.0, 0.0))
+        before = rw.positions
+        rw.step()
+        assert np.allclose(rw.positions, before)
+
+    def test_invalid_speed_range(self):
+        with pytest.raises(InvalidParameterError):
+            self._make(speed=(2.0, 1.0))
+
+    def test_snapshot_graph(self):
+        rw = self._make(n=20)
+        g = rw.snapshot_graph(radius=150.0)
+        assert g.m == 20 * 19 // 2  # everything in range
+
+    def test_positions_returns_copy(self):
+        rw = self._make()
+        p = rw.positions
+        p[:] = -1
+        assert (rw.positions >= 0).all()
+
+
+class TestChurnProcess:
+    def test_all_alive_initially(self):
+        c = ChurnProcess(5, 0.0, 0.0, np.random.default_rng(0))
+        assert c.alive_nodes() == (0, 1, 2, 3, 4)
+        assert c.dead_nodes() == ()
+
+    def test_no_churn_no_events(self):
+        c = ChurnProcess(5, 0.0, 0.0, np.random.default_rng(0))
+        assert c.step() == []
+
+    def test_certain_death(self):
+        c = ChurnProcess(4, 1.0, 0.0, np.random.default_rng(0))
+        events = c.step()
+        assert len(events) == 4
+        assert all(e.kind == "off" for e in events)
+        assert c.alive_nodes() == ()
+
+    def test_revival(self):
+        c = ChurnProcess(3, 1.0, 1.0, np.random.default_rng(0))
+        c.step()  # all die
+        events = c.step()  # all revive
+        assert all(e.kind == "on" for e in events)
+        assert c.alive_nodes() == (0, 1, 2)
+
+    def test_invalid_probability(self):
+        with pytest.raises(InvalidParameterError):
+            ChurnProcess(3, 1.5, 0.0, np.random.default_rng(0))
+
+    def test_event_steps_increment(self):
+        c = ChurnProcess(2, 1.0, 1.0, np.random.default_rng(0))
+        e1 = c.step()
+        e2 = c.step()
+        assert all(e.step == 1 for e in e1)
+        assert all(e.step == 2 for e in e2)

@@ -1,0 +1,95 @@
+"""Tests for canonical shortest paths and the PathOracle."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DisconnectedGraphError
+from repro.net.generators import cycle_graph, grid_graph, path_graph
+from repro.net.graph import Graph
+from repro.net.paths import PathOracle, canonical_path, path_interior
+
+from ..conftest import connected_graphs
+
+
+class TestCanonicalPath:
+    def test_trivial(self):
+        g = path_graph(3)
+        assert canonical_path(g, 1, 1) == (1,)
+
+    def test_path_graph(self):
+        g = path_graph(5)
+        assert canonical_path(g, 0, 4) == (0, 1, 2, 3, 4)
+        assert canonical_path(g, 4, 0) == (4, 3, 2, 1, 0)
+
+    def test_tie_break_prefers_lower_ids(self):
+        # two parallel 2-hop routes 0-1-3 and 0-2-3: must take node 1
+        g = Graph(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        assert canonical_path(g, 0, 3) == (0, 1, 3)
+
+    def test_orientation_symmetry(self):
+        g = cycle_graph(8)
+        p = canonical_path(g, 1, 5)
+        q = canonical_path(g, 5, 1)
+        assert p == tuple(reversed(q))
+
+    def test_disconnected_raises(self):
+        g = Graph(3, [(0, 1)])
+        with pytest.raises(DisconnectedGraphError):
+            canonical_path(g, 0, 2)
+
+    def test_interior(self):
+        assert path_interior((1, 2, 3, 4)) == (2, 3)
+        assert path_interior((1, 2)) == ()
+
+    @given(connected_graphs(), st.data())
+    @settings(max_examples=50)
+    def test_path_is_shortest_and_valid(self, g, data):
+        u = data.draw(st.integers(0, g.n - 1))
+        v = data.draw(st.integers(0, g.n - 1))
+        p = canonical_path(g, u, v)
+        assert p[0] == u and p[-1] == v
+        assert len(p) == g.hop_distance(u, v) + 1
+        for a, b in zip(p, p[1:]):
+            assert g.has_edge(a, b)
+        assert len(set(p)) == len(p)  # simple path
+
+    @given(connected_graphs(), st.data())
+    @settings(max_examples=50)
+    def test_reversal_symmetry_property(self, g, data):
+        u = data.draw(st.integers(0, g.n - 1))
+        v = data.draw(st.integers(0, g.n - 1))
+        assert canonical_path(g, u, v) == tuple(
+            reversed(canonical_path(g, v, u))
+        )
+
+
+class TestPathOracle:
+    def test_caches_per_unordered_pair(self):
+        g = grid_graph(3, 3)
+        oracle = PathOracle(g)
+        p1 = oracle.path(0, 8)
+        p2 = oracle.path(8, 0)
+        assert p1 == tuple(reversed(p2))
+        assert len(oracle) == 1
+
+    def test_distance_matches_graph(self):
+        g = grid_graph(2, 5)
+        oracle = PathOracle(g)
+        assert oracle.distance(0, 9) == g.hop_distance(0, 9)
+
+    def test_interior_shortcut(self):
+        g = path_graph(4)
+        oracle = PathOracle(g)
+        assert oracle.interior(0, 3) == (1, 2)
+
+    def test_same_node(self):
+        oracle = PathOracle(path_graph(2))
+        assert oracle.path(1, 1) == (1,)
+        assert len(oracle) == 0
+
+    def test_matches_canonical(self):
+        g = grid_graph(4, 4)
+        oracle = PathOracle(g)
+        for u, v in [(0, 15), (3, 12), (5, 10)]:
+            assert oracle.path(u, v) == canonical_path(g, u, v)

@@ -1,0 +1,121 @@
+"""Tests for unit-disk topology generation and calibration."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import CalibrationError, InvalidParameterError
+from repro.net.topology import (
+    calibrate_radius,
+    radius_for_degree,
+    random_topology,
+    unit_disk_graph,
+)
+
+
+class TestRadiusForDegree:
+    def test_analytic_formula(self):
+        r = radius_for_degree(101, 6.0, (100.0, 100.0))
+        assert r == pytest.approx(math.sqrt(6 * 10000 / (math.pi * 100)))
+
+    def test_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            radius_for_degree(1, 6.0)
+        with pytest.raises(InvalidParameterError):
+            radius_for_degree(10, 0.0)
+
+
+class TestUnitDiskGraph:
+    def test_edges_exactly_within_radius(self):
+        pos = np.array([[0, 0], [1, 0], [2.5, 0]], dtype=float)
+        g = unit_disk_graph(pos, 1.5)
+        assert set(g.edges) == {(0, 1), (1, 2)}
+
+    def test_radius_zero_no_edges(self):
+        pos = np.array([[0, 0], [1, 0]], dtype=float)
+        assert unit_disk_graph(pos, 0.5).m == 0
+
+    def test_negative_radius(self):
+        with pytest.raises(InvalidParameterError):
+            unit_disk_graph(np.zeros((2, 2)), -1)
+
+
+class TestRandomTopology:
+    def test_basic_properties(self):
+        topo = random_topology(60, 6.0, seed=1)
+        assert topo.n == 60
+        assert topo.graph.is_connected()
+        assert topo.positions.shape == (60, 2)
+        assert topo.attempts >= 1
+
+    def test_reproducible(self):
+        a = random_topology(50, 6.0, seed=99)
+        b = random_topology(50, 6.0, seed=99)
+        assert a.graph == b.graph
+        assert np.array_equal(a.positions, b.positions)
+
+    def test_different_seeds_differ(self):
+        a = random_topology(50, 6.0, seed=1)
+        b = random_topology(50, 6.0, seed=2)
+        assert a.graph != b.graph
+
+    def test_degree_in_ballpark(self):
+        degs = [random_topology(100, 6.0, seed=s).realized_degree() for s in range(5)]
+        mean = sum(degs) / len(degs)
+        assert 4.0 <= mean <= 8.0  # analytic calibration, border effects allowed
+
+    def test_dense_target(self):
+        topo = random_topology(100, 10.0, seed=3)
+        assert 7.0 <= topo.realized_degree() <= 13.0
+
+    def test_explicit_radius_override(self):
+        topo = random_topology(30, 6.0, seed=5, radius=200.0)
+        # radius covers the whole area: complete graph
+        assert topo.graph.m == 30 * 29 // 2
+        assert topo.radius == 200.0
+
+    def test_single_node(self):
+        topo = random_topology(1, 6.0, seed=0)
+        assert topo.n == 1 and topo.graph.m == 0
+
+    def test_invalid_n(self):
+        with pytest.raises(InvalidParameterError):
+            random_topology(0, 6.0, seed=0)
+
+    def test_unknown_calibration(self):
+        with pytest.raises(InvalidParameterError):
+            random_topology(10, 6.0, seed=0, calibration="magic")
+
+    def test_impossible_connectivity_raises(self):
+        with pytest.raises(CalibrationError):
+            random_topology(80, 0.3, seed=0, max_attempts=3)
+
+    def test_not_requiring_connected(self):
+        topo = random_topology(
+            80, 0.5, seed=0, require_connected=False, max_attempts=1
+        )
+        assert topo.n == 80  # accepted on first draw
+
+    def test_empirical_calibration_close(self):
+        topo = random_topology(80, 6.0, seed=11, calibration="empirical")
+        assert 4.5 <= topo.realized_degree() <= 7.5
+
+
+class TestCalibrateRadius:
+    def test_hits_target(self):
+        rng = np.random.default_rng(0)
+        r = calibrate_radius(80, 6.0, rng=rng, samples=4, tol=0.05)
+        # verify on fresh samples
+        degs = []
+        for s in range(4):
+            topo = random_topology(
+                80, 6.0, seed=s, radius=r, require_connected=False, max_attempts=1
+            )
+            degs.append(topo.realized_degree())
+        assert abs(sum(degs) / len(degs) - 6.0) < 1.2
+
+    def test_unreachable_degree(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(InvalidParameterError):
+            calibrate_radius(10, 20.0, rng=rng)

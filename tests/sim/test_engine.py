@@ -1,0 +1,125 @@
+"""Tests for the synchronous round engine."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.net.generators import path_graph, star_graph
+from repro.sim.engine import Engine, MessageStats
+from repro.sim.node import ProtocolNode
+
+
+class PingNode(ProtocolNode):
+    """Sends one 'ping' at start; counts receptions."""
+
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.received = []
+
+    def start(self):
+        self.send(("ping", self.node_id))
+
+    def on_round(self, round_no, inbox):
+        self.received.extend(inbox)
+
+
+class RelayNode(ProtocolNode):
+    """Node 0 emits a token; others forward it once (flood)."""
+
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.seen = False
+
+    def start(self):
+        if self.node_id == 0:
+            self.seen = True
+            self.send("token")
+
+    def on_round(self, round_no, inbox):
+        for _sender, payload in inbox:
+            if payload == "token" and not self.seen:
+                self.seen = True
+                self.send("token")
+
+
+class ChattyNode(ProtocolNode):
+    """Never stops talking (for the round-budget test)."""
+
+    def start(self):
+        self.send("x")
+
+    def on_round(self, round_no, inbox):
+        self.send("x")
+
+    def idle(self):
+        return False
+
+
+class TestEngine:
+    def test_ping_delivery_star(self):
+        g = star_graph(3)
+        nodes = [PingNode(u) for u in g.nodes()]
+        stats = Engine(g, nodes).run()
+        assert stats.transmissions == 4
+        # hub hears 3 pings, each leaf hears 1
+        assert len(nodes[0].received) == 3
+        assert all(len(nodes[i].received) == 1 for i in (1, 2, 3))
+        assert stats.receptions == 6
+
+    def test_flood_reaches_everyone(self):
+        g = path_graph(6)
+        nodes = [RelayNode(u) for u in g.nodes()]
+        stats = Engine(g, nodes).run()
+        assert all(n.seen for n in nodes)
+        assert stats.transmissions == 6  # each node forwards once
+        assert stats.rounds >= 5  # token takes 5 hops
+
+    def test_per_kind_accounting(self):
+        g = star_graph(2)
+        stats = Engine(g, [PingNode(u) for u in g.nodes()]).run()
+        assert stats.per_kind["tuple"] == 3
+
+    def test_round_budget_enforced(self):
+        g = path_graph(3)
+        with pytest.raises(ProtocolError):
+            Engine(g, [ChattyNode(u) for u in g.nodes()]).run(max_rounds=10)
+
+    def test_node_count_mismatch(self):
+        g = path_graph(3)
+        with pytest.raises(ProtocolError):
+            Engine(g, [PingNode(0)])
+
+    def test_node_id_mismatch(self):
+        g = path_graph(2)
+        with pytest.raises(ProtocolError):
+            Engine(g, [PingNode(0), PingNode(0)])
+
+    def test_dead_nodes_neither_send_nor_receive(self):
+        g = path_graph(3)
+        nodes = [PingNode(u) for u in g.nodes()]
+        stats = Engine(g, nodes, alive={0, 1}).run()
+        # node 2 dead: sends nothing, receives nothing
+        assert len(nodes[2].received) == 0
+        # node 1 hears only node 0 (not dead node 2)
+        assert len(nodes[1].received) == 1
+        assert stats.transmissions == 2
+
+    def test_stats_merge(self):
+        a = MessageStats(transmissions=2, receptions=3, rounds=4)
+        a.per_kind["X"] = 2
+        b = MessageStats(transmissions=1, receptions=1, rounds=2)
+        b.per_kind["X"] = 1
+        c = a.merge(b)
+        assert c.transmissions == 3
+        assert c.receptions == 4
+        assert c.rounds == 6
+        assert c.per_kind["X"] == 3
+
+    def test_quiescence_with_no_initial_sends(self):
+        g = path_graph(2)
+
+        class SilentNode(ProtocolNode):
+            pass
+
+        stats = Engine(g, [SilentNode(0), SilentNode(1)]).run()
+        assert stats.transmissions == 0
+        assert stats.rounds == 0

@@ -1,0 +1,78 @@
+"""Distributed == centralized: the strongest localization claim of the paper.
+
+For every algorithm and every k, the protocols running on the round engine
+(with only scoped floods and parent-chain routing) must reproduce the
+centralized reference *exactly*: heads, membership, adjacency, selected
+links and gateway sets.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ancr_neighbors, build_backbone, khop_cluster
+from repro.net.paths import PathOracle
+from repro.sim.runner import run_distributed_pipeline
+from repro.errors import InvalidParameterError
+
+from ..conftest import connected_graphs, ks
+
+ALGS = ("NC-Mesh", "AC-Mesh", "NC-LMST", "AC-LMST")
+
+
+class TestEquivalence:
+    @given(connected_graphs(max_n=14), st.integers(1, 3), st.sampled_from(ALGS))
+    @settings(max_examples=40, deadline=None)
+    def test_distributed_matches_centralized(self, g, k, alg):
+        dres = run_distributed_pipeline(g, k, alg)
+        cl = khop_cluster(g, k)
+        cres = build_backbone(cl, alg, oracle=PathOracle(g))
+        assert dres.heads == cl.heads
+        assert dres.head_of == cl.head_of
+        assert dres.selected_links == cres.selected_links
+        assert dres.gateways == cres.gateways
+
+    @given(connected_graphs(max_n=14), st.integers(1, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_adjacency_sets_match(self, g, k):
+        dres = run_distributed_pipeline(g, k, "AC-LMST")
+        ref = {
+            h: frozenset(v)
+            for h, v in ancr_neighbors(khop_cluster(g, k)).items()
+        }
+        assert dres.adjacent_sets == ref
+
+    @given(connected_graphs(max_n=12), st.integers(1, 2))
+    @settings(max_examples=20, deadline=None)
+    def test_distance_based_membership_matches(self, g, k):
+        dres = run_distributed_pipeline(g, k, "NC-Mesh", membership="distance-based")
+        cl = khop_cluster(g, k, membership="distance-based")
+        assert dres.head_of == cl.head_of
+
+    def test_paper_scale_instance(self, topo60):
+        g = topo60.graph
+        for k in (1, 2, 3, 4):
+            for alg in ALGS:
+                dres = run_distributed_pipeline(g, k, alg)
+                cres = build_backbone(khop_cluster(g, k), alg)
+                assert dres.gateways == cres.gateways, (k, alg)
+
+    def test_gmst_has_no_distributed_form(self, topo60):
+        with pytest.raises(InvalidParameterError):
+            run_distributed_pipeline(topo60.graph, 2, "G-MST")
+
+    def test_stats_by_phase_present(self, topo60):
+        dres = run_distributed_pipeline(topo60.graph, 2, "AC-LMST")
+        assert set(dres.stats_by_phase) == {"clustering", "adjacency", "gateway"}
+        assert dres.stats.transmissions == sum(
+            s.transmissions for s in dres.stats_by_phase.values()
+        )
+        nc = run_distributed_pipeline(topo60.graph, 2, "NC-LMST")
+        assert set(nc.stats_by_phase) == {"clustering", "gateway"}
+
+    def test_overhead_grows_with_k(self, topo60):
+        tx = [
+            run_distributed_pipeline(topo60.graph, k, "AC-LMST").stats.transmissions
+            for k in (1, 3)
+        ]
+        assert tx[1] > tx[0]

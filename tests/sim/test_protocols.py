@@ -1,0 +1,131 @@
+"""Tests for the individual distributed protocols."""
+
+import pytest
+
+from repro.core.clustering import khop_cluster
+from repro.core.neighbor import ancr_neighbors
+from repro.errors import InvalidParameterError
+from repro.net.generators import grid_graph, path_graph, two_cliques_bridge
+from repro.sim.protocols.adjacency import run_distributed_adjacency
+from repro.sim.protocols.clustering import run_distributed_clustering
+from repro.sim.protocols.discovery import run_discovery
+from repro.sim.protocols.gateway import run_distributed_gateway
+
+
+class TestDiscovery:
+    def test_one_hop_view(self):
+        g = path_graph(5)
+        nodes, _ = run_discovery(g, 1)
+        # h=1: each node knows its own record plus neighbors' existence
+        assert nodes[2].neighbors == {1, 3}
+
+    def test_full_view_at_large_h(self):
+        g = grid_graph(3, 3)
+        nodes, _ = run_discovery(g, 10)
+        for node in nodes:
+            assert node.local_subgraph_edges() == set(g.edges)
+
+    def test_scoped_view(self):
+        g = path_graph(9)
+        nodes, _ = run_discovery(g, 2)
+        # node 0 knows records of nodes within 2 hops only
+        assert set(nodes[0].records) == {0, 1, 2}
+
+    def test_local_view_contains_ball(self):
+        g = grid_graph(4, 4)
+        h = 3
+        nodes, _ = run_discovery(g, h)
+        for u in g.nodes():
+            ball = set(g.closed_khop_neighbors(u, h))
+            assert ball <= set(nodes[u].records)
+
+    def test_invalid_h(self):
+        with pytest.raises(InvalidParameterError):
+            run_discovery(path_graph(3), 0)
+
+
+class TestDistributedClustering:
+    def test_path_k1_matches_reference(self):
+        g = path_graph(6)
+        nodes, _ = run_distributed_clustering(g, 1)
+        heads = tuple(sorted(n.node_id for n in nodes if n.is_head))
+        assert heads == (0, 2, 4)
+        assert [n.head for n in nodes] == [0, 0, 2, 2, 4, 4]
+
+    def test_join_notifications_reach_heads(self):
+        g = path_graph(6)
+        nodes, _ = run_distributed_clustering(g, 2)
+        head0 = nodes[0]
+        assert head0.is_head
+        assert head0.joined_members == {1, 2}
+
+    def test_size_based_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            run_distributed_clustering(path_graph(4), 1, membership="size-based")
+
+    def test_custom_keys(self):
+        g = path_graph(5)
+        # give node 4 the best key: it must become a head
+        keys = [(10 - u, u) for u in range(5)]
+        nodes, _ = run_distributed_clustering(g, 2, keys=keys)
+        assert nodes[4].is_head
+
+    def test_wrong_key_count(self):
+        with pytest.raises(InvalidParameterError):
+            run_distributed_clustering(path_graph(3), 1, keys=[(0,)])
+
+    def test_message_stats_populated(self):
+        g = grid_graph(4, 4)
+        _, stats = run_distributed_clustering(g, 2)
+        assert stats.transmissions > 0
+        assert stats.per_kind["Candidate"] > 0
+        assert stats.per_kind["Declare"] > 0
+        assert stats.per_kind["Join"] > 0
+
+
+class TestDistributedAdjacency:
+    def test_matches_centralized_ancr(self):
+        g = two_cliques_bridge(5, 4)
+        cl_nodes, _ = run_distributed_clustering(g, 1)
+        adj_nodes, _ = run_distributed_adjacency(g, cl_nodes)
+        got = {
+            n.node_id: frozenset(n.adjacent_heads)
+            for n in adj_nodes
+            if n.is_head
+        }
+        ref = {
+            h: frozenset(v)
+            for h, v in ancr_neighbors(khop_cluster(g, 1)).items()
+        }
+        assert got == ref
+
+    def test_single_cluster_no_reports(self):
+        g = grid_graph(2, 2)
+        cl_nodes, _ = run_distributed_clustering(g, 2)
+        adj_nodes, stats = run_distributed_adjacency(g, cl_nodes)
+        head = [n for n in adj_nodes if n.is_head]
+        assert len(head) == 1 and head[0].adjacent_heads == set()
+        assert stats.per_kind.get("BorderReport", 0) == 0
+
+
+class TestDistributedGateway:
+    def test_path_mesh_marks_interiors(self):
+        g = path_graph(6)
+        cl_nodes, _ = run_distributed_clustering(g, 1)
+        head_of = tuple(n.head for n in cl_nodes)
+        gw_nodes, _ = run_distributed_gateway(g, 1, head_of, gateway_alg="mesh")
+        gateways = {n.node_id for n in gw_nodes if n.is_gateway}
+        assert gateways == {1, 3}
+
+    def test_invalid_alg(self):
+        g = path_graph(4)
+        with pytest.raises(InvalidParameterError):
+            run_distributed_gateway(g, 1, (0, 0, 2, 2), gateway_alg="steiner")
+
+    def test_single_head_quiet(self):
+        g = grid_graph(2, 2)
+        cl_nodes, _ = run_distributed_clustering(g, 2)
+        head_of = tuple(n.head for n in cl_nodes)
+        gw_nodes, stats = run_distributed_gateway(g, 2, head_of, gateway_alg="lmst")
+        assert not any(n.is_gateway for n in gw_nodes)
+        assert stats.per_kind.get("Mark", 0) == 0

@@ -1,0 +1,37 @@
+"""Tests for the repro-khop CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure4_options(self):
+        args = build_parser().parse_args(
+            ["figure4", "--n", "50", "--k", "3", "--seed", "9"]
+        )
+        assert args.command == "figure4"
+        assert args.n == 50 and args.k == 3 and args.seed == 9
+
+    def test_global_trials(self):
+        args = build_parser().parse_args(["--trials", "5", "figure5"])
+        assert args.trials == 5
+
+
+class TestMain:
+    def test_figure4_end_to_end(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_TRIALS", "2")
+        rc = main(["figure4", "--n", "50", "--k", "2", "--seed", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "gateways" in out
+
+    def test_overhead_command(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_TRIALS", "2")
+        rc = main(["--trials", "1", "overhead"])
+        assert rc == 0
+        assert "overhead" in capsys.readouterr().out.lower()

@@ -1,0 +1,41 @@
+"""Tests for shared type helpers and the public package surface."""
+
+import pytest
+
+import repro
+from repro.types import normalize_edge, normalize_edges
+
+
+class TestNormalizeEdge:
+    def test_orders_endpoints(self):
+        assert normalize_edge(5, 2) == (2, 5)
+        assert normalize_edge(2, 5) == (2, 5)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            normalize_edge(3, 3)
+
+    def test_normalize_edges_dedupes(self):
+        assert normalize_edges([(1, 2), (2, 1), (3, 1)]) == {(1, 2), (1, 3)}
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_docstring_example(self):
+        topo = repro.random_topology(60, degree=6, seed=42)
+        result = repro.run_pipeline(topo, k=2, algorithm="AC-LMST")
+        assert result.cds_size == len(result.heads) + result.num_gateways
+        repro.verify_backbone(result)
+
+    def test_error_hierarchy(self):
+        assert issubclass(repro.InvalidParameterError, repro.ReproError)
+        assert issubclass(repro.DisconnectedGraphError, repro.ReproError)
+        assert issubclass(repro.ValidationError, repro.ReproError)
+        assert issubclass(repro.ProtocolError, repro.ReproError)
+        assert issubclass(repro.CalibrationError, repro.ReproError)
