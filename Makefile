@@ -1,0 +1,22 @@
+# Developer entry points.  `make test` is the tier-1 gate (what CI runs);
+# `make bench-smoke` exercises the benchmark suite at a reduced trial
+# budget, including the large-N scaling sweep.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench-smoke bench-scaling help
+
+help:
+	@echo "make test          - tier-1 test suite (tests/ + benchmarks/, -x -q)"
+	@echo "make bench-smoke   - benchmark suite at the reduced REPRO_TRIALS budget"
+	@echo "make bench-scaling - the N=200..5000 distance-oracle scaling sweep only"
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench-smoke:
+	REPRO_TRIALS=$${REPRO_TRIALS:-2} $(PYTHON) -m pytest benchmarks -q
+
+bench-scaling:
+	REPRO_BENCH_STRICT=1 $(PYTHON) -m pytest benchmarks/test_bench_scaling.py -q

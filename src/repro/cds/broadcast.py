@@ -131,11 +131,10 @@ def backbone_broadcast(
                     continue
                 intra_transmitters.update(oracle.interior(h, member))
     else:  # scoped TTL-k flood around each head
+        distances = graph.oracle
         for h in clustering.heads:
-            row = graph.hop_distances[h]
-            intra_transmitters.update(
-                int(u) for u in graph.nodes() if 0 < row[u] <= k - 1
-            )
+            ball_nodes, ball_dists = distances.ball(h, k - 1)
+            intra_transmitters.update(ball_nodes[ball_dists > 0].tolist())
 
     intra_transmitters -= backbone_transmitters
     uplink_only = uplink_transmitters - backbone_transmitters - intra_transmitters

@@ -149,7 +149,10 @@ def khop_cluster(
     head_of = np.full(n, -1, dtype=np.int64)
     undecided = np.ones(n, dtype=bool)
     heads: list[int] = []
-    dist = graph.hop_distances
+    # All distance queries go through the graph's oracle as closed k-balls,
+    # so only O(ball) work/memory per node is ever done — the lazy backend
+    # never materializes the O(n²) matrix.
+    oracle = graph.oracle
     rounds = 0
 
     while undecided.any():
@@ -159,11 +162,10 @@ def khop_cluster(
         # nodes of its closed k-hop neighborhood.  Two declarers are always
         # more than k hops apart: closer pairs share a neighborhood and only
         # one of them can hold the minimum.
-        undecided_ids = np.flatnonzero(undecided)
         new_heads: list[int] = []
-        for u in undecided_ids.tolist():
-            row = dist[u]
-            contenders = undecided_ids[row[undecided_ids] <= k]
+        for u in np.flatnonzero(undecided).tolist():
+            ball_nodes, _ = oracle.ball(u, k)
+            contenders = ball_nodes[undecided[ball_nodes]]
             best = min(contenders.tolist(), key=lambda w: keys[w])
             if best == u:
                 new_heads.append(u)
@@ -181,12 +183,15 @@ def khop_cluster(
         sizes = {h: 1 for h in new_heads}
         new_heads_arr = np.asarray(new_heads, dtype=np.intp)
         for u in np.flatnonzero(undecided).tolist():
-            drow = dist[u, new_heads_arr]
-            in_range = drow <= k
+            ball_nodes, ball_dists = oracle.ball(u, k)
+            # which new heads fall inside u's ball (ball_nodes is sorted)
+            pos = np.searchsorted(ball_nodes, new_heads_arr)
+            pos_c = np.minimum(pos, len(ball_nodes) - 1)
+            in_range = ball_nodes[pos_c] == new_heads_arr
             if not in_range.any():
                 continue
             cands = new_heads_arr[in_range].tolist()
-            cdists = drow[in_range].tolist()
+            cdists = ball_dists[pos_c[in_range]].tolist()
             ctx = JoinContext(
                 node=u,
                 candidates=cands,

@@ -31,11 +31,11 @@ def power_graph(graph: Graph, k: int) -> "nx.Graph":
         raise InvalidParameterError(f"k must be >= 1, got {k}")
     h = nx.Graph()
     h.add_nodes_from(graph.nodes())
-    dist = graph.hop_distances
-    n = graph.n
-    for u in range(n):
-        for v in range(u + 1, n):
-            if dist[u, v] <= k:
+    oracle = graph.oracle
+    for u in range(graph.n):
+        ball_nodes, _ = oracle.ball(u, k)
+        for v in ball_nodes.tolist():
+            if v > u:
                 h.add_edge(u, v)
     return h
 

@@ -33,6 +33,8 @@ within range because it heard its own ID come back.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..errors import DisconnectedGraphError, InvalidParameterError
 from ..net.graph import Graph
 from ..types import NodeId
@@ -117,19 +119,26 @@ def maxmin_cluster(graph: Graph, d: int, *, require_connected: bool = True) -> C
         return cur
 
     head_of = [0] * n
-    dist = graph.hop_distances
+    # Per-node d-balls replace the all-pairs matrix: every distance the
+    # rules consult is <= d by construction of the floods.
+    oracle = graph.oracle
     for u in range(n):
+        ball_nodes, _ = oracle.ball(u, d)
         h = resolve(u)
-        if h not in head_set or dist[u, h] > d:
+        pos = int(np.searchsorted(ball_nodes, h))
+        in_ball = pos < len(ball_nodes) and int(ball_nodes[pos]) == h
+        if h not in head_set or not in_ball:
             # convergecast fix-up: nearest elected head within d hops
-            in_range = [x for x in heads if dist[u, x] <= d]
+            # (only this rare branch needs actual distances)
+            du = oracle.ball_map(u, d)
+            in_range = [x for x in heads if x in du]
             if not in_range:
                 # no elected head within range: u becomes a head itself
                 head_set.add(u)
                 heads = sorted(head_set)
                 h = u
             else:
-                h = min(in_range, key=lambda x: (int(dist[u, x]), x))
+                h = min(in_range, key=lambda x: (du[x], x))
         head_of[u] = h
     # heads that lost all members to fix-ups may still self-head; keep them
     final_heads = tuple(sorted({head_of[u] for u in range(n)} | {

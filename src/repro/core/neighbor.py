@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Mapping
 
 from ..errors import InvalidParameterError, ValidationError
+from ..net.graph import UNREACHABLE
 from ..types import Edge, NodeId, normalize_edge
 from .clustering import Clustering
 
@@ -48,14 +49,20 @@ NeighborMap = Mapping[NodeId, tuple[NodeId, ...]]
 
 
 def nc_neighbors(clustering: Clustering) -> dict[NodeId, tuple[NodeId, ...]]:
-    """Baseline NC rule: every other clusterhead within 2k+1 hops."""
+    """Baseline NC rule: every other clusterhead within 2k+1 hops.
+
+    Answered from per-head (2k+1)-balls so only the reachable region of
+    each head is ever explored (no all-pairs matrix).
+    """
     g = clustering.graph
+    oracle = g.oracle
     reach = 2 * clustering.k + 1
     heads = clustering.heads
     out: dict[NodeId, tuple[NodeId, ...]] = {}
     for h in heads:
-        row = g.hop_distances[h]
-        out[h] = tuple(w for w in heads if w != h and row[w] <= reach)
+        in_reach, _ = oracle.ball(h, reach)
+        reach_set = set(in_reach.tolist())
+        out[h] = tuple(w for w in heads if w != h and w in reach_set)
     return out
 
 
@@ -101,20 +108,22 @@ def wu_lou_neighbors(clustering: Clustering) -> dict[NodeId, tuple[NodeId, ...]]
             f"Wu-Lou 2.5-hop coverage applies to k=1 clustering, got k={clustering.k}"
         )
     g = clustering.graph
+    oracle = g.oracle
     heads = clustering.heads
     out: dict[NodeId, tuple[NodeId, ...]] = {}
     for u in heads:
-        row = g.hop_distances[u]
+        dmap = oracle.ball_map(u, 3)
+        within2 = {w for w, d in dmap.items() if d <= 2}
         covered: list[NodeId] = []
         for v in heads:
             if v == u:
                 continue
-            d = int(row[v])
+            d = dmap.get(v, UNREACHABLE)
             if d <= 2:
                 covered.append(v)
             elif d == 3:
                 # v's cluster has a member within u's 2-hop neighborhood?
-                if any(row[w] <= 2 for w in clustering.members(v)):
+                if any(w in within2 for w in clustering.members(v)):
                     covered.append(v)
         out[u] = tuple(covered)
     return out

@@ -15,6 +15,7 @@ canonical paths), mirroring the paper's methodology.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Callable, Mapping, Optional
 
@@ -176,6 +177,7 @@ def run_pipeline(
     *,
     priority: "PriorityScheme | str | None" = None,
     membership: "MembershipPolicy | str | None" = None,
+    distance_backend: "str | None" = None,
 ) -> BackboneResult:
     """One-call convenience API: cluster a network and build a backbone.
 
@@ -194,7 +196,16 @@ def run_pipeline(
             AC-LMST).
         priority: clusterhead priority scheme (default lowest-ID).
         membership: join policy (default ID-based).
+        distance_backend: force the hop-distance backend for this call
+            (``"dense"``/``"lazy"``/``"auto"``); the graph's own policy is
+            restored afterwards (dense for small n, lazy CSR above).
     """
     graph = network.graph if isinstance(network, Topology) else network
-    clustering = khop_cluster(graph, k, priority=priority, membership=membership)
-    return build_backbone(clustering, algorithm)
+    ctx = (
+        graph.pinned_distance_backend(distance_backend)
+        if distance_backend is not None
+        else nullcontext()
+    )
+    with ctx:
+        clustering = khop_cluster(graph, k, priority=priority, membership=membership)
+        return build_backbone(clustering, algorithm)

@@ -10,7 +10,6 @@ surfaces as a validation failure rather than a silently wrong experiment.
 from __future__ import annotations
 
 from ..errors import ValidationError
-from ..net.graph import UNREACHABLE
 from .clustering import Clustering
 
 __all__ = [
@@ -50,25 +49,44 @@ def check_partition(clustering: Clustering) -> None:
 
 
 def check_dominating(clustering: Clustering) -> None:
-    """k-hop dominating set: every member is within k hops of its head."""
+    """k-hop dominating set: every member is within k hops of its head.
+
+    One k-ball query per head replaces per-pair BFS.  Every node is checked
+    against the ball of its assigned head, so a node pointing at a non-head
+    (or left unassigned) fails here even when run standalone.
+    """
     g = clustering.graph
+    oracle = g.oracle
+    k = clustering.k
+    ball_of = {
+        h: set(oracle.ball(h, k)[0].tolist()) for h in clustering.heads
+    }
     for u in g.nodes():
         h = clustering.head_of[u]
-        d = g.hop_distance(u, h)
-        if d >= UNREACHABLE or d > clustering.k:
+        ball = ball_of.get(h)
+        if ball is None:
             raise ValidationError(
-                f"node {u} is {d} hops from its head {h} (> k={clustering.k})"
+                f"node {u} is assigned to {h}, which is not a clusterhead"
+            )
+        if u not in ball:
+            raise ValidationError(
+                f"node {u} is more than k={k} hops from its head {h}"
             )
 
 
 def check_independent(clustering: Clustering) -> None:
-    """k-hop independent set: heads are pairwise more than k hops apart."""
+    """k-hop independent set: heads are pairwise more than k hops apart.
+
+    Checked per head with one k-ball query: any other head inside the
+    ball is a violation.
+    """
     g = clustering.graph
-    heads = clustering.heads
-    for i, h1 in enumerate(heads):
-        for h2 in heads[i + 1 :]:
-            d = g.hop_distance(h1, h2)
-            if d <= clustering.k:
+    oracle = g.oracle
+    heads = set(clustering.heads)
+    for h1 in clustering.heads:
+        ball_nodes, ball_dists = oracle.ball(h1, clustering.k)
+        for h2, d in zip(ball_nodes.tolist(), ball_dists.tolist()):
+            if h2 != h1 and h2 in heads:
                 raise ValidationError(
                     f"heads {h1} and {h2} are only {d} hops apart "
                     f"(<= k={clustering.k})"

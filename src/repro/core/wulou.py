@@ -40,12 +40,13 @@ def wu_lou_gateways(
     if clustering.k != 1:
         raise InvalidParameterError("Wu-Lou greedy gateways require k = 1")
     g = clustering.graph
+    distances = g.oracle
     coverage = wu_lou_neighbors(clustering)
     gateways: set[NodeId] = set()
     for u, targets in coverage.items():
-        row = g.hop_distances[u]
-        two_hop = [v for v in targets if row[v] == 2]
-        three_hop = [v for v in targets if row[v] == 3]
+        dmap = distances.ball_map(u, 3)
+        two_hop = [v for v in targets if dmap.get(v) == 2]
+        three_hop = [v for v in targets if dmap.get(v) == 3]
         # Greedy cover of 2-hop targets by single common members.
         uncovered = set(two_hop)
         candidates = [w for w in g.khop_neighbors(u, 1) if not clustering.is_head(w)]

@@ -13,13 +13,24 @@ from .generators import (
     cycle_graph,
     grid_graph,
     path_graph,
+    ring_of_cliques,
     star_graph,
     topology_from_graph,
+    toroidal_grid,
     two_cliques_bridge,
 )
 from .geometry import PAPER_AREA, pairwise_distances, random_positions
 from .graph import UNREACHABLE, Graph
 from .mobility import ChurnProcess, RandomWaypoint
+from .oracle import (
+    DENSE_AUTO_MAX,
+    MAX_ORACLE_NODES,
+    DenseDistanceOracle,
+    DistanceOracle,
+    LazyDistanceOracle,
+    OracleStats,
+    build_distance_oracle,
+)
 from .paths import PathOracle, canonical_path, path_interior
 from .topology import (
     Topology,
@@ -32,6 +43,13 @@ from .topology import (
 __all__ = [
     "Graph",
     "UNREACHABLE",
+    "DistanceOracle",
+    "DenseDistanceOracle",
+    "LazyDistanceOracle",
+    "OracleStats",
+    "build_distance_oracle",
+    "DENSE_AUTO_MAX",
+    "MAX_ORACLE_NODES",
     "PathOracle",
     "canonical_path",
     "path_interior",
@@ -52,7 +70,9 @@ __all__ = [
     "star_graph",
     "complete_graph",
     "grid_graph",
+    "toroidal_grid",
     "two_cliques_bridge",
+    "ring_of_cliques",
     "caterpillar",
     "topology_from_graph",
 ]

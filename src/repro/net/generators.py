@@ -20,7 +20,9 @@ __all__ = [
     "star_graph",
     "complete_graph",
     "grid_graph",
+    "toroidal_grid",
     "two_cliques_bridge",
+    "ring_of_cliques",
     "caterpillar",
     "topology_from_graph",
 ]
@@ -69,6 +71,25 @@ def grid_graph(rows: int, cols: int) -> Graph:
     return Graph(rows * cols, edges)
 
 
+def toroidal_grid(rows: int, cols: int) -> Graph:
+    """4-connected grid with wraparound edges (a discrete torus).
+
+    A deterministic large-N scenario: constant degree 4, diameter
+    ``rows//2 + cols//2``, connected at any size — useful for scaling
+    sweeps where the unit-disk generator's connectivity redraws would
+    dominate.  Row-major numbering like :func:`grid_graph`.
+    """
+    if rows < 3 or cols < 3:
+        raise InvalidParameterError("toroidal grid needs rows, cols >= 3")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            u = r * cols + c
+            edges.append((u, r * cols + (c + 1) % cols))
+            edges.append((u, ((r + 1) % rows) * cols + c))
+    return Graph(rows * cols, edges)
+
+
 def two_cliques_bridge(clique_size: int, bridge_len: int) -> Graph:
     """Two cliques joined by a path of ``bridge_len`` intermediate nodes.
 
@@ -86,6 +107,27 @@ def two_cliques_bridge(clique_size: int, bridge_len: int) -> Graph:
     chain = [0] + [s + i for i in range(b)] + [s + b]
     edges += [(chain[i], chain[i + 1]) for i in range(len(chain) - 1)]
     return Graph(2 * s + b, edges)
+
+
+def ring_of_cliques(cliques: int, clique_size: int) -> Graph:
+    """``cliques`` cliques arranged in a ring, consecutive cliques bridged.
+
+    Clique ``i`` occupies nodes ``i*s .. (i+1)*s - 1``; its node 0 links to
+    the next clique's node 0.  A deterministic large-N scenario with heavy
+    local density and long global distances — the regime where lazy
+    ball-based clustering shines and the dense matrix hurts most.
+    """
+    if cliques < 3 or clique_size < 1:
+        raise InvalidParameterError("need cliques >= 3 and clique_size >= 1")
+    s = clique_size
+    edges = []
+    for i in range(cliques):
+        base = i * s
+        edges.extend(
+            (base + a, base + b) for a in range(s) for b in range(a + 1, s)
+        )
+        edges.append((base, ((i + 1) % cliques) * s))
+    return Graph(cliques * s, edges)
 
 
 def caterpillar(spine: int, legs_per_node: int) -> Graph:

@@ -1,11 +1,22 @@
-"""Compact immutable undirected graph with hop-distance machinery.
+"""Compact immutable undirected graph with pluggable hop-distance backends.
 
 Every algorithm in the paper is defined in terms of *hop distances* in the
 original network ``G``: k-hop neighborhoods for clustering, 2k+1-hop
 neighborhoods for neighbor-clusterhead discovery, and hop-count "virtual
-distances" between clusterheads.  :class:`Graph` therefore caches an
-all-pairs hop-distance matrix (computed with a vectorized BFS sweep) and
-answers all neighborhood queries from it.
+distances" between clusterheads.  :class:`Graph` answers all of those
+queries through a :class:`~repro.net.oracle.DistanceOracle`, of which two
+interchangeable backends exist (see :mod:`repro.net.oracle`):
+
+* **dense** — the all-pairs ``(n, n)`` int16 matrix computed with one
+  vectorized BFS sweep; fastest at the paper's scales (N <= a few hundred)
+  and the default up to :data:`~repro.net.oracle.DENSE_AUTO_MAX` nodes.
+* **lazy** — CSR adjacency arrays plus on-demand per-source BFS rows and
+  depth-limited balls under byte-budgeted LRU caches; sub-quadratic memory,
+  the default for larger graphs.
+
+Call :meth:`Graph.use_distance_backend` to force a backend;
+:attr:`Graph.hop_distances` remains as the small-n/compatibility API and
+always materializes the dense matrix.
 
 Design notes
 ------------
@@ -13,14 +24,16 @@ Design notes
   the natural integer order on these.
 * The graph is immutable.  Maintenance operations (node failure, §3.3 of the
   paper) produce *new* graphs via :meth:`Graph.without_nodes`, which keeps
-  the original node numbering so results remain comparable.
-* For the paper's scales (N <= a few hundred) the dense ``(n, n)`` int16
-  distance matrix is small (~80 KB at N=200) and the vectorized
-  frontier-expansion BFS is far faster than per-node Python BFS.
+  the original node numbering so results remain comparable.  Oracles are
+  caches over the immutable structure, so backend switches are safe.
+* Both backends use the int16 :data:`UNREACHABLE` sentinel and refuse
+  graphs beyond :data:`~repro.net.oracle.MAX_ORACLE_NODES` nodes rather
+  than silently overflowing hop distances.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from functools import cached_property
 from typing import Iterable, Iterator, Sequence
 
@@ -28,12 +41,14 @@ import numpy as np
 
 from ..errors import DisconnectedGraphError, InvalidParameterError
 from ..types import Edge, NodeId, normalize_edge
+from .oracle import (
+    UNREACHABLE,
+    DistanceOracle,
+    build_distance_oracle,
+    resolve_backend,
+)
 
 __all__ = ["Graph", "UNREACHABLE"]
-
-#: Sentinel hop distance for unreachable pairs (fits in int16; larger than
-#: any real hop distance for n <= 32766).
-UNREACHABLE: int = np.iinfo(np.int16).max
 
 
 class Graph:
@@ -48,7 +63,7 @@ class Graph:
     and cached.
     """
 
-    __slots__ = ("_n", "_edges", "_adj", "__dict__")
+    __slots__ = ("_n", "_edges", "_adj", "_oracles", "_backend", "__dict__")
 
     def __init__(self, n: int, edges: Iterable[tuple[NodeId, NodeId]] = ()) -> None:
         if n < 0:
@@ -66,6 +81,8 @@ class Graph:
             adj[u].append(v)
             adj[v].append(u)
         self._adj: tuple[tuple[int, ...], ...] = tuple(tuple(sorted(a)) for a in adj)
+        self._oracles: dict[str, DistanceOracle] = {}
+        self._backend: str | None = None  # None = auto policy
 
     # ------------------------------------------------------------------ #
     # basic accessors
@@ -127,69 +144,137 @@ class Graph:
         return f"Graph(n={self._n}, m={self.m})"
 
     # ------------------------------------------------------------------ #
-    # hop distances
+    # distance backends
     # ------------------------------------------------------------------ #
 
     @cached_property
-    def _adjacency_matrix(self) -> np.ndarray:
-        """Dense boolean adjacency matrix (cached)."""
-        a = np.zeros((self._n, self._n), dtype=bool)
-        if self._edges:
-            e = np.asarray(self._edges, dtype=np.intp)
-            a[e[:, 0], e[:, 1]] = True
-            a[e[:, 1], e[:, 0]] = True
-        return a
+    def csr_adjacency(self) -> tuple[np.ndarray, np.ndarray]:
+        """CSR adjacency arrays ``(indptr, indices)``.
 
-    @cached_property
+        ``indices[indptr[u]:indptr[u+1]]`` are ``u``'s sorted neighbors.
+        This is the representation the lazy BFS kernels run on; it costs
+        O(n + m) memory regardless of graph size.
+        """
+        degs = np.fromiter(
+            (len(a) for a in self._adj), dtype=np.int64, count=self._n
+        )
+        indptr = np.zeros(self._n + 1, dtype=np.int64)
+        np.cumsum(degs, out=indptr[1:])
+        indices = np.fromiter(
+            (v for a in self._adj for v in a),
+            dtype=np.int64,
+            count=int(indptr[-1]),
+        )
+        indptr.setflags(write=False)
+        indices.setflags(write=False)
+        return indptr, indices
+
+    def distance_oracle(self, backend: str | None = None) -> DistanceOracle:
+        """The distance oracle for ``backend`` (created once per backend).
+
+        ``backend=None`` uses the graph's current default: the backend set
+        via :meth:`use_distance_backend`, else the auto policy (dense for
+        small n, lazy above :data:`~repro.net.oracle.DENSE_AUTO_MAX`).
+        """
+        name = resolve_backend(backend or self._backend, self._n)
+        oracle = self._oracles.get(name)
+        if oracle is None:
+            oracle = build_distance_oracle(self, name)
+            self._oracles[name] = oracle
+        return oracle
+
+    def use_distance_backend(self, backend: str) -> "Graph":
+        """Pin the default distance backend (``"dense"``/``"lazy"``/``"auto"``).
+
+        Returns ``self`` for chaining; existing per-backend caches are kept.
+        """
+        resolve_backend(backend, self._n)  # validate early
+        self._backend = None if backend == "auto" else backend
+        return self
+
+    @contextmanager
+    def pinned_distance_backend(self, backend: str):
+        """Temporarily pin the default backend; restores the prior policy.
+
+        Lets an experiment force a backend for one computation without a
+        lasting side effect on a shared graph.
+        """
+        prev = self._backend
+        self.use_distance_backend(backend)
+        try:
+            yield self
+        finally:
+            self._backend = prev
+
+    @property
+    def oracle(self) -> DistanceOracle:
+        """The graph's current default distance oracle."""
+        return self.distance_oracle()
+
+    @property
+    def distance_backend(self) -> str:
+        """Name of the backend the default oracle uses."""
+        return resolve_backend(self._backend, self._n)
+
+    @property
+    def dense_materialized(self) -> bool:
+        """Whether an O(n²) dense matrix has been computed for this graph.
+
+        Benchmarks assert this stays ``False`` on the lazy path.
+        """
+        from .oracle import DenseDistanceOracle
+
+        dense = self._oracles.get("dense")
+        return isinstance(dense, DenseDistanceOracle) and dense.materialized
+
+    # ------------------------------------------------------------------ #
+    # hop distances
+    # ------------------------------------------------------------------ #
+
+    @property
     def hop_distances(self) -> np.ndarray:
         """All-pairs hop-distance matrix, shape ``(n, n)``, dtype int16.
 
-        Unreachable pairs hold :data:`UNREACHABLE`.  Computed once with a
-        vectorized multi-source frontier expansion: each BFS level is one
-        boolean matrix product, so the total cost is O(diameter) dense
-        matrix-vector sweeps — ideal at the paper's scales.
+        Compatibility/small-n API: this always materializes the **dense**
+        backend's O(n²) matrix, whatever the default backend is.  Scalable
+        code should use :meth:`bfs_distances`, :meth:`khop_neighbors` or
+        the oracle's ``ball`` queries instead.
         """
-        n = self._n
-        if n == 0:
-            return np.zeros((0, 0), dtype=np.int16)
-        adj = self._adjacency_matrix
-        dist = np.full((n, n), UNREACHABLE, dtype=np.int16)
-        np.fill_diagonal(dist, 0)
-        frontier = np.eye(n, dtype=bool)
-        visited = frontier.copy()
-        level = 0
-        while frontier.any():
-            level += 1
-            # next frontier: nodes adjacent to the current frontier rows,
-            # not yet visited.  frontier @ adj is a boolean "reach in one
-            # more hop" product.
-            nxt = (frontier @ adj) & ~visited
-            if not nxt.any():
-                break
-            dist[nxt] = level
-            visited |= nxt
-            frontier = nxt
-        return dist
+        from .oracle import DenseDistanceOracle
+
+        dense = self.distance_oracle("dense")
+        assert isinstance(dense, DenseDistanceOracle)
+        return dense.matrix
 
     def bfs_distances(self, source: NodeId) -> np.ndarray:
-        """Hop distances from ``source`` to every node (int16 vector)."""
-        return self.hop_distances[source]
+        """Hop distances from ``source`` to every node (read-only int16)."""
+        return self.oracle.row(source)
 
     def hop_distance(self, u: NodeId, v: NodeId) -> int:
         """Hop distance between ``u`` and ``v`` (:data:`UNREACHABLE` if none)."""
-        return int(self.hop_distances[u, v])
+        return self.oracle.distance(u, v)
 
     def eccentricity(self, u: NodeId) -> int:
         """Greatest hop distance from ``u`` to any reachable node."""
-        row = self.hop_distances[u]
-        finite = row[row < UNREACHABLE]
-        return int(finite.max()) if finite.size else 0
+        return self.oracle.eccentricity(u)
 
     def diameter(self) -> int:
-        """Graph diameter; raises on disconnected graphs."""
+        """Graph diameter; raises on disconnected graphs.
+
+        On the dense backend this is one ``matrix.max()``; on the lazy
+        backend it streams one BFS row per node — O(n·(n+m)) time but
+        never O(n²) resident memory.
+        """
         if not self.is_connected():
             raise DisconnectedGraphError("diameter of a disconnected graph")
-        return int(self.hop_distances.max()) if self._n else 0
+        if self._n == 0:
+            return 0
+        from .oracle import DenseDistanceOracle
+
+        oracle = self.oracle
+        if isinstance(oracle, DenseDistanceOracle):
+            return int(oracle.matrix.max())
+        return max(oracle.eccentricity(u) for u in range(self._n))
 
     # ------------------------------------------------------------------ #
     # neighborhoods
@@ -203,27 +288,32 @@ class Graph:
         """
         if k < 0:
             raise InvalidParameterError(f"k must be >= 0, got {k}")
-        row = self.hop_distances[u]
-        mask = (row >= 1) & (row <= k)
-        return tuple(np.flatnonzero(mask).tolist())
+        nodes, dists = self.oracle.ball(u, k)
+        return tuple(nodes[dists >= 1].tolist())
 
     def closed_khop_neighbors(self, u: NodeId, k: int) -> tuple[int, ...]:
         """``khop_neighbors(u, k)`` plus ``u`` itself, sorted."""
         if k < 0:
             raise InvalidParameterError(f"k must be >= 0, got {k}")
-        row = self.hop_distances[u]
-        mask = row <= k
-        return tuple(np.flatnonzero(mask).tolist())
+        nodes, _ = self.oracle.ball(u, k)
+        return tuple(nodes.tolist())
 
     def nodes_within(self, sources: Sequence[NodeId], k: int) -> tuple[int, ...]:
-        """Nodes at hop distance ``<= k`` from *any* node in ``sources``."""
+        """Nodes at hop distance ``<= k`` from *any* node in ``sources``.
+
+        Computed as a union of balls, so cost scales with the covered
+        region rather than with ``n × len(sources)``.
+        """
         if k < 0:
             raise InvalidParameterError(f"k must be >= 0, got {k}")
         if len(sources) == 0:
             return ()
-        sub = self.hop_distances[np.asarray(sources, dtype=np.intp)]
-        mask = (sub <= k).any(axis=0)
-        return tuple(np.flatnonzero(mask).tolist())
+        oracle = self.oracle
+        covered: set[int] = set()
+        for s in sources:
+            nodes, _ = oracle.ball(int(s), k)
+            covered.update(nodes.tolist())
+        return tuple(sorted(covered))
 
     # ------------------------------------------------------------------ #
     # connectivity
@@ -233,7 +323,7 @@ class Graph:
         """Whether the graph is connected (the empty graph counts as connected).
 
         Uses a plain adjacency-list BFS so connectivity filtering of
-        candidate topologies never triggers the dense all-pairs matrix.
+        candidate topologies never triggers the distance machinery.
         """
         if self._n <= 1:
             return True
@@ -254,11 +344,11 @@ class Graph:
         """Connected components as sorted node tuples, largest first."""
         comps: list[tuple[int, ...]] = []
         seen = np.zeros(self._n, dtype=bool)
-        dist = self.hop_distances
+        oracle = self.oracle
         for u in range(self._n):
             if seen[u]:
                 continue
-            members = np.flatnonzero(dist[u] < UNREACHABLE)
+            members = np.flatnonzero(oracle.row(u) < UNREACHABLE)
             seen[members] = True
             comps.append(tuple(members.tolist()))
         comps.sort(key=lambda c: (-len(c), c))
@@ -293,18 +383,23 @@ class Graph:
         """Copy of the graph with ``removed`` nodes isolated (edges dropped).
 
         Node numbering is preserved so that clusterings computed before and
-        after a failure are directly comparable (§3.3 maintenance).
+        after a failure are directly comparable (§3.3 maintenance).  The
+        copy inherits the default distance backend (not the caches).
         """
         gone = set(removed)
         for u in gone:
             if not (0 <= u < self._n):
                 raise InvalidParameterError(f"node {u} out of range")
         keep = [e for e in self._edges if e[0] not in gone and e[1] not in gone]
-        return Graph(self._n, keep)
+        g = Graph(self._n, keep)
+        g._backend = self._backend
+        return g
 
     def with_edges(self, extra: Iterable[tuple[NodeId, NodeId]]) -> "Graph":
         """Copy of the graph with additional edges."""
-        return Graph(self._n, list(self._edges) + list(extra))
+        g = Graph(self._n, list(self._edges) + list(extra))
+        g._backend = self._backend
+        return g
 
     def induced_subgraph_edges(self, nodes: Iterable[NodeId]) -> list[Edge]:
         """Edges of the subgraph induced by ``nodes`` (original numbering)."""

@@ -1,0 +1,500 @@
+"""Pluggable hop-distance backends: the :class:`DistanceOracle` subsystem.
+
+Every algorithm in the paper is phrased in terms of hop distances in ``G``,
+but the algorithms differ wildly in *how much* of the distance structure
+they touch: clustering and the neighbor rules only ever look at small
+``O(Δ^k)`` balls around nodes, while path construction needs full BFS rows
+from a handful of clusterheads.  The seed implementation served everything
+from one dense ``(n, n)`` all-pairs matrix — an O(n²) memory/time wall.
+
+This module splits the distance machinery into two interchangeable
+backends behind one interface:
+
+* :class:`DenseDistanceOracle` — materializes the full all-pairs matrix
+  with a vectorized multi-source frontier expansion (the seed behavior).
+  Fastest for the paper's scales (N <= a few hundred), O(n²) memory.
+* :class:`LazyDistanceOracle` — keeps only the CSR adjacency arrays and
+  computes distance **rows** (full single-source BFS) and **balls**
+  (depth-limited BFS) on demand, caching both under byte-budgeted LRU
+  policies.  Memory is O(m + cached rows/balls); nothing quadratic is
+  ever allocated.
+
+:func:`build_distance_oracle` picks a backend automatically (dense up to
+:data:`DENSE_AUTO_MAX` nodes, lazy above); ``Graph`` routes all of its
+distance queries through its current oracle, so the entire pipeline
+(clustering, neighbor rules, gateways, CDS verification, broadcast)
+inherits the backend transparently.
+
+Both backends share the :data:`UNREACHABLE` int16 sentinel and therefore
+refuse graphs with more than :data:`MAX_ORACLE_NODES` nodes, where a real
+hop distance could collide with the sentinel (satellite guard: previously
+this overflowed silently).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from ..types import NodeId
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids circular import
+    from .graph import Graph
+
+__all__ = [
+    "UNREACHABLE",
+    "MAX_ORACLE_NODES",
+    "DENSE_AUTO_MAX",
+    "OracleStats",
+    "DistanceOracle",
+    "DenseDistanceOracle",
+    "LazyDistanceOracle",
+    "build_distance_oracle",
+    "resolve_backend",
+]
+
+#: Sentinel hop distance for unreachable pairs (fits in int16; larger than
+#: any real hop distance for n <= MAX_ORACLE_NODES).
+UNREACHABLE: int = int(np.iinfo(np.int16).max)
+
+#: Largest node count for which int16 hop distances cannot collide with the
+#: :data:`UNREACHABLE` sentinel (a path visits each node at most once, so
+#: hop distances are <= n - 1 <= 32765 < 32767).
+MAX_ORACLE_NODES: int = UNREACHABLE - 1
+
+#: ``backend="auto"`` uses the dense matrix up to this many nodes — at the
+#: paper's scales the one-shot vectorized sweep beats per-source BFS — and
+#: the lazy CSR backend above it.
+DENSE_AUTO_MAX: int = 512
+
+#: Default byte budget for the lazy backend's cached BFS rows (~16 MiB).
+DEFAULT_ROW_CACHE_BYTES: int = 16 << 20
+
+#: Default byte budget for the lazy backend's cached balls (~8 MiB).
+DEFAULT_BALL_CACHE_BYTES: int = 8 << 20
+
+
+@dataclass(frozen=True)
+class OracleStats:
+    """Introspection counters for benchmarks and memory assertions.
+
+    Attributes:
+        backend: ``"dense"`` or ``"lazy"``.
+        rows_computed: full BFS rows computed so far.
+        row_hits: row queries answered from cache.
+        balls_computed: depth-limited BFS balls computed so far.
+        ball_hits: ball queries answered from cache (or from a cached row).
+        cached_bytes: bytes currently held by distance caches.
+        peak_cached_bytes: high-water mark of ``cached_bytes``.
+    """
+
+    backend: str
+    rows_computed: int
+    row_hits: int
+    balls_computed: int
+    ball_hits: int
+    cached_bytes: int
+    peak_cached_bytes: int
+
+
+def _check_size(n: int) -> None:
+    if n > MAX_ORACLE_NODES:
+        raise InvalidParameterError(
+            f"graph has {n} nodes; int16 hop distances support at most "
+            f"{MAX_ORACLE_NODES} (a longer path would collide with the "
+            "UNREACHABLE sentinel)"
+        )
+
+
+def _readonly(a: np.ndarray) -> np.ndarray:
+    a.setflags(write=False)
+    return a
+
+
+class DistanceOracle:
+    """Interface shared by all hop-distance backends.
+
+    Subclasses answer four query shapes; everything else in the repo is
+    built from them:
+
+    * :meth:`row` — full BFS distances from one source (int16 vector);
+    * :meth:`rows` — stacked rows for several sources;
+    * :meth:`distance` — a single pair distance;
+    * :meth:`ball` — the closed ``radius``-ball around a node, as sorted
+      node IDs plus their distances (the only query the clustering and
+      neighbor-rule hot paths need, and the one a lazy backend can answer
+      in output-sensitive time).
+    """
+
+    backend: str = "abstract"
+
+    def __init__(self, graph: "Graph") -> None:
+        _check_size(graph.n)
+        self._graph = graph
+
+    @property
+    def graph(self) -> "Graph":
+        """The graph this oracle answers for."""
+        return self._graph
+
+    # -- queries ------------------------------------------------------- #
+
+    def row(self, source: NodeId) -> np.ndarray:
+        """Hop distances from ``source`` to all nodes (read-only int16)."""
+        raise NotImplementedError
+
+    def rows(self, sources: Sequence[NodeId]) -> np.ndarray:
+        """Stacked distance rows, shape ``(len(sources), n)``."""
+        if len(sources) == 0:
+            return np.zeros((0, self._graph.n), dtype=np.int16)
+        return np.stack([self.row(int(s)) for s in sources])
+
+    def distance(self, u: NodeId, v: NodeId) -> int:
+        """Hop distance between ``u`` and ``v`` (UNREACHABLE if none)."""
+        return int(self.row(u)[v])
+
+    def ball(self, source: NodeId, radius: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Closed ball: nodes at hop distance ``<= radius`` from ``source``.
+
+        Returns ``(nodes, dists)`` — sorted node IDs (including ``source``
+        at distance 0) and their distances, both read-only.
+        """
+        raise NotImplementedError
+
+    def ball_map(self, source: NodeId, radius: int) -> dict[int, int]:
+        """:meth:`ball` as a ``node -> distance`` dict (absent = beyond radius)."""
+        nodes, dists = self.ball(source, radius)
+        return dict(zip(nodes.tolist(), dists.tolist()))
+
+    def eccentricity(self, source: NodeId) -> int:
+        """Greatest finite hop distance from ``source``."""
+        row = self.row(source)
+        finite = row[row < UNREACHABLE]
+        return int(finite.max()) if finite.size else 0
+
+    def stats(self) -> OracleStats:
+        """Current cache/introspection counters."""
+        raise NotImplementedError
+
+
+# --------------------------------------------------------------------- #
+# dense backend
+# --------------------------------------------------------------------- #
+
+
+class DenseDistanceOracle(DistanceOracle):
+    """All-pairs matrix backend (the seed behavior), for small ``n``.
+
+    The matrix is computed once with a vectorized multi-source frontier
+    expansion: each BFS level is one boolean matrix product, so the total
+    cost is O(diameter) dense products — ideal at the paper's scales,
+    O(n²·diameter) time and O(n²) memory beyond a few thousand nodes.
+    """
+
+    backend = "dense"
+
+    def __init__(self, graph: "Graph") -> None:
+        super().__init__(graph)
+        self._matrix: np.ndarray | None = None
+
+    @property
+    def materialized(self) -> bool:
+        """Whether the O(n²) matrix has been computed yet."""
+        return self._matrix is not None
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The full ``(n, n)`` int16 hop-distance matrix (computed once)."""
+        if self._matrix is None:
+            self._matrix = _readonly(_dense_all_pairs(self._graph))
+        return self._matrix
+
+    def row(self, source: NodeId) -> np.ndarray:
+        return self.matrix[source]
+
+    def rows(self, sources: Sequence[NodeId]) -> np.ndarray:
+        if len(sources) == 0:
+            return np.zeros((0, self._graph.n), dtype=np.int16)
+        return self.matrix[np.asarray(sources, dtype=np.intp)]
+
+    def distance(self, u: NodeId, v: NodeId) -> int:
+        return int(self.matrix[u, v])
+
+    def ball(self, source: NodeId, radius: int) -> Tuple[np.ndarray, np.ndarray]:
+        _check_radius(radius)
+        return _ball_from_row(self.matrix[source], radius)
+
+    def stats(self) -> OracleStats:
+        nbytes = self._matrix.nbytes if self._matrix is not None else 0
+        n = self._graph.n
+        return OracleStats(
+            backend=self.backend,
+            rows_computed=n if self._matrix is not None else 0,
+            row_hits=0,
+            balls_computed=0,
+            ball_hits=0,
+            cached_bytes=nbytes,
+            peak_cached_bytes=nbytes,
+        )
+
+
+def _dense_all_pairs(graph: "Graph") -> np.ndarray:
+    """Vectorized all-pairs BFS via boolean frontier products."""
+    n = graph.n
+    if n == 0:
+        return np.zeros((0, 0), dtype=np.int16)
+    adj = np.zeros((n, n), dtype=bool)
+    if graph.edges:
+        e = np.asarray(graph.edges, dtype=np.intp)
+        adj[e[:, 0], e[:, 1]] = True
+        adj[e[:, 1], e[:, 0]] = True
+    dist = np.full((n, n), UNREACHABLE, dtype=np.int16)
+    np.fill_diagonal(dist, 0)
+    frontier = np.eye(n, dtype=bool)
+    visited = frontier.copy()
+    level = 0
+    while frontier.any():
+        level += 1
+        # next frontier: nodes adjacent to the current frontier rows, not
+        # yet visited.  frontier @ adj is a boolean "one more hop" product.
+        nxt = (frontier @ adj) & ~visited
+        if not nxt.any():
+            break
+        dist[nxt] = level
+        visited |= nxt
+        frontier = nxt
+    return dist
+
+
+# --------------------------------------------------------------------- #
+# lazy CSR backend
+# --------------------------------------------------------------------- #
+
+
+def _check_radius(radius: int) -> None:
+    if radius < 0:
+        raise InvalidParameterError(f"ball radius must be >= 0, got {radius}")
+
+
+def _ball_from_row(row: np.ndarray, radius: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Extract a closed ball from a full distance row.
+
+    The sentinel must never pass the radius test (``radius`` can exceed
+    :data:`UNREACHABLE` — unreachable nodes are still outside every ball).
+    """
+    nodes = np.flatnonzero((row <= radius) & (row < UNREACHABLE))
+    return _readonly(nodes), _readonly(row[nodes])
+
+
+def _csr_bfs(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    n: int,
+    source: int,
+    max_depth: int | None = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Single-source BFS over CSR adjacency, vectorized per level.
+
+    Returns ``(dist, visited)``: the int16 distance vector (UNREACHABLE
+    where unvisited / beyond ``max_depth``) and the sorted visited node IDs.
+    """
+    dist = np.full(n, UNREACHABLE, dtype=np.int16)
+    dist[source] = 0
+    frontier = np.asarray([source], dtype=np.int64)
+    reached = [frontier]
+    level = 0
+    while frontier.size and (max_depth is None or level < max_depth):
+        level += 1
+        starts = indptr[frontier]
+        ends = indptr[frontier + 1]
+        counts = ends - starts
+        total = int(counts.sum())
+        if total == 0:
+            break
+        # Concatenate the CSR ranges [starts_i, ends_i) without a Python
+        # loop: within block i, position j maps to ends_i - cum_i + j.
+        offsets = np.repeat(ends - np.cumsum(counts), counts) + np.arange(total)
+        nbrs = indices[offsets]
+        nbrs = nbrs[dist[nbrs] == UNREACHABLE]
+        if nbrs.size == 0:
+            break
+        frontier = np.unique(nbrs)
+        dist[frontier] = level
+        reached.append(frontier)
+    visited = np.sort(np.concatenate(reached)) if len(reached) > 1 else reached[0]
+    return dist, visited
+
+
+class LazyDistanceOracle(DistanceOracle):
+    """CSR-backed on-demand BFS backend with LRU row and ball caches.
+
+    Distance rows are full single-source BFS sweeps (O(n + m) each,
+    vectorized per level over the CSR arrays); balls are depth-limited
+    sweeps whose cost scales with the ball, not the graph.  Both results
+    are cached under independent LRU policies bounded by *bytes*, so total
+    memory stays O(m + budget) no matter how many queries arrive.
+
+    Args:
+        graph: the graph to answer for.
+        row_cache_bytes: LRU budget for cached rows (>= one row).
+        ball_cache_bytes: LRU budget for cached balls (>= one ball).
+    """
+
+    backend = "lazy"
+
+    def __init__(
+        self,
+        graph: "Graph",
+        *,
+        row_cache_bytes: int = DEFAULT_ROW_CACHE_BYTES,
+        ball_cache_bytes: int = DEFAULT_BALL_CACHE_BYTES,
+    ) -> None:
+        super().__init__(graph)
+        if row_cache_bytes < 0 or ball_cache_bytes < 0:
+            raise InvalidParameterError("cache budgets must be >= 0")
+        indptr, indices = graph.csr_adjacency
+        self._indptr = indptr
+        self._indices = indices
+        self._row_budget = row_cache_bytes
+        self._ball_budget = ball_cache_bytes
+        self._rows: OrderedDict[int, np.ndarray] = OrderedDict()
+        self._row_bytes = 0
+        self._balls: OrderedDict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]] = (
+            OrderedDict()
+        )
+        self._ball_bytes = 0
+        self._rows_computed = 0
+        self._row_hits = 0
+        self._balls_computed = 0
+        self._ball_hits = 0
+        self._peak_bytes = 0
+
+    # -- caching helpers ----------------------------------------------- #
+
+    def _note_peak(self) -> None:
+        total = self._row_bytes + self._ball_bytes
+        if total > self._peak_bytes:
+            self._peak_bytes = total
+
+    def _evict(self) -> None:
+        while self._row_bytes > self._row_budget and len(self._rows) > 1:
+            _, old = self._rows.popitem(last=False)
+            self._row_bytes -= old.nbytes
+        while self._ball_bytes > self._ball_budget and len(self._balls) > 1:
+            _, (bn, bd) = self._balls.popitem(last=False)
+            self._ball_bytes -= bn.nbytes + bd.nbytes
+
+    # -- queries ------------------------------------------------------- #
+
+    def row(self, source: NodeId) -> np.ndarray:
+        source = int(source)
+        cached = self._rows.get(source)
+        if cached is not None:
+            self._rows.move_to_end(source)
+            self._row_hits += 1
+            return cached
+        dist, _ = _csr_bfs(self._indptr, self._indices, self._graph.n, source)
+        dist = _readonly(dist)
+        self._rows[source] = dist
+        self._row_bytes += dist.nbytes
+        self._rows_computed += 1
+        self._note_peak()
+        self._evict()
+        return dist
+
+    def distance(self, u: NodeId, v: NodeId) -> int:
+        # Prefer whichever endpoint's row is already cached.
+        u, v = int(u), int(v)
+        if u in self._rows:
+            self._row_hits += 1
+            self._rows.move_to_end(u)
+            return int(self._rows[u][v])
+        if v in self._rows:
+            self._row_hits += 1
+            self._rows.move_to_end(v)
+            return int(self._rows[v][u])
+        return int(self.row(u)[v])
+
+    def ball(self, source: NodeId, radius: int) -> Tuple[np.ndarray, np.ndarray]:
+        _check_radius(radius)
+        source = int(source)
+        key = (source, radius)
+        cached = self._balls.get(key)
+        if cached is not None:
+            self._balls.move_to_end(key)
+            self._ball_hits += 1
+            return cached
+        row = self._rows.get(source)
+        if row is not None:
+            # A cached full row answers any radius without a BFS; store the
+            # derived ball so later queries are O(1) cache hits.
+            self._rows.move_to_end(source)
+            self._ball_hits += 1
+            result = _ball_from_row(row, radius)
+        else:
+            dist, visited = _csr_bfs(
+                self._indptr, self._indices, self._graph.n, source, max_depth=radius
+            )
+            result = (_readonly(visited), _readonly(dist[visited]))
+            self._balls_computed += 1
+        self._balls[key] = result
+        self._ball_bytes += result[0].nbytes + result[1].nbytes
+        self._note_peak()
+        self._evict()
+        return result
+
+    def stats(self) -> OracleStats:
+        return OracleStats(
+            backend=self.backend,
+            rows_computed=self._rows_computed,
+            row_hits=self._row_hits,
+            balls_computed=self._balls_computed,
+            ball_hits=self._ball_hits,
+            cached_bytes=self._row_bytes + self._ball_bytes,
+            peak_cached_bytes=self._peak_bytes,
+        )
+
+
+# --------------------------------------------------------------------- #
+# factory
+# --------------------------------------------------------------------- #
+
+_BACKENDS = ("auto", "dense", "lazy")
+
+
+def resolve_backend(backend: str | None, n: int) -> str:
+    """Resolve ``backend`` (``None``/"auto"/"dense"/"lazy") to a concrete name."""
+    name = backend or "auto"
+    if name not in _BACKENDS:
+        raise InvalidParameterError(
+            f"unknown distance backend {backend!r}; known: {list(_BACKENDS)}"
+        )
+    if name == "auto":
+        return "dense" if n <= DENSE_AUTO_MAX else "lazy"
+    return name
+
+
+def build_distance_oracle(
+    graph: "Graph", backend: str | None = None, **kwargs
+) -> DistanceOracle:
+    """Build a distance oracle for ``graph``.
+
+    Args:
+        graph: the network graph.
+        backend: ``"dense"``, ``"lazy"``, or ``"auto"``/``None`` (dense up
+            to :data:`DENSE_AUTO_MAX` nodes, lazy above).
+        **kwargs: backend-specific options (lazy: ``row_cache_bytes``,
+            ``ball_cache_bytes``).
+    """
+    name = resolve_backend(backend, graph.n)
+    if name == "dense":
+        if kwargs:
+            raise InvalidParameterError(
+                f"dense backend takes no options, got {sorted(kwargs)}"
+            )
+        return DenseDistanceOracle(graph)
+    return LazyDistanceOracle(graph, **kwargs)

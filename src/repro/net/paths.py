@@ -18,6 +18,15 @@ Definition
 For ``s = min(u, v)``, ``t = max(u, v)``: walk backwards from ``t``; at each
 step move to the minimum-ID neighbor that is one hop closer to ``s``.
 Reversing the walk gives the canonical path from ``s`` to ``t``.
+
+Backend note
+------------
+Path construction needs the full BFS row of the smaller endpoint, obtained
+via :meth:`Graph.bfs_distances` and therefore through the graph's current
+:class:`~repro.net.oracle.DistanceOracle`.  On the dense backend that is a
+matrix row; on the lazy backend it is a single CSR BFS cached under the
+oracle's LRU row policy — virtual links are head-to-head, so an experiment
+touches O(heads) rows, never the O(n²) matrix.
 """
 
 from __future__ import annotations

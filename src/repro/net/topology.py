@@ -28,7 +28,14 @@ from ..errors import CalibrationError, InvalidParameterError
 from .geometry import PAPER_AREA, Area, pairwise_distances, random_positions
 from .graph import Graph
 
-__all__ = ["Topology", "radius_for_degree", "calibrate_radius", "unit_disk_graph", "random_topology"]
+__all__ = [
+    "Topology",
+    "radius_for_degree",
+    "calibrate_radius",
+    "unit_disk_graph",
+    "random_topology",
+    "CELL_BIN_MIN_N",
+]
 
 
 @dataclass(frozen=True)
@@ -77,12 +84,80 @@ def radius_for_degree(n: int, degree: float, area: Area = PAPER_AREA) -> float:
     return math.sqrt(degree * a / (math.pi * (n - 1)))
 
 
+#: ``unit_disk_graph`` switches from the dense O(n²) distance matrix to
+#: cell-binned candidate search above this many nodes.
+CELL_BIN_MIN_N: int = 1024
+
+
+def _cell_binned_disk_edges(pos: np.ndarray, radius: float) -> list[tuple[int, int]]:
+    """Unit-disk edges via spatial hashing: O(n · local density) work.
+
+    Nodes are binned into a grid of ``radius``-sized cells; only pairs in
+    the same or adjacent cells can be within range, and each adjacent cell
+    pair is visited once (half-neighborhood stencil), so no O(n²) distance
+    matrix is ever formed.
+    """
+    n = pos.shape[0]
+    if n < 2 or radius < 0:
+        return []
+    if radius == 0:
+        # Degenerate but must match the dense path: only coincident points
+        # are "within range 0" of each other.
+        groups: dict[tuple[float, float], list[int]] = {}
+        for i, p in enumerate(map(tuple, pos.tolist())):
+            groups.setdefault(p, []).append(i)
+        return [
+            (mem[a], mem[b])
+            for mem in groups.values()
+            for a in range(len(mem))
+            for b in range(a + 1, len(mem))
+        ]
+    cells = np.floor(pos / radius).astype(np.int64)
+    buckets: dict[tuple[int, int], list[int]] = {}
+    for i, key in enumerate(map(tuple, cells.tolist())):
+        buckets.setdefault(key, []).append(i)
+    edges: list[tuple[int, int]] = []
+    # (0,0) covers within-cell pairs; the four forward offsets visit every
+    # unordered pair of adjacent cells exactly once.
+    stencil = ((0, 0), (1, 0), (0, 1), (1, 1), (1, -1))
+    for (cx, cy), members in buckets.items():
+        mem = np.asarray(members, dtype=np.intp)
+        pmem = pos[mem]
+        for dx, dy in stencil:
+            if dx == 0 and dy == 0:
+                if len(mem) < 2:
+                    continue
+                diff = pmem[:, None, :] - pmem[None, :, :]
+                d = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+                iu, ju = np.triu_indices(len(mem), k=1)
+                ok = d[iu, ju] <= radius
+                edges.extend(zip(mem[iu[ok]].tolist(), mem[ju[ok]].tolist()))
+            else:
+                other = buckets.get((cx + dx, cy + dy))
+                if not other:
+                    continue
+                oth = np.asarray(other, dtype=np.intp)
+                diff = pmem[:, None, :] - pos[oth][None, :, :]
+                d = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+                ii, jj = np.nonzero(d <= radius)
+                edges.extend(zip(mem[ii].tolist(), oth[jj].tolist()))
+    return edges
+
+
 def unit_disk_graph(positions: np.ndarray, radius: float) -> Graph:
-    """Unit-disk graph: an edge wherever Euclidean distance <= ``radius``."""
+    """Unit-disk graph: an edge wherever Euclidean distance <= ``radius``.
+
+    Small inputs use the dense pairwise-distance matrix; above
+    :data:`CELL_BIN_MIN_N` nodes the edge set is built by cell binning
+    (identical edges, sub-quadratic memory), which is what makes the
+    large-N scaling scenarios feasible.
+    """
     if radius < 0:
         raise InvalidParameterError(f"radius must be >= 0, got {radius}")
     pos = np.asarray(positions, dtype=np.float64)
     n = pos.shape[0]
+    if n > CELL_BIN_MIN_N:
+        return Graph(n, _cell_binned_disk_edges(pos, radius))
     dist = pairwise_distances(pos)
     iu, ju = np.triu_indices(n, k=1)
     mask = dist[iu, ju] <= radius

@@ -45,6 +45,15 @@ class TestNegativeCases:
         with pytest.raises(ValidationError):
             check_dominating(cl)
 
+    def test_domination_catches_non_head_assignment_standalone(self):
+        # check_dominating must fail on a node pointing at a non-head even
+        # without check_partition running first (the alternatives tests run
+        # it standalone).
+        g = path_graph(4)
+        cl = make(g, 1, [0, 0, 3, 3], [0])  # 2 and 3 assigned to non-head 3
+        with pytest.raises(ValidationError, match="not a clusterhead"):
+            check_dominating(cl)
+
     def test_independence_violated(self):
         g = path_graph(3)
         cl = make(g, 1, [0, 1, 1], [0, 1])  # heads 0,1 are neighbors

@@ -1,0 +1,303 @@
+"""Tests for the pluggable distance-oracle subsystem.
+
+The load-bearing property: the lazy CSR backend and the dense all-pairs
+backend are *observationally identical* — same distance rows, same balls,
+same canonical paths, and same end-to-end backbones — so every consumer
+can switch backends freely and only performance changes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clustering import khop_cluster
+from repro.core.pipeline import build_backbone
+from repro.errors import InvalidParameterError
+from repro.net.generators import grid_graph, path_graph, ring_of_cliques, toroidal_grid
+from repro.net.graph import UNREACHABLE, Graph
+from repro.net.oracle import (
+    DENSE_AUTO_MAX,
+    MAX_ORACLE_NODES,
+    DenseDistanceOracle,
+    LazyDistanceOracle,
+    build_distance_oracle,
+    resolve_backend,
+)
+from repro.net.paths import canonical_path
+
+from ..conftest import connected_graphs, ks
+
+
+def fresh_copy(g: Graph, backend: str) -> Graph:
+    """Same structure, cold caches, pinned backend."""
+    return Graph(g.n, g.edges).use_distance_backend(backend)
+
+
+# --------------------------------------------------------------------- #
+# backend equivalence (the tentpole property)
+# --------------------------------------------------------------------- #
+
+
+class TestBackendEquivalence:
+    @given(connected_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_rows_identical(self, g):
+        dense = build_distance_oracle(g, "dense")
+        lazy = build_distance_oracle(g, "lazy")
+        for u in range(g.n):
+            assert np.array_equal(dense.row(u), lazy.row(u))
+        # batched form: same values, same dtype, on both backends
+        sources = list(range(0, g.n, 2))
+        stacked_d = dense.rows(sources)
+        stacked_l = lazy.rows(sources)
+        assert np.array_equal(stacked_d, stacked_l)
+        assert stacked_d.dtype == stacked_l.dtype == np.int16
+        assert dense.rows([]).shape == lazy.rows([]).shape == (0, g.n)
+
+    @given(connected_graphs(), st.integers(0, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_balls_identical(self, g, radius):
+        dense = build_distance_oracle(g, "dense")
+        lazy = build_distance_oracle(g, "lazy")
+        for u in range(g.n):
+            dn, dd = dense.ball(u, radius)
+            ln, ld = lazy.ball(u, radius)
+            assert np.array_equal(dn, ln)
+            assert np.array_equal(dd, ld)
+
+    @given(connected_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_canonical_paths_identical(self, g):
+        gd = fresh_copy(g, "dense")
+        gl = fresh_copy(g, "lazy")
+        for u in range(g.n):
+            for v in range(u, min(g.n, u + 4)):
+                assert canonical_path(gd, u, v) == canonical_path(gl, u, v)
+
+    @given(connected_graphs(), ks)
+    @settings(max_examples=30, deadline=None)
+    def test_backbones_identical(self, g, k):
+        results = {}
+        for backend in ("dense", "lazy"):
+            gb = fresh_copy(g, backend)
+            cl = khop_cluster(gb, k)
+            bb = build_backbone(cl, "AC-LMST")
+            results[backend] = (
+                cl.head_of,
+                cl.heads,
+                bb.selected_links,
+                bb.gateways,
+            )
+        assert results["dense"] == results["lazy"]
+
+    @given(connected_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_disconnected_rows_identical(self, g):
+        # Add isolated nodes so UNREACHABLE entries appear in both backends.
+        g2 = Graph(g.n + 2, g.edges)
+        dense = build_distance_oracle(g2, "dense")
+        lazy = build_distance_oracle(g2, "lazy")
+        for u in range(g2.n):
+            assert np.array_equal(dense.row(u), lazy.row(u))
+        assert dense.distance(0, g2.n - 1) == UNREACHABLE
+        assert lazy.distance(0, g2.n - 1) == UNREACHABLE
+
+    def test_huge_radius_ball_excludes_unreachable_on_both_backends(self):
+        g = Graph(4, [(0, 1), (2, 3)])  # two components
+        for backend in ("dense", "lazy"):
+            oracle = build_distance_oracle(g, backend)
+            nodes, dists = oracle.ball(0, UNREACHABLE)
+            assert nodes.tolist() == [0, 1], backend
+            assert dists.tolist() == [0, 1], backend
+        assert g.khop_neighbors(0, UNREACHABLE) == (1,)
+
+    def test_huge_radius_ball_after_row_is_cached(self):
+        # The lazy backend's cached-row fast path must apply the same
+        # sentinel guard as a cold ball query.
+        g = Graph(4, [(0, 1), (2, 3)])
+        oracle = build_distance_oracle(g, "lazy")
+        oracle.row(0)  # warm the row cache
+        nodes, dists = oracle.ball(0, UNREACHABLE)
+        assert nodes.tolist() == [0, 1]
+        assert dists.tolist() == [0, 1]
+
+
+# --------------------------------------------------------------------- #
+# structured scenarios (hand-checkable)
+# --------------------------------------------------------------------- #
+
+
+class TestLazyOracleStructured:
+    def test_path_graph_rows(self):
+        g = path_graph(6).use_distance_backend("lazy")
+        assert g.bfs_distances(0).tolist() == [0, 1, 2, 3, 4, 5]
+        assert g.hop_distance(1, 5) == 4
+
+    def test_grid_ball(self):
+        g = grid_graph(4, 4).use_distance_backend("lazy")
+        nodes, dists = g.oracle.ball(0, 1)
+        assert nodes.tolist() == [0, 1, 4]
+        assert dists.tolist() == [0, 1, 1]
+
+    def test_toroidal_grid_wraps(self):
+        g = toroidal_grid(5, 5).use_distance_backend("lazy")
+        assert all(g.degree(u) == 4 for u in g.nodes())
+        assert g.hop_distance(0, 4) == 1  # wraparound column
+        assert g.hop_distance(0, 20) == 1  # wraparound row
+
+    def test_ring_of_cliques_distances(self):
+        g = ring_of_cliques(4, 5).use_distance_backend("lazy")
+        assert g.n == 20 and g.is_connected()
+        assert g.hop_distance(1, 2) == 1  # same clique
+        assert g.hop_distance(0, 5) == 1  # bridge
+        assert g.hop_distance(1, 6) == 3  # member - bridge - bridge - member
+
+
+# --------------------------------------------------------------------- #
+# cache policy and introspection
+# --------------------------------------------------------------------- #
+
+
+class TestLazyCachePolicy:
+    def test_row_cache_hits(self):
+        g = grid_graph(5, 5)
+        oracle = LazyDistanceOracle(g)
+        oracle.row(3)
+        oracle.row(3)
+        s = oracle.stats()
+        assert s.rows_computed == 1 and s.row_hits >= 1
+
+    def test_distance_reuses_either_endpoint_row(self):
+        g = path_graph(8)
+        oracle = LazyDistanceOracle(g)
+        oracle.row(5)
+        assert oracle.distance(2, 5) == 3  # answered from 5's cached row
+        assert oracle.stats().rows_computed == 1
+
+    def test_ball_answered_from_cached_row(self):
+        g = grid_graph(5, 5)
+        oracle = LazyDistanceOracle(g)
+        oracle.row(12)
+        nodes, dists = oracle.ball(12, 2)
+        s = oracle.stats()
+        assert s.balls_computed == 0 and s.ball_hits == 1
+        assert dists.max() <= 2 and nodes[0] == 2  # (0-indexed sorted ball)
+
+    def test_eviction_under_tiny_budget_stays_correct(self):
+        g = grid_graph(6, 6)
+        oracle = LazyDistanceOracle(g, row_cache_bytes=0, ball_cache_bytes=0)
+        reference = LazyDistanceOracle(g)
+        for u in range(g.n):
+            assert np.array_equal(oracle.row(u), reference.row(u))
+        # budget 0 keeps at most one entry resident
+        assert oracle.stats().cached_bytes <= reference.row(0).nbytes
+
+    def test_rows_are_read_only(self):
+        g = path_graph(4).use_distance_backend("lazy")
+        row = g.bfs_distances(0)
+        with pytest.raises(ValueError):
+            row[0] = 9
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            LazyDistanceOracle(path_graph(3), row_cache_bytes=-1)
+
+    def test_negative_radius_rejected(self):
+        for backend in ("dense", "lazy"):
+            oracle = build_distance_oracle(path_graph(3), backend)
+            with pytest.raises(InvalidParameterError):
+                oracle.ball(0, -1)
+
+
+# --------------------------------------------------------------------- #
+# backend selection and the overflow guard
+# --------------------------------------------------------------------- #
+
+
+class TestBackendSelection:
+    def test_auto_policy(self):
+        assert resolve_backend("auto", DENSE_AUTO_MAX) == "dense"
+        assert resolve_backend(None, DENSE_AUTO_MAX + 1) == "lazy"
+        assert resolve_backend("dense", 10_000) == "dense"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            build_distance_oracle(path_graph(3), "sparse-ish")
+        with pytest.raises(InvalidParameterError):
+            path_graph(3).use_distance_backend("nope")
+
+    def test_dense_backend_rejects_lazy_options(self):
+        with pytest.raises(InvalidParameterError):
+            build_distance_oracle(path_graph(3), "dense", row_cache_bytes=1)
+
+    def test_oracle_cached_per_backend(self):
+        g = path_graph(5)
+        assert g.distance_oracle("lazy") is g.distance_oracle("lazy")
+        assert g.distance_oracle("dense") is not g.distance_oracle("lazy")
+
+    def test_hop_distances_compat_always_dense(self):
+        g = path_graph(5).use_distance_backend("lazy")
+        assert not g.dense_materialized
+        m = g.hop_distances
+        assert m.shape == (5, 5) and g.dense_materialized
+        assert g.distance_backend == "lazy"  # default backend unchanged
+
+    def test_pinned_backend_restores_policy(self):
+        g = grid_graph(3, 3)
+        assert g.distance_backend == "dense"  # auto policy at this size
+        with g.pinned_distance_backend("lazy"):
+            assert g.distance_backend == "lazy"
+        assert g.distance_backend == "dense"
+
+    def test_run_pipeline_backend_is_per_call(self):
+        from repro.core.pipeline import run_pipeline
+
+        g = grid_graph(4, 4)
+        run_pipeline(g, 1, distance_backend="lazy")
+        assert g.distance_backend == "dense"  # auto policy restored
+
+    def test_ball_map(self):
+        for backend in ("dense", "lazy"):
+            oracle = build_distance_oracle(path_graph(5), backend)
+            assert oracle.ball_map(2, 1) == {1: 1, 2: 0, 3: 1}
+
+    def test_without_nodes_inherits_backend(self):
+        g = grid_graph(3, 3).use_distance_backend("lazy")
+        assert g.without_nodes([4]).distance_backend == "lazy"
+        assert g.with_edges([]).distance_backend == "lazy"
+
+    def test_overflow_guard(self):
+        g = Graph(MAX_ORACLE_NODES + 1)
+        for backend in ("dense", "lazy"):
+            with pytest.raises(InvalidParameterError, match="int16"):
+                g.distance_oracle(backend)
+
+    def test_largest_supported_size_constructs(self):
+        # Constructing the oracle at the boundary must not raise (queries
+        # on a 32766-node graph are fine; we only build the lazy oracle).
+        g = Graph(MAX_ORACLE_NODES)
+        oracle = g.distance_oracle("lazy")
+        assert int(oracle.row(0)[0]) == 0
+
+
+# --------------------------------------------------------------------- #
+# CSR adjacency
+# --------------------------------------------------------------------- #
+
+
+class TestCSR:
+    @given(connected_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_csr_matches_adjacency(self, g):
+        indptr, indices = g.csr_adjacency
+        assert indptr[0] == 0 and indptr[-1] == 2 * g.m
+        for u in range(g.n):
+            assert indices[indptr[u] : indptr[u + 1]].tolist() == list(
+                g.neighbors(u)
+            )
+
+    def test_csr_read_only(self):
+        indptr, indices = path_graph(4).csr_adjacency
+        with pytest.raises(ValueError):
+            indptr[0] = 1

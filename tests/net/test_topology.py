@@ -7,6 +7,7 @@ import pytest
 
 from repro.errors import CalibrationError, InvalidParameterError
 from repro.net.topology import (
+    _cell_binned_disk_edges,
     calibrate_radius,
     radius_for_degree,
     random_topology,
@@ -119,3 +120,33 @@ class TestCalibrateRadius:
         rng = np.random.default_rng(0)
         with pytest.raises(InvalidParameterError):
             calibrate_radius(10, 20.0, rng=rng)
+
+
+class TestCellBinnedEdges:
+    """The spatial-hash edge builder must agree exactly with the dense path."""
+
+    def test_matches_dense_unit_disk(self):
+        from repro.net.geometry import random_positions
+        from repro.net.graph import Graph
+
+        rng = np.random.default_rng(5)
+        for n, degree in ((2, 1.0), (50, 6.0), (400, 10.0)):
+            pos = random_positions(n, (100.0, 100.0), rng)
+            r = radius_for_degree(max(n, 2), degree)
+            dense = unit_disk_graph(pos, r)  # n <= 1024: dense path
+            cell = Graph(n, _cell_binned_disk_edges(pos, r))
+            assert dense.edges == cell.edges
+
+    def test_large_n_uses_lazy_backend_by_default(self):
+        topo = random_topology(1500, degree=12.0, seed=3)
+        assert topo.graph.distance_backend == "lazy"
+        assert not topo.graph.dense_materialized
+
+    def test_zero_radius_matches_dense_path(self):
+        # Coincident points are within range 0 of each other on both paths.
+        pos = np.array([[0.0, 0.0], [0.0, 0.0], [1.0, 1.0]])
+        dense = unit_disk_graph(pos, 0.0)
+        assert set(_cell_binned_disk_edges(pos, 0.0)) == set(dense.edges) == {(0, 1)}
+
+    def test_negative_radius_no_edges(self):
+        assert _cell_binned_disk_edges(np.zeros((3, 2)), -1.0) == []
