@@ -19,3 +19,51 @@ BENCH_TRIALS = int(os.environ.get("REPRO_TRIALS", "3"))
 
 #: Reduced N grid for benchmark sweeps.
 BENCH_NS = (50, 100, 150)
+
+
+# --------------------------------------------------------------------- #
+# perf-trajectory persistence
+# --------------------------------------------------------------------- #
+
+import json
+import platform
+import time
+
+#: Repo root — BENCH_*.json files land here so the perf trajectory is
+#: tracked in version control alongside the code that produced it.
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def persist_bench(filename: str, record: dict) -> None:
+    """Append one benchmark record to a repo-root JSON trajectory file.
+
+    Each file holds a list of records, newest last; a record is whatever
+    the benchmark measured plus a timestamp and interpreter tag, so
+    successive PRs can diff the trajectory (``BENCH_scaling.json``,
+    ``BENCH_churn.json``).
+
+    Only *deliberate* benchmark runs persist — ``REPRO_BENCH_STRICT`` /
+    ``REPRO_BENCH_FULL`` / ``REPRO_BENCH_PERSIST`` set (the ``make
+    bench-*`` targets and the CI smoke job).  A plain tier-1 ``make
+    test`` must not dirty the version-controlled trajectory with reduced
+    quick-case noise.
+    """
+    if not (
+        os.environ.get("REPRO_BENCH_STRICT")
+        or os.environ.get("REPRO_BENCH_FULL")
+        or os.environ.get("REPRO_BENCH_PERSIST")
+    ):
+        return
+    path = REPO_ROOT / filename
+    try:
+        history = json.loads(path.read_text())
+    except (FileNotFoundError, json.JSONDecodeError):
+        history = []
+    history.append(
+        {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "python": platform.python_version(),
+            **record,
+        }
+    )
+    path.write_text(json.dumps(history, indent=2) + "\n")

@@ -21,8 +21,6 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Sequence
-
 import numpy as np
 
 from ..core.pipeline import BackboneResult
@@ -153,15 +151,23 @@ def routing_report(
     if g.n < 2:
         raise InvalidParameterError("routing needs at least two nodes")
     rng = np.random.default_rng(seed)
-    stretches = []
-    for _ in range(samples):
-        s, t = rng.choice(g.n, size=2, replace=False)
-        walk = route(result, oracle, int(s), int(t))
+    pairs = [
+        tuple(int(x) for x in rng.choice(g.n, size=2, replace=False))
+        for _ in range(samples)
+    ]
+    walks = []
+    for s, t in pairs:
+        walk = route(result, oracle, s, t)
         for a, b in zip(walk, walk[1:]):
             if not g.has_edge(a, b):
                 raise ValidationError(f"routing walk uses non-edge ({a},{b})")
-        shortest = g.hop_distance(int(s), int(t))
-        stretches.append((len(walk) - 1) / shortest)
+        walks.append(walk)
+    # One bulk pair-distance query: grouped batched rows on the lazy
+    # backend, O(|label|) label joins per pair on the landmark backend.
+    shortest = g.oracle.pair_distances(pairs)
+    stretches = [
+        (len(walk) - 1) / int(d) for walk, d in zip(walks, shortest)
+    ]
     tables = table_sizes(result)
     sizes = list(tables.values())
     return RoutingReport(

@@ -128,10 +128,22 @@ def maxmin_cluster(graph: Graph, d: int, *, require_connected: bool = True) -> C
         pos = int(np.searchsorted(ball_nodes, h))
         in_ball = pos < len(ball_nodes) and int(ball_nodes[pos]) == h
         if h not in head_set or not in_ball:
-            # convergecast fix-up: nearest elected head within d hops
-            # (only this rare branch needs actual distances)
-            du = oracle.ball_map(u, d)
-            in_range = [x for x in heads if x in du]
+            # convergecast fix-up: nearest elected head within d hops.
+            # Only this rare branch needs actual distances, and only to
+            # the heads: on a pair-cheap backend (landmark) that is a
+            # batch of O(|label|) joins; otherwise the depth-limited
+            # d-ball stays the output-sensitive choice.
+            if oracle.fast_pairs:
+                head_dists = oracle.distances(u, heads)
+                du = {
+                    x: int(dd)
+                    for x, dd in zip(heads, head_dists)
+                    if dd <= d
+                }
+            else:
+                ball_du = oracle.ball_map(u, d)
+                du = {x: ball_du[x] for x in heads if x in ball_du}
+            in_range = list(du)
             if not in_range:
                 # no elected head within range: u becomes a head itself
                 head_set.add(u)

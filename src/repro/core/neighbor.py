@@ -51,18 +51,24 @@ NeighborMap = Mapping[NodeId, tuple[NodeId, ...]]
 def nc_neighbors(clustering: Clustering) -> dict[NodeId, tuple[NodeId, ...]]:
     """Baseline NC rule: every other clusterhead within 2k+1 hops.
 
-    Answered from per-head (2k+1)-balls so only the reachable region of
-    each head is ever explored (no all-pairs matrix).
+    Answered from one head-to-head pairwise distance matrix: the dense
+    backend gathers it from the materialized matrix, the lazy backend
+    computes head rows in bit-packed batched BFS sweeps (which also warms
+    the row cache the virtual-link phase reads next), and the landmark
+    backend joins 2-hop labels per pair — never a full row.
     """
     g = clustering.graph
     oracle = g.oracle
     reach = 2 * clustering.k + 1
     heads = clustering.heads
+    if not heads:
+        return {}
+    dmat = oracle.pairwise_distances(heads)
     out: dict[NodeId, tuple[NodeId, ...]] = {}
-    for h in heads:
-        in_reach, _ = oracle.ball(h, reach)
-        reach_set = set(in_reach.tolist())
-        out[h] = tuple(w for w in heads if w != h and w in reach_set)
+    for i, h in enumerate(heads):
+        near = dmat[i] <= reach  # UNREACHABLE never passes the test
+        near[i] = False
+        out[h] = tuple(w for j, w in enumerate(heads) if near[j])
     return out
 
 

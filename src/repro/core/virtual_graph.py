@@ -108,8 +108,13 @@ class VirtualGraph:
         endpoints more than 2k+1 hops apart).
         """
         head_set = set(clustering.heads)
+        pairs = sorted(neighbor_pairs(neighbor_map))
+        # Canonical paths walk back along the BFS row of each pair's
+        # smaller endpoint; request all of those rows in one batched
+        # (bit-packed multi-source) sweep before the per-pair walks.
+        clustering.graph.oracle.rows(sorted({a for a, _ in pairs}))
         links = []
-        for a, b in sorted(neighbor_pairs(neighbor_map)):
+        for a, b in pairs:
             path = oracle.path(a, b)
             bad = [w for w in path[1:-1] if w in head_set]
             if bad:
@@ -125,6 +130,8 @@ class VirtualGraph:
     ) -> "VirtualGraph":
         """Complete virtual graph over all head pairs (global baseline)."""
         heads = clustering.heads
+        if len(heads) > 1:  # all of heads[:-1] act as smaller endpoints
+            clustering.graph.oracle.rows(heads[:-1])
         links = []
         for i, a in enumerate(heads):
             for b in heads[i + 1 :]:

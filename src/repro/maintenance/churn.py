@@ -9,6 +9,15 @@ Failures are applied cumulatively — each repair's backbone is the input to
 the next failure — so the report reflects a degrading network, not
 independent single-failure experiments (those live in the maintenance
 benchmark).
+
+:func:`simulate_churn` rides the incremental machinery end to end: each
+removal takes :meth:`Graph.without_nodes`'s single-node fast path (CSR
+patch + oracle cache inheritance), member failures splice the existing
+backbone instead of rebuilding it, and validation runs on per-head balls
+that mostly survive from the previous failure's cache.
+:func:`simulate_churn_rebuild` is the from-scratch baseline — rebuild
+graph, clustering, backbone and oracle on every failure — kept as the
+yardstick the churn benchmark measures the incremental path against.
 """
 
 from __future__ import annotations
@@ -19,13 +28,13 @@ from typing import Optional
 
 import numpy as np
 
-from ..core.clustering import khop_cluster
+from ..core.clustering import Clustering, khop_cluster
 from ..core.pipeline import BackboneResult, build_backbone
 from ..errors import InvalidParameterError
 from ..net.graph import Graph
-from .repair import RepairOutcome, repair
+from .repair import RepairOutcome, failure_role, repair
 
-__all__ = ["ChurnReport", "simulate_churn"]
+__all__ = ["ChurnReport", "simulate_churn", "simulate_churn_rebuild"]
 
 
 @dataclass
@@ -99,5 +108,90 @@ def simulate_churn(
             report.stopped_at = i
             return report
         backbone = out.backbone
+    report.survivors_backbone = backbone
+    return report
+
+
+def simulate_churn_rebuild(
+    graph: Graph,
+    k: int,
+    *,
+    failures: int,
+    seed: int,
+    algorithm: str = "AC-LMST",
+) -> ChurnReport:
+    """From-scratch churn baseline: full rebuild on every failure.
+
+    Applies the same failure order as :func:`simulate_churn` (same seed,
+    same RNG draw) but ignores the §3.3 repair ladder entirely: each
+    failure constructs the reduced graph through the generic multi-node
+    path (cold CSR, cold oracle), re-runs clusterhead election, and
+    rebuilds the backbone — the seed implementation's behavior and the
+    baseline the churn benchmark measures the incremental path against.
+
+    Every outcome is recorded as action ``"recluster"``; partition
+    handling matches :func:`simulate_churn`.
+    """
+    if failures < 1 or failures >= graph.n:
+        raise InvalidParameterError(
+            f"failures must be in 1..{graph.n - 1}, got {failures}"
+        )
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(graph.n)[:failures]
+    backbone = build_backbone(khop_cluster(graph, k), algorithm)
+    report = ChurnReport()
+    dead: set[int] = set()
+    current = graph
+    for i, node in enumerate(order.tolist()):
+        node = int(node)
+        dead.add(node)
+        role = failure_role(backbone, node)
+        report.roles[role] += 1
+        # Force the generic (non-incremental) removal path: rebuild the
+        # reduced graph from the full edge list with nothing carried over.
+        edges = [e for e in current.edges if node not in e]
+        reduced = Graph(current.n, edges)
+        reduced._backend = current._backend
+        survivors = [u for u in reduced.nodes() if u not in dead]
+        if survivors and not reduced.is_connected_subset(survivors):
+            report.outcomes.append(
+                RepairOutcome(
+                    failed_node=node,
+                    role=role,
+                    action="partition",
+                    escalated=False,
+                    scope_heads=frozenset(backbone.heads),
+                    partitioned=True,
+                    backbone=None,
+                )
+            )
+            report.actions["partition"] += 1
+            report.stopped_at = i
+            return report
+        reclustered = khop_cluster(reduced, k, require_connected=False)
+        # Dead nodes elect themselves into phantom singleton clusters;
+        # drop them from the head list (the _strip_nodes convention).
+        stripped = Clustering(
+            graph=reduced,
+            k=k,
+            head_of=reclustered.head_of,
+            heads=tuple(h for h in reclustered.heads if h not in dead),
+            rounds=reclustered.rounds,
+            priority_name=reclustered.priority_name,
+            membership_name=reclustered.membership_name,
+        )
+        backbone = build_backbone(stripped, algorithm)
+        out = RepairOutcome(
+            failed_node=node,
+            role=role,
+            action="recluster",
+            escalated=False,
+            scope_heads=frozenset(backbone.heads),
+            partitioned=False,
+            backbone=backbone,
+        )
+        report.outcomes.append(out)
+        report.actions["recluster"] += 1
+        current = reduced
     report.survivors_backbone = backbone
     return report

@@ -29,12 +29,14 @@ the clusterhead selection process is also small."
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional
+
+import numpy as np
 
 from ..core.clustering import Clustering, khop_cluster
 from ..core.pipeline import BackboneResult, build_backbone
-from ..cds.verify import check_gateways_are_members, check_links_realized
+from ..cds.verify import check_gateways_are_members
 from ..errors import InvalidParameterError, ValidationError
 from ..net.graph import Graph
 from ..types import NodeId
@@ -125,33 +127,87 @@ def _strip_nodes(
 def _old_assignment_valid(
     clustering: Clustering, graph2: Graph, gone: set[NodeId]
 ) -> bool:
-    """Do all survivors still sit within k hops of their (surviving) head?"""
+    """Do all survivors still sit within k hops of their (surviving) head?
+
+    Checked head-centrically: one k-ball per surviving head (answered by
+    the post-failure oracle, whose ball cache is inherited incrementally
+    across failures) covers all of that head's members at once, instead of
+    one pair query — a full BFS row on the lazy backend — per survivor.
+    """
     k = clustering.k
+    oracle = graph2.oracle
+    members_of: dict[NodeId, list[int]] = {}
     for u in graph2.nodes():
         if u in gone:
             continue
         h = clustering.head_of[u]
         if h in gone:
             return False
-        if graph2.hop_distance(u, h) > k:
+        members_of.setdefault(h, []).append(u)
+    for h, members in members_of.items():
+        nodes, _ = oracle.ball(h, k)
+        pos = np.searchsorted(nodes, members)
+        pos_ok = pos < nodes.size
+        if not pos_ok.all():
+            return False
+        if not (nodes[pos] == np.asarray(members)).all():
             return False
     return True
 
 
 def _verify_excluding(result: BackboneResult, excluded: set[NodeId]) -> None:
     """Backbone verification that ignores the dead nodes."""
-    check_gateways_are_members(result)
-    check_links_realized(result)
     g = result.clustering.graph
+    check_gateways_are_members(result)
+    _check_links_alive(result)
     if not g.is_connected_subset(result.cds):
         raise ValidationError("repaired CDS is not connected")
     k = result.clustering.k
-    heads = result.heads
+    # Union of per-head k-balls (cache-friendly, output-sensitive) instead
+    # of a pair query per survivor x head.
+    covered = set(g.nodes_within(result.heads, k))
     for u in g.nodes():
         if u in excluded:
             continue
-        if not any(g.hop_distance(u, h) <= k for h in heads):
+        if u not in covered:
             raise ValidationError(f"survivor {u} lost k-hop domination")
+
+
+def _check_links_alive(result: BackboneResult) -> None:
+    """Selected links still realized: edges alive, interiors are gateways.
+
+    This is :func:`~repro.cds.verify.check_links_realized` minus the
+    shortest-path re-derivation, which node removal makes redundant: the
+    link weight equaled the graph distance when the backbone was built or
+    last verified (canonical paths are shortest by construction), removal
+    can only *increase* distances, and the stored path — whose edges are
+    re-checked here — still realizes ``weight`` hops, pinning the new
+    distance to exactly ``weight``.  Skipping the re-derivation keeps the
+    per-failure cost at O(links · path length) instead of one BFS row per
+    link endpoint.
+    """
+    g = result.clustering.graph
+    for a, b in sorted(result.selected_links):
+        link = result.virtual_graph.link(a, b)
+        for x, y in zip(link.path, link.path[1:]):
+            if not g.has_edge(x, y):
+                raise ValidationError(
+                    f"virtual link {a}-{b} uses non-edge ({x},{y})"
+                )
+        missing = set(link.interior) - result.gateways
+        if missing:
+            raise ValidationError(
+                f"link {a}-{b} interior nodes {sorted(missing)} are not "
+                "gateways"
+            )
+
+
+def _verify_and_accept(
+    result: BackboneResult, gone: set[NodeId]
+) -> BackboneResult:
+    """Run the excluded-node verification battery and return ``result``."""
+    _verify_excluding(result, gone)
+    return result
 
 
 def _survivors_connected(graph2: Graph, gone: set[NodeId]) -> bool:
@@ -181,10 +237,12 @@ def repair(backbone: BackboneResult, node: NodeId) -> RepairOutcome:
     if not (0 <= node < graph.n):
         raise InvalidParameterError(f"node {node} out of range")
     role = failure_role(backbone, node)
-    graph2 = graph.without_nodes([node])
     gone = _excluded_nodes(clustering) | {node}
 
-    if not _survivors_connected(graph2, gone):
+    # Partition check runs on the *original* graph (the traversal already
+    # skips ``gone`` nodes), so the reduced graph — pointless for this
+    # outcome — is only constructed once a repair is actually attempted.
+    if not _survivors_connected(graph, gone):
         return RepairOutcome(
             failed_node=node,
             role=role,
@@ -194,17 +252,34 @@ def repair(backbone: BackboneResult, node: NodeId) -> RepairOutcome:
             partitioned=True,
             backbone=None,
         )
+    # Single-node fast path: patches CSR arrays and inherits the parent
+    # oracle's still-valid cached rows/balls.
+    graph2 = graph.without_nodes([node])
 
     # --- rungs 1 & 2: keep the clustering, maybe re-run gateways -------- #
     if role in ("member", "gateway") and _old_assignment_valid(
         clustering, graph2, gone
     ):
         surviving = _strip_nodes(clustering, graph2, gone)
-        try:
-            result = build_backbone(surviving, backbone.algorithm)
-            _verify_excluding(result, gone)
-        except ValidationError:
-            result = None
+        result = None
+        if role == "member":
+            # §3.3: "nothing needs to be done with respect to the existing
+            # CDS".  A failed member is neither a head nor a gateway, so no
+            # selected virtual link loses a path node — the old backbone is
+            # *spliced* onto the post-failure clustering unchanged and then
+            # re-verified, instead of being rebuilt from scratch.
+            try:
+                result = _verify_and_accept(
+                    replace(backbone, clustering=surviving), gone
+                )
+            except ValidationError:
+                result = None
+        if result is None:
+            try:
+                result = build_backbone(surviving, backbone.algorithm)
+                _verify_excluding(result, gone)
+            except ValidationError:
+                result = None
         if result is not None:
             if role == "member":
                 action, scope = "none", frozenset()

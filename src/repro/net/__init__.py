@@ -21,15 +21,20 @@ from .generators import (
 )
 from .geometry import PAPER_AREA, pairwise_distances, random_positions
 from .graph import UNREACHABLE, Graph
+from .labeling import LandmarkDistanceOracle
 from .mobility import ChurnProcess, RandomWaypoint
 from .oracle import (
+    BATCH_BITS,
     DENSE_AUTO_MAX,
+    DIST_DTYPE,
     MAX_ORACLE_NODES,
+    ByteBudgetLRU,
     DenseDistanceOracle,
     DistanceOracle,
     LazyDistanceOracle,
     OracleStats,
     build_distance_oracle,
+    multi_source_bfs,
 )
 from .paths import PathOracle, canonical_path, path_interior
 from .topology import (
@@ -46,10 +51,15 @@ __all__ = [
     "DistanceOracle",
     "DenseDistanceOracle",
     "LazyDistanceOracle",
+    "LandmarkDistanceOracle",
     "OracleStats",
+    "ByteBudgetLRU",
     "build_distance_oracle",
+    "multi_source_bfs",
     "DENSE_AUTO_MAX",
     "MAX_ORACLE_NODES",
+    "DIST_DTYPE",
+    "BATCH_BITS",
     "PathOracle",
     "canonical_path",
     "path_interior",

@@ -4,15 +4,21 @@ Every algorithm in the paper is defined in terms of *hop distances* in the
 original network ``G``: k-hop neighborhoods for clustering, 2k+1-hop
 neighborhoods for neighbor-clusterhead discovery, and hop-count "virtual
 distances" between clusterheads.  :class:`Graph` answers all of those
-queries through a :class:`~repro.net.oracle.DistanceOracle`, of which two
-interchangeable backends exist (see :mod:`repro.net.oracle`):
+queries through a :class:`~repro.net.oracle.DistanceOracle`, of which three
+interchangeable backends exist (see :mod:`repro.net.oracle` for the full
+selection guide):
 
-* **dense** — the all-pairs ``(n, n)`` int16 matrix computed with one
-  vectorized BFS sweep; fastest at the paper's scales (N <= a few hundred)
-  and the default up to :data:`~repro.net.oracle.DENSE_AUTO_MAX` nodes.
-* **lazy** — CSR adjacency arrays plus on-demand per-source BFS rows and
-  depth-limited balls under byte-budgeted LRU caches; sub-quadratic memory,
-  the default for larger graphs.
+* **dense** — the all-pairs ``(n, n)`` int32 matrix materialized by the
+  bit-packed batched BFS kernel; fastest at the paper's scales (N <= a few
+  hundred) and the default up to :data:`~repro.net.oracle.DENSE_AUTO_MAX`
+  nodes.
+* **lazy** — CSR adjacency arrays plus on-demand per-source BFS rows
+  (batched through the same kernel) and depth-limited balls under
+  byte-budgeted LRU caches; sub-quadratic memory, the default for larger
+  graphs.
+* **landmark** — the lazy machinery plus exact pruned landmark labels
+  (:mod:`repro.net.labeling`); pair distances in O(|label|) for
+  pair-heavy consumers.
 
 Call :meth:`Graph.use_distance_backend` to force a backend;
 :attr:`Graph.hop_distances` remains as the small-n/compatibility API and
@@ -25,10 +31,13 @@ Design notes
 * The graph is immutable.  Maintenance operations (node failure, §3.3 of the
   paper) produce *new* graphs via :meth:`Graph.without_nodes`, which keeps
   the original node numbering so results remain comparable.  Oracles are
-  caches over the immutable structure, so backend switches are safe.
-* Both backends use the int16 :data:`UNREACHABLE` sentinel and refuse
+  caches over the immutable structure, so backend switches are safe — and
+  single-node removals patch the CSR arrays and carry still-valid cached
+  rows/balls into the derived graph's oracle instead of recomputing.
+* All backends use the int32 :data:`UNREACHABLE` sentinel and refuse
   graphs beyond :data:`~repro.net.oracle.MAX_ORACLE_NODES` nodes rather
-  than silently overflowing hop distances.
+  than silently overflowing hop distances (the seed's int16 ceiling of
+  32766 nodes is gone).
 """
 
 from __future__ import annotations
@@ -233,7 +242,7 @@ class Graph:
 
     @property
     def hop_distances(self) -> np.ndarray:
-        """All-pairs hop-distance matrix, shape ``(n, n)``, dtype int16.
+        """All-pairs hop-distance matrix, shape ``(n, n)``, dtype int32.
 
         Compatibility/small-n API: this always materializes the **dense**
         backend's O(n²) matrix, whatever the default backend is.  Scalable
@@ -247,7 +256,7 @@ class Graph:
         return dense.matrix
 
     def bfs_distances(self, source: NodeId) -> np.ndarray:
-        """Hop distances from ``source`` to every node (read-only int16)."""
+        """Hop distances from ``source`` to every node (read-only int32)."""
         return self.oracle.row(source)
 
     def hop_distance(self, u: NodeId, v: NodeId) -> int:
@@ -384,15 +393,66 @@ class Graph:
 
         Node numbering is preserved so that clusterings computed before and
         after a failure are directly comparable (§3.3 maintenance).  The
-        copy inherits the default distance backend (not the caches).
+        copy inherits the default distance backend.
+
+        Single-node removals — the churn/repair hot path — take a fast
+        incremental route: adjacency and CSR arrays are patched instead of
+        rebuilt from the edge list, and any lazy-family oracle caches are
+        carried over minus the entries the removal invalidates (see
+        :meth:`~repro.net.oracle.LazyDistanceOracle.inherit_from`).
         """
-        gone = set(removed)
+        gone = {int(u) for u in removed}
         for u in gone:
             if not (0 <= u < self._n):
                 raise InvalidParameterError(f"node {u} out of range")
+        if len(gone) == 1:
+            return self._without_single_node(next(iter(gone)))
         keep = [e for e in self._edges if e[0] not in gone and e[1] not in gone]
         g = Graph(self._n, keep)
         g._backend = self._backend
+        return g
+
+    def _without_single_node(self, x: NodeId) -> "Graph":
+        """Incremental single-node removal: patch arrays, inherit caches."""
+        from .oracle import LazyDistanceOracle
+
+        g = Graph.__new__(Graph)
+        g._n = self._n
+        g._edges = tuple(e for e in self._edges if e[0] != x and e[1] != x)
+        adj = list(self._adj)
+        for v in self._adj[x]:
+            adj[v] = tuple(w for w in adj[v] if w != x)
+        adj[x] = ()
+        g._adj = tuple(adj)
+        g._oracles = {}
+        g._backend = self._backend
+        if "csr_adjacency" in self.__dict__:
+            # Patch the parent's CSR arrays: drop x's own slice and every
+            # occurrence of x in its neighbors' slices; no O(m log m)
+            # rebuild from the python adjacency.
+            indptr, indices = self.csr_adjacency
+            keep_mask = indices != x
+            keep_mask[indptr[x] : indptr[x + 1]] = False
+            new_indices = indices[keep_mask]
+            degs = np.diff(indptr).copy()
+            degs[x] = 0
+            degs[list(self._adj[x])] -= 1
+            new_indptr = np.zeros(self._n + 1, dtype=np.int64)
+            np.cumsum(degs, out=new_indptr[1:])
+            new_indptr.setflags(write=False)
+            new_indices.setflags(write=False)
+            g.__dict__["csr_adjacency"] = (new_indptr, new_indices)
+        # Incremental oracle maintenance: seed each lazy-family backend
+        # with the parent's still-valid cached rows and balls.
+        for name, parent in self._oracles.items():
+            if isinstance(parent, LazyDistanceOracle):
+                child = type(parent)(
+                    g,
+                    row_cache_bytes=parent._rows.budget,
+                    ball_cache_bytes=parent._balls.budget,
+                )
+                child.inherit_from(parent, x)
+                g._oracles[name] = child
         return g
 
     def with_edges(self, extra: Iterable[tuple[NodeId, NodeId]]) -> "Graph":

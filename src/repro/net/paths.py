@@ -31,15 +31,30 @@ touches O(heads) rows, never the O(n²) matrix.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
-
-import numpy as np
-
 from ..errors import DisconnectedGraphError
 from ..types import NodeId
 from .graph import UNREACHABLE, Graph
+from .oracle import ByteBudgetLRU, OracleStats
 
-__all__ = ["canonical_path", "path_interior", "PathOracle"]
+__all__ = [
+    "canonical_path",
+    "path_interior",
+    "PathOracle",
+    "DEFAULT_PATH_CACHE_BYTES",
+]
+
+#: Default byte budget for the per-pair canonical-path cache (~4 MiB).
+DEFAULT_PATH_CACHE_BYTES: int = 4 << 20
+
+
+def _path_nbytes(path: tuple[int, ...]) -> int:
+    """Approximate resident size of a cached path entry.
+
+    A tuple of n small ints costs roughly one machine word per element
+    plus fixed tuple/key overhead; precise accounting is not the point —
+    bounding growth under adversarial query streams is.
+    """
+    return 8 * len(path) + 64
 
 
 def canonical_path(graph: Graph, u: NodeId, v: NodeId) -> tuple[int, ...]:
@@ -80,15 +95,24 @@ class PathOracle:
 
     A single experiment queries the same clusterhead pairs many times
     (neighbor selection, mesh gateways, LMST gateways, G-MST baseline); the
-    oracle computes each canonical path once.
+    oracle computes each canonical path once.  The per-pair cache is
+    bounded by a byte-budgeted LRU (:class:`~repro.net.oracle.ByteBudgetLRU`
+    — the same policy class as the distance oracle's row/ball caches), so
+    a long pair-heavy experiment can no longer grow the cache without
+    bound; :meth:`stats` reports occupancy and hit counters.
 
     The oracle is keyed by unordered pair; :meth:`path` orients the stored
     path to the requested direction.
     """
 
-    def __init__(self, graph: Graph) -> None:
+    def __init__(
+        self, graph: Graph, *, cache_bytes: int = DEFAULT_PATH_CACHE_BYTES
+    ) -> None:
         self._graph = graph
-        self._cache: Dict[Tuple[int, int], tuple[int, ...]] = {}
+        self._cache = ByteBudgetLRU(cache_bytes)
+        self._paths_computed = 0
+        self._path_hits = 0
+        self._peak_bytes = 0
 
     @property
     def graph(self) -> Graph:
@@ -96,7 +120,11 @@ class PathOracle:
         return self._graph
 
     def distance(self, u: NodeId, v: NodeId) -> int:
-        """Hop distance between ``u`` and ``v`` in the underlying graph."""
+        """Hop distance between ``u`` and ``v`` in the underlying graph.
+
+        Routed through the graph's current distance oracle, so on the
+        landmark backend a pair query costs O(|label|), never a BFS row.
+        """
         return self._graph.hop_distance(u, v)
 
     def path(self, u: NodeId, v: NodeId) -> tuple[int, ...]:
@@ -107,13 +135,32 @@ class PathOracle:
         stored = self._cache.get(key)
         if stored is None:
             stored = canonical_path(self._graph, key[0], key[1])
-            self._cache[key] = stored
+            self._paths_computed += 1
+            self._cache.put(key, stored, _path_nbytes(stored))
+            if self._cache.nbytes > self._peak_bytes:
+                self._peak_bytes = self._cache.nbytes
+        else:
+            self._path_hits += 1
         return stored if u == key[0] else tuple(reversed(stored))
 
     def interior(self, u: NodeId, v: NodeId) -> tuple[int, ...]:
         """Interior nodes of the canonical ``u``-``v`` path."""
         return path_interior(self.path(u, v))
 
+    def stats(self) -> OracleStats:
+        """Path-cache occupancy and hit counters (``backend="path-cache"``)."""
+        return OracleStats(
+            backend="path-cache",
+            rows_computed=0,
+            row_hits=0,
+            balls_computed=0,
+            ball_hits=0,
+            cached_bytes=self._cache.nbytes,
+            peak_cached_bytes=self._peak_bytes,
+            paths_computed=self._paths_computed,
+            path_hits=self._path_hits,
+        )
+
     def __len__(self) -> int:
-        """Number of distinct pairs cached so far."""
+        """Number of distinct pairs currently cached."""
         return len(self._cache)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import InvalidParameterError
-from repro.maintenance.churn import simulate_churn
+from repro.maintenance.churn import simulate_churn, simulate_churn_rebuild
 from repro.net.generators import grid_graph
 from repro.net.topology import random_topology
 
@@ -57,3 +57,35 @@ class TestSimulateChurn:
         assert [o.failed_node for o in a.outcomes] == [
             o.failed_node for o in b.outcomes
         ]
+
+
+class TestRebuildBaseline:
+    def test_same_failure_order_and_partition_point(self):
+        topo = random_topology(80, 10.0, seed=2)
+        inc = simulate_churn(topo.graph, 2, failures=8, seed=3)
+        reb = simulate_churn_rebuild(topo.graph, 2, failures=8, seed=3)
+        assert [o.failed_node for o in inc.outcomes] == [
+            o.failed_node for o in reb.outcomes
+        ]
+        assert inc.stopped_at == reb.stopped_at
+        assert all(
+            o.action in ("recluster", "partition") for o in reb.outcomes
+        )
+
+    def test_final_backbone_dominates_survivors(self):
+        topo = random_topology(70, 10.0, seed=8)
+        reb = simulate_churn_rebuild(topo.graph, 2, failures=6, seed=4)
+        if reb.survivors_backbone is None:
+            return  # partitioned: nothing to dominate
+        bb = reb.survivors_backbone
+        g2 = bb.clustering.graph
+        dead = {o.failed_node for o in reb.outcomes}
+        assert g2.is_connected_subset(bb.cds)
+        for u in g2.nodes():
+            if u in dead:
+                continue
+            assert any(g2.hop_distance(u, h) <= 2 for h in bb.heads)
+
+    def test_invalid_failure_count(self):
+        with pytest.raises(InvalidParameterError):
+            simulate_churn_rebuild(grid_graph(3, 3), 1, failures=0, seed=0)

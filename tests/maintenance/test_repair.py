@@ -9,6 +9,7 @@ from repro.core.pipeline import build_backbone
 from repro.errors import InvalidParameterError
 from repro.maintenance.repair import failure_role, repair
 from repro.net.generators import grid_graph, path_graph, two_cliques_bridge
+from repro.net.graph import Graph
 
 from ..conftest import connected_graphs
 
@@ -79,6 +80,36 @@ class TestRepairLadder:
         res = backbone_for(path_graph(6))
         with pytest.raises(InvalidParameterError):
             repair(res, 17)
+
+    def test_member_failure_splices_existing_backbone(self):
+        # §3.3: a member failure leaves the CDS untouched — the repaired
+        # backbone must carry the *same* links and gateways, not a rebuild.
+        g = grid_graph(5, 5)
+        res = backbone_for(g, k=1)
+        for u in g.nodes():
+            if failure_role(res, u) != "member":
+                continue
+            out = repair(res, u)
+            if out.action == "none":
+                assert out.backbone.selected_links == res.selected_links
+                assert out.backbone.gateways == res.gateways
+                assert out.backbone.cds == res.cds
+                break
+        else:  # pragma: no cover - grid always has an absorbable member
+            pytest.fail("no member failure with action 'none' found")
+
+    def test_partition_outcome_skips_reduced_graph(self, monkeypatch):
+        # Satellite: the reduced graph is built lazily — a failure that
+        # partitions the network must return before constructing it.
+        g = two_cliques_bridge(4, 1)
+        res = backbone_for(g, k=1)
+
+        def boom(self, removed):
+            raise AssertionError("reduced graph built for a partition outcome")
+
+        monkeypatch.setattr(Graph, "without_nodes", boom)
+        out = repair(res, 4)
+        assert out.partitioned and out.backbone is None
 
     def test_cut_member_escalates_or_partitions(self):
         # path: every interior node is a cut vertex

@@ -199,6 +199,77 @@ class TestDerivedGraphs:
         g = path_graph(3).with_edges([(0, 2)])
         assert g.has_edge(0, 2)
 
+    @given(connected_graphs(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_single_node_fast_path_matches_generic(self, g, data):
+        # The incremental single-node route must be indistinguishable from
+        # a from-scratch rebuild: same edges, adjacency, and CSR arrays.
+        x = data.draw(st.integers(0, g.n - 1))
+        g.oracle.row(0)  # force CSR + caches so the patch path runs
+        fast = g.without_nodes([x])
+        generic = Graph(g.n, [e for e in g.edges if x not in e])
+        assert fast == generic
+        for u in range(g.n):
+            assert fast.neighbors(u) == generic.neighbors(u)
+        fi, fx = fast.csr_adjacency
+        gi, gx = generic.csr_adjacency
+        assert np.array_equal(fi, gi) and np.array_equal(fx, gx)
+        # distance answers agree with a cold oracle on the rebuilt graph
+        for u in range(g.n):
+            assert np.array_equal(fast.bfs_distances(u), generic.bfs_distances(u))
+
+    def test_multi_node_removal_unchanged(self):
+        g = cycle_graph(6)
+        g2 = g.without_nodes([0, 3])
+        assert g2.degree(0) == 0 and g2.degree(3) == 0
+        assert g2.has_edge(1, 2) and g2.has_edge(4, 5)
+
+    def test_fast_path_inherits_oracle_caches(self):
+        g = grid_graph(6, 6).use_distance_backend("lazy")
+        corner, far = 0, 35
+        g.oracle.ball(corner, 1)  # far from the removal: survives
+        g.oracle.ball(far, 1)
+        g2 = g.without_nodes([14])
+        stats = g2.oracle.stats()
+        assert stats.balls_inherited == 2
+        assert stats.balls_computed == 0
+        nodes, _ = g2.oracle.ball(corner, 1)
+        assert nodes.tolist() == [0, 1, 6]
+
+    def test_fast_path_drops_invalidated_balls(self):
+        g = path_graph(6).use_distance_backend("lazy")
+        g.oracle.ball(2, 2)  # contains node 3 at distance 1 -> must drop
+        g.oracle.ball(5, 1)  # contains only {4, 5} -> survives
+        g2 = g.without_nodes([3])
+        stats = g2.oracle.stats()
+        assert stats.balls_inherited == 1
+        nodes, dists = g2.oracle.ball(2, 2)  # recomputed on the new graph
+        assert nodes.tolist() == [0, 1, 2]
+        assert dists.tolist() == [2, 1, 0]
+
+    def test_fast_path_patches_boundary_balls(self):
+        g = path_graph(5).use_distance_backend("lazy")
+        g.oracle.ball(0, 2)  # {0,1,2}; node 2 sits exactly on the boundary
+        g2 = g.without_nodes([2])
+        stats = g2.oracle.stats()
+        assert stats.balls_inherited == 1
+        nodes, dists = g2.oracle.ball(0, 2)
+        assert nodes.tolist() == [0, 1]
+        assert dists.tolist() == [0, 1]
+        assert g2.oracle.stats().balls_computed == 0  # patched, not re-run
+
+    def test_fast_path_inherits_rows_of_other_components(self):
+        g = Graph(6, [(0, 1), (1, 2), (3, 4), (4, 5)]).use_distance_backend(
+            "lazy"
+        )
+        g.oracle.row(0)  # cannot reach 4: survives its removal
+        g.oracle.row(3)  # can reach 4: must be dropped
+        g2 = g.without_nodes([4])
+        stats = g2.oracle.stats()
+        assert stats.rows_inherited == 1
+        assert g2.oracle.distance(3, 5) == UNREACHABLE
+        assert g2.oracle.distance(0, 2) == 2
+
     def test_induced_subgraph_edges(self):
         g = cycle_graph(5)
         assert g.induced_subgraph_edges([0, 1, 2]) == [(0, 1), (1, 2)]

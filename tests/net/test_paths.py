@@ -93,3 +93,28 @@ class TestPathOracle:
         oracle = PathOracle(g)
         for u, v in [(0, 15), (3, 12), (5, 10)]:
             assert oracle.path(u, v) == canonical_path(g, u, v)
+
+    def test_cache_is_byte_bounded(self):
+        # A tiny budget keeps at most one resident path; answers stay
+        # correct because evicted paths are simply recomputed.
+        g = grid_graph(5, 5)
+        bounded = PathOracle(g, cache_bytes=1)
+        reference = PathOracle(g)
+        pairs = [(0, 24), (4, 20), (2, 22), (0, 24)]
+        for u, v in pairs:
+            assert bounded.path(u, v) == reference.path(u, v)
+        assert len(bounded) == 1
+        stats = bounded.stats()
+        assert stats.backend == "path-cache"
+        # (0, 24) was evicted by later pairs, so its repeat recomputed
+        assert stats.paths_computed == 4 and stats.path_hits == 0
+
+    def test_stats_report_hits_and_bytes(self):
+        g = grid_graph(4, 4)
+        oracle = PathOracle(g)
+        oracle.path(0, 15)
+        oracle.path(15, 0)  # same unordered pair: a hit
+        stats = oracle.stats()
+        assert stats.paths_computed == 1
+        assert stats.path_hits == 1
+        assert 0 < stats.cached_bytes <= stats.peak_cached_bytes
