@@ -38,6 +38,14 @@ from .errors import (
     ValidationError,
 )
 from .net import Graph, PathOracle, Topology, random_topology, unit_disk_graph
+from .traffic import (
+    BatchRouter,
+    Workload,
+    make_workload,
+    measure_load,
+    run_traffic,
+    simulate_traffic_lifetime,
+)
 
 __version__ = "1.0.0"
 
@@ -64,6 +72,13 @@ __all__ = [
     "Topology",
     "random_topology",
     "unit_disk_graph",
+    # traffic engine
+    "Workload",
+    "make_workload",
+    "BatchRouter",
+    "measure_load",
+    "simulate_traffic_lifetime",
+    "run_traffic",
     # errors
     "ReproError",
     "InvalidParameterError",

@@ -1,7 +1,13 @@
 """Experiment harness: statistics, sweeps, tables, terminal plots."""
 
 from .ascii_plot import line_plot, scatter_plot
-from .stats import AdaptiveEstimator, SummaryStat, summarize, t_halfwidth
+from .stats import (
+    AdaptiveEstimator,
+    SummaryStat,
+    jain_fairness,
+    summarize,
+    t_halfwidth,
+)
 from .sweep import (
     CellKey,
     CellResult,
@@ -17,6 +23,7 @@ __all__ = [
     "SummaryStat",
     "summarize",
     "t_halfwidth",
+    "jain_fairness",
     "AdaptiveEstimator",
     "CellKey",
     "CellResult",

@@ -13,11 +13,15 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
-from scipy import stats as _scipy_stats
-
 from ..errors import InvalidParameterError
 
-__all__ = ["SummaryStat", "t_halfwidth", "summarize", "AdaptiveEstimator"]
+__all__ = [
+    "SummaryStat",
+    "t_halfwidth",
+    "summarize",
+    "jain_fairness",
+    "AdaptiveEstimator",
+]
 
 
 @dataclass(frozen=True)
@@ -64,6 +68,12 @@ def t_halfwidth(samples: Sequence[float], confidence: float = 0.90) -> float:
     var = sum((x - mean) ** 2 for x in samples) / (m - 1)
     if var == 0.0:
         return 0.0
+    # Imported here, not at module level: the traffic engine pulls this
+    # module in for jain_fairness, which must not make `import repro`
+    # depend on scipy — only CI-style experiments that actually compute
+    # t-intervals need it.
+    from scipy import stats as _scipy_stats
+
     tcrit = float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, df=m - 1))
     return tcrit * math.sqrt(var / m)
 
@@ -86,6 +96,28 @@ def summarize(samples: Sequence[float], confidence: float = 0.90) -> SummaryStat
         halfwidth=t_halfwidth(samples, confidence),
         confidence=confidence,
     )
+
+
+def jain_fairness(values: Sequence[float]) -> float:
+    """Jain's fairness index ``(Σx)² / (m · Σx²)`` of a nonnegative series.
+
+    1.0 means perfectly even allocation, ``1/m`` means one participant
+    got everything.  An empty or all-zero series is trivially fair (1.0).
+    Used by the traffic engine to score how evenly the backbone shares
+    forwarding load.
+    """
+    total = sq = 0.0
+    m = 0
+    for x in values:
+        x = float(x)
+        if x < 0:
+            raise InvalidParameterError("jain_fairness needs nonnegative values")
+        total += x
+        sq += x * x
+        m += 1
+    if m == 0 or sq == 0.0:
+        return 1.0
+    return (total * total) / (m * sq)
 
 
 class AdaptiveEstimator:

@@ -2,7 +2,7 @@
 
 from .broadcast import BroadcastStats, backbone_broadcast, blind_flood
 from .builder import KhopCDS, build_cds, intra_cluster_parents
-from .routing import RoutingReport, route, routing_report, table_sizes
+from .routing import HeadRouter, RoutingReport, route, routing_report, table_sizes
 from .verify import (
     check_backbone_connected,
     check_domination,
@@ -23,6 +23,7 @@ __all__ = [
     "BroadcastStats",
     "blind_flood",
     "backbone_broadcast",
+    "HeadRouter",
     "RoutingReport",
     "route",
     "routing_report",

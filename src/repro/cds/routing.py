@@ -12,6 +12,15 @@ MMWN).  This module quantifies that on any produced backbone:
   (canonical path), head -> destination head over selected virtual links
   (shortest path in the cluster graph G'), destination head -> destination.
 
+The reusable primitive is :class:`HeadRouter`: the head adjacency built
+once per backbone, one cached Dijkstra tree per *source* head (serving
+every destination from that cluster), and a per-head-pair cache of the
+fully expanded gateway walk.  :func:`route` builds one transient router
+per call (the scalar, embarrassingly-recomputing form);
+:class:`repro.traffic.router.BatchRouter` shares a single
+:class:`HeadRouter` across thousands of flows — that reuse is the whole
+batch-routing speedup.
+
 :func:`route` returns the actual walk; :func:`routing_report` samples
 source/destination pairs and reports mean/max stretch and table sizes —
 the table-size collapse is the win, the stretch is the price.
@@ -21,6 +30,8 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
+from typing import Optional
+
 import numpy as np
 
 from ..core.pipeline import BackboneResult
@@ -28,43 +39,177 @@ from ..errors import InvalidParameterError, ValidationError
 from ..net.paths import PathOracle
 from ..types import NodeId
 
-__all__ = ["RoutingReport", "route", "table_sizes", "routing_report"]
+__all__ = [
+    "HeadRouter",
+    "RoutingReport",
+    "route",
+    "table_sizes",
+    "routing_report",
+]
 
 
-def _backbone_shortest(
-    result: BackboneResult, src_head: NodeId, dst_head: NodeId
-) -> list[NodeId]:
-    """Shortest head sequence over selected virtual links (Dijkstra)."""
-    if src_head == dst_head:
-        return [src_head]
-    adj: dict[NodeId, list[tuple[int, NodeId]]] = {h: [] for h in result.heads}
-    for a, b in result.selected_links:
-        w = result.virtual_graph.link(a, b).weight
-        adj[a].append((w, b))
-        adj[b].append((w, a))
-    dist = {src_head: 0}
-    prev: dict[NodeId, NodeId] = {}
-    pq = [(0, src_head)]
-    while pq:
-        d, u = heapq.heappop(pq)
-        if u == dst_head:
-            break
-        if d > dist.get(u, float("inf")):
-            continue
-        for w, v in adj[u]:
-            nd = d + w
-            if nd < dist.get(v, float("inf")):
-                dist[v] = nd
-                prev[v] = u
-                heapq.heappush(pq, (nd, v))
-    if dst_head not in prev and dst_head != src_head:
-        raise ValidationError(
-            f"backbone does not connect heads {src_head} and {dst_head}"
-        )
-    seq = [dst_head]
-    while seq[-1] != src_head:
-        seq.append(prev[seq[-1]])
-    return list(reversed(seq))
+class HeadRouter:
+    """Cached cluster-routing primitives over one backbone.
+
+    Three layers of reuse, all computed lazily and kept for the router's
+    lifetime:
+
+    * the **head adjacency** over selected virtual links, built once from
+      ``result.selected_links`` (the per-call rebuild was the dominant
+      cost of looped :func:`route` calls);
+    * one **Dijkstra tree per source head** — distances and predecessors
+      to *every* other head, so all flows leaving one cluster share a
+      single shortest-path computation.  The relaxation discipline is
+      identical to the original early-exit Dijkstra, so reconstructed
+      head sequences match :func:`route`'s historical output exactly;
+    * a **per-head-pair walk cache**: the head sequence expanded through
+      the selected links' stored gateway paths, oriented source -> target.
+    """
+
+    def __init__(self, result: BackboneResult) -> None:
+        self._result = result
+        adj: dict[NodeId, list[tuple[int, NodeId]]] = {h: [] for h in result.heads}
+        for a, b in result.selected_links:
+            w = result.virtual_graph.link(a, b).weight
+            adj[a].append((w, b))
+            adj[b].append((w, a))
+        self._adj = adj
+        self._segments: dict[tuple[NodeId, NodeId], tuple[NodeId, ...]] = {}
+        self._trees: dict[NodeId, tuple[dict, dict]] = {}
+        self._head_seqs: dict[tuple[NodeId, NodeId], tuple[NodeId, ...]] = {}
+        self._head_walks: dict[tuple[NodeId, NodeId], tuple[NodeId, ...]] = {}
+
+    @property
+    def result(self) -> BackboneResult:
+        """The backbone this router serves."""
+        return self._result
+
+    def tree(self, src_head: NodeId) -> tuple[dict, dict]:
+        """The full Dijkstra ``(dist, prev)`` maps rooted at ``src_head``."""
+        cached = self._trees.get(src_head)
+        if cached is not None:
+            return cached
+        dist = {src_head: 0}
+        prev: dict[NodeId, NodeId] = {}
+        pq = [(0, src_head)]
+        while pq:
+            d, u = heapq.heappop(pq)
+            if d > dist.get(u, float("inf")):
+                continue
+            for w, v in self._adj[u]:
+                nd = d + w
+                if nd < dist.get(v, float("inf")):
+                    dist[v] = nd
+                    prev[v] = u
+                    heapq.heappush(pq, (nd, v))
+        self._trees[src_head] = (dist, prev)
+        return dist, prev
+
+    def head_sequence(
+        self, src_head: NodeId, dst_head: NodeId
+    ) -> tuple[NodeId, ...]:
+        """Shortest head sequence over selected virtual links (cached).
+
+        Sequences are memoized per ordered pair along the Dijkstra tree's
+        predecessor chains, so filling all pairs from one source costs
+        O(total sequence length), not O(pairs · length).
+
+        Raises:
+            ValidationError: if the selected links do not connect the two
+                heads (a broken backbone).
+        """
+        return self._seq(src_head, dst_head)
+
+    def _seq(self, src_head: NodeId, dst_head: NodeId) -> tuple[NodeId, ...]:
+        if src_head == dst_head:
+            return (src_head,)
+        key = (src_head, dst_head)
+        cached = self._head_seqs.get(key)
+        if cached is not None:
+            return cached
+        _, prev = self.tree(src_head)
+        if dst_head not in prev:
+            raise ValidationError(
+                f"backbone does not connect heads {src_head} and {dst_head}"
+            )
+        # Walk back only as far as the first already-memoized prefix.
+        suffix = [dst_head]
+        cur = dst_head
+        prefix: tuple[NodeId, ...] | None = None
+        while True:
+            cur = prev[cur]
+            if cur == src_head:
+                prefix = (src_head,)
+                break
+            prefix = self._head_seqs.get((src_head, cur))
+            if prefix is not None:
+                break
+            suffix.append(cur)
+        for i in range(len(suffix) - 1, -1, -1):
+            prefix = prefix + (suffix[i],)
+            self._head_seqs[(src_head, suffix[i])] = prefix
+        return prefix
+
+    def head_walk(self, src_head: NodeId, dst_head: NodeId) -> tuple[NodeId, ...]:
+        """The expanded backbone walk ``src_head .. dst_head`` (cached).
+
+        Adjacent heads of the sequence are joined by the selected link's
+        stored gateway path, oriented in walk direction; walks are built
+        incrementally from the memoized walk to the predecessor head, so
+        filling all pairs from one source is O(total walk length).
+        """
+        if src_head == dst_head:
+            return (src_head,)
+        cached = self._head_walks.get((src_head, dst_head))
+        if cached is not None:
+            return cached
+        seq = self._seq(src_head, dst_head)
+        walks = self._head_walks
+        walk = self._segment(seq[0], seq[1])
+        walks.setdefault((src_head, seq[1]), walk)
+        for i in range(2, len(seq)):
+            key = (src_head, seq[i])
+            nxt = walks.get(key)
+            if nxt is None:
+                nxt = walk + self._segment(seq[i - 1], seq[i])[1:]
+                walks[key] = nxt
+            walk = nxt
+        return walk
+
+    def _segment(self, a: NodeId, b: NodeId) -> tuple[NodeId, ...]:
+        """The selected ``a``-``b`` link's gateway path, oriented a -> b."""
+        seg = self._segments.get((a, b))
+        if seg is None:
+            path = self._result.virtual_graph.link(
+                *((a, b) if a < b else (b, a))
+            ).path
+            seg = path if path[0] == a else tuple(reversed(path))
+            self._segments[(a, b)] = seg
+        return seg
+
+    def walk(
+        self, oracle: PathOracle, source: NodeId, target: NodeId
+    ) -> tuple[NodeId, ...]:
+        """The full cluster-routing walk from ``source`` to ``target``.
+
+        Same cluster: direct canonical path (members know their own
+        cluster).  Different clusters: source -> head -> backbone -> head
+        -> target.  The returned walk may revisit nodes (e.g. the source's
+        head path overlapping the backbone); its *length* is what stretch
+        measures.
+        """
+        cl = self._result.clustering
+        if not (0 <= source < cl.graph.n and 0 <= target < cl.graph.n):
+            raise InvalidParameterError("route endpoints out of range")
+        if source == target:
+            return (source,)
+        hs, ht = cl.cluster_of(source), cl.cluster_of(target)
+        if hs == ht:
+            return oracle.path(source, target)
+        walk: list[NodeId] = list(oracle.path(source, hs))
+        walk.extend(self.head_walk(hs, ht)[1:])
+        walk.extend(oracle.path(ht, target)[1:])
+        return tuple(walk)
 
 
 def route(
@@ -75,28 +220,20 @@ def route(
 ) -> tuple[NodeId, ...]:
     """The cluster-routing walk from ``source`` to ``target``.
 
-    Same cluster: direct canonical path (members know their own cluster).
-    Different clusters: source -> head -> backbone -> head -> target.
-    The returned walk may revisit nodes (e.g. the source's head path
-    overlapping the backbone); its *length* is what stretch measures.
+    Scalar convenience form: same-cluster pairs never touch the head
+    graph; inter-cluster pairs build a transient :class:`HeadRouter` per
+    call, so a loop over many pairs re-pays the head-graph setup every
+    time — exactly the baseline the batch router
+    (:class:`repro.traffic.router.BatchRouter`) amortizes.
     """
     cl = result.clustering
     if not (0 <= source < cl.graph.n and 0 <= target < cl.graph.n):
         raise InvalidParameterError("route endpoints out of range")
     if source == target:
         return (source,)
-    hs, ht = cl.cluster_of(source), cl.cluster_of(target)
-    if hs == ht:
+    if cl.cluster_of(source) == cl.cluster_of(target):
         return oracle.path(source, target)
-    walk: list[NodeId] = list(oracle.path(source, hs))
-    head_seq = _backbone_shortest(result, hs, ht)
-    for a, b in zip(head_seq, head_seq[1:]):
-        seg = result.virtual_graph.link(*(sorted((a, b)))).path
-        if seg[0] != a:
-            seg = tuple(reversed(seg))
-        walk.extend(seg[1:])
-    walk.extend(oracle.path(ht, target)[1:])
-    return tuple(walk)
+    return HeadRouter(result).walk(oracle, source, target)
 
 
 def table_sizes(result: BackboneResult) -> dict[NodeId, int]:
@@ -141,11 +278,13 @@ def routing_report(
     *,
     samples: int = 50,
     seed: int = 0,
+    router: Optional[HeadRouter] = None,
 ) -> RoutingReport:
     """Sample random pairs and measure stretch + table sizes.
 
     Every sampled walk is validated edge-by-edge against the real graph
-    before being counted.
+    before being counted.  One :class:`HeadRouter` is shared across the
+    samples (pass ``router`` to share it further).
     """
     g = result.clustering.graph
     if g.n < 2:
@@ -155,9 +294,10 @@ def routing_report(
         tuple(int(x) for x in rng.choice(g.n, size=2, replace=False))
         for _ in range(samples)
     ]
+    hr = router or HeadRouter(result)
     walks = []
     for s, t in pairs:
-        walk = route(result, oracle, s, t)
+        walk = hr.walk(oracle, s, t)
         for a, b in zip(walk, walk[1:]):
             if not g.has_edge(a, b):
                 raise ValidationError(f"routing walk uses non-edge ({a},{b})")

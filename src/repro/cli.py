@@ -6,6 +6,8 @@ Installed as ``repro-khop`` (see pyproject).  Examples::
     repro-khop figure4 --k 3 --seed 11      # a Figure-4 style instance
     repro-khop claims --trials 10           # check the six §4 claims
     repro-khop overhead                     # distributed message overhead
+    repro-khop traffic --flows 10000        # batch-route a flow workload
+    repro-khop traffic --lifetime-epochs 40 # traffic-driven lifetime loop
     repro-khop all --trials 5               # everything, quickly
 """
 
@@ -44,6 +46,27 @@ def build_parser() -> argparse.ArgumentParser:
     p4.add_argument("--k", type=int, default=2)
     p4.add_argument("--seed", type=int, default=4)
 
+    pt = sub.add_parser(
+        "traffic", help="batch-route a flow workload over the backbone"
+    )
+    pt.add_argument("--n", type=int, default=400)
+    pt.add_argument("--degree", type=float, default=8.0)
+    pt.add_argument("--k", type=int, default=2)
+    pt.add_argument("--algorithm", default="AC-LMST")
+    pt.add_argument(
+        "--workload",
+        default="uniform",
+        choices=("uniform", "cbr", "hotspot", "gossip"),
+    )
+    pt.add_argument("--flows", type=int, default=5000)
+    pt.add_argument("--seed", type=int, default=7)
+    pt.add_argument(
+        "--lifetime-epochs",
+        type=int,
+        default=0,
+        help="also run the rotation-vs-static traffic-driven lifetime loop",
+    )
+
     sub.add_parser("figure5", help="CDS size vs N, sparse (D=6)")
     sub.add_parser("figure6", help="CDS size vs N, dense (D=10)")
     sub.add_parser("figure7", help="effect of k (heads and CDS size)")
@@ -67,6 +90,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "figure4":
         data = figure4.run(n=args.n, degree=args.degree, k=args.k, seed=args.seed)
         print(figure4.render(data))
+    elif args.command == "traffic":
+        from .traffic import report as traffic_report
+
+        traffic_report.main(
+            n=args.n,
+            degree=args.degree,
+            k=args.k,
+            algorithm=args.algorithm,
+            workload=args.workload,
+            flows=args.flows,
+            seed=args.seed,
+            lifetime_epochs=args.lifetime_epochs,
+        )
     elif args.command == "figure5":
         figure5.main()
     elif args.command == "figure6":

@@ -151,8 +151,12 @@ def khop_cluster(
     heads: list[int] = []
     # All distance queries go through the graph's oracle as closed k-balls,
     # so only O(ball) work/memory per node is ever done — the lazy backend
-    # never materializes the O(n²) matrix.
+    # never materializes the O(n²) matrix.  Round 1 touches every node's
+    # ball, so warm them all through the batched depth-limited kernel up
+    # front (a no-op on the dense backend and for already-cached balls,
+    # e.g. those inherited across a churn removal).
     oracle = graph.oracle
+    oracle.prepare_balls(range(n), k)
     rounds = 0
 
     while undecided.any():

@@ -331,6 +331,19 @@ class DistanceOracle:
         """
         raise NotImplementedError
 
+    def prepare_balls(self, sources: Sequence[NodeId], radius: int) -> int:
+        """Warm the ``radius``-ball cache for many sources in one pass.
+
+        A hint, not a query: backends without a ball cache (dense) ignore
+        it; the lazy backend batches the missing sources through the
+        bit-packed depth-limited kernel so a following per-source
+        :meth:`ball` sweep — e.g. the clustering declaration phase — hits
+        the cache instead of running one Python-level BFS per node.
+
+        Returns the number of balls actually computed.
+        """
+        return 0
+
     def ball_map(self, source: NodeId, radius: int) -> dict[int, int]:
         """:meth:`ball` as a ``node -> distance`` dict (absent = beyond radius)."""
         nodes, dists = self.ball(source, radius)
@@ -412,6 +425,7 @@ def multi_source_bfs(
     n: int,
     sources: Sequence[int],
     out: np.ndarray | None = None,
+    max_depth: int | None = None,
 ) -> np.ndarray:
     """Bit-packed multi-source BFS: up to B sources advance together.
 
@@ -422,6 +436,10 @@ def multi_source_bfs(
     ``np.bitwise_or.reduceat`` per-node reduction, instead of B separate
     frontier expansions.  Newly-reached levels are scattered into the
     output matrix by unpacking only the words/bits that actually changed.
+
+    With ``max_depth`` the sweep stops after that many levels, leaving
+    farther nodes at :data:`UNREACHABLE` — the batched equivalent of a
+    depth-limited ball BFS, used to warm many balls in one pass.
 
     Returns the ``(len(sources), n)`` int32 distance matrix (written into
     ``out`` when given, which must have that shape).
@@ -454,6 +472,8 @@ def multi_source_bfs(
     active = np.unique(src)  # nodes currently carrying any frontier bit
     while True:
         level += 1
+        if max_depth is not None and level > max_depth:
+            return out
         active_edges = int(degs[active].sum())
         if 8 * active_edges < m2:
             # Sparse frontier (well under m/8 incident edges): gather only
@@ -776,6 +796,36 @@ class LazyDistanceOracle(DistanceOracle):
             self._row_hits += 1
             return int(cached[u])
         return int(self.row(u)[v])
+
+    def prepare_balls(self, sources: Sequence[NodeId], radius: int) -> int:
+        """Batch-compute the missing ``radius``-balls among ``sources``.
+
+        Missing sources run through :func:`multi_source_bfs` with
+        ``max_depth=radius`` — one bit-packed sweep per
+        :data:`BATCH_BITS` sources instead of one Python-level
+        depth-limited BFS each — and the extracted balls are stored in
+        the ball cache.  Cached sources are skipped; an over-budget
+        cache simply evicts LRU-first as usual, so this is always safe
+        to call speculatively.
+        """
+        _check_radius(radius)
+        missing = [
+            s
+            for s in dict.fromkeys(int(s) for s in sources)
+            if (s, radius) not in self._balls
+        ]
+        n = self._graph.n
+        for start in range(0, len(missing), BATCH_BITS):
+            chunk = missing[start : start + BATCH_BITS]
+            block = multi_source_bfs(
+                self._indptr, self._indices, n, chunk, max_depth=radius
+            )
+            self._batched_sweeps += 1
+            for i, s in enumerate(chunk):
+                result = _ball_from_row(block[i], radius)
+                self._balls_computed += 1
+                self._store_ball((s, radius), result)
+        return len(missing)
 
     def ball(self, source: NodeId, radius: int) -> Tuple[np.ndarray, np.ndarray]:
         _check_radius(radius)

@@ -1,0 +1,57 @@
+"""Traffic engine: batched flow routing, load accounting, lifetime loops.
+
+The layer that puts actual load on the clustered backbone (ROADMAP north
+star: "heavy traffic from millions of users"):
+
+* :mod:`~repro.traffic.workloads` — seeded flow-batch generators
+  (uniform, CBR, hotspot convergecast, gossip);
+* :mod:`~repro.traffic.router` — the vectorized batch router
+  (:class:`BatchRouter`) sharing Dijkstra trees, head walks, legs and
+  bit-packed BFS sweeps across thousands of flows;
+* :mod:`~repro.traffic.load` — per-node forwarding load, virtual-link
+  utilization, stretch/congestion/fairness accounting;
+* :mod:`~repro.traffic.lifetime` — the closed loop where measured load
+  drains :class:`~repro.net.energy.EnergyModel`, deaths feed the §3.3
+  repair ladder, and flows replay across epochs (rotation vs static);
+* :mod:`~repro.traffic.report` — the ``repro-khop traffic`` experiment.
+"""
+
+from .lifetime import (
+    LifetimeEpoch,
+    LifetimeReport,
+    compare_rotation_under_traffic,
+    simulate_traffic_lifetime,
+)
+from .load import LoadReport, measure_load
+from .report import TrafficReport, render_traffic, run_traffic
+from .router import BatchRouter, RoutedFlows
+from .workloads import (
+    WORKLOADS,
+    Workload,
+    cbr_flows,
+    gossip,
+    hotspot,
+    make_workload,
+    uniform_pairs,
+)
+
+__all__ = [
+    "Workload",
+    "uniform_pairs",
+    "cbr_flows",
+    "hotspot",
+    "gossip",
+    "WORKLOADS",
+    "make_workload",
+    "BatchRouter",
+    "RoutedFlows",
+    "LoadReport",
+    "measure_load",
+    "LifetimeEpoch",
+    "LifetimeReport",
+    "simulate_traffic_lifetime",
+    "compare_rotation_under_traffic",
+    "TrafficReport",
+    "run_traffic",
+    "render_traffic",
+]

@@ -1,0 +1,273 @@
+"""Traffic-driven lifetime: load drains energy, deaths drive §3.3 repair.
+
+The rotation simulation (:mod:`repro.maintenance.rotation`) charges only
+*idle* role drain; churn (:mod:`repro.maintenance.churn`) kills *random*
+nodes.  This module closes the loop the paper actually argues about: the
+measured forwarding load of a real workload is charged against
+:class:`~repro.net.energy.EnergyModel`, so clusterheads and gateways —
+who carry the transit traffic — drain first; nodes whose battery empties
+become failures fed through :func:`~repro.maintenance.repair.repair`; the
+surviving backbone carries the replayed flows of the next epoch.
+
+Each epoch of :func:`simulate_traffic_lifetime`:
+
+1. (``scheme="energy"`` only) re-elect clusterheads by residual energy —
+   the paper's §3.3 rotation — and rebuild the backbone;
+2. route the workload's surviving flows over the backbone
+   (:class:`~repro.traffic.router.BatchRouter`) and account the load;
+3. charge transmit/receive costs per node from the load vectors, plus
+   role-dependent idle drain;
+4. feed every newly dead node through the repair ladder, in order; stop
+   at the first repair that reports a network partition.
+
+Comparing ``scheme="energy"`` against ``scheme="static"`` (initial heads
+kept until repairs force changes) under the *same* workload measures how
+much rotation extends time-to-first-partition — the quantitative form of
+"rotate the role of clusterhead to prolong the average lifespan".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..core.clustering import Clustering, khop_cluster
+from ..core.pipeline import BackboneResult, build_backbone
+from ..core.priorities import ResidualEnergy
+from ..errors import InvalidParameterError
+from ..maintenance.repair import repair
+from ..net.energy import EnergyModel, EnergyParams
+from ..net.graph import Graph
+from .load import measure_load
+from .router import BatchRouter
+from .workloads import Workload
+
+__all__ = [
+    "LifetimeEpoch",
+    "LifetimeReport",
+    "simulate_traffic_lifetime",
+    "compare_rotation_under_traffic",
+]
+
+
+@dataclass(frozen=True)
+class LifetimeEpoch:
+    """One epoch's snapshot of the traffic-driven lifetime loop.
+
+    Attributes:
+        epoch: epoch index.
+        heads: clusterheads that served this epoch.
+        cds_size: backbone size that carried the epoch's traffic.
+        flows_routed: surviving flows actually routed.
+        packet_hops: demand-weighted transmissions this epoch.
+        max_node_load: heaviest single node's message load.
+        min_residual / mean_residual: residual energy over *alive* nodes
+            after the epoch's drain.
+        deaths: nodes that died at the end of this epoch, in repair order.
+    """
+
+    epoch: int
+    heads: tuple[int, ...]
+    cds_size: int
+    flows_routed: int
+    packet_hops: int
+    max_node_load: float
+    min_residual: float
+    mean_residual: float
+    deaths: tuple[int, ...]
+
+
+@dataclass
+class LifetimeReport:
+    """Aggregate outcome of one traffic-driven lifetime simulation.
+
+    Attributes:
+        scheme: ``"energy"`` (rotation) or ``"static"``.
+        epochs: per-epoch snapshots, in order.
+        deaths: ``(epoch, node, role)`` for every death, in repair order.
+        repair_actions: histogram of repair-ladder actions taken.
+        head_service: node -> epochs served as clusterhead.
+        first_partition_epoch: epoch whose deaths partitioned the
+            network (simulation stops there), or None.
+    """
+
+    scheme: str
+    epochs: list[LifetimeEpoch] = field(default_factory=list)
+    deaths: list[tuple[int, int, str]] = field(default_factory=list)
+    repair_actions: Counter = field(default_factory=Counter)
+    head_service: Counter = field(default_factory=Counter)
+    first_partition_epoch: Optional[int] = None
+
+    @property
+    def lifetime(self) -> int:
+        """Epochs fully survived before the first partition."""
+        if self.first_partition_epoch is not None:
+            return self.first_partition_epoch
+        return len(self.epochs)
+
+    @property
+    def distinct_heads(self) -> int:
+        """How many different nodes ever served as clusterhead."""
+        return len(self.head_service)
+
+    @property
+    def total_deaths(self) -> int:
+        """Nodes that ran out of energy during the simulation."""
+        return len(self.deaths)
+
+
+def _strip_dead(clustering: Clustering, dead: set[int]) -> Clustering:
+    """Drop dead (isolated, self-elected) nodes from a fresh clustering."""
+    head_of = list(clustering.head_of)
+    for u in dead:
+        head_of[u] = u
+    return Clustering(
+        graph=clustering.graph,
+        k=clustering.k,
+        head_of=tuple(head_of),
+        heads=tuple(h for h in clustering.heads if h not in dead),
+        rounds=clustering.rounds,
+        priority_name=clustering.priority_name,
+        membership_name=clustering.membership_name,
+    )
+
+
+def simulate_traffic_lifetime(
+    graph: Graph,
+    k: int,
+    workload: Workload,
+    *,
+    epochs: int,
+    scheme: str = "energy",
+    algorithm: str = "AC-LMST",
+    params: EnergyParams | None = None,
+    idle_rounds_per_epoch: int = 1,
+) -> LifetimeReport:
+    """Replay ``workload`` for up to ``epochs`` epochs of drain + repair.
+
+    Args:
+        graph: connected network.
+        k: cluster radius.
+        workload: the flow batch replayed every epoch (flows whose
+            endpoints died are dropped from later epochs).
+        epochs: maximum number of epochs to simulate.
+        scheme: ``"energy"`` re-elects heads by residual energy every
+            epoch (rotation); ``"static"`` keeps the initial heads,
+            changing them only when the repair ladder forces it.
+        algorithm: backbone pipeline to maintain.
+        params: energy constants (default :class:`EnergyParams`).
+        idle_rounds_per_epoch: role-dependent idle rounds charged per
+            epoch on top of the traffic load.
+    """
+    if scheme not in ("energy", "static"):
+        raise InvalidParameterError(f"unknown lifetime scheme {scheme!r}")
+    if epochs < 1:
+        raise InvalidParameterError("epochs must be >= 1")
+    if workload.n != graph.n:
+        raise InvalidParameterError(
+            f"workload addresses {workload.n} nodes, graph has {graph.n}"
+        )
+    if idle_rounds_per_epoch < 0:
+        raise InvalidParameterError("idle_rounds_per_epoch must be >= 0")
+
+    model = EnergyModel(graph.n, params)
+    alive = np.ones(graph.n, dtype=bool)
+    dead: set[int] = set()
+    current = graph
+    backbone: Optional[BackboneResult] = None
+    report = LifetimeReport(scheme=scheme)
+
+    for epoch in range(epochs):
+        if backbone is None or scheme == "energy":
+            priority = (
+                ResidualEnergy(model.residuals()) if scheme == "energy" else None
+            )
+            clustering = khop_cluster(
+                current, k, priority=priority, require_connected=False
+            )
+            backbone = build_backbone(_strip_dead(clustering, dead), algorithm)
+        # Snapshot before the deaths loop: repairs may change the heads,
+        # but *these* are the nodes that carried this epoch's traffic.
+        epoch_heads = backbone.heads
+        epoch_cds_size = backbone.cds_size
+        for h in epoch_heads:
+            report.head_service[h] += 1
+
+        routed = BatchRouter(backbone).route_flows(
+            workload.restrict(alive), with_shortest=False
+        )
+        load = measure_load(backbone, routed)
+        model.charge_load(load.tx, load.rx)
+        for _ in range(idle_rounds_per_epoch):
+            model.charge_idle_round(set(backbone.cds))
+
+        deaths = [
+            u
+            for u in np.flatnonzero(alive).tolist()
+            if not model.is_alive(u)
+        ]
+        partitioned = False
+        for node in deaths:
+            alive[node] = False
+            dead.add(node)
+            outcome = repair(backbone, node)
+            report.deaths.append((epoch, node, outcome.role))
+            report.repair_actions[outcome.action] += 1
+            if outcome.partitioned:
+                partitioned = True
+                break
+            backbone = outcome.backbone
+            current = backbone.clustering.graph
+
+        residuals = model.residuals()
+        alive_res = residuals[alive] if alive.any() else residuals
+        report.epochs.append(
+            LifetimeEpoch(
+                epoch=epoch,
+                heads=epoch_heads,
+                cds_size=epoch_cds_size,
+                flows_routed=routed.num_flows,
+                packet_hops=load.packet_hops,
+                max_node_load=load.max_node_load,
+                min_residual=float(alive_res.min()) if alive_res.size else 0.0,
+                mean_residual=float(alive_res.mean()) if alive_res.size else 0.0,
+                deaths=tuple(deaths),
+            )
+        )
+        if partitioned:
+            report.first_partition_epoch = epoch
+            break
+    return report
+
+
+def compare_rotation_under_traffic(
+    graph: Graph,
+    k: int,
+    workload: Workload,
+    *,
+    epochs: int,
+    algorithm: str = "AC-LMST",
+    params: EnergyParams | None = None,
+    idle_rounds_per_epoch: int = 1,
+) -> dict[str, LifetimeReport]:
+    """Run both schemes on identical fresh energy ledgers and workloads.
+
+    Returns ``{"energy": ..., "static": ...}`` — the rotation-vs-static
+    lifetime comparison the acceptance scenario asserts on.
+    """
+    return {
+        scheme: simulate_traffic_lifetime(
+            graph,
+            k,
+            workload,
+            epochs=epochs,
+            scheme=scheme,
+            algorithm=algorithm,
+            params=params,
+            idle_rounds_per_epoch=idle_rounds_per_epoch,
+        )
+        for scheme in ("energy", "static")
+    }

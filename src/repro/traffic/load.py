@@ -1,0 +1,176 @@
+"""Per-node load, virtual-link utilization and congestion accounting.
+
+Once a workload is routed (:mod:`repro.traffic.router`), *someone* carries
+every packet-hop — and the paper's whole §3.3 energy/rotation machinery
+exists because those someones are disproportionately the clusterheads and
+gateways.  This module makes that measurable:
+
+* **per-node message load** — for every hop of every walk the sending
+  node is charged one transmit and the receiving node one receive
+  (demand-weighted), computed by flattening all walks into one index
+  array and two ``np.bincount`` passes;
+* **forwarding (transit) load** — the interior-position subset: packets a
+  node relayed for others, the §3.3 drain driver;
+* **virtual-link utilization** — demand-weighted packet counts per
+  selected backbone link, from the routed head sequences;
+* **congestion/fairness summary** — max and percentile node load, the
+  CDS's share of all packet-hops, and Jain's fairness index
+  (:func:`repro.analysis.stats.jain_fairness`) over the backbone.
+
+The flow-conservation identities (every flow contributes exactly
+``demand * hops`` transmits, receives and ``demand * (hops - 1)``
+forwards; totals match the per-node sums) are asserted in
+``tests/traffic/test_load.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.stats import jain_fairness
+from ..core.pipeline import BackboneResult
+from ..errors import InvalidParameterError
+from ..types import Edge, NodeId, normalize_edge
+from .router import RoutedFlows
+
+__all__ = ["LoadReport", "measure_load"]
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Who carried a routed workload, and how unevenly.
+
+    Attributes:
+        num_flows / total_packets: the routed workload's size.
+        packet_hops: total demand-weighted hops (network transmissions).
+        tx / rx: per-node demand-weighted transmit / receive counts.
+        transit: per-node forwarded packets (interior positions only).
+        link_util: selected virtual link -> demand-weighted packet count.
+        mean_stretch / max_stretch / p95_stretch: walk-vs-shortest ratios.
+        max_node_load / p50_node_load / p95_node_load / p99_node_load:
+            percentiles of total node load (tx + rx) over loaded nodes.
+        cds_share: fraction of all packet-hops whose transmit happened at
+            a CDS (head or gateway) node.
+        backbone_fairness: Jain index of total load across the CDS.
+    """
+
+    num_flows: int
+    total_packets: int
+    packet_hops: int
+    tx: np.ndarray
+    rx: np.ndarray
+    transit: np.ndarray
+    link_util: dict[Edge, int]
+    mean_stretch: float
+    max_stretch: float
+    p95_stretch: float
+    max_node_load: float
+    p50_node_load: float
+    p95_node_load: float
+    p99_node_load: float
+    cds_share: float
+    backbone_fairness: float
+
+    @property
+    def node_load(self) -> np.ndarray:
+        """Total per-node message load, ``tx + rx``."""
+        return self.tx + self.rx
+
+    def top_loaded(self, count: int = 10) -> list[tuple[NodeId, int]]:
+        """The ``count`` most loaded nodes as ``(node, load)``, heaviest first."""
+        load = self.node_load
+        order = np.argsort(load, kind="stable")[::-1][:count]
+        return [(int(u), int(load[u])) for u in order if load[u] > 0]
+
+
+def measure_load(result: BackboneResult, routed: RoutedFlows) -> LoadReport:
+    """Account one routed batch against the backbone that carried it.
+
+    All per-node tallies are demand-weighted ``np.bincount`` passes over
+    the concatenated walks — O(total walk length), no Python-level
+    per-packet loop.
+    """
+    n = result.clustering.graph.n
+    demands = routed.workload.demands
+    if len(routed.walks) != demands.size:
+        raise InvalidParameterError("routed walks and workload demands disagree")
+
+    tx = np.zeros(n, dtype=np.int64)
+    rx = np.zeros(n, dtype=np.int64)
+    transit = np.zeros(n, dtype=np.int64)
+    if routed.walks:
+        flat = np.concatenate(
+            [np.asarray(w, dtype=np.int64) for w in routed.walks]
+        )
+        lengths = routed.hops + 1  # node counts per walk
+        ends = np.cumsum(lengths)
+        starts = ends - lengths
+        weights = np.repeat(demands, lengths)
+        is_first = np.zeros(flat.size, dtype=bool)
+        is_first[starts] = True
+        is_last = np.zeros(flat.size, dtype=bool)
+        is_last[ends - 1] = True
+        tx = np.bincount(
+            flat[~is_last], weights=weights[~is_last], minlength=n
+        ).astype(np.int64)
+        rx = np.bincount(
+            flat[~is_first], weights=weights[~is_first], minlength=n
+        ).astype(np.int64)
+        interior = ~(is_first | is_last)
+        transit = np.bincount(
+            flat[interior], weights=weights[interior], minlength=n
+        ).astype(np.int64)
+
+    link_util: dict[Edge, int] = {}
+    for seq, d in zip(routed.head_paths, demands.tolist()):
+        for a, b in zip(seq, seq[1:]):
+            e = normalize_edge(a, b)
+            link_util[e] = link_util.get(e, 0) + d
+
+    packet_hops = int(tx.sum())
+    if routed.shortest.size:
+        stretches = routed.stretches()
+        mean_stretch = float(stretches.mean()) if stretches.size else 1.0
+        max_stretch = float(stretches.max()) if stretches.size else 1.0
+        p95_stretch = (
+            float(np.percentile(stretches, 95)) if stretches.size else 1.0
+        )
+    else:
+        mean_stretch = max_stretch = p95_stretch = float("nan")
+
+    load = tx + rx
+    loaded = load[load > 0]
+    if loaded.size:
+        max_node_load = float(loaded.max())
+        p50, p95, p99 = (
+            float(np.percentile(loaded, q)) for q in (50, 95, 99)
+        )
+    else:
+        max_node_load = p50 = p95 = p99 = 0.0
+
+    cds = sorted(result.cds)
+    cds_share = (
+        float(tx[cds].sum() / packet_hops) if packet_hops else 0.0
+    )
+    backbone_fairness = jain_fairness(load[cds]) if cds else 0.0
+
+    return LoadReport(
+        num_flows=routed.num_flows,
+        total_packets=routed.workload.total_packets,
+        packet_hops=packet_hops,
+        tx=tx,
+        rx=rx,
+        transit=transit,
+        link_util=link_util,
+        mean_stretch=mean_stretch,
+        max_stretch=max_stretch,
+        p95_stretch=p95_stretch,
+        max_node_load=max_node_load,
+        p50_node_load=p50,
+        p95_node_load=p95,
+        p99_node_load=p99,
+        cds_share=cds_share,
+        backbone_fairness=backbone_fairness,
+    )

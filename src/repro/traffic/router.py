@@ -1,0 +1,210 @@
+"""Vectorized batch routing of flow workloads over a backbone.
+
+:func:`repro.cds.routing.route` answers one pair and rebuilds the head
+graph every call; this module answers *batches* of thousands of flows by
+sharing everything that is shareable:
+
+* one :class:`~repro.cds.routing.HeadRouter` per backbone — the head
+  adjacency built once, one Dijkstra tree per source head, one expanded
+  walk per head pair;
+* member->head **legs** resolved once per distinct (member, head) pair
+  and reused across every flow that enters or leaves that cluster;
+* the BFS rows behind canonical-path construction requested in
+  :data:`~repro.net.oracle.BATCH_BITS`-source bit-packed sweeps
+  (:meth:`DistanceOracle.rows`) instead of one Python BFS per pair —
+  legs are resolved chunk-by-chunk immediately after their rows land so
+  a bounded row cache can never thrash;
+* shortest-path distances for the whole batch answered by one
+  :meth:`DistanceOracle.pair_distances` call (grouped batched rows on
+  the lazy backend, O(|label|) joins on the landmark backend).
+
+The produced :class:`RoutedFlows` carries every walk plus per-flow hop
+counts, shortest distances and the traversed head sequences — exactly
+what the load accounting (:mod:`repro.traffic.load`) needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cds.routing import HeadRouter
+from ..core.pipeline import BackboneResult
+from ..errors import InvalidParameterError
+from ..net.oracle import BATCH_BITS
+from ..net.paths import PathOracle
+from ..types import NodeId, normalize_edge
+from .workloads import Workload
+
+__all__ = ["RoutedFlows", "BatchRouter"]
+
+
+@dataclass(frozen=True)
+class RoutedFlows:
+    """The routed form of one workload batch.
+
+    Attributes:
+        workload: the routed workload (arrays parallel to the lists here).
+        walks: per-flow node walks (source .. target, inclusive).
+        hops: per-flow walk lengths in hops (int64).
+        shortest: per-flow shortest-path hop distances (int64; empty when
+            routed with ``with_shortest=False``).
+        head_paths: per-flow traversed head sequence (empty tuple for
+            intra-cluster flows) — the virtual-link utilization record.
+    """
+
+    workload: Workload
+    walks: list[tuple[NodeId, ...]]
+    hops: np.ndarray
+    shortest: np.ndarray
+    head_paths: list[tuple[NodeId, ...]]
+
+    @property
+    def num_flows(self) -> int:
+        """Number of routed flows."""
+        return len(self.walks)
+
+    def stretches(self) -> np.ndarray:
+        """Per-flow stretch (walk hops / shortest hops), float64."""
+        if self.shortest.size != self.hops.size:
+            raise InvalidParameterError(
+                "stretches need shortest distances; route with "
+                "with_shortest=True"
+            )
+        return self.hops / np.maximum(self.shortest, 1)
+
+
+class BatchRouter:
+    """Routes workload batches over one backbone with shared caches.
+
+    Args:
+        result: the backbone to route over.
+        oracle: optional shared canonical-path oracle (created if omitted).
+    """
+
+    def __init__(
+        self, result: BackboneResult, oracle: PathOracle | None = None
+    ) -> None:
+        self._result = result
+        self._graph = result.clustering.graph
+        self._oracle = oracle or PathOracle(self._graph)
+        self._router = HeadRouter(result)
+        self._head_of = np.asarray(result.clustering.head_of, dtype=np.int64)
+
+    @property
+    def result(self) -> BackboneResult:
+        """The backbone this router serves."""
+        return self._result
+
+    @property
+    def router(self) -> HeadRouter:
+        """The shared head-graph router (Dijkstra trees, head walks)."""
+        return self._router
+
+    def route(self, source: NodeId, target: NodeId) -> tuple[NodeId, ...]:
+        """One flow's walk, sharing this router's caches."""
+        return self._router.walk(self._oracle, source, target)
+
+    def _resolve_legs(
+        self, pairs: set[tuple[int, int]]
+    ) -> dict[tuple[int, int], tuple[NodeId, ...]]:
+        """Canonical paths for distinct unordered pairs, rows batched.
+
+        Pairs are grouped by their smaller endpoint (the BFS root of the
+        canonical-path construction) and resolved in
+        :data:`~repro.net.oracle.BATCH_BITS`-root chunks: one bit-packed
+        sweep warms the chunk's rows, then every leg of the chunk walks
+        its (cache-hot) row.  Resolved legs are pinned in a local dict,
+        so an over-budget row/path cache can evict freely without forcing
+        recomputation.
+        """
+        by_root: dict[int, list[tuple[int, int]]] = {}
+        for pair in pairs:
+            by_root.setdefault(pair[0], []).append(pair)
+        roots = sorted(by_root)
+        legs: dict[tuple[int, int], tuple[NodeId, ...]] = {}
+        oracle = self._graph.oracle
+        for start in range(0, len(roots), BATCH_BITS):
+            chunk = roots[start : start + BATCH_BITS]
+            oracle.rows(chunk)  # one batched sweep warms the row cache
+            for root in chunk:
+                for pair in by_root[root]:
+                    legs[pair] = self._oracle.path(pair[0], pair[1])
+        return legs
+
+    def route_flows(
+        self, workload: Workload, *, with_shortest: bool = True
+    ) -> RoutedFlows:
+        """Route every flow of ``workload``; returns the full batch.
+
+        Args:
+            workload: the flow batch (endpoints must be graph nodes).
+            with_shortest: also resolve each flow's shortest-path
+                distance (one bulk ``pair_distances`` query) so stretch
+                is measurable; skip for pure load studies.
+        """
+        n = self._graph.n
+        if workload.n != n:
+            raise InvalidParameterError(
+                f"workload addresses {workload.n} nodes, graph has {n}"
+            )
+        src = workload.sources
+        dst = workload.targets
+        hs = self._head_of[src]
+        ht = self._head_of[dst]
+        intra = hs == ht
+
+        # Distinct member<->head legs (and intra-cluster pairs), unordered.
+        pairs: set[tuple[int, int]] = set()
+        for s, t, a, b, same in zip(
+            src.tolist(), dst.tolist(), hs.tolist(), ht.tolist(), intra.tolist()
+        ):
+            if same:
+                pairs.add(normalize_edge(s, t))
+            else:
+                if s != a:
+                    pairs.add(normalize_edge(s, a))
+                if t != b:
+                    pairs.add(normalize_edge(b, t))
+        legs = self._resolve_legs(pairs)
+
+        def leg(u: int, v: int) -> tuple[NodeId, ...]:
+            if u == v:
+                return (u,)
+            stored = legs[normalize_edge(u, v)]
+            return stored if stored[0] == u else tuple(reversed(stored))
+
+        router = self._router
+        walks: list[tuple[NodeId, ...]] = []
+        head_paths: list[tuple[NodeId, ...]] = []
+        for s, t, a, b, same in zip(
+            src.tolist(), dst.tolist(), hs.tolist(), ht.tolist(), intra.tolist()
+        ):
+            if same:
+                walks.append(leg(s, t))
+                head_paths.append(())
+                continue
+            walk = list(leg(s, a))
+            walk.extend(router.head_walk(a, b)[1:])
+            walk.extend(leg(b, t)[1:])
+            walks.append(tuple(walk))
+            head_paths.append(router.head_sequence(a, b))
+
+        hops = np.fromiter(
+            (len(w) - 1 for w in walks), dtype=np.int64, count=len(walks)
+        )
+        if with_shortest:
+            norm = [
+                normalize_edge(u, v) for u, v in zip(src.tolist(), dst.tolist())
+            ]
+            shortest = self._graph.oracle.pair_distances(norm).astype(np.int64)
+        else:
+            shortest = np.zeros(0, dtype=np.int64)
+        return RoutedFlows(
+            workload=workload,
+            walks=walks,
+            hops=hops,
+            shortest=shortest,
+            head_paths=head_paths,
+        )

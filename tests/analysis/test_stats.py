@@ -110,3 +110,35 @@ class TestAdaptiveEstimator:
             AdaptiveEstimator(min_trials=20, max_trials=10)
         with pytest.raises(InvalidParameterError):
             AdaptiveEstimator(rel_precision=0.0)
+
+
+class TestJainFairness:
+    def test_even_allocation_is_one(self):
+        from repro.analysis.stats import jain_fairness
+
+        assert jain_fairness([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_single_winner_is_one_over_m(self):
+        from repro.analysis.stats import jain_fairness
+
+        assert jain_fairness([10.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_empty_and_all_zero_are_trivially_fair(self):
+        from repro.analysis.stats import jain_fairness
+
+        assert jain_fairness([]) == 1.0
+        assert jain_fairness([0.0, 0.0]) == 1.0
+
+    def test_rejects_negative(self):
+        from repro.analysis.stats import jain_fairness
+
+        with pytest.raises(InvalidParameterError):
+            jain_fairness([1.0, -2.0])
+
+    @given(st.lists(st.floats(0.0, 1e6), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_bounded_by_one_over_m_and_one(self, xs):
+        from repro.analysis.stats import jain_fairness
+
+        f = jain_fairness(xs)
+        assert 1.0 / len(xs) - 1e-9 <= f <= 1.0 + 1e-9

@@ -140,3 +140,52 @@ class TestRepairLadder:
                     g2.hop_distance(u, h) <= k for h in bb.heads
                 )
             assert node not in bb.cds
+
+
+class TestSurvivorsConnected:
+    """The vectorized CSR reachability pass vs a reference Python sweep."""
+
+    @staticmethod
+    def _reference(graph, gone):
+        survivors = [u for u in graph.nodes() if u not in gone]
+        if len(survivors) <= 1:
+            return True
+        root = survivors[0]
+        seen = {root}
+        stack = [root]
+        while stack:
+            x = stack.pop()
+            for y in graph.neighbors(x):
+                if y not in gone and y not in seen:
+                    seen.add(y)
+                    stack.append(y)
+        return len(seen) == len(survivors)
+
+    @given(connected_graphs(min_n=2), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_reference_sweep(self, g, data):
+        from repro.maintenance.repair import _survivors_connected
+
+        gone = set(
+            data.draw(
+                st.lists(
+                    st.integers(0, g.n - 1), max_size=g.n - 1, unique=True
+                )
+            )
+        )
+        assert _survivors_connected(g, gone) == self._reference(g, gone)
+
+    def test_bridge_removal_partitions(self):
+        from repro.maintenance.repair import _survivors_connected
+
+        g = two_cliques_bridge(4, 2)  # cliques joined by the path 0-4-5-6
+        assert _survivors_connected(g, set()) is True
+        assert _survivors_connected(g, {4}) is False
+        assert _survivors_connected(g, {5}) is False
+
+    def test_all_but_one_gone(self):
+        from repro.maintenance.repair import _survivors_connected
+
+        g = path_graph(5)
+        assert _survivors_connected(g, {0, 1, 2, 3}) is True
+        assert _survivors_connected(g, set(range(5))) is True

@@ -412,3 +412,65 @@ class TestCSR:
         indptr, indices = path_graph(4).csr_adjacency
         with pytest.raises(ValueError):
             indptr[0] = 1
+
+
+# --------------------------------------------------------------------- #
+# depth-limited batched kernel + ball warm-up
+# --------------------------------------------------------------------- #
+
+
+class TestBatchedBalls:
+    @given(connected_graphs(), st.integers(0, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_max_depth_truncates_exactly(self, g, depth):
+        """Depth-limited batched rows equal clipped full rows."""
+        indptr, indices = g.csr_adjacency
+        sources = list(range(g.n))
+        full = multi_source_bfs(indptr, indices, g.n, sources)
+        limited = multi_source_bfs(
+            indptr, indices, g.n, sources, max_depth=depth
+        )
+        expect = np.where(full <= depth, full, UNREACHABLE)
+        assert (limited == expect).all()
+
+    @given(connected_graphs(), ks)
+    @settings(max_examples=40, deadline=None)
+    def test_prepare_balls_matches_per_source_balls(self, g, k):
+        """Warmed balls are bit-identical to on-demand depth-limited BFS."""
+        cold = LazyDistanceOracle(Graph(g.n, g.edges))
+        warm = LazyDistanceOracle(Graph(g.n, g.edges))
+        computed = warm.prepare_balls(range(g.n), k)
+        assert computed == g.n
+        for u in range(g.n):
+            cn, cd = cold.ball(u, k)
+            wn, wd = warm.ball(u, k)
+            assert (cn == wn).all() and (cd == wd).all()
+        # every post-warm-up query was a cache hit
+        assert warm.stats().balls_computed == g.n
+        assert warm.stats().ball_hits == g.n
+
+    def test_prepare_balls_skips_cached_sources(self):
+        g = grid_graph(6, 6)
+        oracle = LazyDistanceOracle(g)
+        oracle.ball(0, 2)
+        assert oracle.prepare_balls(range(g.n), 2) == g.n - 1
+        assert oracle.prepare_balls(range(g.n), 2) == 0
+
+    def test_prepare_balls_counts_sweeps(self):
+        g = toroidal_grid(12, 12)  # 144 nodes -> 3 sweeps of 64
+        oracle = LazyDistanceOracle(g)
+        oracle.prepare_balls(range(g.n), 2)
+        assert oracle.stats().batched_sweeps == (g.n + BATCH_BITS - 1) // BATCH_BITS
+
+    def test_dense_backend_ignores_the_hint(self):
+        g = path_graph(8)
+        oracle = DenseDistanceOracle(g)
+        assert oracle.prepare_balls(range(g.n), 2) == 0
+        nodes, dists = oracle.ball(3, 2)
+        assert nodes.tolist() == [1, 2, 3, 4, 5]
+        assert dists.tolist() == [2, 1, 0, 1, 2]
+
+    def test_negative_radius_rejected(self):
+        oracle = LazyDistanceOracle(path_graph(4))
+        with pytest.raises(InvalidParameterError):
+            oracle.prepare_balls([0], -1)

@@ -21,6 +21,28 @@ class TestParser:
         args = build_parser().parse_args(["--trials", "5", "figure5"])
         assert args.trials == 5
 
+    def test_traffic_options(self):
+        args = build_parser().parse_args(
+            [
+                "traffic",
+                "--n",
+                "120",
+                "--flows",
+                "500",
+                "--workload",
+                "hotspot",
+                "--lifetime-epochs",
+                "3",
+            ]
+        )
+        assert args.command == "traffic"
+        assert args.n == 120 and args.flows == 500
+        assert args.workload == "hotspot" and args.lifetime_epochs == 3
+
+    def test_traffic_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["traffic", "--workload", "nope"])
+
 
 class TestMain:
     def test_figure4_end_to_end(self, capsys, monkeypatch):
@@ -35,3 +57,11 @@ class TestMain:
         rc = main(["--trials", "1", "overhead"])
         assert rc == 0
         assert "overhead" in capsys.readouterr().out.lower()
+
+    def test_traffic_end_to_end(self, capsys):
+        rc = main(
+            ["traffic", "--n", "100", "--degree", "6", "--flows", "300", "--seed", "3"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "packet-hops" in out and "CDS share" in out

@@ -1,0 +1,111 @@
+"""End-to-end traffic-driven lifetime: drain -> death -> repair -> replay."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.net.energy import EnergyParams
+from repro.net.topology import random_topology
+from repro.traffic.lifetime import (
+    compare_rotation_under_traffic,
+    simulate_traffic_lifetime,
+)
+from repro.traffic.workloads import uniform_pairs
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    """The acceptance scenario: a load regime where batteries run out."""
+    topo = random_topology(150, degree=8.0, seed=11)
+    wl = uniform_pairs(topo.graph.n, 500, seed=5)
+    params = EnergyParams(
+        initial=8000.0,
+        tx_cost=1.0,
+        rx_cost=0.5,
+        idle_member=0.01,
+        idle_backbone=1.0,
+    )
+    return topo.graph, wl, params
+
+
+@pytest.fixture(scope="module")
+def both_reports(scenario):
+    graph, wl, params = scenario
+    return compare_rotation_under_traffic(
+        graph, 2, wl, epochs=120, params=params
+    )
+
+
+class TestTrafficDrivenLifetime:
+    def test_load_kills_backbone_nodes_first(self, both_reports):
+        """Load-proportional drain: the first death is a CDS node."""
+        static = both_reports["static"]
+        assert static.total_deaths > 0
+        first_epoch, first_node, first_role = static.deaths[0]
+        assert first_role in ("head", "gateway")
+
+    def test_repair_absorbs_deaths_and_flows_replay(self, both_reports):
+        """Deaths run the §3.3 ladder; later epochs still route flows."""
+        static = both_reports["static"]
+        assert sum(static.repair_actions.values()) == static.total_deaths
+        # at least one death was repaired (not everything partitioned)
+        repaired = (
+            static.repair_actions["none"]
+            + static.repair_actions["gateway-reselect"]
+            + static.repair_actions["recluster"]
+        )
+        assert repaired > 0
+        first_death_epoch = static.deaths[0][0]
+        later = [e for e in static.epochs if e.epoch > first_death_epoch]
+        assert later, "simulation must continue past the first death"
+        assert all(e.flows_routed > 0 for e in later)
+
+    def test_partition_ends_the_simulation(self, both_reports):
+        for report in both_reports.values():
+            if report.first_partition_epoch is not None:
+                assert report.epochs[-1].epoch == report.first_partition_epoch
+                assert report.repair_actions["partition"] == 1
+
+    def test_rotation_extends_time_to_first_partition(self, both_reports):
+        """§3.3's claim, under measured traffic: rotation lives longer."""
+        energy = both_reports["energy"]
+        static = both_reports["static"]
+        assert static.first_partition_epoch is not None
+        assert energy.lifetime > static.lifetime
+        # rotation spreads the head role over many more nodes …
+        assert energy.distinct_heads > 2 * static.distinct_heads
+        # … and loses fewer nodes to drained batteries
+        assert energy.total_deaths < static.total_deaths
+
+    def test_min_residual_declines_monotonically_pre_death(self, both_reports):
+        static = both_reports["static"]
+        first_death_epoch = static.deaths[0][0]
+        # strictly before the first death: the alive set is constant, so
+        # the alive-minimum can only decay (deaths can lift it later).
+        pre = [e.min_residual for e in static.epochs if e.epoch < first_death_epoch]
+        assert all(a >= b for a, b in zip(pre, pre[1:]))
+
+
+class TestLifetimeValidation:
+    def test_rejects_bad_scheme(self, scenario):
+        graph, wl, params = scenario
+        with pytest.raises(InvalidParameterError):
+            simulate_traffic_lifetime(
+                graph, 2, wl, epochs=1, scheme="nope", params=params
+            )
+
+    def test_rejects_mismatched_workload(self, scenario):
+        graph, _, params = scenario
+        wl = uniform_pairs(10, 5, seed=1)
+        with pytest.raises(InvalidParameterError):
+            simulate_traffic_lifetime(graph, 2, wl, epochs=1, params=params)
+
+    def test_no_deaths_when_batteries_are_huge(self, scenario):
+        graph, wl, _ = scenario
+        rich = EnergyParams(initial=1e9)
+        report = simulate_traffic_lifetime(
+            graph, 2, wl, epochs=2, scheme="static", params=rich
+        )
+        assert report.total_deaths == 0
+        assert report.first_partition_epoch is None
+        assert len(report.epochs) == 2
+        assert report.lifetime == 2

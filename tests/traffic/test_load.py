@@ -1,0 +1,108 @@
+"""Flow-conservation invariants and load accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import khop_cluster
+from repro.core.pipeline import build_backbone
+from repro.net.generators import path_graph
+from repro.net.topology import random_topology
+from repro.traffic.load import measure_load
+from repro.traffic.router import BatchRouter
+from repro.traffic.workloads import Workload, hotspot, uniform_pairs
+
+
+@pytest.fixture(scope="module")
+def backbone():
+    topo = random_topology(120, degree=7.0, seed=17)
+    return build_backbone(khop_cluster(topo.graph, 2), "AC-LMST")
+
+
+class TestFlowConservation:
+    def test_totals_match_per_node_sums(self, backbone):
+        """Every flow contributes exactly demand*hops tx, rx and
+        demand*(hops-1) forwards — totals equal the per-node sums."""
+        g = backbone.clustering.graph
+        wl = uniform_pairs(g.n, 500, seed=31, demand=3)
+        routed = BatchRouter(backbone).route_flows(wl)
+        ld = measure_load(backbone, routed)
+        d, hops = wl.demands, routed.hops
+        assert int(ld.tx.sum()) == int((d * hops).sum())
+        assert int(ld.rx.sum()) == int((d * hops).sum())
+        assert int(ld.transit.sum()) == int((d * (hops - 1)).sum())
+        assert ld.packet_hops == int((d * hops).sum())
+
+    def test_endpoint_accounting(self):
+        """On a path graph one intra-cluster flow charges exactly its walk."""
+        g = path_graph(5)
+        bb = build_backbone(khop_cluster(g, 4), "AC-LMST")
+        wl = Workload(
+            name="one",
+            n=5,
+            sources=np.array([0]),
+            targets=np.array([4]),
+            demands=np.array([2]),
+        )
+        routed = BatchRouter(bb).route_flows(wl)
+        ld = measure_load(bb, routed)
+        assert routed.walks[0] == (0, 1, 2, 3, 4)
+        assert ld.tx.tolist() == [2, 2, 2, 2, 0]
+        assert ld.rx.tolist() == [0, 2, 2, 2, 2]
+        assert ld.transit.tolist() == [0, 2, 2, 2, 0]
+
+    def test_link_utilization_counts_demand(self, backbone):
+        g = backbone.clustering.graph
+        wl = uniform_pairs(g.n, 400, seed=32, demand=5)
+        routed = BatchRouter(backbone).route_flows(wl)
+        ld = measure_load(backbone, routed)
+        # each inter-cluster flow crosses len(head_path)-1 links, weighted
+        expect = sum(
+            5 * (len(hp) - 1) for hp in routed.head_paths if hp
+        )
+        assert sum(ld.link_util.values()) == expect
+        # utilization only on selected links
+        assert set(ld.link_util) <= set(backbone.selected_links)
+
+
+class TestCongestionMetrics:
+    def test_cds_carries_the_transit(self, backbone):
+        g = backbone.clustering.graph
+        wl = uniform_pairs(g.n, 800, seed=33)
+        ld = measure_load(backbone, BatchRouter(backbone).route_flows(wl))
+        assert 0.5 < ld.cds_share <= 1.0
+        assert 0.0 < ld.backbone_fairness <= 1.0
+        assert ld.max_node_load >= ld.p99_node_load >= ld.p50_node_load
+
+    def test_hotspot_is_less_fair_than_uniform(self, backbone):
+        g = backbone.clustering.graph
+        router = BatchRouter(backbone)
+        uni = measure_load(
+            backbone, router.route_flows(uniform_pairs(g.n, 600, seed=34))
+        )
+        hot = measure_load(
+            backbone,
+            router.route_flows(hotspot(g.n, 600, sinks=1, seed=34)),
+        )
+        assert hot.backbone_fairness < uni.backbone_fairness
+
+    def test_top_loaded_sorted(self, backbone):
+        g = backbone.clustering.graph
+        wl = uniform_pairs(g.n, 300, seed=35)
+        ld = measure_load(backbone, BatchRouter(backbone).route_flows(wl))
+        top = ld.top_loaded(5)
+        loads = [load for _, load in top]
+        assert loads == sorted(loads, reverse=True)
+        assert loads[0] == int(ld.node_load.max())
+
+    def test_empty_workload(self, backbone):
+        g = backbone.clustering.graph
+        wl = Workload(
+            name="empty",
+            n=g.n,
+            sources=np.zeros(0, dtype=np.int64),
+            targets=np.zeros(0, dtype=np.int64),
+            demands=np.zeros(0, dtype=np.int64),
+        )
+        ld = measure_load(backbone, BatchRouter(backbone).route_flows(wl))
+        assert ld.packet_hops == 0
+        assert ld.max_node_load == 0.0

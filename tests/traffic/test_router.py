@@ -1,0 +1,122 @@
+"""Batch-vs-scalar routing equivalence and router invariants."""
+
+import numpy as np
+import pytest
+
+from repro.cds.routing import HeadRouter, route, routing_report
+from repro.core.clustering import khop_cluster
+from repro.core.pipeline import build_backbone
+from repro.errors import InvalidParameterError
+from repro.net.paths import PathOracle
+from repro.net.topology import random_topology
+from repro.traffic.router import BatchRouter
+from repro.traffic.workloads import uniform_pairs
+
+
+@pytest.fixture(scope="module")
+def backbone():
+    topo = random_topology(150, degree=7.0, seed=13)
+    return build_backbone(khop_cluster(topo.graph, 2), "AC-LMST")
+
+
+class TestHeadRouter:
+    def test_head_sequence_matches_scalar_route(self, backbone):
+        """The shared Dijkstra tree reproduces the per-call head chains."""
+        hr = HeadRouter(backbone)
+        oracle = PathOracle(backbone.clustering.graph)
+        heads = backbone.heads
+        for hs in heads[:5]:
+            for ht in heads:
+                walk = hr.head_walk(hs, ht)
+                assert walk[0] == hs and walk[-1] == ht
+                # scalar route between the heads themselves takes the
+                # same backbone walk
+                assert route(backbone, oracle, hs, ht) == walk
+
+    def test_walk_cached(self, backbone):
+        hr = HeadRouter(backbone)
+        oracle = PathOracle(backbone.clustering.graph)
+        a = hr.walk(oracle, 3, 140)
+        b = hr.walk(oracle, 3, 140)
+        assert a is b or a == b
+
+
+class TestBatchEquivalence:
+    @pytest.mark.parametrize("pin_backend", [None, "lazy"])
+    def test_batch_reproduces_scalar_walks(self, backbone, pin_backend):
+        """Every batched walk equals the looped cds.routing.route() walk."""
+        g = backbone.clustering.graph
+        wl = uniform_pairs(g.n, 400, seed=21)
+        import contextlib
+
+        ctx = (
+            g.pinned_distance_backend(pin_backend)
+            if pin_backend
+            else contextlib.nullcontext()
+        )
+        with ctx:
+            routed = BatchRouter(backbone).route_flows(wl)
+            oracle = PathOracle(g)
+            for i in range(wl.num_flows):
+                s, t = int(wl.sources[i]), int(wl.targets[i])
+                assert routed.walks[i] == route(backbone, oracle, s, t), (s, t)
+
+    def test_walks_are_real_edge_walks(self, backbone):
+        g = backbone.clustering.graph
+        wl = uniform_pairs(g.n, 300, seed=22)
+        routed = BatchRouter(backbone).route_flows(wl)
+        for walk in routed.walks:
+            for a, b in zip(walk, walk[1:]):
+                assert g.has_edge(a, b)
+
+    def test_hops_and_shortest_consistent(self, backbone):
+        g = backbone.clustering.graph
+        wl = uniform_pairs(g.n, 300, seed=23)
+        routed = BatchRouter(backbone).route_flows(wl)
+        assert (routed.hops == [len(w) - 1 for w in routed.walks]).all()
+        # walks can never beat the shortest path
+        assert (routed.hops >= routed.shortest).all()
+        assert (routed.stretches() >= 1.0).all()
+
+    def test_stretch_matches_routing_report(self, backbone):
+        """Batch stretch over the report's own sample pairs agrees."""
+        g = backbone.clustering.graph
+        rng = np.random.default_rng(1)
+        pairs = [
+            tuple(int(x) for x in rng.choice(g.n, size=2, replace=False))
+            for _ in range(50)
+        ]
+        rep = routing_report(
+            backbone, PathOracle(g), samples=50, seed=1
+        )
+        from repro.traffic.workloads import Workload
+
+        wl = Workload(
+            name="sampled",
+            n=g.n,
+            sources=np.array([p[0] for p in pairs]),
+            targets=np.array([p[1] for p in pairs]),
+            demands=np.ones(len(pairs), dtype=np.int64),
+        )
+        routed = BatchRouter(backbone).route_flows(wl)
+        stretches = routed.stretches()
+        assert float(stretches.mean()) == pytest.approx(rep.mean_stretch)
+        assert float(stretches.max()) == pytest.approx(rep.max_stretch)
+
+    def test_intra_cluster_flows_have_empty_head_path(self, backbone):
+        cl = backbone.clustering
+        g = cl.graph
+        wl = uniform_pairs(g.n, 200, seed=24)
+        routed = BatchRouter(backbone).route_flows(wl)
+        for i in range(wl.num_flows):
+            s, t = int(wl.sources[i]), int(wl.targets[i])
+            if cl.cluster_of(s) == cl.cluster_of(t):
+                assert routed.head_paths[i] == ()
+            else:
+                assert routed.head_paths[i][0] == cl.cluster_of(s)
+                assert routed.head_paths[i][-1] == cl.cluster_of(t)
+
+    def test_rejects_mismatched_workload(self, backbone):
+        wl = uniform_pairs(10, 5, seed=25)
+        with pytest.raises(InvalidParameterError):
+            BatchRouter(backbone).route_flows(wl)

@@ -1,0 +1,127 @@
+"""Tests for the seeded workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.traffic.workloads import (
+    WORKLOADS,
+    Workload,
+    cbr_flows,
+    gossip,
+    hotspot,
+    make_workload,
+    uniform_pairs,
+)
+
+
+class TestWorkloadStruct:
+    def test_basic_invariants(self):
+        wl = uniform_pairs(50, 200, seed=1)
+        assert wl.num_flows == 200
+        assert wl.total_packets == 200
+        assert (wl.sources != wl.targets).all()
+        assert wl.sources.min() >= 0 and wl.targets.max() < 50
+        assert not wl.sources.flags.writeable
+
+    def test_rejects_self_flows(self):
+        with pytest.raises(InvalidParameterError):
+            Workload(
+                name="bad",
+                n=5,
+                sources=np.array([1]),
+                targets=np.array([1]),
+                demands=np.array([1]),
+            )
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(InvalidParameterError):
+            Workload(
+                name="bad",
+                n=3,
+                sources=np.array([0]),
+                targets=np.array([3]),
+                demands=np.array([1]),
+            )
+
+    def test_does_not_freeze_caller_arrays(self):
+        src = np.array([0, 1], dtype=np.int64)
+        dst = np.array([2, 3], dtype=np.int64)
+        dem = np.array([1, 1], dtype=np.int64)
+        Workload(name="x", n=4, sources=src, targets=dst, demands=dem)
+        src[0] = 3  # the caller's array must stay writable
+        assert src[0] == 3
+
+    def test_rejects_non_integer_arrays(self):
+        with pytest.raises(InvalidParameterError):
+            Workload(
+                name="bad",
+                n=5,
+                sources=np.array([0]),
+                targets=np.array([1]),
+                demands=np.array([1.9]),
+            )
+
+    def test_rejects_zero_demand(self):
+        with pytest.raises(InvalidParameterError):
+            Workload(
+                name="bad",
+                n=5,
+                sources=np.array([0]),
+                targets=np.array([1]),
+                demands=np.array([0]),
+            )
+
+    def test_restrict_drops_dead_endpoints(self):
+        wl = uniform_pairs(20, 300, seed=2)
+        alive = np.ones(20, dtype=bool)
+        alive[[3, 7]] = False
+        sub = wl.restrict(alive)
+        assert sub.num_flows < wl.num_flows
+        assert 3 not in sub.sources and 3 not in sub.targets
+        assert 7 not in sub.sources and 7 not in sub.targets
+        # flows untouched by the dead nodes all survive
+        keep = alive[wl.sources] & alive[wl.targets]
+        assert sub.num_flows == int(keep.sum())
+
+
+class TestGenerators:
+    def test_deterministic_in_seed(self):
+        a = uniform_pairs(40, 100, seed=9)
+        b = uniform_pairs(40, 100, seed=9)
+        c = uniform_pairs(40, 100, seed=10)
+        assert (a.sources == b.sources).all() and (a.targets == b.targets).all()
+        assert (a.sources != c.sources).any() or (a.targets != c.targets).any()
+
+    def test_cbr_concentrates_demand(self):
+        wl = cbr_flows(30, 5, packets=64, seed=3)
+        assert wl.num_flows == 5
+        assert (wl.demands == 64).all()
+        assert wl.total_packets == 320
+
+    def test_hotspot_targets_are_sinks(self):
+        wl = hotspot(60, 500, sinks=3, seed=4)
+        assert len(np.unique(wl.targets)) <= 3
+        assert (wl.sources != wl.targets).all()
+
+    def test_gossip_covers_every_source(self):
+        wl = gossip(25, fanout=3, seed=5)
+        assert wl.num_flows == 75
+        assert (np.bincount(wl.sources, minlength=25) == 3).all()
+        # per-source peers are distinct
+        for u in range(25):
+            peers = wl.targets[wl.sources == u]
+            assert len(set(peers.tolist())) == 3
+
+    def test_registry_and_scaling(self):
+        for name in WORKLOADS:
+            wl = make_workload(name, 80, 400, seed=6)
+            assert wl.num_flows >= 1
+            assert wl.n == 80
+        with pytest.raises(InvalidParameterError):
+            make_workload("nope", 80, 400, seed=6)
+
+    def test_scales_to_tens_of_thousands(self):
+        wl = uniform_pairs(2000, 20000, seed=7)
+        assert wl.num_flows == 20000
+        assert (wl.sources != wl.targets).all()
