@@ -5,15 +5,16 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench-smoke-ci bench-scaling bench-churn bench-traffic help
+.PHONY: test bench-smoke bench-smoke-ci bench-scaling bench-churn bench-traffic bench-pipeline help
 
 help:
 	@echo "make test           - tier-1 test suite (tests/ + benchmarks/, -x -q)"
 	@echo "make bench-smoke    - benchmark suite at the reduced REPRO_TRIALS budget"
-	@echo "make bench-smoke-ci - scaling + churn + traffic benchmarks (the CI smoke job)"
+	@echo "make bench-smoke-ci - scaling + churn + traffic + pipeline benchmarks (the CI smoke job)"
 	@echo "make bench-scaling  - the full N=200..5000 distance-oracle scaling sweep"
 	@echo "make bench-churn    - full churn benchmark (N=2000, 50 failures, >=3x gate)"
 	@echo "make bench-traffic  - full traffic benchmark (N=2000, 10k flows, >=10x gate)"
+	@echo "make bench-pipeline - full construction sweep N=2000..10000 (>=5x clustering gate at N=5000)"
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -22,7 +23,7 @@ bench-smoke:
 	REPRO_TRIALS=$${REPRO_TRIALS:-2} $(PYTHON) -m pytest benchmarks -q
 
 bench-smoke-ci:
-	$(PYTHON) -m pytest benchmarks/test_bench_scaling.py benchmarks/test_bench_churn.py benchmarks/test_bench_traffic.py -q
+	$(PYTHON) -m pytest benchmarks/test_bench_scaling.py benchmarks/test_bench_churn.py benchmarks/test_bench_traffic.py benchmarks/test_bench_pipeline.py -q
 
 bench-scaling:
 	REPRO_BENCH_FULL=1 REPRO_BENCH_STRICT=1 $(PYTHON) -m pytest benchmarks/test_bench_scaling.py -q
@@ -32,3 +33,6 @@ bench-churn:
 
 bench-traffic:
 	REPRO_BENCH_FULL=1 REPRO_BENCH_STRICT=1 $(PYTHON) -m pytest benchmarks/test_bench_traffic.py -q
+
+bench-pipeline:
+	REPRO_BENCH_FULL=1 REPRO_BENCH_STRICT=1 $(PYTHON) -m pytest benchmarks/test_bench_pipeline.py -q -s

@@ -84,6 +84,100 @@ class HeadRouter:
         """The backbone this router serves."""
         return self._result
 
+    # -- incremental maintenance ---------------------------------------- #
+
+    def _canonical_adjacency(self) -> dict[NodeId, list[tuple[int, NodeId]]]:
+        """The head adjacency in comparison form (sorted edge lists)."""
+        return {h: sorted(lst) for h, lst in self._adj.items()}
+
+    def inherit_from(
+        self,
+        old: "HeadRouter",
+        removed: NodeId,
+        changed_heads: frozenset[NodeId] = frozenset(),
+    ) -> dict[str, int]:
+        """Seed caches from ``old`` after ``removed`` failed and was repaired.
+
+        The same contract :meth:`LazyDistanceOracle.inherit_from`
+        implements for rows/balls: every carried entry is *verified*
+        still-valid against the new backbone, everything else rebuilds
+        lazily on demand.
+
+        * **link segments** carry over for links that are still selected
+          with an identical stored gateway path;
+        * **Dijkstra trees** and **head sequences** depend only on the
+          weighted head adjacency, so they carry over iff the head graph
+          is structurally unchanged (same heads, links and weights — the
+          member-death splice, and any gateway reselect that reproduced
+          the link set);
+        * **expanded walks** additionally embed gateway paths, so each
+          carries over only when every link along its head sequence kept
+          its stored path.
+
+        ``changed_heads`` (e.g. :attr:`RepairOutcome.scope_heads`) is an
+        extra conservative mask: trees rooted at — and sequences/walks
+        touching — a changed head are never inherited, even when the
+        structural comparison finds no difference.
+
+        Returns a counter dict (``trees`` / ``head_seqs`` / ``head_walks``
+        / ``segments`` / ``head_graph_unchanged``) for maintenance
+        reporting.
+        """
+        del removed  # validity is structural; the id only documents intent
+        changed = {int(h) for h in changed_heads}
+        stats = {
+            "trees": 0,
+            "head_seqs": 0,
+            "head_walks": 0,
+            "segments": 0,
+            "head_graph_unchanged": 0,
+        }
+        new_vg = self._result.virtual_graph
+        old_vg = old._result.virtual_graph
+        new_links = self._result.selected_links
+        old_links = old._result.selected_links
+        if new_vg is old_vg and new_links is old_links:
+            # The member-death splice reuses the virtual graph unchanged.
+            same_path = set(new_links)
+        else:
+            same_path = {
+                ab
+                for ab in new_links & old_links
+                if new_vg.link(*ab).path == old_vg.link(*ab).path
+            }
+        for key, seg in old._segments.items():
+            ab = key if key[0] < key[1] else (key[1], key[0])
+            if ab in same_path and key not in self._segments:
+                self._segments[key] = seg
+                stats["segments"] += 1
+        if self._canonical_adjacency() != old._canonical_adjacency():
+            return stats
+        stats["head_graph_unchanged"] = 1
+        for h, tree in old._trees.items():
+            if h not in changed:
+                self._trees[h] = tree
+                stats["trees"] += 1
+        changed_links = set(old_links) - same_path
+        for key, seq in old._head_seqs.items():
+            if changed and not changed.isdisjoint(seq):
+                continue
+            self._head_seqs[key] = seq
+            stats["head_seqs"] += 1
+        for key, walk in old._head_walks.items():
+            seq = old._head_seqs.get(key)
+            if seq is None:
+                continue
+            if changed and not changed.isdisjoint(seq):
+                continue
+            if changed_links and any(
+                ((a, b) if a < b else (b, a)) in changed_links
+                for a, b in zip(seq, seq[1:])
+            ):
+                continue
+            self._head_walks[key] = walk
+            stats["head_walks"] += 1
+        return stats
+
     def tree(self, src_head: NodeId) -> tuple[dict, dict]:
         """The full Dijkstra ``(dist, prev)`` maps rooted at ``src_head``."""
         cached = self._trees.get(src_head)

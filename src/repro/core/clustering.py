@@ -18,10 +18,48 @@ Properties (proved in the paper, checked in :mod:`repro.core.validate`):
 
 Distances are hop distances in the *original* graph ``G`` (radio hops can
 relay through already-decided nodes).
+
+Engines and their round-equivalence
+-----------------------------------
+Two engines implement the identical algorithm:
+
+* the **batched** engine (default) — the declaration phase is ``k``
+  sweeps of neighborhood-min key propagation over the CSR adjacency
+  arrays, and the join phase one multi-source depth-limited BFS from the
+  round's new heads followed by vectorized candidate extraction;
+* the **scalar** engine — the per-node reference loop (one oracle ball
+  query + Python ``min()`` per undecided node), selectable with
+  ``engine="scalar"`` or the ``REPRO_CLUSTER_ENGINE=scalar`` environment
+  variable.
+
+Round equivalence argument (why the two produce identical ``head_of``):
+
+* *Declaration.*  Seed ``val[u]`` with ``u``'s priority rank if ``u`` is
+  undecided, else +inf, then relax ``val[u] = min(val[u], min over
+  neighbors)`` ``k`` times.  After sweep ``i``, ``val[u]`` is the minimum
+  rank of any *undecided* node within ``i`` hops of ``u`` — decided nodes
+  contribute +inf but still relay, matching the scalar path's hop
+  distances in the original ``G``.  Ranks are strictly totally ordered
+  (node ID tie-break), so ``val[u] == rank[u]`` after ``k`` sweeps holds
+  iff ``u`` is the unique best undecided node of its closed k-ball —
+  exactly the scalar declaration test.
+* *Join.*  A depth-``k`` multi-source BFS from the new heads reaches an
+  undecided node ``u`` at depth ``d <= k`` iff the scalar oracle ball of
+  ``u`` contains that head at distance ``d`` (both are hop distances in
+  ``G``).  Candidates are extracted per node in increasing head-ID order
+  and the joins resolved through the same membership policy — the
+  stateless policies vectorize the identical min, and the size-based
+  policy walks the same node-ID admission order over the same candidate
+  lists, so every choice coincides with the scalar engine's.
+
+Property tests assert ``head_of`` identity across both engines on every
+priority × membership × generator combination, including post-churn
+(``without_nodes``) graphs.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping
 
@@ -29,11 +67,34 @@ import numpy as np
 
 from ..errors import DisconnectedGraphError, InvalidParameterError
 from ..net.graph import Graph
+from ..net.oracle import multi_source_bfs
 from ..types import NodeId
 from .membership import JoinContext, MembershipPolicy, resolve_membership
-from .priorities import PriorityScheme, resolve_priority
+from .priorities import PriorityScheme, key_ranks, resolve_priority
 
-__all__ = ["Clustering", "khop_cluster"]
+__all__ = ["Clustering", "group_by_assignment", "khop_cluster"]
+
+#: Environment variable selecting the clustering engine ("batched" default;
+#: "scalar" runs the per-node reference loop).
+ENGINE_ENV = "REPRO_CLUSTER_ENGINE"
+
+
+def group_by_assignment(
+    values: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, list[int]]:
+    """Group array positions by value in one stable-argsort pass.
+
+    Returns ``(order, uniq, bounds)``: positions sorted so equal values
+    are contiguous (ties in ascending position order), the distinct
+    values ascending, and the segment boundaries — group ``i`` is
+    ``order[bounds[i]:bounds[i + 1]]``.  The one-pass replacement for
+    per-value O(n) scans over head assignments (cluster membership,
+    repair validation).
+    """
+    order = np.argsort(values, kind="stable")
+    uniq, starts = np.unique(values[order], return_index=True)
+    bounds = starts.tolist() + [int(values.size)]
+    return order, uniq, bounds
 
 
 @dataclass(frozen=True)
@@ -70,16 +131,23 @@ class Clustering:
         return self.head_of[u]
 
     def members(self, head: NodeId) -> tuple[NodeId, ...]:
-        """All nodes of ``head``'s cluster, including the head, sorted."""
+        """All nodes of ``head``'s cluster, including the head, sorted.
+
+        The first call groups *all* clusters in one ``O(n log n)`` pass (a
+        stable argsort of ``head_of``) and fills the cache wholesale, so
+        iterating every cluster — :meth:`clusters`, routing-table sizing —
+        costs one pass instead of one O(n) scan per head.
+        """
         if self.head_of[head] != head:
             raise InvalidParameterError(f"node {head} is not a clusterhead")
-        cached = self._members_cache.get(head)
-        if cached is None:
-            cached = tuple(
-                u for u in self.graph.nodes() if self.head_of[u] == head
-            )
-            self._members_cache[head] = cached
-        return cached
+        if not self._members_cache:
+            assignment = np.asarray(self.head_of, dtype=np.int64)
+            order, uniq, bounds = group_by_assignment(assignment)
+            for i, h in enumerate(uniq.tolist()):
+                self._members_cache[h] = tuple(
+                    order[bounds[i] : bounds[i + 1]].tolist()
+                )
+        return self._members_cache[head]
 
     def clusters(self) -> Mapping[NodeId, tuple[NodeId, ...]]:
         """Mapping head -> sorted member tuple (members include the head)."""
@@ -116,6 +184,7 @@ def khop_cluster(
     priority: "PriorityScheme | str | None" = None,
     membership: "MembershipPolicy | str | None" = None,
     require_connected: bool = True,
+    engine: str | None = None,
 ) -> Clustering:
     """Run the paper's iterative k-hop clustering algorithm.
 
@@ -128,6 +197,11 @@ def khop_cluster(
             disconnected input (the connected-backbone theorems assume a
             connected ``G``).  Pass ``False`` to cluster each component
             independently, e.g. for maintenance experiments.
+        engine: ``"batched"`` (default; CSR key propagation + multi-source
+            join BFS) or ``"scalar"`` (the per-node reference loop).
+            ``None`` reads the ``REPRO_CLUSTER_ENGINE`` environment
+            variable, falling back to batched.  Both produce identical
+            clusterings (see the module docstring's equivalence argument).
 
     Returns:
         A :class:`Clustering` carrying the head assignment and provenance.
@@ -139,8 +213,30 @@ def khop_cluster(
             "khop_cluster requires a connected graph (pass "
             "require_connected=False to cluster components independently)"
         )
+    name = engine or os.environ.get(ENGINE_ENV) or "batched"
+    if name not in ("batched", "scalar"):
+        raise InvalidParameterError(
+            f"unknown clustering engine {name!r}; known: batched, scalar"
+        )
     prio = resolve_priority(priority)
     policy = resolve_membership(membership)
+    run = _khop_cluster_batched if name == "batched" else _khop_cluster_scalar
+    head_of, heads, rounds = run(graph, k, prio, policy)
+    return Clustering(
+        graph=graph,
+        k=k,
+        head_of=tuple(int(h) for h in head_of.tolist()),
+        heads=tuple(sorted(heads)),
+        rounds=rounds,
+        priority_name=prio.name,
+        membership_name=policy.name,
+    )
+
+
+def _khop_cluster_scalar(
+    graph: Graph, k: int, prio: PriorityScheme, policy: MembershipPolicy
+) -> tuple[np.ndarray, list[int], int]:
+    """The per-node reference engine (one ball query + ``min()`` per node)."""
     keys = prio.keys(graph)
     if len(keys) != graph.n:
         raise InvalidParameterError("priority scheme returned wrong key count")
@@ -212,12 +308,83 @@ def khop_cluster(
             undecided[u] = False
             sizes[chosen] += 1
 
-    return Clustering(
-        graph=graph,
-        k=k,
-        head_of=tuple(int(h) for h in head_of.tolist()),
-        heads=tuple(sorted(heads)),
-        rounds=rounds,
-        priority_name=prio.name,
-        membership_name=policy.name,
-    )
+    return head_of, heads, rounds
+
+
+def _khop_cluster_batched(
+    graph: Graph, k: int, prio: PriorityScheme, policy: MembershipPolicy
+) -> tuple[np.ndarray, list[int], int]:
+    """The vectorized engine: CSR key propagation + multi-source join BFS.
+
+    Per round, O(k · m) word operations for declaration and one
+    depth-limited bit-packed BFS from the new heads for the join — no
+    per-node Python work except inside stateful membership policies.
+    """
+    n = graph.n
+    indptr, indices = graph.csr_adjacency
+    ranks = key_ranks(prio, graph)
+    inf = np.int64(n)  # ranks are 0..n-1, so n is a safe +infinity
+
+    head_of = np.full(n, -1, dtype=np.int64)
+    undecided = np.ones(n, dtype=bool)
+    heads: list[int] = []
+    # Segment starts for the neighborhood-min reduction: reduceat cannot
+    # represent the empty segments of isolated nodes, so reduce over the
+    # nonzero-degree nodes only (isolated nodes keep +inf neighbor mins).
+    degs = np.diff(indptr)
+    nonzero = np.flatnonzero(degs > 0)
+    seg_starts = indptr[nonzero]
+    rounds = 0
+
+    while undecided.any():
+        rounds += 1
+        # --- declaration: k relaxations of the undecided-key minimum ----- #
+        val = np.where(undecided, ranks, inf)
+        for _ in range(k):
+            nbr_min = np.full(n, inf, dtype=np.int64)
+            if indices.size:
+                nbr_min[nonzero] = np.minimum.reduceat(val[indices], seg_starts)
+            np.minimum(val, nbr_min, out=val)
+        new_heads = np.flatnonzero(undecided & (val == ranks))
+        if new_heads.size == 0:  # pragma: no cover - global min always wins
+            raise AssertionError("clustering round produced no clusterhead")
+        undecided[new_heads] = False
+        head_of[new_heads] = new_heads
+        heads.extend(new_heads.tolist())
+        if not undecided.any():
+            break
+
+        # --- join: one depth-k BFS from the new heads ------------------- #
+        # Isolated heads (e.g. dead self-elected nodes on post-churn
+        # lifetime graphs) cover nobody; dropping them keeps the sweep's
+        # frontier state proportional to the live heads.
+        bfs_heads = new_heads[degs[new_heads] > 0]
+        if bfs_heads.size == 0:
+            continue
+        block = multi_source_bfs(
+            indptr, indices, n, bfs_heads, max_depth=k
+        )
+        # Finite entries are <= k by construction; a column with any
+        # finite entry is a covered node.
+        reached = block.min(axis=0) <= k
+        join_nodes = np.flatnonzero(undecided & reached)
+        if join_nodes.size == 0:
+            continue
+        sub = block[:, join_nodes]
+        cand_head_idx, cand_node_idx = np.nonzero(sub <= k)
+        # nonzero() is row-major (head-major); regroup node-major with the
+        # head order preserved inside each node's segment.
+        order = np.argsort(cand_node_idx, kind="stable")
+        cand_node_idx = cand_node_idx[order]
+        cand_heads = bfs_heads[cand_head_idx[order]]
+        cand_dists = sub[cand_head_idx[order], cand_node_idx]
+        counts = np.bincount(cand_node_idx, minlength=join_nodes.size)
+        cand_indptr = np.zeros(join_nodes.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=cand_indptr[1:])
+        chosen = policy.choose_batch(
+            join_nodes, bfs_heads, cand_indptr, cand_heads, cand_dists
+        )
+        head_of[join_nodes] = chosen
+        undecided[join_nodes] = False
+
+    return head_of, heads, rounds

@@ -13,6 +13,20 @@ Size-based membership is stateful within a clustering round: nodes are
 assigned in increasing node-ID order and each assignment immediately updates
 the cluster sizes, mirroring a sequential admission process that balances
 cluster sizes.
+
+Batched path
+------------
+The batched clustering engine resolves a whole round's joins at once
+through :meth:`MembershipPolicy.choose_batch`, handing each policy the
+round's candidate sets as CSR-style segment arrays (one segment of
+``(head, distance)`` candidates per joining node, nodes in increasing ID
+order, candidates in increasing head-ID order — exactly the
+:class:`JoinContext` contents the scalar engine would have built).  The
+stateless policies (ID- and distance-based) override it with fully
+vectorized segment reductions; the stateful size-based policy keeps the
+base implementation, which walks the precomputed candidate arrays in
+node-ID order through :meth:`~MembershipPolicy.choose` and so preserves
+the documented sequential-admission semantics exactly.
 """
 
 from __future__ import annotations
@@ -20,6 +34,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Mapping, Sequence
+
+import numpy as np
 
 from ..errors import InvalidParameterError
 from ..types import NodeId
@@ -70,6 +86,59 @@ class MembershipPolicy(ABC):
     def choose(self, ctx: JoinContext) -> NodeId:
         """Return the clusterhead ``ctx.node`` joins."""
 
+    def choose_batch(
+        self,
+        nodes: np.ndarray,
+        heads: np.ndarray,
+        cand_indptr: np.ndarray,
+        cand_heads: np.ndarray,
+        cand_dists: np.ndarray,
+    ) -> np.ndarray:
+        """Resolve one round's joins over precomputed candidate arrays.
+
+        Args:
+            nodes: joining node IDs, strictly increasing (the engine's
+                assignment order).
+            heads: this round's newly declared heads, strictly increasing.
+            cand_indptr: ``(len(nodes) + 1,)`` segment boundaries into the
+                flattened candidate arrays; every segment is non-empty.
+            cand_heads: flattened candidate head IDs, increasing within
+                each segment.
+            cand_dists: matching hop distances (all ``<= k``).
+
+        Returns:
+            The chosen head per node, parallel to ``nodes``.
+
+        The base implementation is the sequential reference: it walks the
+        segments in node-ID order, maintaining per-head sizes exactly like
+        the scalar engine (head itself plus members admitted earlier this
+        round), and defers each choice to :meth:`choose` — correct for any
+        policy, and the path stateful policies (size-based) keep.
+        """
+        sizes = np.ones(heads.size, dtype=np.int64)
+        out = np.empty(nodes.size, dtype=np.int64)
+        bounds = cand_indptr.tolist()
+        for j, u in enumerate(nodes.tolist()):
+            s, e = bounds[j], bounds[j + 1]
+            seg_heads = cand_heads[s:e]
+            seg_idx = np.searchsorted(heads, seg_heads)
+            ctx = JoinContext(
+                node=int(u),
+                candidates=seg_heads.tolist(),
+                distances=cand_dists[s:e].tolist(),
+                sizes=sizes[seg_idx].tolist(),
+            )
+            chosen = self.choose(ctx)
+            pos = np.searchsorted(seg_heads, chosen)
+            if pos >= seg_heads.size or seg_heads[pos] != chosen:
+                raise InvalidParameterError(
+                    f"membership policy {self.name!r} chose non-candidate "
+                    f"head {chosen} for node {u}"
+                )
+            out[j] = chosen
+            sizes[seg_idx[pos]] += 1
+        return out
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
@@ -81,6 +150,18 @@ class IDBasedJoin(MembershipPolicy):
 
     def choose(self, ctx: JoinContext) -> NodeId:
         return min(ctx.candidates)
+
+    def choose_batch(
+        self,
+        nodes: np.ndarray,
+        heads: np.ndarray,
+        cand_indptr: np.ndarray,
+        cand_heads: np.ndarray,
+        cand_dists: np.ndarray,
+    ) -> np.ndarray:
+        # Candidates are head-ID-ascending, so each segment's first entry
+        # is the minimum — one gather resolves the whole round.
+        return cand_heads[cand_indptr[:-1]].astype(np.int64)
 
 
 class DistanceBasedJoin(MembershipPolicy):
@@ -94,6 +175,22 @@ class DistanceBasedJoin(MembershipPolicy):
     def choose(self, ctx: JoinContext) -> NodeId:
         best = min(zip(ctx.distances, ctx.candidates))
         return best[1]
+
+    def choose_batch(
+        self,
+        nodes: np.ndarray,
+        heads: np.ndarray,
+        cand_indptr: np.ndarray,
+        cand_heads: np.ndarray,
+        cand_dists: np.ndarray,
+    ) -> np.ndarray:
+        # Encode (distance, head) as one int64 so a single segmented min
+        # (reduceat over the non-empty segments) picks the nearest head
+        # with lowest-ID tie-break, exactly like the scalar min().
+        base = int(heads[-1]) + 1 if heads.size else 1
+        key = cand_dists.astype(np.int64) * base + cand_heads.astype(np.int64)
+        best = np.minimum.reduceat(key, cand_indptr[:-1])
+        return best % base
 
 
 class SizeBasedJoin(MembershipPolicy):

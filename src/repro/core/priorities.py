@@ -7,6 +7,19 @@ residual energy.  A priority scheme assigns every node a totally ordered
 *key*; **lower keys win** the clusterhead election.  Every scheme appends
 the node ID as the final tie-breaker, so keys are always strictly totally
 ordered and elections deterministic.
+
+Two representations of the same order exist side by side:
+
+* :meth:`PriorityScheme.keys` — one Python tuple per node, compared
+  lexicographically.  The scalar clustering engine consumes these.
+* :meth:`PriorityScheme.key_array` — a ``(components, n)`` numpy array of
+  the tuple components *without* the trailing node ID, most-significant
+  component first.  :func:`key_ranks` lexsorts it (ID appended as the
+  final sort key) into a dense ``0..n-1`` rank vector — a single int64
+  per node that the batched clustering engine can min-propagate over the
+  CSR arrays.  Both representations must induce the identical total
+  order; the property tests enforce this via scalar/batched clustering
+  equivalence.
 """
 
 from __future__ import annotations
@@ -26,6 +39,7 @@ __all__ = [
     "ResidualEnergy",
     "RandomTimer",
     "ExplicitPriority",
+    "key_ranks",
     "resolve_priority",
 ]
 
@@ -43,6 +57,18 @@ class PriorityScheme(ABC):
     def keys(self, graph: Graph) -> list[PriorityKey]:
         """Per-node keys, indexed by node ID."""
 
+    def key_array(self, graph: Graph) -> np.ndarray:
+        """Key components as a ``(components, n)`` lexsort-able array.
+
+        Row 0 is the most-significant component; the node ID tie-break is
+        *not* included (:func:`key_ranks` appends it).  Must induce the
+        same total order as :meth:`keys`.  Schemes that cannot express
+        their keys as numeric arrays may leave this unimplemented — the
+        batched clustering engine then falls back to ranking the Python
+        tuples from :meth:`keys`.
+        """
+        raise NotImplementedError
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
@@ -54,6 +80,10 @@ class LowestID(PriorityScheme):
 
     def keys(self, graph: Graph) -> list[PriorityKey]:
         return [(u,) for u in graph.nodes()]
+
+    def key_array(self, graph: Graph) -> np.ndarray:
+        # The node ID *is* the key; no components beyond the tie-break.
+        return np.zeros((0, graph.n))
 
 
 class HighestDegree(PriorityScheme):
@@ -67,6 +97,14 @@ class HighestDegree(PriorityScheme):
 
     def keys(self, graph: Graph) -> list[PriorityKey]:
         return [(-graph.degree(u), u) for u in graph.nodes()]
+
+    def key_array(self, graph: Graph) -> np.ndarray:
+        degs = np.fromiter(
+            (graph.degree(u) for u in graph.nodes()),
+            dtype=np.int64,
+            count=graph.n,
+        )
+        return -degs[np.newaxis, :]
 
 
 class ResidualEnergy(PriorityScheme):
@@ -90,6 +128,14 @@ class ResidualEnergy(PriorityScheme):
             )
         return [(-self._residuals[u], u) for u in graph.nodes()]
 
+    def key_array(self, graph: Graph) -> np.ndarray:
+        if len(self._residuals) != graph.n:
+            raise InvalidParameterError(
+                f"residual vector has {len(self._residuals)} entries for a "
+                f"{graph.n}-node graph"
+            )
+        return -np.asarray(self._residuals, dtype=np.float64)[np.newaxis, :]
+
 
 class RandomTimer(PriorityScheme):
     """Random-timer priority [18]: each node draws a uniform backoff.
@@ -107,6 +153,10 @@ class RandomTimer(PriorityScheme):
         rng = np.random.default_rng(self._seed)
         draws = rng.random(graph.n)
         return [(float(draws[u]), u) for u in graph.nodes()]
+
+    def key_array(self, graph: Graph) -> np.ndarray:
+        rng = np.random.default_rng(self._seed)
+        return rng.random(graph.n)[np.newaxis, :]
 
 
 class ExplicitPriority(PriorityScheme):
@@ -128,6 +178,63 @@ class ExplicitPriority(PriorityScheme):
                 f"{graph.n}-node graph"
             )
         return [(self._values[u], u) for u in graph.nodes()]
+
+    def key_array(self, graph: Graph) -> np.ndarray:
+        if len(self._values) != graph.n:
+            raise InvalidParameterError(
+                f"priority vector has {len(self._values)} entries for a "
+                f"{graph.n}-node graph"
+            )
+        # Caller-supplied keys are only required to be *comparable*; use
+        # the array form only when float64 represents every value
+        # exactly (Python's int/float comparison is exact, so huge ints
+        # that would collide in float64 fail this test), else fall back
+        # to ranking the Python keys so both engines see the same order.
+        try:
+            arr = np.asarray(self._values, dtype=np.float64)
+        except (TypeError, ValueError, OverflowError):
+            raise NotImplementedError from None
+        if arr.shape != (graph.n,) or not all(
+            float(v) == v for v in self._values
+        ):
+            raise NotImplementedError
+        return arr[np.newaxis, :]
+
+
+def key_ranks(scheme: PriorityScheme, graph: Graph) -> np.ndarray:
+    """Dense int64 rank per node: ``rank[u] < rank[v]`` iff ``u``'s key wins.
+
+    Lexsorts the scheme's :meth:`~PriorityScheme.key_array` components
+    with the node ID appended as the final tie-break, yielding a strictly
+    totally ordered ``0..n-1`` rank vector — the single-word key
+    representation the batched clustering engine min-propagates.  Schemes
+    without a ``key_array`` fall back to ranking the Python tuples from
+    :meth:`~PriorityScheme.keys` (same order, slower to build).
+    """
+    n = graph.n
+    ids = np.arange(n, dtype=np.int64)
+    try:
+        comps = np.atleast_2d(scheme.key_array(graph))
+    except NotImplementedError:
+        keys = scheme.keys(graph)
+        if len(keys) != n:
+            raise InvalidParameterError(
+                "priority scheme returned wrong key count"
+            )
+        order = np.asarray(
+            sorted(range(n), key=keys.__getitem__), dtype=np.int64
+        )
+    else:
+        if comps.shape[1:] != (n,):
+            raise InvalidParameterError(
+                f"key_array must have shape (components, {n}), got "
+                f"{comps.shape}"
+            )
+        # np.lexsort treats the *last* key as most significant.
+        order = np.lexsort((ids, *comps[::-1]))
+    ranks = np.empty(n, dtype=np.int64)
+    ranks[order] = ids
+    return ranks
 
 
 _NAMED = {

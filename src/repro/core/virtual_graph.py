@@ -112,7 +112,11 @@ class VirtualGraph:
         # Canonical paths walk back along the BFS row of each pair's
         # smaller endpoint; request all of those rows in one batched
         # (bit-packed multi-source) sweep before the per-pair walks.
-        clustering.graph.oracle.rows(sorted({a for a, _ in pairs}))
+        # Pairs already in the path cache (e.g. seeded from a surviving
+        # backbone during repair) need no row at all.
+        cold_roots = sorted({a for a, b in pairs if not oracle.has_path(a, b)})
+        if cold_roots:
+            clustering.graph.oracle.rows(cold_roots)
         links = []
         for a, b in pairs:
             path = oracle.path(a, b)
@@ -131,7 +135,13 @@ class VirtualGraph:
         """Complete virtual graph over all head pairs (global baseline)."""
         heads = clustering.heads
         if len(heads) > 1:  # all of heads[:-1] act as smaller endpoints
-            clustering.graph.oracle.rows(heads[:-1])
+            cold = [
+                a
+                for i, a in enumerate(heads[:-1])
+                if not all(oracle.has_path(a, b) for b in heads[i + 1 :])
+            ]
+            if cold:
+                clustering.graph.oracle.rows(cold)
         links = []
         for i, a in enumerate(heads):
             for b in heads[i + 1 :]:

@@ -34,11 +34,13 @@ from typing import Optional
 
 import numpy as np
 
-from ..core.clustering import Clustering, khop_cluster
+from ..core.clustering import Clustering, group_by_assignment, khop_cluster
 from ..core.pipeline import BackboneResult, build_backbone
 from ..cds.verify import check_gateways_are_members
 from ..errors import InvalidParameterError, ValidationError
 from ..net.graph import Graph
+from ..net.oracle import gather_csr_neighbors
+from ..net.paths import PathOracle
 from ..types import NodeId
 
 __all__ = ["RepairOutcome", "failure_role", "repair"]
@@ -136,22 +138,27 @@ def _old_assignment_valid(
     """
     k = clustering.k
     oracle = graph2.oracle
-    members_of: dict[NodeId, list[int]] = {}
-    for u in graph2.nodes():
-        if u in gone:
-            continue
-        h = clustering.head_of[u]
-        if h in gone:
-            return False
-        members_of.setdefault(h, []).append(u)
-    oracle.prepare_balls(list(members_of), k)
-    for h, members in members_of.items():
+    # Group survivors by head in one stable-argsort pass over the
+    # assignment array (the per-node Python sweep was a fixed per-failure
+    # cost at scale), then cover each head's members with one k-ball.
+    head_arr = np.asarray(clustering.head_of, dtype=np.int64)
+    gone_mask = np.zeros(graph2.n, dtype=bool)
+    if gone:
+        gone_mask[np.fromiter(gone, dtype=np.intp, count=len(gone))] = True
+    survivors = np.flatnonzero(~gone_mask)
+    their_heads = head_arr[survivors]
+    if gone_mask[their_heads].any():
+        return False  # some survivor's head died
+    order, uniq, bounds = group_by_assignment(their_heads)
+    sorted_members = survivors[order]
+    oracle.prepare_balls(uniq.tolist(), k)
+    for i, h in enumerate(uniq.tolist()):
+        members = sorted_members[bounds[i] : bounds[i + 1]]
         nodes, _ = oracle.ball(h, k)
         pos = np.searchsorted(nodes, members)
-        pos_ok = pos < nodes.size
-        if not pos_ok.all():
+        if (pos >= nodes.size).any():
             return False
-        if not (nodes[pos] == np.asarray(members)).all():
+        if not (nodes[pos] == members).all():
             return False
     return True
 
@@ -205,6 +212,29 @@ def _check_links_alive(result: BackboneResult) -> None:
             )
 
 
+def _seeded_path_oracle(
+    graph2: Graph, backbone: BackboneResult, gone: set[NodeId]
+) -> PathOracle:
+    """A path oracle for the post-failure graph, pre-seeded with every
+    surviving virtual-link path of the old backbone.
+
+    Stored link paths are the canonical head-to-head paths of the graph
+    they were built on; a path avoiding every removed node stays
+    canonical (removal only shrinks the min-ID predecessor candidate
+    sets, never below the surviving choice), so rebuilding the virtual
+    graph after a failure re-derives only the links the failure actually
+    broke — the dominant per-repair cost at scale was recomputing the BFS
+    rows behind all the unaffected links.
+    """
+    oracle = PathOracle(graph2)
+    oracle.seed_paths(
+        link.path
+        for link in backbone.virtual_graph.links()
+        if not gone.intersection(link.path)
+    )
+    return oracle
+
+
 def _verify_and_accept(
     result: BackboneResult, gone: set[NodeId]
 ) -> BackboneResult:
@@ -235,14 +265,9 @@ def _survivors_connected(graph2: Graph, gone: set[NodeId]) -> bool:
     frontier = np.asarray([root], dtype=np.int64)
     reached = 1
     while frontier.size:
-        starts = indptr[frontier]
-        ends = indptr[frontier + 1]
-        counts = ends - starts
-        total = int(counts.sum())
-        if total == 0:
+        nbrs, _ = gather_csr_neighbors(indptr, indices, frontier)
+        if nbrs.size == 0:
             break
-        offsets = np.repeat(ends - np.cumsum(counts), counts) + np.arange(total)
-        nbrs = indices[offsets]
         nbrs = nbrs[~seen[nbrs]]
         if nbrs.size == 0:
             break
@@ -302,7 +327,11 @@ def repair(backbone: BackboneResult, node: NodeId) -> RepairOutcome:
                 result = None
         if result is None:
             try:
-                result = build_backbone(surviving, backbone.algorithm)
+                result = build_backbone(
+                    surviving,
+                    backbone.algorithm,
+                    oracle=_seeded_path_oracle(graph2, backbone, gone),
+                )
                 _verify_excluding(result, gone)
             except ValidationError:
                 result = None
@@ -337,7 +366,11 @@ def repair(backbone: BackboneResult, node: NodeId) -> RepairOutcome:
     # Isolated dead nodes elect themselves into phantom singleton
     # clusters; strip them before building the backbone.
     stripped = _strip_nodes(reclustered, graph2, gone)
-    result = build_backbone(stripped, backbone.algorithm)
+    result = build_backbone(
+        stripped,
+        backbone.algorithm,
+        oracle=_seeded_path_oracle(graph2, backbone, gone),
+    )
     _verify_excluding(result, gone)
     return RepairOutcome(
         failed_node=node,

@@ -23,10 +23,15 @@ identical to ``dense``/``lazy`` — the property tests enforce this.
 Queries join the two sorted label arrays in O(|label(u)| + |label(v)|)
 without materializing any BFS row.  Ball and row queries fall back to the
 inherited lazy CSR machinery, so the backend is a drop-in for every
-consumer.  Labels are built lazily on the first pair query; construction
-is Python-level O(total label entries · avg label size) and suited to the
-paper's scales up to a few thousand nodes (vectorizing construction is a
-ROADMAP follow-on).
+consumer.  Labels are built lazily on the first pair query.  Construction
+(:func:`build_pruned_labels`) runs each root's pruned BFS as masked
+level-synchronous sweeps over the CSR arrays: the whole frontier's prune
+checks are one gather of hub distances over padded per-node label arrays
+plus one masked row-min, and surviving nodes are labeled and expanded
+with array operations — no per-node Python work.  That opens the
+landmark backend to ``N >= 10^4`` graphs (a full N=10^4 unit-disk build
+is part of ``make bench-pipeline``); memory during construction is
+O(n · max label length) for the padded arrays.
 
 Under single-node churn the labels are discarded (a removed node may have
 carried shortest paths the labels encode) while cached rows/balls are
@@ -47,9 +52,16 @@ from .oracle import (
     UNREACHABLE,
     LazyDistanceOracle,
     OracleStats,
+    gather_csr_neighbors,
 )
 
 __all__ = ["LandmarkDistanceOracle", "build_pruned_labels"]
+
+
+def _root_order(indptr: np.ndarray, n: int) -> np.ndarray:
+    """Root processing order: decreasing degree, ties by increasing ID."""
+    degrees = np.diff(indptr)
+    return np.lexsort((np.arange(n), -degrees)).astype(np.int64)
 
 
 def build_pruned_labels(
@@ -60,10 +72,106 @@ def build_pruned_labels(
     Returns ``(label_ranks, label_dists, order)``: per-node sorted arrays
     of hub *ranks* and the matching hop distances, plus the rank -> node
     ordering (``order[0]`` is the highest-degree landmark).
+
+    Each root's pruned BFS runs level-synchronously over the CSR arrays.
+    Per-node labels live in capacity-doubled padded 2D arrays
+    (``lab_rank``/``lab_dist`` of shape ``(n, cap)`` plus a length
+    vector), so one level's PLL prune check — "can the labels built so
+    far already certify a distance <= depth between root and v?" — is a
+    single gather of the root's hub distances through the frontier's
+    label rows, a masked add, and a row-min, instead of a Python loop
+    over every label entry.  Nodes that survive the check are labeled
+    ``(rank, depth)`` and expanded by one vectorized CSR gather; pruned
+    nodes are not expanded (their subtree is reachable no cheaper, the
+    PLL invariant).  Produces byte-identical labels to the per-node
+    reference (:func:`_build_pruned_labels_reference`, kept for the
+    equivalence tests).
     """
-    degrees = np.diff(indptr)
-    # Decreasing degree, ties by increasing node ID (deterministic).
-    order = np.lexsort((np.arange(n), -degrees)).astype(np.int64)
+    order = _root_order(indptr, n)
+    if n == 0:
+        return [], [], order
+    inf = np.int64(UNREACHABLE)
+    cap = 8
+    lab_rank = np.zeros((n, cap), dtype=np.int64)
+    lab_dist = np.zeros((n, cap), dtype=np.int64)
+    lab_len = np.zeros(n, dtype=np.int64)
+    col_ids = np.arange(cap)
+    # Distance from the current root to every hub, indexed by hub rank.
+    hub_dist = np.full(n, inf, dtype=np.int64)
+    for rank in range(n):
+        root = int(order[rank])
+        root_len = int(lab_len[root])
+        root_hubs = lab_rank[root, :root_len]
+        hub_dist[root_hubs] = lab_dist[root, :root_len]
+        seen = np.zeros(n, dtype=bool)
+        seen[root] = True
+        frontier = np.asarray([root], dtype=np.int64)
+        depth = 0
+        while frontier.size:
+            # --- prune check, whole level at once ---------------------- #
+            # Clip the gather to the frontier's longest label: early roots
+            # run against near-empty labels, so their (wide) BFS levels
+            # touch a handful of columns instead of the full capacity.
+            lens = lab_len[frontier]
+            width = int(lens.max())
+            if width:
+                rows_rank = lab_rank[frontier, :width]
+                rows_dist = lab_dist[frontier, :width]
+                valid = col_ids[:width] < lens[:, None]
+                via_hub = np.where(
+                    valid, hub_dist[rows_rank] + rows_dist, inf
+                )
+                kept = frontier[via_hub.min(axis=1) > depth]
+            else:
+                kept = frontier  # empty labels certify nothing
+            # --- label the survivors ----------------------------------- #
+            if kept.size:
+                if int(lab_len[kept].max()) >= cap:
+                    grow = np.zeros((n, cap), dtype=np.int64)
+                    lab_rank = np.concatenate([lab_rank, grow], axis=1)
+                    lab_dist = np.concatenate([lab_dist, grow], axis=1)
+                    cap *= 2
+                    col_ids = np.arange(cap)
+                slot = lab_len[kept]
+                lab_rank[kept, slot] = rank
+                lab_dist[kept, slot] = depth
+                lab_len[kept] += 1
+            # --- expand only the survivors ----------------------------- #
+            if kept.size == 0:
+                break
+            if kept.size == 1:
+                # Dominant shape for late roots (the root itself, then an
+                # immediately-pruned neighbor ring): one CSR slice, already
+                # sorted and duplicate-free.
+                v = int(kept[0])
+                nbrs = indices[indptr[v] : indptr[v + 1]]
+                frontier = nbrs[~seen[nbrs]]
+            else:
+                nbrs, _ = gather_csr_neighbors(indptr, indices, kept)
+                if nbrs.size == 0:
+                    break
+                frontier = np.unique(nbrs[~seen[nbrs]])
+            if frontier.size == 0:
+                break
+            seen[frontier] = True
+            depth += 1
+        hub_dist[root_hubs] = inf
+    ranks_out = [lab_rank[u, : lab_len[u]].copy() for u in range(n)]
+    dists_out = [
+        lab_dist[u, : lab_len[u]].astype(DIST_DTYPE) for u in range(n)
+    ]
+    return ranks_out, dists_out, order
+
+
+def _build_pruned_labels_reference(
+    indptr: np.ndarray, indices: np.ndarray, n: int
+) -> tuple[list[np.ndarray], list[np.ndarray], np.ndarray]:
+    """Per-node reference PLL construction (the pre-vectorization path).
+
+    Kept as the ground truth for the CSR-vs-reference label-equality
+    tests; observationally identical to :func:`build_pruned_labels`.
+    """
+    order = _root_order(indptr, n)
     neighbors = [indices[indptr[u] : indptr[u + 1]].tolist() for u in range(n)]
     label_ranks: list[list[int]] = [[] for _ in range(n)]
     label_dists: list[list[int]] = [[] for _ in range(n)]

@@ -49,8 +49,13 @@ path) derives the child graph's oracle from the parent's via
 not reach the removed node, and cached balls that do not contain it, stay
 valid and are carried over instead of recomputed; balls containing the
 removed node exactly on their boundary are patched by dropping that one
-entry.  ``OracleStats.rows_inherited`` / ``balls_inherited`` count the
-carried entries.
+entry.  Invalidated rows are carried over *partially*: entries at
+distance ``<= d(source, removed)`` are provably exact, so the row is
+kept with that valid-prefix radius and completed on demand by resuming
+the BFS from the radius-level frontier instead of starting over.
+``OracleStats.rows_inherited`` / ``balls_inherited`` /
+``rows_partial_inherited`` / ``rows_reexpanded`` count the carried and
+resumed entries.
 """
 
 from __future__ import annotations
@@ -78,6 +83,7 @@ __all__ = [
     "DistanceOracle",
     "DenseDistanceOracle",
     "LazyDistanceOracle",
+    "gather_csr_neighbors",
     "multi_source_bfs",
     "build_distance_oracle",
     "resolve_backend",
@@ -126,6 +132,11 @@ class OracleStats:
         rows_inherited: rows carried over from a parent oracle after a
             single-node removal (incremental maintenance).
         balls_inherited: balls carried over (possibly boundary-patched).
+        rows_partial_inherited: rows whose prefix (entries at distance
+            <= d(source, removed)) was carried over for lazy depth-limited
+            re-expansion instead of being discarded.
+        rows_reexpanded: partial rows completed by resuming BFS from
+            their valid frontier on demand.
         batched_sweeps: bit-packed multi-source BFS sweeps run.
         pair_queries: pair distances answered from landmark labels.
         label_entries: total 2-hop label entries held (landmark backend).
@@ -142,6 +153,8 @@ class OracleStats:
     peak_cached_bytes: int
     rows_inherited: int = 0
     balls_inherited: int = 0
+    rows_partial_inherited: int = 0
+    rows_reexpanded: int = 0
     batched_sweeps: int = 0
     pair_queries: int = 0
     label_entries: int = 0
@@ -380,6 +393,25 @@ def _ball_from_row(row: np.ndarray, radius: int) -> Tuple[np.ndarray, np.ndarray
     return _readonly(nodes), _readonly(row[nodes])
 
 
+def gather_csr_neighbors(
+    indptr: np.ndarray, indices: np.ndarray, nodes: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Concatenated CSR adjacency of ``nodes``: ``(neighbors, counts)``.
+
+    The frontier-expansion primitive every level-synchronous sweep in the
+    repo shares: the ranges ``[indptr[u], indptr[u+1])`` are concatenated
+    without a Python loop — within block ``i``, position ``j`` maps to
+    ``ends_i - cum_i + j``.  ``counts`` is the per-node range length (for
+    callers that repeat per-node state across the concatenation).
+    """
+    starts = indptr[nodes]
+    ends = indptr[nodes + 1]
+    counts = ends - starts
+    total = int(counts.sum())
+    offsets = np.repeat(ends - np.cumsum(counts), counts) + np.arange(total)
+    return indices[offsets], counts
+
+
 def _csr_bfs(
     indptr: np.ndarray,
     indices: np.ndarray,
@@ -399,16 +431,9 @@ def _csr_bfs(
     level = 0
     while frontier.size and (max_depth is None or level < max_depth):
         level += 1
-        starts = indptr[frontier]
-        ends = indptr[frontier + 1]
-        counts = ends - starts
-        total = int(counts.sum())
-        if total == 0:
+        nbrs, _ = gather_csr_neighbors(indptr, indices, frontier)
+        if nbrs.size == 0:
             break
-        # Concatenate the CSR ranges [starts_i, ends_i) without a Python
-        # loop: within block i, position j maps to ends_i - cum_i + j.
-        offsets = np.repeat(ends - np.cumsum(counts), counts) + np.arange(total)
-        nbrs = indices[offsets]
         nbrs = nbrs[dist[nbrs] == UNREACHABLE]
         if nbrs.size == 0:
             break
@@ -482,15 +507,7 @@ def multi_source_bfs(
             # sort — output-sensitive, instead of touching all m edges for
             # a handful of frontier nodes.  The threshold leaves wide
             # mid-BFS levels on the cheaper full-pull path.
-            a_starts = indptr[active]
-            a_ends = indptr[active + 1]
-            counts = a_ends - a_starts
-            total = active_edges
-            offsets = (
-                np.repeat(a_ends - np.cumsum(counts), counts)
-                + np.arange(total)
-            )
-            targets = indices[offsets]
+            targets, counts = gather_csr_neighbors(indptr, indices, active)
             contrib = frontier[np.repeat(active, counts)]
             order = np.argsort(targets, kind="stable")
             targets = targets[order]
@@ -676,8 +693,14 @@ class LazyDistanceOracle(DistanceOracle):
         self._ball_hits = 0
         self._rows_inherited = 0
         self._balls_inherited = 0
+        self._rows_partial_inherited = 0
+        self._rows_reexpanded = 0
         self._batched_sweeps = 0
         self._peak_bytes = 0
+        # source -> (stale parent row, valid-prefix radius, removed nodes):
+        # rows invalidated by a removal but salvageable — entries at
+        # distance <= radius stay exact — pending lazy re-expansion.
+        self._partial_rows: dict[int, tuple[np.ndarray, int, tuple[int, ...]]] = {}
 
     # -- caching helpers ----------------------------------------------- #
 
@@ -688,6 +711,7 @@ class LazyDistanceOracle(DistanceOracle):
 
     def _store_row(self, source: int, dist: np.ndarray) -> None:
         self._rows.put(source, dist, dist.nbytes)
+        self._partial_rows.pop(source, None)  # an exact row supersedes
         self._note_peak()
 
     def _store_ball(
@@ -707,6 +731,15 @@ class LazyDistanceOracle(DistanceOracle):
 
         * a cached **row** from ``s`` stays valid iff ``removed`` was
           unreachable from ``s`` (nothing in ``s``'s component changed);
+        * an invalidated row is still *partially* valid: a shortest
+          path's interior nodes sit strictly closer to the source than
+          its endpoint, so entries at distance ``<= d(s, removed)``
+          cannot route through ``removed`` and stay exact.  Such rows
+          are kept aside with their valid-prefix radius and completed
+          lazily — :meth:`row` resumes a level-synchronous BFS from the
+          radius-level frontier instead of recomputing from scratch
+          (every node beyond the prefix adjoins only frontier-or-deeper
+          nodes, so the resumed sweep is exhaustive);
         * a cached **ball** ``(s, r)`` stays valid iff ``removed`` was
           outside it; if ``removed`` sat exactly on the boundary
           (distance == r) the ball is patched by dropping that single
@@ -715,11 +748,34 @@ class LazyDistanceOracle(DistanceOracle):
 
         Everything else is dropped and will be recomputed on demand.
         """
-        row_seed = [
-            (src, row, row.nbytes)
-            for src, row in parent._rows.items()
-            if row[removed] >= UNREACHABLE
-        ]
+        row_seed = []
+        for src, row in parent._rows.items():
+            d_rm = int(row[removed])
+            if d_rm >= UNREACHABLE:
+                row_seed.append((src, row, row.nbytes))
+            elif d_rm > 0:
+                self._partial_rows[src] = (row, d_rm, (removed,))
+        # Parent partials chain: a second removal inside the valid prefix
+        # shrinks the radius to its (still-exact) distance; outside it,
+        # the stored value is only a lower bound >= radius, so the prefix
+        # is untouched either way.
+        for src, (row, radius, chain) in parent._partial_rows.items():
+            if src == removed or src in self._partial_rows:
+                continue
+            d_rm = int(row[removed])
+            new_radius = min(radius, d_rm)
+            if new_radius > 0:
+                self._partial_rows[src] = (row, new_radius, chain + (removed,))
+        # Pending partials hold full stale rows outside the LRU budget, so
+        # bound them by the same byte discipline: keep at most one
+        # row-budget's worth, dropping oldest-first (parent rows arrive in
+        # LRU-to-MRU order, chained partials after — the staler, the
+        # earlier).  Dropped sources recompute from scratch on demand.
+        row_bytes = max(1, self._graph.n * np.dtype(DIST_DTYPE).itemsize)
+        cap = max(1, self._rows.budget // row_bytes)
+        while len(self._partial_rows) > cap:
+            self._partial_rows.pop(next(iter(self._partial_rows)))
+        self._rows_partial_inherited = len(self._partial_rows)
         ball_seed = []
         for key, ball in parent._balls.items():
             source, radius = key
@@ -742,13 +798,50 @@ class LazyDistanceOracle(DistanceOracle):
 
     # -- queries ------------------------------------------------------- #
 
+    def _reexpand_row(
+        self, source: int, row: np.ndarray, radius: int, chain: tuple[int, ...]
+    ) -> np.ndarray:
+        """Complete a partial row: resume BFS from its valid frontier.
+
+        The prefix (entries at distance <= ``radius``) is exact; entries
+        beyond it — and the ``chain`` of removed nodes themselves — are
+        reset to :data:`UNREACHABLE` and recomputed by continuing the
+        level-synchronous sweep from the nodes at exactly ``radius``
+        (the only visited nodes an unvisited node can adjoin).
+        """
+        dist = row.copy()
+        dist[dist > radius] = UNREACHABLE
+        rm = np.asarray(chain, dtype=np.intp)
+        dist[rm[row[rm] <= radius]] = UNREACHABLE
+        frontier = np.flatnonzero(dist == radius)
+        level = radius
+        indptr, indices = self._indptr, self._indices
+        while frontier.size:
+            level += 1
+            nbrs, _ = gather_csr_neighbors(indptr, indices, frontier)
+            if nbrs.size == 0:
+                break
+            nbrs = nbrs[dist[nbrs] == UNREACHABLE]
+            if nbrs.size == 0:
+                break
+            frontier = np.unique(nbrs)
+            dist[frontier] = level
+        self._rows_reexpanded += 1
+        return dist
+
     def row(self, source: NodeId) -> np.ndarray:
         source = int(source)
         cached = self._rows.get(source)
         if cached is not None:
             self._row_hits += 1
             return cached
-        dist, _ = _csr_bfs(self._indptr, self._indices, self._graph.n, source)
+        partial = self._partial_rows.get(source)
+        if partial is not None:
+            dist = self._reexpand_row(source, *partial)
+        else:
+            dist, _ = _csr_bfs(
+                self._indptr, self._indices, self._graph.n, source
+            )
         dist = _readonly(dist)
         self._rows_computed += 1
         self._store_row(source, dist)
@@ -764,6 +857,11 @@ class LazyDistanceOracle(DistanceOracle):
         # Fresh rows are pinned locally so budget evictions during the
         # batch can never lose a row before it is stacked into the result.
         fresh: dict[int, np.ndarray] = {}
+        # Pending partial rows are *not* salvaged here: per-source BFS
+        # resumption cannot beat the bit-packed kernel's 64-sources-per-
+        # sweep amortization, so batched requests recompute them (and
+        # _store_row retires the stale partial).  Partials pay off on the
+        # single-row path, where the alternative is one full BFS.
         for start in range(0, len(missing), BATCH_BITS):
             chunk = missing[start : start + BATCH_BITS]
             block = multi_source_bfs(self._indptr, self._indices, n, chunk)
@@ -861,6 +959,8 @@ class LazyDistanceOracle(DistanceOracle):
             peak_cached_bytes=self._peak_bytes,
             rows_inherited=self._rows_inherited,
             balls_inherited=self._balls_inherited,
+            rows_partial_inherited=self._rows_partial_inherited,
+            rows_reexpanded=self._rows_reexpanded,
             batched_sweeps=self._batched_sweeps,
         )
 

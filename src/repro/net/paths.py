@@ -112,12 +112,77 @@ class PathOracle:
         self._cache = ByteBudgetLRU(cache_bytes)
         self._paths_computed = 0
         self._path_hits = 0
+        self._paths_inherited = 0
         self._peak_bytes = 0
 
     @property
     def graph(self) -> Graph:
         """The underlying network graph."""
         return self._graph
+
+    @property
+    def paths_inherited(self) -> int:
+        """Cached paths carried over from a parent oracle after a removal."""
+        return self._paths_inherited
+
+    def inherit_from(self, parent: "PathOracle", removed: NodeId) -> int:
+        """Seed the path cache from ``parent`` after ``removed`` lost its edges.
+
+        A cached canonical path that does not contain ``removed`` is still
+        the canonical path in the child graph: removal only *increases*
+        distances, so every node of the surviving path keeps its BFS level
+        from the smaller endpoint, and the min-ID backward walk — whose
+        candidate sets can only shrink but always retain the previously
+        chosen (still-minimal) predecessor — reproduces the identical
+        walk.  Paths through ``removed`` are dropped and recomputed on
+        demand.
+
+        Returns the number of paths carried over.
+        """
+        removed = int(removed)
+        seed = [
+            (key, path, _path_nbytes(path))
+            for key, path in parent._cache.items()
+            if removed not in path
+        ]
+        self._cache.seed(seed)
+        self._paths_inherited += len(seed)
+        if self._cache.nbytes > self._peak_bytes:
+            self._peak_bytes = self._cache.nbytes
+        return len(seed)
+
+    def has_path(self, u: NodeId, v: NodeId) -> bool:
+        """Whether the ``u``-``v`` canonical path is already cached."""
+        if u == v:
+            return True
+        return ((u, v) if u < v else (v, u)) in self._cache
+
+    def seed_paths(self, paths) -> int:
+        """Bulk-insert known canonical paths (e.g. surviving virtual links).
+
+        Every path must be the *canonical* path between its endpoints on
+        this oracle's graph — the caller's obligation; repair uses the
+        previous backbone's stored link paths, which stay canonical as
+        long as they avoid every removed node.  Already-cached pairs are
+        skipped.  Returns the number of paths seeded.
+        """
+        seed = []
+        seen: set[tuple[NodeId, NodeId]] = set()
+        for path in paths:
+            if len(path) < 2:
+                continue
+            u, v = path[0], path[-1]
+            key = (u, v) if u < v else (v, u)
+            if key in seen or key in self._cache:
+                continue
+            seen.add(key)
+            stored = path if path[0] == key[0] else tuple(reversed(path))
+            seed.append((key, stored, _path_nbytes(stored)))
+        self._cache.seed(seed)
+        self._paths_inherited += len(seed)
+        if self._cache.nbytes > self._peak_bytes:
+            self._peak_bytes = self._cache.nbytes
+        return len(seed)
 
     def distance(self, u: NodeId, v: NodeId) -> int:
         """Hop distance between ``u`` and ``v`` in the underlying graph.

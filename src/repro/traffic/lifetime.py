@@ -92,6 +92,12 @@ class LifetimeReport:
         head_service: node -> epochs served as clusterhead.
         first_partition_epoch: epoch whose deaths partitioned the
             network (simulation stops there), or None.
+        router_rebuilds_avoided: repairs after which the whole
+            head-routing layer (Dijkstra trees, head walks) survived into
+            the next epoch via :meth:`BatchRouter.inherit_from` instead
+            of being rebuilt from scratch.
+        router_legs_inherited: resolved member<->head canonical paths
+            carried across repairs.
     """
 
     scheme: str
@@ -100,6 +106,8 @@ class LifetimeReport:
     repair_actions: Counter = field(default_factory=Counter)
     head_service: Counter = field(default_factory=Counter)
     first_partition_epoch: Optional[int] = None
+    router_rebuilds_avoided: int = 0
+    router_legs_inherited: int = 0
 
     @property
     def lifetime(self) -> int:
@@ -178,6 +186,7 @@ def simulate_traffic_lifetime(
     dead: set[int] = set()
     current = graph
     backbone: Optional[BackboneResult] = None
+    router: Optional[BatchRouter] = None
     report = LifetimeReport(scheme=scheme)
 
     for epoch in range(epochs):
@@ -189,6 +198,9 @@ def simulate_traffic_lifetime(
                 current, k, priority=priority, require_connected=False
             )
             backbone = build_backbone(_strip_dead(clustering, dead), algorithm)
+            router = BatchRouter(backbone)
+        elif router is None:  # pragma: no cover - defensive
+            router = BatchRouter(backbone)
         # Snapshot before the deaths loop: repairs may change the heads,
         # but *these* are the nodes that carried this epoch's traffic.
         epoch_heads = backbone.heads
@@ -196,7 +208,7 @@ def simulate_traffic_lifetime(
         for h in epoch_heads:
             report.head_service[h] += 1
 
-        routed = BatchRouter(backbone).route_flows(
+        routed = router.route_flows(
             workload.restrict(alive), with_shortest=False
         )
         load = measure_load(backbone, routed)
@@ -219,8 +231,21 @@ def simulate_traffic_lifetime(
             if outcome.partitioned:
                 partitioned = True
                 break
+            old_router = router
             backbone = outcome.backbone
             current = backbone.clustering.graph
+            if scheme == "static":
+                # The repaired backbone serves the next epoch's flows:
+                # carry the routing layer across instead of rebuilding.
+                # Under rotation the next epoch re-elects heads anyway,
+                # so inheriting would be wasted work.
+                router = BatchRouter(backbone)
+                inherited = router.inherit_from(
+                    old_router, node, outcome.scope_heads
+                )
+                if inherited["head_graph_unchanged"]:
+                    report.router_rebuilds_avoided += 1
+                report.router_legs_inherited += inherited["legs"]
 
         residuals = model.residuals()
         alive_res = residuals[alive] if alive.any() else residuals

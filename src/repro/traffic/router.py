@@ -21,6 +21,15 @@ sharing everything that is shareable:
 The produced :class:`RoutedFlows` carries every walk plus per-flow hop
 counts, shortest distances and the traversed head sequences — exactly
 what the load accounting (:mod:`repro.traffic.load`) needs.
+
+Under churn, a repaired backbone no longer forces a cold router:
+:meth:`BatchRouter.inherit_from` carries the previous router's Dijkstra
+trees, memoized head sequences/walks, link segments and resolved
+member<->head legs across a single-node failure — the same
+validity-checked contract :meth:`LazyDistanceOracle.inherit_from`
+implements for rows and balls — so the traffic-driven lifetime loop
+(:mod:`repro.traffic.lifetime`) pays for a repair only in proportion to
+what the repair actually changed.
 """
 
 from __future__ import annotations
@@ -101,6 +110,35 @@ class BatchRouter:
     def router(self) -> HeadRouter:
         """The shared head-graph router (Dijkstra trees, head walks)."""
         return self._router
+
+    @property
+    def path_oracle(self) -> PathOracle:
+        """The canonical-path oracle holding the resolved legs."""
+        return self._oracle
+
+    def inherit_from(
+        self,
+        old: "BatchRouter",
+        removed: NodeId,
+        changed_heads: frozenset[NodeId] = frozenset(),
+    ) -> dict[str, int]:
+        """Carry ``old``'s caches across the repair that removed ``removed``.
+
+        Call on a freshly built router for the repaired backbone.  The
+        head-graph state (Dijkstra trees, head sequences, expanded walks,
+        link segments) inherits through
+        :meth:`~repro.cds.routing.HeadRouter.inherit_from` — verified
+        against the new backbone's links — and the resolved member<->head
+        legs through :meth:`~repro.net.paths.PathOracle.inherit_from`
+        (every cached canonical path avoiding ``removed`` stays exact).
+
+        Returns the combined counter dict; ``head_graph_unchanged`` is 1
+        when the whole head-routing layer survived (a full router rebuild
+        avoided).
+        """
+        stats = self._router.inherit_from(old._router, removed, changed_heads)
+        stats["legs"] = self._oracle.inherit_from(old._oracle, removed)
+        return stats
 
     def route(self, source: NodeId, target: NodeId) -> tuple[NodeId, ...]:
         """One flow's walk, sharing this router's caches."""

@@ -18,6 +18,7 @@ from repro.net.generators import (
     two_cliques_bridge,
 )
 from repro.net.graph import Graph
+from repro.net.topology import random_topology
 
 from ..conftest import connected_graphs, ks
 
@@ -188,11 +189,26 @@ class TestPropertyInvariants:
         cl = khop_cluster(g, k, membership=policy)
         validate_clustering(cl)
 
-    @given(connected_graphs())
-    @settings(max_examples=30, deadline=None)
-    def test_larger_k_never_more_heads(self, g):
-        counts = [khop_cluster(g, k).num_clusters for k in (1, 2, 3)]
-        assert counts[0] >= counts[1] >= counts[2]
+    def test_larger_k_fewer_heads_on_average(self):
+        # Per-instance head counts are *not* monotone in k: on e.g. a
+        # 15-node tree-plus-chords graph the iterative rounds yield
+        # counts [8, 3, 4] for k=1..3 (identically under the scalar and
+        # batched engines — the algorithm, not an engine, is
+        # non-monotone; hypothesis found such graphs).  The paper's
+        # fewer-heads-for-larger-k claim is statistical (claim 5 in
+        # figures/claims.py), so assert the trend over a seeded
+        # unit-disk ensemble in the paper's regime.
+        totals = []
+        for k in (1, 2, 3):
+            totals.append(
+                sum(
+                    khop_cluster(
+                        random_topology(60, degree=6.0, seed=s).graph, k
+                    ).num_clusters
+                    for s in range(8)
+                )
+            )
+        assert totals[0] >= totals[1] >= totals[2]
 
     @given(connected_graphs(), ks)
     @settings(max_examples=30, deadline=None)

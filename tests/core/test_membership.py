@@ -1,5 +1,6 @@
 """Tests for membership (join) policies."""
 
+import numpy as np
 import pytest
 
 from repro.core.membership import (
@@ -67,3 +68,50 @@ class TestResolver:
     def test_bad_type(self):
         with pytest.raises(InvalidParameterError):
             resolve_membership(3.14)
+
+
+class TestChooseBatch:
+    """The vectorized batch path against per-node choose() calls."""
+
+    @staticmethod
+    def segments():
+        # three joining nodes: {3, 9}, {3}, {3, 9, 15} (heads ascending)
+        nodes = np.asarray([10, 11, 12], dtype=np.int64)
+        heads = np.asarray([3, 9, 15], dtype=np.int64)
+        cand_indptr = np.asarray([0, 2, 3, 6], dtype=np.int64)
+        cand_heads = np.asarray([3, 9, 3, 3, 9, 15], dtype=np.int64)
+        cand_dists = np.asarray([2, 1, 1, 2, 2, 1], dtype=np.int64)
+        return nodes, heads, cand_indptr, cand_heads, cand_dists
+
+    @pytest.mark.parametrize(
+        "policy", [IDBasedJoin(), DistanceBasedJoin(), SizeBasedJoin()]
+    )
+    def test_batch_matches_sequential_reference(self, policy):
+        nodes, heads, indptr, cand_heads, cand_dists = self.segments()
+        got = policy.choose_batch(nodes, heads, indptr, cand_heads, cand_dists)
+        # replay the engine's sequential admission with scalar choose()
+        sizes = {int(h): 1 for h in heads.tolist()}
+        want = []
+        for j, u in enumerate(nodes.tolist()):
+            s, e = int(indptr[j]), int(indptr[j + 1])
+            cands = cand_heads[s:e].tolist()
+            chosen = policy.choose(
+                JoinContext(
+                    node=u,
+                    candidates=cands,
+                    distances=cand_dists[s:e].tolist(),
+                    sizes=[sizes[h] for h in cands],
+                )
+            )
+            sizes[chosen] += 1
+            want.append(chosen)
+        assert got.tolist() == want
+
+    def test_rogue_policy_rejected(self):
+        class Rogue(SizeBasedJoin):
+            def choose(self, ctx):
+                return 999  # never a candidate
+
+        nodes, heads, indptr, cand_heads, cand_dists = self.segments()
+        with pytest.raises(InvalidParameterError):
+            Rogue().choose_batch(nodes, heads, indptr, cand_heads, cand_dists)

@@ -16,7 +16,11 @@ from hypothesis import strategies as st
 
 from repro.net.generators import ring_of_cliques, toroidal_grid
 from repro.net.graph import UNREACHABLE, Graph
-from repro.net.labeling import LandmarkDistanceOracle, build_pruned_labels
+from repro.net.labeling import (
+    LandmarkDistanceOracle,
+    _build_pruned_labels_reference,
+    build_pruned_labels,
+)
 from repro.net.oracle import (
     DIST_DTYPE,
     LazyDistanceOracle,
@@ -143,6 +147,53 @@ def test_labels_exact_after_chained_removals(g, removals):
         ref_row = reference.row(u)
         for v in range(current.n):
             assert oracle.distance(u, v) == int(ref_row[v])
+
+
+class TestVectorizedConstruction:
+    """The CSR level-synchronous builder vs the per-node reference."""
+
+    @pytest.mark.parametrize("make", SCENARIOS)
+    def test_labels_identical_to_reference(self, make):
+        g = make()
+        indptr, indices = g.csr_adjacency
+        v_ranks, v_dists, v_order = build_pruned_labels(indptr, indices, g.n)
+        r_ranks, r_dists, r_order = _build_pruned_labels_reference(
+            indptr, indices, g.n
+        )
+        assert np.array_equal(v_order, r_order)
+        for u in range(g.n):
+            assert np.array_equal(v_ranks[u], r_ranks[u]), u
+            assert np.array_equal(v_dists[u], r_dists[u]), u
+            assert v_dists[u].dtype == r_dists[u].dtype
+
+    @given(connected_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_labels_identical_on_random_graphs(self, g):
+        indptr, indices = g.csr_adjacency
+        v = build_pruned_labels(indptr, indices, g.n)
+        r = _build_pruned_labels_reference(indptr, indices, g.n)
+        for u in range(g.n):
+            assert np.array_equal(v[0][u], r[0][u])
+            assert np.array_equal(v[1][u], r[1][u])
+
+    def test_disconnected_and_isolated_nodes(self):
+        g = Graph(6, [(0, 1), (1, 2), (4, 5)])  # node 3 isolated
+        indptr, indices = g.csr_adjacency
+        v = build_pruned_labels(indptr, indices, g.n)
+        r = _build_pruned_labels_reference(indptr, indices, g.n)
+        for u in range(g.n):
+            assert np.array_equal(v[0][u], r[0][u])
+            assert np.array_equal(v[1][u], r[1][u])
+        # the isolated node still labels itself (exact self-distance 0)
+        oracle = LandmarkDistanceOracle(g)
+        assert oracle.distance(3, 3) == 0
+        assert oracle.distance(3, 0) == UNREACHABLE
+
+    def test_empty_graph(self):
+        g = Graph(0)
+        indptr, indices = g.csr_adjacency
+        ranks, dists, order = build_pruned_labels(indptr, indices, 0)
+        assert ranks == [] and dists == [] and order.size == 0
 
 
 class TestPrunedLabels:

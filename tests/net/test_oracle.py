@@ -30,6 +30,7 @@ from repro.net.oracle import (
     resolve_backend,
 )
 from repro.net.paths import canonical_path
+from repro.net.topology import random_topology
 
 from ..conftest import connected_graphs, ks
 
@@ -474,3 +475,113 @@ class TestBatchedBalls:
         oracle = LazyDistanceOracle(path_graph(4))
         with pytest.raises(InvalidParameterError):
             oracle.prepare_balls([0], -1)
+
+
+class TestPartialRowInheritance:
+    """Invalidated rows keep their valid prefix and resume, not restart."""
+
+    @staticmethod
+    def warm(g: Graph, step: int = 5) -> Graph:
+        g = g.use_distance_backend("lazy")
+        for s in range(0, g.n, step):
+            g.oracle.row(s)
+        return g
+
+    def test_partial_rows_recorded_and_exact(self):
+        g = self.warm(random_topology(250, degree=8.0, seed=9).graph)
+        removed = 17
+        g2 = g.without_nodes([removed])
+        oracle = g2.distance_oracle("lazy")
+        stats = oracle.stats()
+        # the removal is reachable from most warmed sources: their rows
+        # must be salvaged partially rather than dropped
+        assert stats.rows_partial_inherited > 0
+        truth = LazyDistanceOracle(Graph(g.n, g2.edges))
+        for s in range(0, g.n, 5):
+            assert np.array_equal(oracle.row(s), truth.row(s)), s
+        stats = oracle.stats()
+        assert stats.rows_reexpanded == stats.rows_partial_inherited
+
+    def test_prefix_entries_survive_unread(self):
+        # entries at distance <= d(source, removed) are carried verbatim
+        g = self.warm(toroidal_grid(10, 10))
+        source = 0
+        row_before = np.array(g.oracle.row(source))
+        removed = int(np.flatnonzero(row_before == 3)[0])
+        g2 = g.without_nodes([removed])
+        oracle = g2.distance_oracle("lazy")
+        after = oracle.row(source)
+        near = row_before <= 3
+        near[removed] = False
+        assert np.array_equal(after[near], row_before[near])
+        assert after[removed] == UNREACHABLE
+
+    def test_chained_removals_shrink_radius_and_stay_exact(self):
+        g = self.warm(random_topology(200, degree=8.0, seed=21).graph)
+        current = g
+        gone: list[int] = []
+        rng = np.random.default_rng(4)
+        for _ in range(3):
+            x = int(rng.integers(0, g.n))
+            while x in gone:
+                x = int(rng.integers(0, g.n))
+            gone.append(x)
+            current = current.without_nodes([x])
+        oracle = current.distance_oracle("lazy")
+        truth = LazyDistanceOracle(Graph(g.n, current.edges))
+        for s in range(0, g.n, 5):
+            assert np.array_equal(oracle.row(s), truth.row(s)), s
+
+    def test_rows_batch_recomputes_and_retires_partials(self):
+        g = self.warm(random_topology(200, degree=8.0, seed=23).graph)
+        g2 = g.without_nodes([11])
+        oracle = g2.distance_oracle("lazy")
+        pending = oracle.stats().rows_partial_inherited
+        assert pending > 0
+        sources = list(range(0, g.n, 5))
+        block = oracle.rows(sources)
+        truth = LazyDistanceOracle(Graph(g.n, g2.edges))
+        for i, s in enumerate(sources):
+            assert np.array_equal(block[i], truth.row(s)), s
+        # the batch goes through the bit-packed kernel (per-source BFS
+        # resumption cannot beat its amortization) and the fresh rows
+        # retire the stale partials
+        assert oracle.stats().rows_reexpanded == 0
+        assert len(oracle._partial_rows) == 0
+
+    def test_removed_source_row_recomputed_cold(self):
+        g = self.warm(path_graph(12), step=1)
+        g2 = g.without_nodes([4])
+        oracle = g2.distance_oracle("lazy")
+        row = oracle.row(4)  # the dead node itself: isolated
+        assert row[4] == 0
+        assert (np.delete(row, 4) == UNREACHABLE).all()
+
+    def test_fresh_row_supersedes_partial(self):
+        g = self.warm(toroidal_grid(8, 8), step=4)
+        g2 = g.without_nodes([9])
+        oracle = g2.distance_oracle("lazy")
+        pending = oracle.stats().rows_partial_inherited
+        assert pending > 0
+        for s in range(0, g.n, 4):
+            oracle.row(s)
+        # a second removal must not resurrect pre-first-removal state
+        g3 = g2.without_nodes([33])
+        oracle3 = g3.distance_oracle("lazy")
+        truth = LazyDistanceOracle(Graph(g.n, g3.edges))
+        for s in range(0, g.n, 4):
+            assert np.array_equal(oracle3.row(s), truth.row(s)), s
+
+    def test_partial_rows_bounded_by_row_budget(self):
+        g = random_topology(120, degree=8.0, seed=29).graph
+        n = g.n
+        row_bytes = n * 4
+        oracle = LazyDistanceOracle(g, row_cache_bytes=3 * row_bytes)
+        for s in range(0, n, 2):
+            oracle.row(s)
+        child = LazyDistanceOracle(
+            g.without_nodes([1]), row_cache_bytes=3 * row_bytes
+        )
+        child.inherit_from(oracle, 1)
+        # pending stale rows obey the same byte discipline as the cache
+        assert len(child._partial_rows) <= 3

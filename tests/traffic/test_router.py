@@ -120,3 +120,101 @@ class TestBatchEquivalence:
         wl = uniform_pairs(10, 5, seed=25)
         with pytest.raises(InvalidParameterError):
             BatchRouter(backbone).route_flows(wl)
+
+
+class TestRouterInheritance:
+    """Inherited-vs-fresh BatchRouter walk identity across repairs."""
+
+    @staticmethod
+    def _warm_router(backbone, flows=400, seed=31):
+        g = backbone.clustering.graph
+        router = BatchRouter(backbone)
+        router.route_flows(uniform_pairs(g.n, flows, seed=seed), with_shortest=False)
+        return router
+
+    @staticmethod
+    def _surviving_workload(n, dead, flows=400, seed=32):
+        alive = np.ones(n, dtype=bool)
+        alive[list(dead)] = False
+        return uniform_pairs(n, flows, seed=seed).restrict(alive)
+
+    def _assert_identical(self, backbone, inherited, dead):
+        wl = self._surviving_workload(backbone.clustering.graph.n, dead)
+        got = inherited.route_flows(wl, with_shortest=False)
+        want = BatchRouter(backbone).route_flows(wl, with_shortest=False)
+        assert got.walks == want.walks
+        assert got.head_paths == want.head_paths
+
+    def test_member_death_inherits_everything(self, backbone):
+        from repro.maintenance.repair import failure_role, repair
+
+        router = self._warm_router(backbone)
+        member = next(
+            u
+            for u in range(backbone.clustering.graph.n)
+            if failure_role(backbone, u) == "member"
+        )
+        outcome = repair(backbone, member)
+        assert outcome.action == "none"
+        inherited = BatchRouter(outcome.backbone)
+        stats = inherited.inherit_from(router, member, outcome.scope_heads)
+        assert stats["head_graph_unchanged"] == 1
+        assert stats["trees"] > 0
+        assert stats["head_walks"] > 0
+        assert stats["legs"] > 0
+        self._assert_identical(outcome.backbone, inherited, {member})
+
+    def test_head_death_still_produces_identical_walks(self, backbone):
+        from repro.maintenance.repair import repair
+
+        router = self._warm_router(backbone)
+        victim = backbone.heads[1]
+        outcome = repair(backbone, victim)
+        assert outcome.backbone is not None
+        inherited = BatchRouter(outcome.backbone)
+        stats = inherited.inherit_from(router, victim, outcome.scope_heads)
+        # a recluster rebuilds the head graph: trees must not carry over
+        assert stats["head_graph_unchanged"] == 0
+        assert stats["trees"] == 0
+        self._assert_identical(outcome.backbone, inherited, {victim})
+
+    def test_chained_repairs_keep_identity(self, backbone):
+        from repro.maintenance.repair import repair
+
+        router = self._warm_router(backbone)
+        current = backbone
+        dead = set()
+        rng = np.random.default_rng(8)
+        for _ in range(4):
+            victim = int(rng.integers(0, current.clustering.graph.n))
+            while victim in dead:
+                victim = int(rng.integers(0, current.clustering.graph.n))
+            outcome = repair(current, victim)
+            if outcome.partitioned:
+                break
+            dead.add(victim)
+            nxt = BatchRouter(outcome.backbone)
+            nxt.inherit_from(router, victim, outcome.scope_heads)
+            router, current = nxt, outcome.backbone
+            self._assert_identical(current, router, dead)
+
+    def test_lifetime_reports_rebuilds_avoided(self):
+        from repro.net.energy import EnergyParams
+        from repro.traffic.lifetime import simulate_traffic_lifetime
+
+        topo = random_topology(150, degree=8.0, seed=11)
+        wl = uniform_pairs(topo.graph.n, 500, seed=5)
+        params = EnergyParams(
+            initial=8000.0,
+            tx_cost=1.0,
+            rx_cost=0.5,
+            idle_member=0.01,
+            idle_backbone=1.0,
+        )
+        report = simulate_traffic_lifetime(
+            topo.graph, 2, wl, epochs=120, scheme="static", params=params
+        )
+        assert report.total_deaths > 0
+        # member deaths splice the backbone: the routing layer survives
+        assert report.router_rebuilds_avoided > 0
+        assert report.router_legs_inherited > 0
