@@ -5,25 +5,30 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench-smoke-ci bench-scaling bench-churn bench-traffic bench-pipeline help
+.PHONY: test test-all bench-smoke bench-smoke-ci bench-scaling bench-churn bench-traffic bench-pipeline bench-mobility help
 
 help:
-	@echo "make test           - tier-1 test suite (tests/ + benchmarks/, -x -q)"
+	@echo "make test           - tier-1 test suite (tests/ + benchmarks/, -x -q; slow cells skipped)"
+	@echo "make test-all       - full suite including the slow scenario-matrix cells"
 	@echo "make bench-smoke    - benchmark suite at the reduced REPRO_TRIALS budget"
-	@echo "make bench-smoke-ci - scaling + churn + traffic + pipeline benchmarks (the CI smoke job)"
+	@echo "make bench-smoke-ci - scaling + churn + traffic + pipeline + mobility benchmarks (the CI smoke job)"
 	@echo "make bench-scaling  - the full N=200..5000 distance-oracle scaling sweep"
 	@echo "make bench-churn    - full churn benchmark (N=2000, 50 failures, >=3x gate)"
 	@echo "make bench-traffic  - full traffic benchmark (N=2000, 10k flows, >=10x gate)"
 	@echo "make bench-pipeline - full construction sweep N=2000..10000 (>=5x clustering gate at N=5000)"
+	@echo "make bench-mobility - full mobility benchmark (N=2000, 20 snapshots, >=3x delta gate)"
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+test-all:
+	$(PYTHON) -m pytest -x -q -m ""
 
 bench-smoke:
 	REPRO_TRIALS=$${REPRO_TRIALS:-2} $(PYTHON) -m pytest benchmarks -q
 
 bench-smoke-ci:
-	$(PYTHON) -m pytest benchmarks/test_bench_scaling.py benchmarks/test_bench_churn.py benchmarks/test_bench_traffic.py benchmarks/test_bench_pipeline.py -q
+	$(PYTHON) -m pytest benchmarks/test_bench_scaling.py benchmarks/test_bench_churn.py benchmarks/test_bench_traffic.py benchmarks/test_bench_pipeline.py benchmarks/test_bench_mobility.py -q
 
 bench-scaling:
 	REPRO_BENCH_FULL=1 REPRO_BENCH_STRICT=1 $(PYTHON) -m pytest benchmarks/test_bench_scaling.py -q
@@ -36,3 +41,6 @@ bench-traffic:
 
 bench-pipeline:
 	REPRO_BENCH_FULL=1 REPRO_BENCH_STRICT=1 $(PYTHON) -m pytest benchmarks/test_bench_pipeline.py -q -s
+
+bench-mobility:
+	REPRO_BENCH_FULL=1 REPRO_BENCH_STRICT=1 $(PYTHON) -m pytest benchmarks/test_bench_mobility.py -q

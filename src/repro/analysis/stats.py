@@ -20,6 +20,7 @@ __all__ = [
     "t_halfwidth",
     "summarize",
     "jain_fairness",
+    "jaccard_distance",
     "AdaptiveEstimator",
 ]
 
@@ -118,6 +119,19 @@ def jain_fairness(values: Sequence[float]) -> float:
     if m == 0 or sq == 0.0:
         return 1.0
     return (total * total) / (m * sq)
+
+
+def jaccard_distance(a, b) -> float:
+    """Jaccard distance ``1 - |a ∩ b| / |a ∪ b|`` between two sets.
+
+    0.0 means identical sets (two empty sets included), 1.0 means
+    disjoint.  The churn metric the stability and mobility loops share:
+    how much of a head / backbone set survived one snapshot transition.
+    """
+    a, b = set(a), set(b)
+    if not a and not b:
+        return 0.0
+    return 1.0 - len(a & b) / len(a | b)
 
 
 class AdaptiveEstimator:

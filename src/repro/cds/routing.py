@@ -47,6 +47,10 @@ __all__ = [
     "routing_report",
 ]
 
+#: Sentinel weight for "link absent" in the inheritance link-diff maps
+#: (larger than any real virtual-link weight).
+UNREACHABLE_W = float("inf")
+
 
 class HeadRouter:
     """Cached cluster-routing primitives over one backbone.
@@ -86,30 +90,40 @@ class HeadRouter:
 
     # -- incremental maintenance ---------------------------------------- #
 
-    def _canonical_adjacency(self) -> dict[NodeId, list[tuple[int, NodeId]]]:
-        """The head adjacency in comparison form (sorted edge lists)."""
-        return {h: sorted(lst) for h, lst in self._adj.items()}
-
     def inherit_from(
         self,
         old: "HeadRouter",
-        removed: NodeId,
+        removed: NodeId | None = None,
         changed_heads: frozenset[NodeId] = frozenset(),
     ) -> dict[str, int]:
-        """Seed caches from ``old`` after ``removed`` failed and was repaired.
+        """Seed caches from ``old`` after the backbone was repaired/rebuilt.
 
         The same contract :meth:`LazyDistanceOracle.inherit_from`
         implements for rows/balls: every carried entry is *verified*
         still-valid against the new backbone, everything else rebuilds
-        lazily on demand.
+        lazily on demand.  Validity is purely structural (the weighted
+        head graphs and stored link paths are compared), so the method
+        serves node removals and mobility edge deltas alike —
+        ``removed`` only documents intent and may be omitted.
 
         * **link segments** carry over for links that are still selected
           with an identical stored gateway path;
-        * **Dijkstra trees** and **head sequences** depend only on the
-          weighted head adjacency, so they carry over iff the head graph
-          is structurally unchanged (same heads, links and weights — the
-          member-death splice, and any gateway reselect that reproduced
-          the link set);
+        * a **Dijkstra tree** rooted at a surviving head ``h`` carries
+          over iff no changed link could alter its distances *or its
+          tie-breaking*.  The heapq Dijkstra settles nodes in
+          deterministic ``(distance, id)`` order, so ``prev[v]`` is the
+          achieving neighbor minimizing ``(dist, id)`` — a pure function
+          of the metric and the candidate sets.  Hence a
+          disappeared/lengthened link invalidates only when it *was* the
+          chosen predecessor of its deeper endpoint; an
+          appeared/shortened link invalidates when it strictly shortcuts
+          (distances change), reaches a previously unreachable head
+          (tree incomplete), or ties while beating the stored
+          predecessor in ``(dist, id)`` order (prev would flip).  A
+          carried tree is therefore *identical* to what a fresh run
+          would build, so walks derived from it stay canonical;
+        * **head sequences** are prev-chain reconstructions, so every
+          sequence of a carried tree carries with it;
         * **expanded walks** additionally embed gateway paths, so each
           carries over only when every link along its head sequence kept
           its stored path.
@@ -139,31 +153,92 @@ class HeadRouter:
         if new_vg is old_vg and new_links is old_links:
             # The member-death splice reuses the virtual graph unchanged.
             same_path = set(new_links)
+            new_w = old_w = {ab: new_vg.link(*ab).weight for ab in new_links}
         else:
             same_path = {
                 ab
                 for ab in new_links & old_links
                 if new_vg.link(*ab).path == old_vg.link(*ab).path
             }
+            new_w = {ab: new_vg.link(*ab).weight for ab in new_links}
+            old_w = {ab: old_vg.link(*ab).weight for ab in old_links}
         for key, seg in old._segments.items():
             ab = key if key[0] < key[1] else (key[1], key[0])
             if ab in same_path and key not in self._segments:
                 self._segments[key] = seg
                 stats["segments"] += 1
-        if self._canonical_adjacency() != old._canonical_adjacency():
-            return stats
-        stats["head_graph_unchanged"] = 1
+        # Link events relative to the old trees' metric.
+        gone = [
+            (ab, old_w[ab])
+            for ab in old_links
+            if new_w.get(ab, UNREACHABLE_W) > old_w[ab]
+        ]
+        came = [
+            (ab, new_w[ab])
+            for ab in new_links
+            if old_w.get(ab, UNREACHABLE_W) > new_w[ab]
+        ]
+        if not gone and not came:
+            stats["head_graph_unchanged"] = 1
+        inherited_trees = set()
         for h, tree in old._trees.items():
-            if h not in changed:
+            if h in changed or h not in self._adj:
+                continue
+            dist, prev = tree
+            ok = True
+            for (a, b), w in gone:
+                da, db = dist.get(a), dist.get(b)
+                if da is None or db is None:
+                    continue  # neither endpoint on any finite path pair
+                if abs(da - db) != w:
+                    continue  # slack: on no shortest path from h
+                # The link achieved the deeper endpoint's distance; it
+                # only matters if it was the *chosen* predecessor (the
+                # settling-order argmin) — losing a non-chosen achieving
+                # candidate changes neither dist nor prev.
+                deeper, other = (a, b) if da > db else (b, a)
+                if prev.get(deeper) == other:
+                    ok = False
+                    break
+            if ok:
+                for (a, b), w in came:
+                    da, db = dist.get(a), dist.get(b)
+                    if da is None and db is None:
+                        continue  # still mutually unreachable from h
+                    if da is None or db is None:
+                        ok = False  # newly reachable head: tree incomplete
+                        break
+                    if da + w < db or db + w < da:
+                        ok = False  # strict shortcut: distances change
+                        break
+                    # A tie adds an achieving candidate; it flips the
+                    # deterministic prev (first-settled = smallest
+                    # (dist, id)) only if it beats the stored one.
+                    for x, y, dx, dy in ((a, b, da, db), (b, a, db, da)):
+                        if dx + w == dy:
+                            p = prev.get(y)
+                            if p is None or (dx, x) < (dist[p], p):
+                                ok = False
+                                break
+                    if not ok:
+                        break
+            if ok:
                 self._trees[h] = tree
+                inherited_trees.add(h)
                 stats["trees"] += 1
-        changed_links = set(old_links) - same_path
+        changed_links = (
+            set(old_links) - same_path | {ab for ab, _ in came}
+        )
         for key, seq in old._head_seqs.items():
+            if key[0] not in inherited_trees:
+                continue
             if changed and not changed.isdisjoint(seq):
                 continue
             self._head_seqs[key] = seq
             stats["head_seqs"] += 1
         for key, walk in old._head_walks.items():
+            if key[0] not in inherited_trees:
+                continue
             seq = old._head_seqs.get(key)
             if seq is None:
                 continue

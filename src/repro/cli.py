@@ -8,6 +8,7 @@ Installed as ``repro-khop`` (see pyproject).  Examples::
     repro-khop overhead                     # distributed message overhead
     repro-khop traffic --flows 10000        # batch-route a flow workload
     repro-khop traffic --lifetime-epochs 40 # traffic-driven lifetime loop
+    repro-khop mobility --snapshots 30      # traffic over RandomWaypoint motion
     repro-khop all --trials 5               # everything, quickly
 """
 
@@ -67,6 +68,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the rotation-vs-static traffic-driven lifetime loop",
     )
 
+    pm = sub.add_parser(
+        "mobility",
+        help="route a workload over RandomWaypoint snapshots (edge-delta engine)",
+    )
+    pm.add_argument("--n", type=int, default=400)
+    pm.add_argument("--degree", type=float, default=8.0)
+    pm.add_argument("--k", type=int, default=2)
+    pm.add_argument("--algorithm", default="AC-LMST")
+    pm.add_argument(
+        "--workload",
+        default="uniform",
+        choices=("uniform", "cbr", "hotspot", "gossip"),
+    )
+    pm.add_argument("--flows", type=int, default=2000)
+    pm.add_argument("--snapshots", type=int, default=20)
+    pm.add_argument(
+        "--speed",
+        type=float,
+        nargs=2,
+        default=(0.5, 1.5),
+        metavar=("VMIN", "VMAX"),
+        help="random-waypoint speed range, units per step",
+    )
+    pm.add_argument("--seed", type=int, default=7)
+    pm.add_argument(
+        "--engine",
+        default="delta",
+        choices=("delta", "rebuild"),
+        help="incremental edge-delta maintenance vs from-scratch baseline",
+    )
+
     sub.add_parser("figure5", help="CDS size vs N, sparse (D=6)")
     sub.add_parser("figure6", help="CDS size vs N, dense (D=10)")
     sub.add_parser("figure7", help="effect of k (heads and CDS size)")
@@ -102,6 +134,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             flows=args.flows,
             seed=args.seed,
             lifetime_epochs=args.lifetime_epochs,
+        )
+    elif args.command == "mobility":
+        from .traffic import mobile
+
+        mobile.main(
+            n=args.n,
+            degree=args.degree,
+            k=args.k,
+            algorithm=args.algorithm,
+            workload=args.workload,
+            flows=args.flows,
+            snapshots=args.snapshots,
+            speed=tuple(args.speed),
+            seed=args.seed,
+            engine=args.engine,
         )
     elif args.command == "figure5":
         figure5.main()

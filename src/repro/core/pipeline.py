@@ -128,7 +128,10 @@ def build_backbone(
         algorithm: one of :data:`ALGORITHMS`.
         oracle: optional shared path oracle (created if omitted).
     """
-    oracle = oracle or PathOracle(clustering.graph)
+    # `or` would discard an *empty* caller oracle (PathOracle defines
+    # __len__, so a fresh one is falsy) — inherit-then-build flows hand
+    # those in deliberately.
+    oracle = oracle if oracle is not None else PathOracle(clustering.graph)
     if algorithm == "G-MST":
         vgraph = VirtualGraph.metric_closure(clustering, oracle)
         selected = gmst_selected_links(vgraph)
@@ -166,7 +169,10 @@ def build_all_backbones(
     oracle: Optional[PathOracle] = None,
 ) -> dict[str, BackboneResult]:
     """Run several algorithms on one clustering, sharing the path oracle."""
-    oracle = oracle or PathOracle(clustering.graph)
+    # `or` would discard an *empty* caller oracle (PathOracle defines
+    # __len__, so a fresh one is falsy) — inherit-then-build flows hand
+    # those in deliberately.
+    oracle = oracle if oracle is not None else PathOracle(clustering.graph)
     return {a: build_backbone(clustering, a, oracle=oracle) for a in algorithms}
 
 

@@ -43,7 +43,13 @@ from ..net.oracle import gather_csr_neighbors
 from ..net.paths import PathOracle
 from ..types import NodeId
 
-__all__ = ["RepairOutcome", "failure_role", "repair"]
+__all__ = [
+    "RepairOutcome",
+    "failure_role",
+    "repair",
+    "clustering_still_valid",
+    "delta_path_oracle",
+]
 
 
 @dataclass(frozen=True)
@@ -232,6 +238,42 @@ def _seeded_path_oracle(
         for link in backbone.virtual_graph.links()
         if not gone.intersection(link.path)
     )
+    return oracle
+
+
+def clustering_still_valid(
+    clustering: Clustering, graph2: Graph, exclude: set[NodeId] = frozenset()
+) -> bool:
+    """Does ``clustering`` remain a k-hop clustering on ``graph2``?
+
+    The §3.3 question generalized to *any* structural change: after an
+    edge delta (mobility) or a removal, do all non-``exclude`` nodes
+    still sit within ``k`` hops of their assigned (surviving) head?
+    Checked head-centrically via one k-ball per head on ``graph2``'s
+    oracle — whose ball cache inherits across deltas, so a snapshot that
+    moved nothing near a cluster re-validates it from cache.
+
+    This is the cheap gate a movement-sensitive maintenance policy runs
+    before deciding whether a snapshot needs re-clustering at all; the
+    stability simulation reports how often it passes.
+    """
+    return _old_assignment_valid(clustering, graph2, set(exclude))
+
+
+def delta_path_oracle(
+    graph2: Graph, old_oracle: PathOracle, touched
+) -> PathOracle:
+    """A path oracle for the post-delta graph, pre-seeded with every
+    canonical path that provably survived the edge delta.
+
+    The edge-delta analogue of :func:`_seeded_path_oracle`: survival is
+    decided by :meth:`~repro.net.paths.PathOracle.inherit_edge_delta`'s
+    valid-prefix rule (membership of the old path alone is not enough
+    once edges can *appear*), so rebuilding the virtual graph after a
+    snapshot re-derives only the links the motion actually disturbed.
+    """
+    oracle = PathOracle(graph2)
+    oracle.inherit_edge_delta(old_oracle, touched)
     return oracle
 
 

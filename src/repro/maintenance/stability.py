@@ -16,7 +16,16 @@ survived the step:
 * **backbone churn** — Jaccard distance between consecutive CDS node sets;
 * **re-clustering scope** — fraction of nodes whose k-hop neighborhood
   changed at all (a lower bound on the update traffic any maintenance
-  policy must pay).
+  policy must pay);
+* **assignment survival** — whether the *previous* snapshot's clustering
+  is still a valid k-hop clustering on the new graph
+  (:func:`~repro.maintenance.repair.clustering_still_valid`): the cheap
+  gate a movement-sensitive policy would run before re-clustering.
+
+Successive snapshots are evolved through :meth:`Graph.with_edge_delta`
+(the unit-disk edge set is diffed against the previous snapshot), so the
+distance-oracle caches behind the affected-nodes and survival metrics
+inherit across steps instead of rebuilding per snapshot.
 
 Snapshots whose unit-disk graph is disconnected are skipped (the paper's
 algorithms are defined on connected networks); the report counts them.
@@ -25,16 +34,17 @@ algorithms are defined on connected networks); the report counts them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from collections import deque
 
 import numpy as np
 
+from ..analysis.stats import jaccard_distance
 from ..core.clustering import khop_cluster
 from ..core.pipeline import build_backbone
 from ..errors import InvalidParameterError
-from ..net.graph import Graph
-from ..net.mobility import RandomWaypoint
+from ..net.mobility import RandomWaypoint, snapshot_edge_delta
 from ..net.topology import Topology
+from .repair import clustering_still_valid
 
 __all__ = ["StabilityStep", "StabilityReport", "simulate_stability"]
 
@@ -49,6 +59,7 @@ class StabilityStep:
     backbone_jaccard_distance: float
     affected_nodes: float
     edges_changed: int
+    assignment_survived: bool = True
 
 
 @dataclass
@@ -72,10 +83,30 @@ class StabilityReport:
         return float(np.mean([getattr(s, metric) for s in self.steps]))
 
 
-def _jaccard_distance(a: frozenset, b: frozenset) -> float:
-    if not a and not b:
-        return 0.0
-    return 1.0 - len(a & b) / len(a | b)
+def _edge_set_connected(n: int, edges) -> bool:
+    """Whether ``edges`` span all ``n`` nodes in one component.
+
+    Matches :meth:`Graph.is_connected` on the same edge set, but runs on
+    the raw snapshot edges *before* any graph is derived — so a
+    disconnected snapshot is skipped without paying
+    :meth:`Graph.with_edge_delta`'s eager oracle-cache inheritance for a
+    graph that would be thrown away.
+    """
+    if n <= 1:
+        return True
+    adj: dict[int, list[int]] = {}
+    for u, v in edges:
+        adj.setdefault(u, []).append(v)
+        adj.setdefault(v, []).append(u)
+    seen = {0}
+    queue = deque([0])
+    while queue:
+        u = queue.popleft()
+        for w in adj.get(u, ()):
+            if w not in seen:
+                seen.add(w)
+                queue.append(w)
+    return len(seen) == n
 
 
 def simulate_stability(
@@ -108,19 +139,18 @@ def simulate_stability(
     )
     report = StabilityReport(k=k)
 
-    def snapshot() -> Optional[Graph]:
-        g = mob.snapshot_graph(topology.radius)
-        return g if g.is_connected() else None
-
     prev_graph = topology.graph
     prev_cl = khop_cluster(prev_graph, k)
     prev_backbone = build_backbone(prev_cl, algorithm)
     for step in range(1, steps + 1):
         mob.step()
-        g = snapshot()
-        if g is None:
+        new_edges = mob.snapshot_edges(topology.radius)
+        if not _edge_set_connected(prev_graph.n, new_edges):
             report.skipped_disconnected += 1
             continue
+        added, removed = snapshot_edge_delta(prev_graph, new_edges)
+        g = prev_graph.with_edge_delta(added, removed)
+        survived = clustering_still_valid(prev_cl, g)
         cl = khop_cluster(g, k)
         backbone = build_backbone(cl, algorithm)
 
@@ -136,9 +166,7 @@ def simulate_stability(
             for u in g.nodes()
             if cl.head_of[u] != prev_cl.head_of[u]
         )
-        old_edges = set(prev_graph.edges)
-        new_edges = set(g.edges)
-        delta_edges = old_edges ^ new_edges
+        delta_edges = added + removed
         touched = {u for e in delta_edges for u in e}
         affected = set(g.nodes_within(sorted(touched), k)) if touched else set()
         report.steps.append(
@@ -146,11 +174,12 @@ def simulate_stability(
                 step=step,
                 head_churn=head_churn,
                 membership_churn=changed_members / g.n,
-                backbone_jaccard_distance=_jaccard_distance(
+                backbone_jaccard_distance=jaccard_distance(
                     prev_backbone.cds, backbone.cds
                 ),
                 affected_nodes=len(affected) / g.n,
                 edges_changed=len(delta_edges),
+                assignment_survived=survived,
             )
         )
         prev_graph, prev_cl, prev_backbone = g, cl, backbone

@@ -34,6 +34,11 @@ Design notes
   caches over the immutable structure, so backend switches are safe — and
   single-node removals patch the CSR arrays and carry still-valid cached
   rows/balls into the derived graph's oracle instead of recomputing.
+* Mobility (nodes that move rather than disappear) produces new graphs via
+  :meth:`Graph.with_edge_delta`: successive unit-disk snapshots differ by a
+  few edges, so the CSR arrays are patched only around the changed edges'
+  endpoints and oracle caches inherit under the edge-delta valid-prefix
+  rules (:meth:`~repro.net.oracle.LazyDistanceOracle.inherit_edge_delta`).
 * All backends use the int32 :data:`UNREACHABLE` sentinel and refuse
   graphs beyond :data:`~repro.net.oracle.MAX_ORACLE_NODES` nodes rather
   than silently overflowing hop distances (the seed's int16 ceiling of
@@ -414,8 +419,6 @@ class Graph:
 
     def _without_single_node(self, x: NodeId) -> "Graph":
         """Incremental single-node removal: patch arrays, inherit caches."""
-        from .oracle import LazyDistanceOracle
-
         g = Graph.__new__(Graph)
         g._n = self._n
         g._edges = tuple(e for e in self._edges if e[0] != x and e[1] != x)
@@ -444,6 +447,19 @@ class Graph:
             g.__dict__["csr_adjacency"] = (new_indptr, new_indices)
         # Incremental oracle maintenance: seed each lazy-family backend
         # with the parent's still-valid cached rows and balls.
+        self._inherit_lazy_oracles(g, lambda child, parent: child.inherit_from(parent, x))
+        return g
+
+    def _inherit_lazy_oracles(self, g: "Graph", inherit) -> None:
+        """Derive ``g``'s lazy-family oracles from this graph's via ``inherit``.
+
+        ``inherit(child, parent)`` seeds the freshly constructed child
+        oracle (same class and cache budgets as the parent) with whatever
+        of the parent's caches survives the structural change.  Dense
+        oracles are never carried (their matrix is monolithic).
+        """
+        from .oracle import LazyDistanceOracle
+
         for name, parent in self._oracles.items():
             if isinstance(parent, LazyDistanceOracle):
                 child = type(parent)(
@@ -451,9 +467,111 @@ class Graph:
                     row_cache_bytes=parent._rows.budget,
                     ball_cache_bytes=parent._balls.budget,
                 )
-                child.inherit_from(parent, x)
+                inherit(child, parent)
                 g._oracles[name] = child
+
+    def with_edge_delta(
+        self,
+        added: Iterable[tuple[NodeId, NodeId]] = (),
+        removed: Iterable[tuple[NodeId, NodeId]] = (),
+    ) -> "Graph":
+        """Copy of the graph with ``added`` edges inserted and ``removed`` dropped.
+
+        The mobility hot path (§3.3 "nodes that move away"): successive
+        RandomWaypoint unit-disk snapshots differ by a handful of edges
+        while every node persists.  Instead of rebuilding from the full
+        edge list, the adjacency and CSR arrays are patched only for the
+        *touched* nodes (endpoints of changed edges), and every
+        lazy-family oracle carries its still-valid cached rows, partial
+        rows and balls into the derived graph via
+        :meth:`~repro.net.oracle.LazyDistanceOracle.inherit_edge_delta`.
+
+        Already-present ``added`` edges and absent ``removed`` edges are
+        ignored (the caller hands over a raw snapshot diff); an edge in
+        both sets raises.  An empty *effective* delta returns ``self``
+        (graphs are immutable, so sharing is safe).
+        """
+        add: set[Edge] = set()
+        for u, v in added:
+            e = normalize_edge(int(u), int(v))
+            if not (0 <= e[0] < self._n and 0 <= e[1] < self._n):
+                raise InvalidParameterError(f"edge {e} out of range for n={self._n}")
+            add.add(e)
+        rem: set[Edge] = set()
+        for u, v in removed:
+            e = normalize_edge(int(u), int(v))
+            if not (0 <= e[0] < self._n and 0 <= e[1] < self._n):
+                raise InvalidParameterError(f"edge {e} out of range for n={self._n}")
+            rem.add(e)
+        overlap = add & rem
+        if overlap:
+            raise InvalidParameterError(
+                f"edges both added and removed: {sorted(overlap)[:3]}"
+            )
+        cur = set(self._edges)
+        add -= cur
+        rem &= cur
+        if not add and not rem:
+            return self
+        touched = sorted({x for e in add for x in e} | {x for e in rem for x in e})
+        g = Graph.__new__(Graph)
+        g._n = self._n
+        g._edges = tuple(sorted((cur - rem) | add))
+        adj = list(self._adj)
+        patch: dict[int, set[int]] = {t: set(self._adj[t]) for t in touched}
+        for u, v in rem:
+            patch[u].discard(v)
+            patch[v].discard(u)
+        for u, v in add:
+            patch[u].add(v)
+            patch[v].add(u)
+        for t in touched:
+            adj[t] = tuple(sorted(patch[t]))
+        g._adj = tuple(adj)
+        g._oracles = {}
+        g._backend = self._backend
+        if "csr_adjacency" in self.__dict__:
+            g.__dict__["csr_adjacency"] = self._patched_csr(g._adj, touched)
+        add_list, rem_list = sorted(add), sorted(rem)
+        self._inherit_lazy_oracles(
+            g,
+            lambda child, parent: child.inherit_edge_delta(
+                parent, add_list, rem_list
+            ),
+        )
         return g
+
+    def _patched_csr(
+        self, new_adj: Sequence[tuple[int, ...]], touched: Sequence[int]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """CSR arrays for ``new_adj``, reusing this graph's cached CSR.
+
+        Only the touched nodes' slices are rewritten; the (typically much
+        larger) untouched spans between them are copied contiguously —
+        O(#touched) Python iterations plus O(m) memcpy, never an
+        O(m log m) rebuild from the edge list.
+        """
+        indptr, indices = self.csr_adjacency
+        new_degs = np.diff(indptr).copy()
+        for t in touched:
+            new_degs[t] = len(new_adj[t])
+        new_indptr = np.zeros(self._n + 1, dtype=np.int64)
+        np.cumsum(new_degs, out=new_indptr[1:])
+        new_indices = np.empty(int(new_indptr[-1]), dtype=np.int64)
+        prev = 0
+        for t in [*touched, self._n]:
+            if t > prev:  # contiguous untouched span [prev, t)
+                new_indices[new_indptr[prev] : new_indptr[t]] = indices[
+                    indptr[prev] : indptr[t]
+                ]
+            if t < self._n:
+                new_indices[new_indptr[t] : new_indptr[t + 1]] = np.asarray(
+                    new_adj[t], dtype=np.int64
+                )
+            prev = t + 1
+        new_indptr.setflags(write=False)
+        new_indices.setflags(write=False)
+        return new_indptr, new_indices
 
     def with_edges(self, extra: Iterable[tuple[NodeId, NodeId]]) -> "Graph":
         """Copy of the graph with additional edges."""

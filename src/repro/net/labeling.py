@@ -36,7 +36,13 @@ O(n · max label length) for the padded arrays.
 Under single-node churn the labels are discarded (a removed node may have
 carried shortest paths the labels encode) while cached rows/balls are
 inherited through the usual lazy-oracle rules; labels rebuild lazily on
-the next pair query.
+the next pair query.  Mobility edge deltas (:meth:`Graph.with_edge_delta`)
+behave the same way: the derived oracle is constructed label-cold — a
+label certifies arbitrary pairs, so no per-pair validity rule survives a
+delta cheaply — but every certified/patched row and surviving ball
+arrives through :meth:`LazyDistanceOracle.inherit_edge_delta`, and
+``distance`` prefers a resident row over a label join, so the inherited
+cache keeps answering most pair queries until the labels rebuild.
 """
 
 from __future__ import annotations

@@ -20,11 +20,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import InvalidParameterError
+from ..types import Edge, normalize_edge
 from .geometry import Area
 from .graph import Graph
-from .topology import unit_disk_graph
+from .topology import unit_disk_edges, unit_disk_graph
 
-__all__ = ["RandomWaypoint", "ChurnProcess"]
+__all__ = ["RandomWaypoint", "ChurnProcess", "snapshot_edge_delta"]
 
 
 class RandomWaypoint:
@@ -70,6 +71,35 @@ class RandomWaypoint:
         """Current coordinates (copy)."""
         return self._pos.copy()
 
+    @property
+    def speed_range(self) -> tuple[float, float]:
+        """The ``(v_min, v_max)`` per-leg speed bounds."""
+        return self._speed_range
+
+    @property
+    def leg_speeds(self) -> np.ndarray:
+        """Current per-node leg speeds (copy) — each within ``speed_range``."""
+        return self._speeds.copy()
+
+    @property
+    def leg_targets(self) -> np.ndarray:
+        """Current per-node waypoints (copy) — each inside ``area``."""
+        return self._targets.copy()
+
+    def advance(self, steps: int) -> np.ndarray:
+        """Advance ``steps`` time steps; returns the final positions (copy).
+
+        Exactly equivalent to calling :meth:`step` ``steps`` times — the
+        per-leg waypoint/speed draws happen in the same per-step order,
+        so trajectories are identical however the steps are batched (the
+        seeded-reproducibility contract the regression matrix relies on).
+        """
+        if steps < 0:
+            raise InvalidParameterError(f"steps must be >= 0, got {steps}")
+        for _ in range(steps):
+            self.step()
+        return self.positions
+
     def step(self) -> np.ndarray:
         """Advance one time step; returns the new positions (copy).
 
@@ -95,6 +125,30 @@ class RandomWaypoint:
     def snapshot_graph(self, radius: float) -> Graph:
         """Unit-disk graph of the current positions."""
         return unit_disk_graph(self._pos, radius)
+
+    def snapshot_edges(self, radius: float) -> set[Edge]:
+        """Normalized unit-disk edge set of the current positions.
+
+        The raw material for :func:`snapshot_edge_delta` — no
+        :class:`Graph` is constructed.
+        """
+        return {
+            normalize_edge(u, v) for u, v in unit_disk_edges(self._pos, radius)
+        }
+
+
+def snapshot_edge_delta(
+    graph: Graph, new_edges: set[Edge]
+) -> tuple[list[Edge], list[Edge]]:
+    """Diff a snapshot's edge set against ``graph``: ``(added, removed)``.
+
+    Both lists are sorted (deterministic downstream processing); feed them
+    to :meth:`Graph.with_edge_delta` to evolve the graph incrementally.
+    ``new_edges`` must be normalized (as :meth:`RandomWaypoint.snapshot_edges`
+    returns them).
+    """
+    old_edges = set(graph.edges)
+    return sorted(new_edges - old_edges), sorted(old_edges - new_edges)
 
 
 @dataclass

@@ -56,6 +56,29 @@ the BFS from the radius-level frontier instead of starting over.
 ``OracleStats.rows_inherited`` / ``balls_inherited`` /
 ``rows_partial_inherited`` / ``rows_reexpanded`` count the carried and
 resumed entries.
+
+:meth:`Graph.with_edge_delta` (mobility: a few edges appear *and*
+disappear per snapshot while every node persists) inherits through
+:meth:`LazyDistanceOracle.inherit_edge_delta` as a batched **dynamic-BFS
+update** over every cached row at once.  A cheap endpoint pre-filter
+carries rows the delta provably cannot touch (no added edge spanning
+levels two apart, no removed edge spanning adjacent levels) verbatim;
+the rest advance through the two halves of the classic update — the
+orphan cascade (:meth:`~LazyDistanceOracle._settle_removals`: nodes whose
+every shortest-path parent died reset to the sentinel, everything else
+provably exact) and Dial-style decrease propagation
+(:meth:`~LazyDistanceOracle._relax_rows`: added-edge shortcuts and
+orphan-boundary repairs settle each affected ``(row, node)`` pair once,
+in ascending distance order) — landing in the child cache as *exact*
+full rows.  Untouched rows are recorded as
+:attr:`~LazyDistanceOracle.delta_certified_sources`; rows whose delta
+footprint exceeds
+:data:`DELTA_PATCH_SEED_BUDGET` fall back to a valid-prefix partial
+(entries at distance ``<= m(s)``, the distance to the nearest changed
+endpoint, stay exact) and recompute through the bit-packed kernel
+instead.  A cached ball ``(s, r)`` survives iff every touched node sits
+at distance ``>= r`` from ``s`` — absent from the ball or exactly on its
+boundary.
 """
 
 from __future__ import annotations
@@ -116,6 +139,13 @@ DEFAULT_BALL_CACHE_BYTES: int = 8 << 20
 #: state per node per sweep).
 BATCH_BITS: int = 64
 
+#: Edge-delta inheritance triage: a cached row is patched in place (exact
+#: dynamic-BFS update) when its delta footprint — orphaned entries plus
+#: shortcutting added edges — is at most this many seeds; beyond it, the
+#: bit-packed batch kernel recomputes the row faster than pair-level
+#: propagation could, so the row falls back to the valid-prefix rung.
+DELTA_PATCH_SEED_BUDGET: int = 256
+
 
 @dataclass(frozen=True)
 class OracleStats:
@@ -135,6 +165,9 @@ class OracleStats:
         rows_partial_inherited: rows whose prefix (entries at distance
             <= d(source, removed)) was carried over for lazy depth-limited
             re-expansion instead of being discarded.
+        rows_patched: rows carried across an edge delta by exact
+            decrease-propagation patching (removals certified harmless,
+            added shortcuts applied in place).
         rows_reexpanded: partial rows completed by resuming BFS from
             their valid frontier on demand.
         batched_sweeps: bit-packed multi-source BFS sweeps run.
@@ -154,6 +187,7 @@ class OracleStats:
     rows_inherited: int = 0
     balls_inherited: int = 0
     rows_partial_inherited: int = 0
+    rows_patched: int = 0
     rows_reexpanded: int = 0
     batched_sweeps: int = 0
     pair_queries: int = 0
@@ -174,6 +208,21 @@ def _check_size(n: int) -> None:
 def _readonly(a: np.ndarray) -> np.ndarray:
     a.setflags(write=False)
     return a
+
+
+def _dedupe_flat(flat: np.ndarray) -> np.ndarray:
+    """Sorted unique of a flat int64 key array.
+
+    The explicit sort + run-length mask beats ``np.unique``'s hash path
+    on the small-to-mid arrays the incremental sweeps produce.
+    """
+    if flat.size <= 1:
+        return flat
+    flat = np.sort(flat)
+    keep = np.empty(flat.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(flat[1:], flat[:-1], out=keep[1:])
+    return flat[keep]
 
 
 class ByteBudgetLRU:
@@ -285,6 +334,16 @@ class DistanceOracle:
         """Hop distances from ``source`` to all nodes (read-only int32)."""
         raise NotImplementedError
 
+    def cached_row(self, source: NodeId) -> np.ndarray | None:
+        """``row(source)`` if it is already resident, else ``None``.
+
+        A pure cache probe — never triggers a BFS.  Consumers that can
+        only *profit* from a row (e.g. the canonical-path inheritance
+        check under edge deltas) use this so their cost stays bounded by
+        what earlier queries already paid for.
+        """
+        return None
+
     def rows(self, sources: Sequence[NodeId]) -> np.ndarray:
         """Stacked distance rows, shape ``(len(sources), n)``."""
         if len(sources) == 0:
@@ -306,22 +365,18 @@ class DistanceOracle:
 
         Pairs sharing a first endpoint are answered from one row, and all
         needed rows are requested together up front so batched backends
-        compute them in O(#sources / BATCH_BITS) sweeps.
+        compute them in O(#sources / BATCH_BITS) sweeps; the final
+        per-pair extraction is a single fancy-index into the returned
+        block, so no Python-level per-pair loop remains.
         """
         if len(pairs) == 0:
             return np.zeros(0, dtype=DIST_DTYPE)
-        norm = [(int(u), int(v)) for u, v in pairs]
-        by_source: dict[int, list[int]] = {}
-        for i, (u, _) in enumerate(norm):
-            by_source.setdefault(u, []).append(i)
+        arr = np.asarray([(int(u), int(v)) for u, v in pairs], dtype=np.int64)
+        sources, inverse = np.unique(arr[:, 0], return_inverse=True)
         # One batched request; index the returned block directly so a
         # small row-cache budget can never force recomputation.
-        block = self.rows(list(by_source))
-        out = np.empty(len(norm), dtype=DIST_DTYPE)
-        for row, positions in zip(block, by_source.values()):
-            for i in positions:
-                out[i] = row[norm[i][1]]
-        return out
+        block = self.rows(sources)
+        return block[inverse, arr[:, 1]]
 
     def pairwise_distances(self, nodes: Sequence[NodeId]) -> np.ndarray:
         """All-pairs distances among ``nodes``, shape ``(len, len)``.
@@ -579,6 +634,9 @@ class DenseDistanceOracle(DistanceOracle):
     def row(self, source: NodeId) -> np.ndarray:
         return self.matrix[source]
 
+    def cached_row(self, source: NodeId) -> np.ndarray | None:
+        return self._matrix[source] if self._matrix is not None else None
+
     def rows(self, sources: Sequence[NodeId]) -> np.ndarray:
         if len(sources) == 0:
             return np.zeros((0, self._graph.n), dtype=DIST_DTYPE)
@@ -694,6 +752,7 @@ class LazyDistanceOracle(DistanceOracle):
         self._rows_inherited = 0
         self._balls_inherited = 0
         self._rows_partial_inherited = 0
+        self._rows_patched = 0
         self._rows_reexpanded = 0
         self._batched_sweeps = 0
         self._peak_bytes = 0
@@ -701,6 +760,9 @@ class LazyDistanceOracle(DistanceOracle):
         # rows invalidated by a removal but salvageable — entries at
         # distance <= radius stay exact — pending lazy re-expansion.
         self._partial_rows: dict[int, tuple[np.ndarray, int, tuple[int, ...]]] = {}
+        # Sources proven distance-identical by the last edge-delta
+        # inheritance (see delta_certified_sources).
+        self._delta_certified: frozenset[int] = frozenset()
 
     # -- caching helpers ----------------------------------------------- #
 
@@ -766,16 +828,7 @@ class LazyDistanceOracle(DistanceOracle):
             new_radius = min(radius, d_rm)
             if new_radius > 0:
                 self._partial_rows[src] = (row, new_radius, chain + (removed,))
-        # Pending partials hold full stale rows outside the LRU budget, so
-        # bound them by the same byte discipline: keep at most one
-        # row-budget's worth, dropping oldest-first (parent rows arrive in
-        # LRU-to-MRU order, chained partials after — the staler, the
-        # earlier).  Dropped sources recompute from scratch on demand.
-        row_bytes = max(1, self._graph.n * np.dtype(DIST_DTYPE).itemsize)
-        cap = max(1, self._rows.budget // row_bytes)
-        while len(self._partial_rows) > cap:
-            self._partial_rows.pop(next(iter(self._partial_rows)))
-        self._rows_partial_inherited = len(self._partial_rows)
+        self._cap_partial_rows()
         ball_seed = []
         for key, ball in parent._balls.items():
             source, radius = key
@@ -795,6 +848,388 @@ class LazyDistanceOracle(DistanceOracle):
         self._rows_inherited = len(row_seed)
         self._balls_inherited = len(ball_seed)
         self._note_peak()
+
+    def _cap_partial_rows(self) -> None:
+        """Bound pending partial rows by one row-budget's worth of bytes.
+
+        Pending partials hold full stale rows outside the LRU budget, so
+        they obey the same byte discipline, dropping oldest-first (parent
+        rows arrive in LRU-to-MRU order, chained partials after — the
+        staler, the earlier).  Dropped sources recompute from scratch on
+        demand.
+        """
+        row_bytes = max(1, self._graph.n * np.dtype(DIST_DTYPE).itemsize)
+        cap = max(1, self._rows.budget // row_bytes)
+        while len(self._partial_rows) > cap:
+            self._partial_rows.pop(next(iter(self._partial_rows)))
+        self._rows_partial_inherited = len(self._partial_rows)
+
+    def _row_has_parent(
+        self, old_block: np.ndarray, block: np.ndarray,
+        rows: np.ndarray, nodes: np.ndarray,
+    ) -> np.ndarray:
+        """Per ``(row, node)`` pair: does the node keep a BFS parent?
+
+        A parent is a *surviving* child-graph neighbor whose current
+        value equals the node's old level minus one (orphaned neighbors
+        were already reset to :data:`UNREACHABLE` in ``block`` and can
+        never match).  One CSR gather + one segmented any.
+        """
+        nbrs, counts = gather_csr_neighbors(self._indptr, self._indices, nodes)
+        has = np.zeros(rows.size, dtype=bool)
+        if nbrs.size == 0:
+            return has
+        rows_rep = np.repeat(rows, counts)
+        target = np.repeat(old_block[rows, nodes] - 1, counts)
+        hit = block[rows_rep, nbrs] == target
+        nz = np.flatnonzero(counts > 0)
+        starts = np.concatenate([[0], np.cumsum(counts)])[nz]
+        has[nz] = np.logical_or.reduceat(hit, starts)
+        return has
+
+    def _settle_removals(
+        self, old_block: np.ndarray, block: np.ndarray, removed: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Orphan cascade for the removed edges — the increase half of the
+        dynamic BFS batch update, all rows at once.
+
+        A node is *orphaned* when every old shortest path to it died: its
+        removed-edge parent was its only neighbor one level closer, or
+        every such neighbor was itself orphaned.  Orphans are reset to
+        :data:`UNREACHABLE` in ``block`` (in place); every other entry
+        keeps its old value, which remains *exact* — a surviving node has
+        a surviving parent chain down to the source realizing the old
+        distance, and removals can only increase distances.  Orphans get
+        their true (possibly larger, possibly infinite) values in the
+        subsequent decrease-propagation repair, seeded from the
+        survivor/orphan boundary.
+
+        ``old_block`` holds the original values (structure detection must
+        see pre-cascade levels); ``block`` is the working copy.  Returns
+        the flat ``(rows, nodes)`` orphan pairs.
+        """
+        num, n = old_block.shape
+        orphan_r: list[np.ndarray] = []
+        orphan_n: list[np.ndarray] = []
+        fr_rows: list[np.ndarray] = []
+        fr_nodes: list[np.ndarray] = []
+        if removed.size:
+            # All (row, deeper-endpoint) candidates of every removed tree
+            # edge in one batch; the cascade re-checks any survivor whose
+            # later-orphaned neighbor was its counted parent.
+            ends = np.concatenate([removed[:, 0], removed[:, 1]])
+            others = np.concatenate([removed[:, 1], removed[:, 0]])
+            is_child = old_block[:, ends] == old_block[:, others] + 1
+            rows0, cols0 = np.nonzero(is_child)
+            if rows0.size:
+                flat = _dedupe_flat(rows0 * n + ends[cols0])
+                cand_r, cand_n = flat // n, flat % n
+                has = self._row_has_parent(old_block, block, cand_r, cand_n)
+                orph_r0, orph_n0 = cand_r[~has], cand_n[~has]
+                if orph_r0.size:
+                    block[orph_r0, orph_n0] = UNREACHABLE
+                    fr_rows.append(orph_r0)
+                    fr_nodes.append(orph_n0)
+        while fr_rows:
+            rows_arr = np.concatenate(fr_rows)
+            nodes_arr = np.concatenate(fr_nodes)
+            orphan_r.append(rows_arr)
+            orphan_n.append(nodes_arr)
+            # Children of the new orphans: neighbors one old level deeper,
+            # not yet orphaned themselves.
+            nbrs, counts = gather_csr_neighbors(
+                self._indptr, self._indices, nodes_arr
+            )
+            fr_rows, fr_nodes = [], []
+            if nbrs.size == 0:
+                break
+            rows_rep = np.repeat(rows_arr, counts)
+            deeper_mask = (
+                old_block[rows_rep, nbrs]
+                == np.repeat(old_block[rows_arr, nodes_arr], counts) + 1
+            ) & (block[rows_rep, nbrs] < UNREACHABLE)
+            if not deeper_mask.any():
+                break
+            flat = _dedupe_flat(rows_rep[deeper_mask] * n + nbrs[deeper_mask])
+            cand_r = flat // n
+            cand_n = flat % n
+            has = self._row_has_parent(old_block, block, cand_r, cand_n)
+            orph_r, orph_n = cand_r[~has], cand_n[~has]
+            if orph_r.size:
+                block[orph_r, orph_n] = UNREACHABLE
+                fr_rows.append(orph_r)
+                fr_nodes.append(orph_n)
+        if not orphan_r:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty
+        return np.concatenate(orphan_r), np.concatenate(orphan_n)
+
+    def _relax_rows(
+        self,
+        block: np.ndarray,
+        seed_rows: np.ndarray,
+        seed_nodes: np.ndarray,
+    ) -> np.ndarray:
+        """Decrease-propagation repair — the other half of the batch update.
+
+        ``block`` rows satisfy: every finite value is realizable in the
+        child graph, and the only *over*-estimates sit at orphaned
+        entries (reset to :data:`UNREACHABLE` by
+        :meth:`_settle_removals`) and behind added-edge shortcuts.  The
+        seeds are settled ``(row, node)`` pairs adjacent to those
+        over-estimates; propagating their values through the child CSR
+        adjacency until no edge violates ``d[w] <= d[u] + 1`` reaches
+        the unique fixed point — the true BFS metric (a
+        minimal-counterexample's last hop would cross a relaxed edge).
+        New reachability propagates identically; still-unreachable
+        orphans simply keep the sentinel.
+
+        All rows advance together Dial-style: frontiers are flat
+        ``(row, node)`` pair sets *bucketed by distance value*, popped in
+        ascending order, so — exactly as in Dijkstra with unit weights —
+        every affected pair is expanded once at its final value, and the
+        total cost is O(affected pairs × degree), independent of rows × n.
+
+        Returns a boolean vector marking rows whose values changed here.
+        """
+        num, n = block.shape
+        touched_rows = np.zeros(num, dtype=bool)
+        if num == 0 or seed_rows.size == 0:
+            return touched_rows
+        indptr, indices = self._indptr, self._indices
+        buckets: dict[int, list[np.ndarray]] = {}
+        seed_vals = block[seed_rows, seed_nodes]
+        finite = seed_vals < UNREACHABLE
+        flat0 = seed_rows[finite] * n + seed_nodes[finite]
+        for level in np.unique(seed_vals[finite]):
+            buckets[int(level)] = [flat0[seed_vals[finite] == level]]
+        while buckets:
+            level = min(buckets)
+            flat = _dedupe_flat(np.concatenate(buckets.pop(level)))
+            rows_arr = flat // n
+            nodes_arr = flat % n
+            # Skip pairs that settled at a smaller value since enqueueing.
+            cur = block[rows_arr, nodes_arr] == level
+            rows_arr, nodes_arr = rows_arr[cur], nodes_arr[cur]
+            if rows_arr.size == 0:
+                continue
+            nbrs, counts = gather_csr_neighbors(indptr, indices, nodes_arr)
+            if nbrs.size == 0:
+                continue
+            rows_rep = np.repeat(rows_arr, counts)
+            improve = block[rows_rep, nbrs] > level + 1
+            if not improve.any():
+                continue
+            rr = rows_rep[improve]
+            nn = nbrs[improve]
+            # Duplicate (row, node) targets all receive the same value,
+            # so plain fancy assignment is race-free.
+            block[rr, nn] = level + 1
+            touched_rows[rr] = True
+            buckets.setdefault(int(level) + 1, []).append(rr * n + nn)
+        return touched_rows
+
+    def inherit_edge_delta(
+        self,
+        parent: "LazyDistanceOracle",
+        added: Sequence[tuple[int, int]],
+        removed: Sequence[tuple[int, int]],
+    ) -> None:
+        """Seed caches from ``parent`` after an edge delta.
+
+        ``added`` / ``removed`` are the changed (normalized) edges; all
+        nodes persist — the mobility case.  Every cached parent row is
+        carried as a **full exact** child row via a batched dynamic-BFS
+        update, all rows advancing together through flat ``(row, node)``
+        frontiers:
+
+        * :meth:`_settle_removals` runs the *increase* half: nodes whose
+          every shortest-path parent died (the orphan cascade) are reset
+          to :data:`UNREACHABLE`; every surviving entry provably keeps
+          its exact value;
+        * :meth:`_relax_rows` runs the *decrease* half: added-edge
+          shortcuts and the survivor/orphan boundaries are relaxed and
+          propagated to the unique fixed point — the child graph's true
+          BFS metric.
+
+        Rows the update never touched are carried verbatim and recorded
+        in :attr:`delta_certified_sources` (canonical-path inheritance
+        builds on that proof); touched rows land as freshly materialized
+        arrays, counted by ``rows_patched`` in :meth:`stats`.  Keeping
+        whole rows — not just certifiable prefixes — is what keeps the
+        batched-rows hot paths (leg resolution, bulk pair distances)
+        warm under motion, where nearly every row is grazed by *some*
+        change.
+
+        A cached **ball** ``(s, r)`` survives iff every changed-edge
+        endpoint sits at distance ``>= r``: absent from the ball or
+        exactly on its boundary (boundary nodes persist, so no patching
+        needed).  A parent *partial* row's radius shrinks to the nearest
+        touched node inside its prefix (stale values beyond the radius
+        only certify ``> radius``, so they never shrink it).
+        """
+        add = np.asarray(sorted(added), dtype=np.intp).reshape(-1, 2)
+        rem = np.asarray(sorted(removed), dtype=np.intp).reshape(-1, 2)
+        touched = np.unique(np.concatenate([add.ravel(), rem.ravel()]))
+        # An empty effective delta needs no special case: the pre-filter
+        # below certifies every row verbatim, partials keep their radius,
+        # and every ball survives the boundary test.  (The production
+        # caller, Graph.with_edge_delta, returns `self` in that case and
+        # never even gets here.)
+        row_seed = []
+        # Chain the parent's pending partials first: their radius shrinks
+        # to the nearest touched node inside the prefix (stale values
+        # beyond the radius only certify "> radius", so they never shrink
+        # it).  Inserting them *before* this delta's fresh triage
+        # fallbacks keeps _cap_partial_rows' oldest-first eviction
+        # dropping the stalest entries first.
+        for src, (row, radius, chain) in parent._partial_rows.items():
+            if src in self._partial_rows:
+                continue
+            vals = row[touched]
+            inside = vals[vals <= radius]
+            m = int(inside.min()) if inside.size else radius
+            if m > 0:
+                self._partial_rows[src] = (row, m, chain)
+        srcs = [s for s, _ in parent._rows.items()]
+        certified: set[int] = set()
+        if srcs:
+            n = self._graph.n
+            num = len(srcs)
+            # Cheap pre-filter on the delta endpoints only: a row can be
+            # affected solely by an added edge spanning levels >= 2 apart
+            # (a shortcut / new reachability) or a removed edge spanning
+            # adjacent levels (a potential tree edge).  Unaffected rows —
+            # the bulk, under small deltas — skip the stacked update
+            # entirely and carry verbatim.
+            na, nr = add.shape[0], rem.shape[0]
+            cols = np.concatenate(
+                [add[:, 0], add[:, 1], rem[:, 0], rem[:, 1]]
+            )
+            vals = np.empty((num, cols.size), dtype=np.int64)
+            for i, src in enumerate(srcs):
+                vals[i] = parent._rows.get(src)[cols]
+            maybe = np.zeros(num, dtype=bool)
+            if na:
+                au, av = vals[:, :na], vals[:, na : 2 * na]
+                maybe |= (
+                    np.minimum(au, av) + 1 < np.maximum(au, av)
+                ).any(axis=1)
+            if nr:
+                ru = vals[:, 2 * na : 2 * na + nr]
+                rv = vals[:, 2 * na + nr :]
+                maybe |= (np.abs(ru - rv) == 1).any(axis=1)
+            aff = np.flatnonzero(maybe)
+            for i in np.flatnonzero(~maybe):
+                src = srcs[i]
+                row = parent._rows.get(src)
+                certified.add(src)
+                row_seed.append((src, row, row.nbytes))
+            if aff.size:
+                aff_srcs = [srcs[i] for i in aff]
+                old_block = np.stack(
+                    [parent._rows.get(s) for s in aff_srcs]
+                ).astype(np.int64)
+                block = old_block.copy()
+                orph_r, orph_n = self._settle_removals(old_block, block, rem)
+                orphans_per_row = np.bincount(orph_r, minlength=aff.size)
+                # Added-edge shortcuts per row: |d(s,u) - d(s,v)| >= 2
+                # means the edge genuinely shortens the row somewhere
+                # (one side unreachable counts — new reachability; both
+                # unreachable is gap 0 and harmless).
+                if na:
+                    au = block[:, add[:, 0]]
+                    av = block[:, add[:, 1]]
+                    gap2 = np.minimum(au, av) + 1 < np.maximum(au, av)
+                    shortcuts_per_row = gap2.sum(axis=1)
+                else:
+                    gap2 = np.zeros((aff.size, 0), dtype=bool)
+                    shortcuts_per_row = np.zeros(aff.size, dtype=np.int64)
+                # Triage: rows whose delta footprint is small get patched
+                # to exact child rows; rows grazed by many changes fall
+                # back to the valid-prefix rung (the bit-packed batch
+                # kernel recomputes them faster than pair-level
+                # propagation could).
+                patch = (
+                    orphans_per_row + shortcuts_per_row
+                ) <= DELTA_PATCH_SEED_BUDGET
+                changed = orphans_per_row > 0
+                seed_parts: list[np.ndarray] = []
+                # Seeds: the orphans' surviving neighbors push repair
+                # values across the boundary (orphan-side neighbors still
+                # at the sentinel are filtered out by the bucket sweep
+                # and re-enter once they gain a value).
+                keep = patch[orph_r]
+                if keep.any():
+                    o_r, o_n = orph_r[keep], orph_n[keep]
+                    nbrs, counts = gather_csr_neighbors(
+                        self._indptr, self._indices, o_n
+                    )
+                    seed_parts.append(np.repeat(o_r, counts) * n + nbrs)
+                # ... and each shortcutting added edge's nearer endpoint
+                # pushes the decrease into the farther side.
+                for j in range(na):
+                    rows_j = np.flatnonzero(gap2[:, j] & patch)
+                    if rows_j.size == 0:
+                        continue
+                    u, v = int(add[j, 0]), int(add[j, 1])
+                    nearer = np.where(
+                        block[rows_j, u] <= block[rows_j, v], u, v
+                    )
+                    seed_parts.append(rows_j * n + nearer)
+                if seed_parts:
+                    flat = _dedupe_flat(np.concatenate(seed_parts))
+                    changed |= self._relax_rows(block, flat // n, flat % n)
+                prefix = old_block[:, touched].min(axis=1)
+                for j, src in enumerate(aff_srcs):
+                    if not patch[j]:
+                        if prefix[j] > 0:
+                            self._partial_rows[src] = (
+                                parent._rows.get(src),
+                                int(prefix[j]),
+                                (),
+                            )
+                        continue
+                    if changed[j]:
+                        row = _readonly(block[j].astype(DIST_DTYPE))
+                        self._rows_patched += 1
+                    else:
+                        row = parent._rows.get(src)
+                        certified.add(src)
+                    row_seed.append((src, row, row.nbytes))
+        self._delta_certified = frozenset(certified)
+        self._cap_partial_rows()
+        ball_seed = []
+        for key, ball in parent._balls.items():
+            _, radius = key
+            nodes, dists = ball
+            pos = nodes.searchsorted(touched)
+            hit = pos < nodes.size
+            hit[hit] = nodes[pos[hit]] == touched[hit]
+            if hit.any() and (dists[pos[hit]] != radius).any():
+                continue  # a touched node strictly inside: invalidated
+            ball_seed.append((key, ball, ball[0].nbytes + ball[1].nbytes))
+        self._rows.seed(row_seed)
+        self._balls.seed(ball_seed)
+        self._rows_inherited = len(row_seed)
+        self._balls_inherited = len(ball_seed)
+        self._note_peak()
+
+    @property
+    def delta_certified_sources(self) -> frozenset[int]:
+        """Sources whose rows the last edge-delta inheritance *proved*
+        unchanged (empty unless this oracle was derived by
+        :meth:`inherit_edge_delta`).
+
+        The certificate is stronger than "the row happens to be cached":
+        every distance from such a source is identical in parent and
+        child.  Introspection/testing surface — canonical-path
+        inheritance (:meth:`repro.net.paths.PathOracle.inherit_edge_delta`)
+        deliberately re-derives the same fact from the cached row pair
+        instead, because its parent oracle may sit several composed
+        deltas behind this one.
+        """
+        return self._delta_certified
 
     # -- queries ------------------------------------------------------- #
 
@@ -828,6 +1263,9 @@ class LazyDistanceOracle(DistanceOracle):
             dist[frontier] = level
         self._rows_reexpanded += 1
         return dist
+
+    def cached_row(self, source: NodeId) -> np.ndarray | None:
+        return self._rows.get(int(source))
 
     def row(self, source: NodeId) -> np.ndarray:
         source = int(source)
@@ -960,6 +1398,7 @@ class LazyDistanceOracle(DistanceOracle):
             rows_inherited=self._rows_inherited,
             balls_inherited=self._balls_inherited,
             rows_partial_inherited=self._rows_partial_inherited,
+            rows_patched=self._rows_patched,
             rows_reexpanded=self._rows_reexpanded,
             batched_sweeps=self._batched_sweeps,
         )

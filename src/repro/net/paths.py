@@ -31,10 +31,12 @@ touches O(heads) rows, never the O(n²) matrix.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..errors import DisconnectedGraphError
 from ..types import NodeId
 from .graph import UNREACHABLE, Graph
-from .oracle import ByteBudgetLRU, OracleStats
+from .oracle import ByteBudgetLRU, OracleStats, gather_csr_neighbors
 
 __all__ = [
     "canonical_path",
@@ -145,6 +147,76 @@ class PathOracle:
             for key, path in parent._cache.items()
             if removed not in path
         ]
+        self._cache.seed(seed)
+        self._paths_inherited += len(seed)
+        if self._cache.nbytes > self._peak_bytes:
+            self._peak_bytes = self._cache.nbytes
+        return len(seed)
+
+    def inherit_edge_delta(self, parent: "PathOracle", touched) -> int:
+        """Seed the path cache from ``parent`` after an edge delta.
+
+        ``touched`` is the set of endpoints of every added or removed
+        edge (all nodes persist — the mobility case).  Call this on an
+        oracle for the post-delta graph *before* querying it.  A path
+        survives only when no changed edge is incident to one of its
+        nodes (adjacency, hence the min-ID candidate *sets*, unchanged)
+        **and** the BFS levels its backward walk consults are provably
+        unchanged: both the parent's and the child's oracles must hold
+        resident rows for the path's BFS root ``s``
+        (:meth:`DistanceOracle.cached_row` — the child's is typically an
+        inherited certified/patched row), and the two rows must agree on
+        every path node and every neighbor of a path node.  The walk's
+        candidate sets are then value-identical, so the identical min-ID
+        walk re-derives.  Mere avoidance of touched nodes is never
+        enough on its own — an *added* edge elsewhere can reroute
+        levels.
+
+        The row comparison deliberately judges the *parent oracle's*
+        graph against this one, so ``touched`` may span several composed
+        deltas (the mobility loop inherits across disconnected-snapshot
+        gaps); rows the child inherited verbatim compare equal
+        instantly (same array object).
+
+        Returns the number of paths carried over.
+        """
+        touched_set = {int(t) for t in touched}
+        parent_oracle = parent._graph.oracle
+        child_oracle = self._graph.oracle
+        indptr, indices = self._graph.csr_adjacency
+        # Per source: the set of nodes whose *own or neighboring* level
+        # changed — a path survives iff it avoids that set (and every
+        # touched node).  None = no resident row pair, drop the source.
+        bad_nodes: dict[int, set | None] = {}
+        seed = []
+        for key, path in parent._cache.items():
+            if key in self._cache:
+                continue
+            s = key[0]
+            if not touched_set.isdisjoint(path):
+                continue  # a changed edge touches the walk's candidate sets
+            bad = bad_nodes.get(s, -1)
+            if bad == -1:
+                old_row = parent_oracle.cached_row(s)
+                new_row = child_oracle.cached_row(s)
+                if old_row is None or new_row is None:
+                    bad = None
+                elif new_row is old_row:  # carried verbatim: levels identical
+                    bad = set()
+                else:
+                    moved = np.flatnonzero(new_row != old_row)
+                    if moved.size:
+                        nbrs, _ = gather_csr_neighbors(
+                            indptr, indices, moved
+                        )
+                        bad = set(moved.tolist())
+                        bad.update(nbrs.tolist())
+                    else:
+                        bad = set()
+                bad_nodes[s] = bad
+            if bad is None or not bad.isdisjoint(path):
+                continue
+            seed.append((key, path, _path_nbytes(path)))
         self._cache.seed(seed)
         self._paths_inherited += len(seed)
         if self._cache.nbytes > self._peak_bytes:

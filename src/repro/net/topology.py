@@ -32,6 +32,7 @@ __all__ = [
     "Topology",
     "radius_for_degree",
     "calibrate_radius",
+    "unit_disk_edges",
     "unit_disk_graph",
     "random_topology",
     "CELL_BIN_MIN_N",
@@ -95,7 +96,12 @@ def _cell_binned_disk_edges(pos: np.ndarray, radius: float) -> list[tuple[int, i
     Nodes are binned into a grid of ``radius``-sized cells; only pairs in
     the same or adjacent cells can be within range, and each adjacent cell
     pair is visited once (half-neighborhood stencil), so no O(n²) distance
-    matrix is ever formed.
+    matrix is ever formed.  The whole candidate-pair construction is
+    array-level: nodes are sorted by cell key once, each stencil offset
+    becomes one ``searchsorted`` join of all nodes against all target
+    cells, and candidate pairs are materialized with ``repeat``/offset
+    arithmetic — no Python per-cell loop (this runs once per mobility
+    snapshot, so it is on the simulation hot path).
     """
     n = pos.shape[0]
     if n < 2 or radius < 0:
@@ -113,35 +119,74 @@ def _cell_binned_disk_edges(pos: np.ndarray, radius: float) -> list[tuple[int, i
             for b in range(a + 1, len(mem))
         ]
     cells = np.floor(pos / radius).astype(np.int64)
-    buckets: dict[tuple[int, int], list[int]] = {}
-    for i, key in enumerate(map(tuple, cells.tolist())):
-        buckets.setdefault(key, []).append(i)
-    edges: list[tuple[int, int]] = []
+    cx, cy = cells[:, 0], cells[:, 1]
+    # Collision-free scalar cell key (grid coordinates are bounded by
+    # area/radius, far below 2^31).
+    shift = np.int64(1) << np.int64(31)
+    key = cx * shift + cy
+    order = np.argsort(key, kind="stable")
+    skey = key[order]
+    starts = np.flatnonzero(np.concatenate([[True], skey[1:] != skey[:-1]]))
+    uniq_keys = skey[starts]
+    bounds = np.concatenate([starts, [n]])
+    pairs_i: list[np.ndarray] = []
+    pairs_j: list[np.ndarray] = []
     # (0,0) covers within-cell pairs; the four forward offsets visit every
     # unordered pair of adjacent cells exactly once.
-    stencil = ((0, 0), (1, 0), (0, 1), (1, 1), (1, -1))
-    for (cx, cy), members in buckets.items():
-        mem = np.asarray(members, dtype=np.intp)
-        pmem = pos[mem]
-        for dx, dy in stencil:
-            if dx == 0 and dy == 0:
-                if len(mem) < 2:
-                    continue
-                diff = pmem[:, None, :] - pmem[None, :, :]
-                d = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
-                iu, ju = np.triu_indices(len(mem), k=1)
-                ok = d[iu, ju] <= radius
-                edges.extend(zip(mem[iu[ok]].tolist(), mem[ju[ok]].tolist()))
-            else:
-                other = buckets.get((cx + dx, cy + dy))
-                if not other:
-                    continue
-                oth = np.asarray(other, dtype=np.intp)
-                diff = pmem[:, None, :] - pos[oth][None, :, :]
-                d = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
-                ii, jj = np.nonzero(d <= radius)
-                edges.extend(zip(mem[ii].tolist(), oth[jj].tolist()))
-    return edges
+    for dx, dy in ((0, 0), (1, 0), (0, 1), (1, 1), (1, -1)):
+        target = key + np.int64(dx) * shift + np.int64(dy)
+        cell_pos = np.searchsorted(uniq_keys, target)
+        cell_pos = np.clip(cell_pos, 0, uniq_keys.size - 1)
+        hit = uniq_keys[cell_pos] == target
+        src = np.flatnonzero(hit)
+        if src.size == 0:
+            continue
+        lo = bounds[cell_pos[src]]
+        hi = bounds[cell_pos[src] + 1]
+        counts = hi - lo
+        total = int(counts.sum())
+        if total == 0:
+            continue
+        # Concatenate [lo_i, hi_i) ranges without a Python loop.
+        offsets = np.repeat(hi - np.cumsum(counts), counts) + np.arange(total)
+        jj = order[offsets]
+        ii = np.repeat(src, counts)
+        if dx == 0 and dy == 0:
+            keep = ii < jj  # each unordered within-cell pair once
+            ii, jj = ii[keep], jj[keep]
+        pairs_i.append(ii)
+        pairs_j.append(jj)
+    if not pairs_i:
+        return []
+    ii = np.concatenate(pairs_i)
+    jj = np.concatenate(pairs_j)
+    diff = pos[ii] - pos[jj]
+    # Same float expression as geometry.pairwise_distances (the dense
+    # path), so both unit_disk_edges routes share bit-identical
+    # inclusion at the radius knife-edge.
+    ok = np.sqrt(np.einsum("ij,ij->i", diff, diff)) <= radius
+    return list(zip(ii[ok].tolist(), jj[ok].tolist()))
+
+
+def unit_disk_edges(positions: np.ndarray, radius: float) -> list[tuple[int, int]]:
+    """The unit-disk edge set of ``positions`` without building a graph.
+
+    The mobility loop diffs consecutive snapshots' edge sets to feed
+    :meth:`Graph.with_edge_delta`, so it needs the raw edges — paying the
+    ``Graph`` constructor for a throwaway object would negate part of the
+    delta win.  Edge orientation is unspecified; normalize before set
+    arithmetic.
+    """
+    if radius < 0:
+        raise InvalidParameterError(f"radius must be >= 0, got {radius}")
+    pos = np.asarray(positions, dtype=np.float64)
+    n = pos.shape[0]
+    if n > CELL_BIN_MIN_N:
+        return _cell_binned_disk_edges(pos, radius)
+    dist = pairwise_distances(pos)
+    iu, ju = np.triu_indices(n, k=1)
+    mask = dist[iu, ju] <= radius
+    return list(zip(iu[mask].tolist(), ju[mask].tolist()))
 
 
 def unit_disk_graph(positions: np.ndarray, radius: float) -> Graph:
@@ -152,17 +197,8 @@ def unit_disk_graph(positions: np.ndarray, radius: float) -> Graph:
     (identical edges, sub-quadratic memory), which is what makes the
     large-N scaling scenarios feasible.
     """
-    if radius < 0:
-        raise InvalidParameterError(f"radius must be >= 0, got {radius}")
     pos = np.asarray(positions, dtype=np.float64)
-    n = pos.shape[0]
-    if n > CELL_BIN_MIN_N:
-        return Graph(n, _cell_binned_disk_edges(pos, radius))
-    dist = pairwise_distances(pos)
-    iu, ju = np.triu_indices(n, k=1)
-    mask = dist[iu, ju] <= radius
-    edges = list(zip(iu[mask].tolist(), ju[mask].tolist()))
-    return Graph(n, edges)
+    return Graph(pos.shape[0], unit_disk_edges(pos, radius))
 
 
 def calibrate_radius(

@@ -13,6 +13,9 @@ star: "heavy traffic from millions of users"):
 * :mod:`~repro.traffic.lifetime` — the closed loop where measured load
   drains :class:`~repro.net.energy.EnergyModel`, deaths feed the §3.3
   repair ladder, and flows replay across epochs (rotation vs static);
+* :mod:`~repro.traffic.mobile` — mobility-coupled traffic: the same
+  workload replayed over RandomWaypoint unit-disk snapshots, evolved by
+  edge deltas (the ``repro-khop mobility`` experiment);
 * :mod:`~repro.traffic.report` — the ``repro-khop traffic`` experiment.
 """
 
@@ -23,6 +26,12 @@ from .lifetime import (
     simulate_traffic_lifetime,
 )
 from .load import LoadReport, measure_load
+from .mobile import (
+    MobileEpoch,
+    MobileTrafficReport,
+    render_mobile,
+    simulate_mobile_traffic,
+)
 from .report import TrafficReport, render_traffic, run_traffic
 from .router import BatchRouter, RoutedFlows
 from .workloads import (
@@ -51,6 +60,10 @@ __all__ = [
     "LifetimeReport",
     "simulate_traffic_lifetime",
     "compare_rotation_under_traffic",
+    "MobileEpoch",
+    "MobileTrafficReport",
+    "simulate_mobile_traffic",
+    "render_mobile",
     "TrafficReport",
     "run_traffic",
     "render_traffic",

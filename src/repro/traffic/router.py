@@ -97,7 +97,9 @@ class BatchRouter:
     ) -> None:
         self._result = result
         self._graph = result.clustering.graph
-        self._oracle = oracle or PathOracle(self._graph)
+        # Not `or`: an empty shared oracle (falsy via __len__) must still
+        # be adopted, e.g. the mobility loop's freshly inherited one.
+        self._oracle = oracle if oracle is not None else PathOracle(self._graph)
         self._router = HeadRouter(result)
         self._head_of = np.asarray(result.clustering.head_of, dtype=np.int64)
 
@@ -138,6 +140,31 @@ class BatchRouter:
         """
         stats = self._router.inherit_from(old._router, removed, changed_heads)
         stats["legs"] = self._oracle.inherit_from(old._oracle, removed)
+        return stats
+
+    def inherit_edge_delta(
+        self, old: "BatchRouter", touched
+    ) -> dict[str, int]:
+        """Carry ``old``'s caches across a mobility edge delta.
+
+        ``touched`` is the endpoint set of the snapshot's changed edges
+        (union over composed deltas when snapshots were skipped).  The
+        head-graph layer inherits through the per-tree certificates of
+        :meth:`~repro.cds.routing.HeadRouter.inherit_from` (valid for
+        any backbone change); resolved legs inherit through
+        :meth:`~repro.net.paths.PathOracle.inherit_edge_delta` — unless
+        this router's oracle is ``old``'s, or was already seeded by an
+        earlier inheritance (the mobility loop inherits the shared path
+        oracle *before* ``build_backbone`` so the virtual links benefit
+        too), in which case the legs are left alone.
+        """
+        stats = self._router.inherit_from(old._router)
+        if self._oracle is old._oracle or self._oracle.paths_inherited:
+            stats["legs"] = 0
+        else:
+            stats["legs"] = self._oracle.inherit_edge_delta(
+                old._oracle, touched
+            )
         return stats
 
     def route(self, source: NodeId, target: NodeId) -> tuple[NodeId, ...]:

@@ -123,6 +123,26 @@ class Workload:
             seed=self.seed,
         )
 
+    def delivered_fraction(self, labels: np.ndarray) -> float:
+        """Fraction of flows whose endpoints share a connected component.
+
+        Args:
+            labels: per-node component labels, length ``n`` (any integer
+                labelling — only equality is consulted).
+
+        The mobility loop's *delivery* metric: on a disconnected
+        snapshot, flows whose endpoints landed in different components
+        are undeliverable no matter how they are routed.
+        """
+        labels = np.asarray(labels)
+        if labels.shape != (self.n,):
+            raise InvalidParameterError(
+                f"component labels must have shape ({self.n},), got {labels.shape}"
+            )
+        if self.num_flows == 0:
+            return 1.0
+        return float((labels[self.sources] == labels[self.targets]).mean())
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Workload({self.name!r}, flows={self.num_flows}, "

@@ -1,5 +1,6 @@
 """Tests for the mobility-stability experiment."""
 
+import numpy as np
 import pytest
 
 from repro.errors import InvalidParameterError
@@ -54,3 +55,23 @@ class TestSimulateStability:
         large = simulate_stability(topo, 3, steps=12, speed=(1.0, 2.0), seed=13)
         if small.steps and large.steps:
             assert large.mean("affected_nodes") >= small.mean("affected_nodes")
+
+
+class TestAssignmentSurvival:
+    def test_assignment_survived_reported_per_step(self, topo100):
+        from repro.maintenance.stability import simulate_stability
+
+        report = simulate_stability(topo100, 2, steps=6, seed=3)
+        assert report.steps  # at least one connected transition
+        for s in report.steps:
+            assert isinstance(s.assignment_survived, (bool, np.bool_))
+        # The mean is a survival *rate* in [0, 1].
+        rate = report.mean("assignment_survived")
+        assert 0.0 <= rate <= 1.0
+
+    def test_still_valid_on_unchanged_graph(self, topo100):
+        from repro.core.clustering import khop_cluster
+        from repro.maintenance.repair import clustering_still_valid
+
+        cl = khop_cluster(topo100.graph, 2)
+        assert clustering_still_valid(cl, topo100.graph)

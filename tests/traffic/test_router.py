@@ -218,3 +218,76 @@ class TestRouterInheritance:
         # member deaths splice the backbone: the routing layer survives
         assert report.router_rebuilds_avoided > 0
         assert report.router_legs_inherited > 0
+
+
+class TestRouterEdgeDeltaInheritance:
+    """Inherited-vs-fresh walk identity across mobility edge deltas."""
+
+    @staticmethod
+    def _instance(seed=17, n=150):
+        topo = random_topology(n, degree=7.0, seed=seed)
+        from repro.net.graph import Graph
+
+        g = Graph(topo.graph.n, topo.graph.edges)
+        g.use_distance_backend("lazy")
+        return g
+
+    def _build(self, g):
+        paths = PathOracle(g)
+        backbone = build_backbone(khop_cluster(g, 2), "AC-LMST", oracle=paths)
+        router = BatchRouter(backbone, oracle=paths)
+        return backbone, router, paths
+
+    def test_delta_inherited_router_walk_identical(self):
+        g = self._instance()
+        _, router, paths = self._build(g)
+        wl = uniform_pairs(g.n, 400, seed=3)
+        router.route_flows(wl, with_shortest=True)
+        rng = np.random.default_rng(5)
+        edges = list(g.edges)
+        removed = [edges[int(i)] for i in rng.choice(len(edges), 3, replace=False)]
+        added = []
+        for u in range(g.n):
+            for v in range(u + 1, g.n):
+                if not g.has_edge(u, v):
+                    added.append((u, v))
+                    break
+            if len(added) == 3:
+                break
+        g2 = g.with_edge_delta(added, removed)
+        touched = {x for e in added + removed for x in e}
+        new_paths = PathOracle(g2)
+        new_paths.inherit_edge_delta(paths, touched)
+        backbone2 = build_backbone(
+            khop_cluster(g2, 2), "AC-LMST", oracle=new_paths
+        )
+        router2 = BatchRouter(backbone2, oracle=new_paths)
+        router2.router.inherit_from(router.router)
+        got = router2.route_flows(wl, with_shortest=True)
+        fresh_backbone = build_backbone(khop_cluster(g2, 2), "AC-LMST")
+        want = BatchRouter(fresh_backbone).route_flows(wl, with_shortest=True)
+        assert got.walks == want.walks
+        assert got.head_paths == want.head_paths
+        assert np.array_equal(got.shortest, want.shortest)
+
+    def test_empty_delta_inherits_whole_head_layer(self):
+        """Unchanged head set + links: all-or-nothing rung still fires."""
+        g = self._instance(seed=19)
+        backbone, router, paths = self._build(g)
+        router.route_flows(uniform_pairs(g.n, 300, seed=7), with_shortest=False)
+        # Same graph, same backbone: the head layer must carry whole.
+        router2 = BatchRouter(backbone, oracle=PathOracle(g))
+        stats = router2.inherit_edge_delta(router, set())
+        assert stats["head_graph_unchanged"] == 1
+        assert stats["trees"] == len(router.router._trees)
+        assert stats["head_seqs"] == len(router.router._head_seqs)
+        assert stats["head_walks"] == len(router.router._head_walks)
+        assert stats["legs"] == len(paths)
+
+    def test_batchrouter_inherit_edge_delta_skips_shared_oracle(self):
+        g = self._instance(seed=23)
+        backbone, router, paths = self._build(g)
+        router.route_flows(uniform_pairs(g.n, 200, seed=9), with_shortest=False)
+        router2 = BatchRouter(backbone, oracle=paths)  # same oracle object
+        stats = router2.inherit_edge_delta(router, set())
+        assert stats["legs"] == 0  # legs already live in the shared oracle
