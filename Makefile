@@ -5,11 +5,13 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-all bench-smoke bench-smoke-ci bench-scaling bench-churn bench-traffic bench-pipeline bench-mobility help
+.PHONY: test test-all lint typecheck bench-smoke bench-smoke-ci bench-scaling bench-churn bench-traffic bench-pipeline bench-mobility help
 
 help:
 	@echo "make test           - tier-1 test suite (tests/ + benchmarks/, -x -q; slow cells skipped)"
 	@echo "make test-all       - full suite including the slow scenario-matrix cells"
+	@echo "make lint           - repro-lint static analysis (rules R001-R008; exits non-zero on findings)"
+	@echo "make typecheck      - mypy strict on the typed core (net/, traffic/, core/); skipped if mypy absent"
 	@echo "make bench-smoke    - benchmark suite at the reduced REPRO_TRIALS budget"
 	@echo "make bench-smoke-ci - scaling + churn + traffic + pipeline + mobility benchmarks (the CI smoke job)"
 	@echo "make bench-scaling  - the full N=200..5000 distance-oracle scaling sweep"
@@ -23,6 +25,16 @@ test:
 
 test-all:
 	$(PYTHON) -m pytest -x -q -m ""
+
+lint:
+	$(PYTHON) -m repro.cli lint
+
+typecheck:
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy src/repro/net src/repro/traffic src/repro/core; \
+	else \
+		echo "typecheck: mypy not installed; skipping (CI runs it)"; \
+	fi
 
 bench-smoke:
 	REPRO_TRIALS=$${REPRO_TRIALS:-2} $(PYTHON) -m pytest benchmarks -q

@@ -99,6 +99,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="incremental edge-delta maintenance vs from-scratch baseline",
     )
 
+    pl = sub.add_parser(
+        "lint", help="run the repro-lint static-analysis suite"
+    )
+    pl.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files/directories relative to the repo root "
+        "(default: src tests benchmarks)",
+    )
+    pl.add_argument(
+        "--root",
+        default=".",
+        help="repository root the paths are resolved against",
+    )
+    pl.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
     sub.add_parser("figure5", help="CDS size vs N, sparse (D=6)")
     sub.add_parser("figure6", help="CDS size vs N, dense (D=10)")
     sub.add_parser("figure7", help="effect of k (heads and CDS size)")
@@ -119,6 +140,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     _apply_budget(args.trials)
 
+    if args.command == "lint":
+        from .errors import LintError
+        from .lint import RULE_DOCS, run_lint
+
+        if args.list_rules:
+            for code, (name, what) in sorted(RULE_DOCS.items()):
+                print(f"{code}  {name:<22} {what}")
+            return 0
+        run = run_lint(args.root, args.paths or None)
+        if run.diagnostics:
+            print(LintError(tuple(run.diagnostics)).report())
+            return 1
+        print(
+            f"repro-lint: {run.files_checked} files clean "
+            f"({len(run.rules)} rules, {run.suppressed} pragma-suppressed)"
+        )
+        return 0
     if args.command == "figure4":
         data = figure4.run(n=args.n, degree=args.degree, k=args.k, seed=args.seed)
         print(figure4.render(data))

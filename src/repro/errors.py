@@ -3,9 +3,16 @@
 All exceptions raised deliberately by this library derive from
 :class:`ReproError`, so callers can catch a single base class at the
 boundary of their application code.
+
+This module also hosts :class:`Diagnostic` and :class:`LintError`, the
+shared currency of the :mod:`repro.lint` static-analysis suite: the CLI
+(``repro-khop lint``), the pytest self-check and any editor integration
+all format findings through the same ``file:line: CODE message`` scheme.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass, field
 
 __all__ = [
     "ReproError",
@@ -14,6 +21,8 @@ __all__ = [
     "CalibrationError",
     "ValidationError",
     "ProtocolError",
+    "Diagnostic",
+    "LintError",
 ]
 
 
@@ -62,3 +71,49 @@ class ProtocolError(ReproError):
     Examples: a message delivered to a dead node, a protocol that failed to
     converge within its round budget, or inconsistent local views.
     """
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One static-analysis finding, sortable into report order.
+
+    The field order (path, line, code) *is* the sort order, so a list of
+    diagnostics sorts into the conventional compiler-output layout.
+
+    Attributes:
+        path: file path, relative to the linted tree's root.
+        line: 1-based line number of the offending construct.
+        code: stable rule code (``R001`` .. ``R008``).
+        message: human-readable description of the violation.
+    """
+
+    path: str
+    line: int
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+@dataclass(frozen=True)
+class LintError(ReproError):
+    """Raised at an API boundary when a lint run produced findings.
+
+    ``repro-khop lint`` and the pytest self-check both render the carried
+    diagnostics through :meth:`report`, so the terminal and the test
+    failure show byte-identical output.
+    """
+
+    diagnostics: tuple[Diagnostic, ...] = field(default=())
+
+    def report(self) -> str:
+        lines = [str(d) for d in sorted(self.diagnostics)]
+        lines.append(
+            f"repro-lint: {len(self.diagnostics)} finding"
+            f"{'s' if len(self.diagnostics) != 1 else ''}"
+        )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.report()

@@ -1,0 +1,38 @@
+"""repro-lint: project-invariant static analysis for the repro engine.
+
+Eight AST-based rules encode the conventions the engine's correctness
+and performance rest on — RNG discipline, the DIST_DTYPE contract, the
+no-dense-allocation guarantee, hot-path vectorization, test coverage of
+every cache-carryover certificate, ``__all__`` truthfulness, seeded
+tests, and lazy heavy imports.  Run via ``repro-khop lint`` or
+``make lint``; suppress single documented sites with
+``# repro-lint: disable=CODE``.
+
+The rule catalogue lives in :data:`repro.lint.config.RULE_DOCS`; the
+driver in :mod:`repro.lint.engine`; findings are
+:class:`repro.errors.Diagnostic` objects, shared with the CLI and the
+pytest self-check through :class:`repro.errors.LintError`.
+"""
+
+from ..errors import Diagnostic, LintError
+from .config import RULE_DOCS
+from .engine import (
+    DEFAULT_PATHS,
+    LintRun,
+    Rule,
+    SourceFile,
+    all_rules,
+    run_lint,
+)
+
+__all__ = [
+    "Diagnostic",
+    "LintError",
+    "LintRun",
+    "Rule",
+    "SourceFile",
+    "RULE_DOCS",
+    "DEFAULT_PATHS",
+    "all_rules",
+    "run_lint",
+]

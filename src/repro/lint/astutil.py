@@ -1,0 +1,69 @@
+"""Tiny AST helpers shared by the repro-lint rules."""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = [
+    "dotted_name",
+    "numpy_aliases",
+    "module_imports",
+    "is_numpy_attr",
+    "call_keyword",
+]
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if not isinstance(cur, ast.Name):
+        return None
+    parts.append(cur.id)
+    return ".".join(reversed(parts))
+
+
+def numpy_aliases(tree: ast.Module) -> set[str]:
+    """Local names bound to the numpy module (``np``, ``numpy``, ...)."""
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    aliases.add(alias.asname or "numpy")
+    return aliases
+
+
+def module_imports(tree: ast.Module) -> set[str]:
+    """Top-level package names imported anywhere in the file."""
+    out: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                out.add(alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.level == 0:
+                out.add(node.module.split(".")[0])
+    return out
+
+
+def is_numpy_attr(
+    node: ast.AST, aliases: set[str], path: str
+) -> bool:
+    """Whether ``node`` is ``<numpy-alias>.<path>`` (path may be dotted)."""
+    name = dotted_name(node)
+    if name is None:
+        return False
+    head, _, tail = name.partition(".")
+    return head in aliases and tail == path
+
+
+def call_keyword(call: ast.Call, name: str) -> ast.expr | None:
+    """The value of keyword argument ``name`` on ``call``, if present."""
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None

@@ -1,0 +1,230 @@
+"""The repro-lint driver: file loading, rule dispatch, pragma filtering.
+
+A lint run parses every ``.py`` file under the requested paths once,
+hands the parsed :class:`SourceFile` objects to each rule, filters the
+raw findings through the pragma layer and returns them in report order.
+Rules come in two shapes: per-file (``check_file``) and whole-project
+(``check_project`` — e.g. the test-coverage cross-check, which must see
+``src/`` and ``tests/`` together).
+
+Everything is plain ``ast``/``tokenize`` — no third-party dependency —
+so the suite runs anywhere the library itself runs, and fast: one parse
+per file, one AST walk per (file, rule).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from functools import cached_property
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from ..errors import Diagnostic
+from .config import RULE_DOCS
+from .pragmas import PragmaSet, parse_pragmas
+
+__all__ = [
+    "SourceFile",
+    "Rule",
+    "all_rules",
+    "collect_files",
+    "load_file",
+    "run_lint",
+    "DEFAULT_PATHS",
+]
+
+#: What a bare ``repro-khop lint`` / ``make lint`` covers.
+DEFAULT_PATHS: tuple[str, ...] = ("src", "tests", "benchmarks")
+
+
+@dataclass
+class SourceFile:
+    """One parsed source file plus the derived lookups rules need."""
+
+    rel: str  #: POSIX path relative to the lint root
+    text: str
+    tree: ast.Module | None  #: ``None`` when the file failed to parse
+    pragmas: PragmaSet
+
+    @cached_property
+    def parents(self) -> dict[ast.AST, ast.AST]:
+        """Child -> parent map over the whole tree."""
+        out: dict[ast.AST, ast.AST] = {}
+        if self.tree is not None:
+            for parent in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(parent):
+                    out[child] = parent
+        return out
+
+    @cached_property
+    def qualnames(self) -> dict[ast.AST, str]:
+        """Function/class def node -> dotted qualname (``Cls.method``)."""
+        out: dict[ast.AST, str] = {}
+
+        def visit(node: ast.AST, prefix: str) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                ):
+                    qual = f"{prefix}{child.name}"
+                    out[child] = qual
+                    visit(child, qual + ".")
+                else:
+                    visit(child, prefix)
+
+        if self.tree is not None:
+            visit(self.tree, "")
+        return out
+
+    def enclosing_qualname(self, node: ast.AST) -> str:
+        """Qualname of the innermost def/class containing ``node`` ('' = module)."""
+        cur = self.parents.get(node)
+        while cur is not None:
+            qual = self.qualnames.get(cur)
+            if qual is not None:
+                return qual
+            cur = self.parents.get(cur)
+        return ""
+
+    def in_function(self, node: ast.AST) -> bool:
+        """Whether ``node`` sits inside any function body."""
+        cur = self.parents.get(node)
+        while cur is not None:
+            if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return True
+            cur = self.parents.get(cur)
+        return False
+
+
+class Rule:
+    """Base class: a stable code plus per-file and/or project checks."""
+
+    code: str = ""
+    name: str = ""
+
+    @property
+    def summary(self) -> str:
+        """The one-line description from the rule-docs table."""
+        return RULE_DOCS[self.code][1]
+
+    def check_file(self, src: SourceFile) -> Iterator[Diagnostic]:
+        return iter(())
+
+    def check_project(
+        self, files: Sequence[SourceFile]
+    ) -> Iterator[Diagnostic]:
+        return iter(())
+
+
+def all_rules() -> list[Rule]:
+    """One instance of every shipped rule, in code order."""
+    from .rules_arrays import DenseAllocationRule, DistDtypeRule
+    from .rules_project import AllConsistencyRule, InheritanceCoverageRule
+    from .rules_rng import RngDisciplineRule, SeededTestsRule
+    from .rules_structure import HotPathLoopRule, LazyImportRule
+
+    rules: list[Rule] = [
+        RngDisciplineRule(),
+        DistDtypeRule(),
+        DenseAllocationRule(),
+        HotPathLoopRule(),
+        InheritanceCoverageRule(),
+        AllConsistencyRule(),
+        SeededTestsRule(),
+        LazyImportRule(),
+    ]
+    return sorted(rules, key=lambda r: r.code)
+
+
+def collect_files(root: Path, paths: Iterable[str]) -> list[Path]:
+    """Every ``.py`` file under ``root/<path>`` for each requested path."""
+    seen: set[Path] = set()
+    out: list[Path] = []
+    for rel in paths:
+        target = (root / rel).resolve()
+        if target.is_file() and target.suffix == ".py":
+            candidates: Iterable[Path] = [target]
+        elif target.is_dir():
+            candidates = sorted(target.rglob("*.py"))
+        else:
+            continue
+        for path in candidates:
+            if "__pycache__" in path.parts or path in seen:
+                continue
+            seen.add(path)
+            out.append(path)
+    return out
+
+
+def load_file(root: Path, path: Path) -> SourceFile:
+    """Parse one file into a :class:`SourceFile` (tree=None on errors)."""
+    text = path.read_text(encoding="utf-8")
+    rel = path.resolve().relative_to(root.resolve()).as_posix()
+    try:
+        tree: ast.Module | None = ast.parse(text, filename=rel)
+    except SyntaxError:
+        tree = None
+    return SourceFile(
+        rel=rel, text=text, tree=tree, pragmas=parse_pragmas(text)
+    )
+
+
+@dataclass
+class LintRun:
+    """The outcome of one lint invocation."""
+
+    diagnostics: list[Diagnostic]
+    files_checked: int
+    suppressed: int = 0
+    rules: list[Rule] = field(default_factory=list)
+
+
+def run_lint(
+    root: Path | str,
+    paths: Sequence[str] | None = None,
+    rules: Sequence[Rule] | None = None,
+) -> LintRun:
+    """Lint ``paths`` (relative to ``root``) with ``rules`` (default: all).
+
+    Returns the pragma-filtered findings sorted into ``file:line:code``
+    report order.  Files that fail to parse surface as ``R000`` findings
+    and are excluded from the other rules.
+    """
+    root = Path(root)
+    active = list(rules) if rules is not None else all_rules()
+    files = [
+        load_file(root, p)
+        for p in collect_files(root, paths or DEFAULT_PATHS)
+    ]
+
+    raw: list[Diagnostic] = []
+    for src in files:
+        if src.tree is None:
+            raw.append(
+                Diagnostic(src.rel, 1, "R000", "file does not parse")
+            )
+            continue
+        for rule in active:
+            raw.extend(rule.check_file(src))
+    parsed = [f for f in files if f.tree is not None]
+    for rule in active:
+        raw.extend(rule.check_project(parsed))
+
+    by_rel = {f.rel: f for f in files}
+    kept: list[Diagnostic] = []
+    suppressed = 0
+    for diag in raw:
+        src = by_rel.get(diag.path)
+        if src is not None and src.pragmas.suppressed(diag.line, diag.code):
+            suppressed += 1
+            continue
+        kept.append(diag)
+    kept.sort()
+    return LintRun(
+        diagnostics=kept,
+        files_checked=len(files),
+        suppressed=suppressed,
+        rules=active,
+    )

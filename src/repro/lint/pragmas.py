@@ -1,0 +1,71 @@
+"""Suppression pragmas for the repro-lint rules.
+
+Two forms, both carried in comments so they survive formatting:
+
+* ``# repro-lint: disable=R001`` (or ``disable=R001,R004``) on the line
+  of the finding suppresses those codes for that line only;
+* ``# repro-lint: disable-file=R004`` anywhere in the file suppresses the
+  codes for the whole file (reserved for scalar reference modules).
+
+``disable=all`` suppresses every rule.  Comments are located with
+:mod:`tokenize`, so pragma-looking text inside string literals is inert.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import NamedTuple
+
+__all__ = ["PragmaSet", "parse_pragmas"]
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<scope>disable(?:-file)?)\s*=\s*"
+    r"(?P<codes>[A-Za-z0-9_,\s]+)"
+)
+
+
+class PragmaSet(NamedTuple):
+    """Parsed suppressions for one source file."""
+
+    by_line: dict[int, frozenset[str]]
+    file_wide: frozenset[str]
+
+    def suppressed(self, line: int, code: str) -> bool:
+        """Whether ``code`` is disabled at ``line`` (or file-wide)."""
+        if "all" in self.file_wide or code in self.file_wide:
+            return True
+        codes = self.by_line.get(line)
+        return codes is not None and ("all" in codes or code in codes)
+
+
+def parse_pragmas(text: str) -> PragmaSet:
+    """Extract every repro-lint pragma comment from ``text``."""
+    by_line: dict[int, frozenset[str]] = {}
+    file_wide: set[str] = set()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        comments = [
+            (tok.start[0], tok.string)
+            for tok in tokens
+            if tok.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Unparseable files are reported by the engine as R000; pragmas
+        # are moot.
+        return PragmaSet({}, frozenset())
+    for line, comment in comments:
+        match = _PRAGMA_RE.search(comment)
+        if match is None:
+            continue
+        codes = frozenset(
+            c.strip().lower() if c.strip().lower() == "all" else c.strip()
+            for c in match.group("codes").split(",")
+            if c.strip()
+        )
+        if match.group("scope") == "disable-file":
+            file_wide.update(codes)
+        else:
+            by_line[line] = by_line.get(line, frozenset()) | codes
+    return PragmaSet(by_line, frozenset(file_wide))

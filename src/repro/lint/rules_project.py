@@ -1,0 +1,202 @@
+"""R005/R006 — whole-project cross-checks.
+
+R005 (inheritance coverage) is the Python analogue of tket's
+compile-time distance-cache contracts: every ``inherit_*``/``with_*delta``
+method is an *exactness certificate* — it promises that carried-over
+cached state equals what a fresh rebuild would compute.  A certificate
+nobody tests is a silent-wrong-answer factory, so the rule demands that
+for each public such method there is at least one test module that both
+calls ``.<method>(...)`` and mentions the defining class.
+
+R006 (``__all__`` consistency) checks, purely statically, that every
+name exported by a module's ``__all__`` is actually bound at module
+level (including conditional and ``try`` branches), that ``__all__``
+holds no duplicates, and therefore that package ``__init__`` re-export
+chains resolve.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence
+
+from ..errors import Diagnostic
+from .config import COVERAGE_METHOD_RE, SRC_PREFIX, TEST_PREFIX
+from .engine import Rule, SourceFile
+
+__all__ = ["InheritanceCoverageRule", "AllConsistencyRule"]
+
+
+def _module_bindings(tree: ast.Module) -> set[str]:
+    """Names bound at module level (descending into if/try/with bodies)."""
+    names: set[str] = set()
+
+    def visit(body: Sequence[ast.stmt]) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                names.add(node.name)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    names.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name == "*":
+                        names.add("*")
+                    else:
+                        names.add(alias.asname or alias.name)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    stack: list[ast.AST] = [target]
+                    while stack:
+                        cur = stack.pop()
+                        if isinstance(cur, ast.Name):
+                            names.add(cur.id)
+                        elif isinstance(cur, (ast.Tuple, ast.List)):
+                            stack.extend(cur.elts)
+                        elif isinstance(cur, ast.Starred):
+                            stack.append(cur.value)
+            elif isinstance(node, ast.If):
+                visit(node.body)
+                visit(node.orelse)
+            elif isinstance(node, ast.Try):
+                visit(node.body)
+                visit(node.orelse)
+                visit(node.finalbody)
+                for handler in node.handlers:
+                    visit(handler.body)
+            elif isinstance(node, (ast.With, ast.For, ast.While)):
+                visit(node.body)
+
+    visit(tree.body)
+    return names
+
+
+def _all_literal(tree: ast.Module) -> tuple[int, list[tuple[str, int]]] | None:
+    """``(__all__ line, [(name, element line), ...])`` if statically known."""
+    for node in tree.body:
+        target = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+        elif isinstance(node, ast.AnnAssign):
+            target = node.target
+        if not (isinstance(target, ast.Name) and target.id == "__all__"):
+            continue
+        value = node.value
+        if not isinstance(value, (ast.List, ast.Tuple)):
+            return None
+        names: list[tuple[str, int]] = []
+        for elt in value.elts:
+            if not (isinstance(elt, ast.Constant) and isinstance(elt.value, str)):
+                return None
+            names.append((elt.value, elt.lineno))
+        return node.lineno, names
+    return None
+
+
+class AllConsistencyRule(Rule):
+    """R006: __all__ entries exist; package re-exports resolve."""
+
+    code = "R006"
+    name = "all-consistency"
+
+    def check_file(self, src: SourceFile) -> Iterator[Diagnostic]:
+        if not src.rel.startswith(SRC_PREFIX):
+            return
+        assert src.tree is not None
+        parsed = _all_literal(src.tree)
+        if parsed is None:
+            return
+        _, entries = parsed
+        bindings = _module_bindings(src.tree)
+        if "*" in bindings:
+            return  # star re-export: membership is not statically decidable
+        seen: set[str] = set()
+        for name, line in entries:
+            if name in seen:
+                yield Diagnostic(
+                    src.rel,
+                    line,
+                    self.code,
+                    f"duplicate __all__ entry '{name}'",
+                )
+                continue
+            seen.add(name)
+            if name not in bindings:
+                yield Diagnostic(
+                    src.rel,
+                    line,
+                    self.code,
+                    f"__all__ exports '{name}' but the module never binds "
+                    "it; the import-star/API surface is lying",
+                )
+
+
+class InheritanceCoverageRule(Rule):
+    """R005: every public cache-carryover method is test-exercised."""
+
+    code = "R005"
+    name = "inheritance-coverage"
+
+    def check_project(
+        self, files: Sequence[SourceFile]
+    ) -> Iterator[Diagnostic]:
+        src_files = [f for f in files if f.rel.startswith(SRC_PREFIX)]
+        test_files = [f for f in files if f.rel.startswith(TEST_PREFIX)]
+        if not src_files or not test_files:
+            return
+
+        # (class, method) definitions to cover.
+        defs: list[tuple[str, str, str, int]] = []
+        for src in src_files:
+            assert src.tree is not None
+            for node in ast.walk(src.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                for item in node.body:
+                    if (
+                        isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                        and COVERAGE_METHOD_RE.match(item.name)
+                        and not item.name.startswith("_")
+                    ):
+                        defs.append((src.rel, node.name, item.name, item.lineno))
+
+        # Per test module: the method names it calls and the identifiers
+        # it mentions (class references arrive as Names or Attributes).
+        refs: list[tuple[set[str], set[str]]] = []
+        for test in test_files:
+            assert test.tree is not None
+            called: set[str] = set()
+            mentioned: set[str] = set()
+            for node in ast.walk(test.tree):
+                if isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Attribute
+                ):
+                    called.add(node.func.attr)
+                if isinstance(node, ast.Name):
+                    mentioned.add(node.id)
+                elif isinstance(node, ast.Attribute):
+                    mentioned.add(node.attr)
+                elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                    for alias in node.names:
+                        mentioned.add(alias.asname or alias.name.split(".")[-1])
+            refs.append((called, mentioned))
+
+        for rel, cls, method, line in defs:
+            covered = any(
+                method in called and cls in mentioned
+                for called, mentioned in refs
+            )
+            if not covered:
+                yield Diagnostic(
+                    rel,
+                    line,
+                    self.code,
+                    f"cache-carryover method {cls}.{method} has no test "
+                    "that both names the class and calls the method; add "
+                    "an inherited-vs-fresh equivalence test",
+                )

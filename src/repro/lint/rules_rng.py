@@ -1,0 +1,146 @@
+"""R001/R007 — randomness discipline in engine code and in tests.
+
+The whole regression story (the 48-cell scenario matrix, the benchmark
+trajectories, the walk-identity property tests) assumes that *every*
+random draw flows through an explicit ``np.random.Generator`` seeded by
+the caller.  Global RNG state (``np.random.seed``, the legacy
+``RandomState``, module-level generators, the stdlib ``random`` module)
+breaks that in ways no test can see locally: a draw order that depends
+on import order or on which test ran first.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..errors import Diagnostic
+from .astutil import dotted_name, numpy_aliases
+from .config import BENCH_PREFIX, SRC_PREFIX, TEST_PREFIX
+from .engine import Rule, SourceFile
+
+__all__ = ["RngDisciplineRule", "SeededTestsRule"]
+
+
+def _is_unseeded(call: ast.Call) -> bool:
+    """``default_rng()`` / ``default_rng(None)`` — OS-entropy seeding."""
+    if call.keywords:
+        return False
+    if not call.args:
+        return True
+    first = call.args[0]
+    return isinstance(first, ast.Constant) and first.value is None
+
+
+def _rng_findings(
+    src: SourceFile, *, flag_module_level: bool
+) -> Iterator[Diagnostic]:
+    """Findings shared by the src-side and test-side RNG rules."""
+    assert src.tree is not None
+    aliases = numpy_aliases(src.tree)
+    rel = src.rel
+    for node in ast.walk(src.tree):
+        if isinstance(node, ast.Attribute):
+            name = dotted_name(node)
+            if name is None:
+                continue
+            head, _, tail = name.partition(".")
+            if head in aliases and tail == "random.RandomState":
+                yield Diagnostic(
+                    rel,
+                    node.lineno,
+                    "",
+                    "legacy np.random.RandomState; use a seeded "
+                    "np.random.Generator (default_rng(seed))",
+                )
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func)
+        if name is None:
+            continue
+        head, _, tail = name.partition(".")
+        if head in aliases and tail.startswith("random."):
+            leaf = tail.rsplit(".", 1)[-1]
+            if leaf == "RandomState":
+                continue  # already reported at the Attribute node
+            if leaf != "default_rng":
+                yield Diagnostic(
+                    rel,
+                    node.lineno,
+                    "",
+                    f"global-state np.random.{leaf}() call; draw from an "
+                    "explicit seeded np.random.Generator instead",
+                )
+                continue
+        is_default_rng = (head in aliases and tail == "random.default_rng") or (
+            name == "default_rng"
+        )
+        if not is_default_rng:
+            continue
+        if _is_unseeded(node):
+            yield Diagnostic(
+                rel,
+                node.lineno,
+                "",
+                "unseeded default_rng(); pass an explicit seed so runs "
+                "are reproducible",
+            )
+        elif flag_module_level and not src.in_function(node):
+            yield Diagnostic(
+                rel,
+                node.lineno,
+                "",
+                "module-level RNG construction; build the generator "
+                "inside the consuming function so import order cannot "
+                "change draw sequences",
+            )
+
+
+class RngDisciplineRule(Rule):
+    """R001: engine randomness must be explicit, seeded and local."""
+
+    code = "R001"
+    name = "rng-discipline"
+
+    def check_file(self, src: SourceFile) -> Iterator[Diagnostic]:
+        if not src.rel.startswith(SRC_PREFIX):
+            return
+        for diag in _rng_findings(src, flag_module_level=True):
+            yield Diagnostic(diag.path, diag.line, self.code, diag.message)
+
+
+class SeededTestsRule(Rule):
+    """R007: tests/benchmarks may only draw from seeded generators."""
+
+    code = "R007"
+    name = "seeded-tests"
+
+    def check_file(self, src: SourceFile) -> Iterator[Diagnostic]:
+        if not src.rel.startswith((TEST_PREFIX, BENCH_PREFIX)):
+            return
+        assert src.tree is not None
+        for diag in _rng_findings(src, flag_module_level=False):
+            yield Diagnostic(diag.path, diag.line, self.code, diag.message)
+        # The stdlib `random` module is global state end to end; ban any
+        # attribute call on it once the module is imported by that name.
+        imports_random = any(
+            isinstance(node, ast.Import)
+            and any(a.name == "random" and a.asname is None for a in node.names)
+            for node in ast.walk(src.tree)
+        )
+        if not imports_random:
+            return
+        for node in ast.walk(src.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "random"
+            ):
+                yield Diagnostic(
+                    src.rel,
+                    node.lineno,
+                    self.code,
+                    f"bare random.{node.func.attr}() draws from global "
+                    "state; use np.random.default_rng(seed)",
+                )

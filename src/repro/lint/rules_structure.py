@@ -1,0 +1,142 @@
+"""R004/R008 — hot-path loop guard and the lazy-import guard.
+
+R004 protects the PR 2-5 vectorization wins structurally: in modules
+declared hot (see :data:`~repro.lint.config.HOT_MODULES`), a statement
+``for`` loop over ``range(n)`` / ``range(graph.n)`` or over
+``.nodes()``/``.edges()`` is a per-node/per-edge Python sweep — the
+exact shape every one of those PRs removed.  Scalar reference engines
+(the ground truth the equivalence tests compare against) are allowlisted
+by qualname; intrinsically sequential survivors carry a documented
+pragma.  Comprehensions are deliberately not flagged: building an output
+list per node is O(n) bookkeeping, not an O(n * m) sweep.
+
+R008 keeps ``import repro`` lightweight (the PR 3 contract): ``scipy``
+and ``matplotlib`` may only be imported inside functions (or under
+``TYPE_CHECKING``), never at module top level in ``src/repro``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..errors import Diagnostic
+from .astutil import dotted_name
+from .config import (
+    HOT_ALLOWLIST,
+    HOT_MODULES,
+    LAZY_IMPORT_MODULES,
+    SRC_PREFIX,
+)
+from .engine import Rule, SourceFile
+
+__all__ = ["HotPathLoopRule", "LazyImportRule"]
+
+
+def _is_node_count(expr: ast.expr) -> bool:
+    """Whether ``expr`` spells a node count: ``n``, ``graph.n``, ``self._n``."""
+    if isinstance(expr, ast.Name):
+        return expr.id in ("n", "num_nodes")
+    if isinstance(expr, ast.Attribute):
+        return expr.attr in ("n", "_n", "num_nodes")
+    return False
+
+
+def _loop_shape(node: ast.For) -> str | None:
+    """Classify a for-statement as per-node/per-edge, else ``None``."""
+    it = node.iter
+    if isinstance(it, ast.Call):
+        func = it.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id == "range"
+            and len(it.args) == 1
+            and _is_node_count(it.args[0])
+        ):
+            return f"per-node loop over range({ast.unparse(it.args[0])})"
+        if isinstance(func, ast.Attribute) and func.attr in ("nodes", "edges"):
+            return f"per-{func.attr[:-1]} loop over .{func.attr}()"
+    if _is_node_count(it):
+        return f"per-node loop over {ast.unparse(it)}"
+    return None
+
+
+class HotPathLoopRule(Rule):
+    """R004: no per-node/per-edge Python loops in hot modules."""
+
+    code = "R004"
+    name = "hot-path-loops"
+
+    def check_file(self, src: SourceFile) -> Iterator[Diagnostic]:
+        reason = HOT_MODULES.get(src.rel)
+        if reason is None:
+            return
+        assert src.tree is not None
+        allowed = HOT_ALLOWLIST.get(src.rel, ())
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.For):
+                continue
+            shape = _loop_shape(node)
+            if shape is None:
+                continue
+            qual = src.enclosing_qualname(node)
+            if any(
+                qual == entry or qual.startswith(entry + ".")
+                for entry in allowed
+            ):
+                continue
+            yield Diagnostic(
+                src.rel,
+                node.lineno,
+                self.code,
+                f"{shape} in hot module ({reason}); vectorize or move to "
+                "the scalar reference engine",
+            )
+
+
+class LazyImportRule(Rule):
+    """R008: scipy/matplotlib must not import at module top level."""
+
+    code = "R008"
+    name = "lazy-imports"
+
+    def check_file(self, src: SourceFile) -> Iterator[Diagnostic]:
+        if not src.rel.startswith(SRC_PREFIX):
+            return
+        assert src.tree is not None
+        for node in ast.walk(src.tree):
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            if isinstance(node, ast.Import):
+                heavy = [
+                    a.name.split(".")[0]
+                    for a in node.names
+                    if a.name.split(".")[0] in LAZY_IMPORT_MODULES
+                ]
+            else:
+                if node.level or not node.module:
+                    continue
+                root = node.module.split(".")[0]
+                heavy = [root] if root in LAZY_IMPORT_MODULES else []
+            if not heavy:
+                continue
+            if src.in_function(node) or self._type_checking_guarded(src, node):
+                continue
+            yield Diagnostic(
+                src.rel,
+                node.lineno,
+                self.code,
+                f"top-level import of {heavy[0]}; import it inside the "
+                "consuming function so `import repro` stays lightweight",
+            )
+
+    @staticmethod
+    def _type_checking_guarded(src: SourceFile, node: ast.AST) -> bool:
+        cur = src.parents.get(node)
+        while cur is not None:
+            if isinstance(cur, ast.If):
+                name = dotted_name(cur.test)
+                if name in ("TYPE_CHECKING", "typing.TYPE_CHECKING"):
+                    return True
+            cur = src.parents.get(cur)
+        return False

@@ -54,7 +54,7 @@ from typing import Iterable, Iterator, Sequence
 import numpy as np
 
 from ..errors import DisconnectedGraphError, InvalidParameterError
-from ..types import Edge, NodeId, normalize_edge
+from ..types import DistArray, Edge, IndexArray, NodeId, normalize_edge
 from .oracle import (
     UNREACHABLE,
     DistanceOracle,
@@ -162,7 +162,7 @@ class Graph:
     # ------------------------------------------------------------------ #
 
     @cached_property
-    def csr_adjacency(self) -> tuple[np.ndarray, np.ndarray]:
+    def csr_adjacency(self) -> tuple[IndexArray, IndexArray]:
         """CSR adjacency arrays ``(indptr, indices)``.
 
         ``indices[indptr[u]:indptr[u+1]]`` are ``u``'s sorted neighbors.
@@ -246,7 +246,7 @@ class Graph:
     # ------------------------------------------------------------------ #
 
     @property
-    def hop_distances(self) -> np.ndarray:
+    def hop_distances(self) -> DistArray:
         """All-pairs hop-distance matrix, shape ``(n, n)``, dtype int32.
 
         Compatibility/small-n API: this always materializes the **dense**
@@ -260,7 +260,7 @@ class Graph:
         assert isinstance(dense, DenseDistanceOracle)
         return dense.matrix
 
-    def bfs_distances(self, source: NodeId) -> np.ndarray:
+    def bfs_distances(self, source: NodeId) -> DistArray:
         """Hop distances from ``source`` to every node (read-only int32)."""
         return self.oracle.row(source)
 
@@ -543,7 +543,7 @@ class Graph:
 
     def _patched_csr(
         self, new_adj: Sequence[tuple[int, ...]], touched: Sequence[int]
-    ) -> tuple[np.ndarray, np.ndarray]:
+    ) -> tuple[IndexArray, IndexArray]:
         """CSR arrays for ``new_adj``, reusing this graph's cached CSR.
 
         Only the touched nodes' slices are rewritten; the (typically much

@@ -48,11 +48,14 @@ cache keeps answering most pair queries until the labels rebuild.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Sequence, Tuple
+from typing import TYPE_CHECKING, Sequence, Tuple
 
 import numpy as np
 
-from ..types import NodeId
+from ..types import DistArray, IndexArray, NodeId
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids circular import
+    from .graph import Graph
 from .oracle import (
     DIST_DTYPE,
     UNREACHABLE,
@@ -64,15 +67,15 @@ from .oracle import (
 __all__ = ["LandmarkDistanceOracle", "build_pruned_labels"]
 
 
-def _root_order(indptr: np.ndarray, n: int) -> np.ndarray:
+def _root_order(indptr: IndexArray, n: int) -> IndexArray:
     """Root processing order: decreasing degree, ties by increasing ID."""
     degrees = np.diff(indptr)
     return np.lexsort((np.arange(n), -degrees)).astype(np.int64)
 
 
 def build_pruned_labels(
-    indptr: np.ndarray, indices: np.ndarray, n: int
-) -> tuple[list[np.ndarray], list[np.ndarray], np.ndarray]:
+    indptr: IndexArray, indices: IndexArray, n: int
+) -> tuple[list[IndexArray], list[DistArray], IndexArray]:
     """Build exact 2-hop labels by pruned BFS from degree-ranked roots.
 
     Returns ``(label_ranks, label_dists, order)``: per-node sorted arrays
@@ -99,12 +102,18 @@ def build_pruned_labels(
     inf = np.int64(UNREACHABLE)
     cap = 8
     lab_rank = np.zeros((n, cap), dtype=np.int64)
-    lab_dist = np.zeros((n, cap), dtype=np.int64)
+    lab_dist = np.zeros((n, cap), dtype=DIST_DTYPE)
     lab_len = np.zeros(n, dtype=np.int64)
     col_ids = np.arange(cap)
     # Distance from the current root to every hub, indexed by hub rank.
-    hub_dist = np.full(n, inf, dtype=np.int64)
-    for rank in range(n):
+    # int64, not DIST_DTYPE: the prune check adds the UNREACHABLE
+    # sentinel to label distances, which must not wrap in int32; keeping
+    # the headroom on this (n,)-sized vector upcasts the whole gather.
+    hub_dist = np.full(n, inf, dtype=np.int64)  # repro-lint: disable=R002
+    # PLL is sequential in the root rank by definition (each root's BFS
+    # prunes against every earlier root's labels); the per-root work
+    # below is fully vectorized.
+    for rank in range(n):  # repro-lint: disable=R004
         root = int(order[rank])
         root_len = int(lab_len[root])
         root_hubs = lab_rank[root, :root_len]
@@ -133,9 +142,13 @@ def build_pruned_labels(
             # --- label the survivors ----------------------------------- #
             if kept.size:
                 if int(lab_len[kept].max()) >= cap:
-                    grow = np.zeros((n, cap), dtype=np.int64)
-                    lab_rank = np.concatenate([lab_rank, grow], axis=1)
-                    lab_dist = np.concatenate([lab_dist, grow], axis=1)
+                    lab_rank = np.concatenate(
+                        [lab_rank, np.zeros((n, cap), dtype=np.int64)], axis=1
+                    )
+                    lab_dist = np.concatenate(
+                        [lab_dist, np.zeros((n, cap), dtype=DIST_DTYPE)],
+                        axis=1,
+                    )
                     cap *= 2
                     col_ids = np.arange(cap)
                 slot = lab_len[kept]
@@ -170,8 +183,8 @@ def build_pruned_labels(
 
 
 def _build_pruned_labels_reference(
-    indptr: np.ndarray, indices: np.ndarray, n: int
-) -> tuple[list[np.ndarray], list[np.ndarray], np.ndarray]:
+    indptr: IndexArray, indices: IndexArray, n: int
+) -> tuple[list[IndexArray], list[DistArray], IndexArray]:
     """Per-node reference PLL construction (the pre-vectorization path).
 
     Kept as the ground truth for the CSR-vs-reference label-equality
@@ -220,7 +233,7 @@ def _build_pruned_labels_reference(
 
 
 def _label_join(
-    ru: np.ndarray, du: np.ndarray, rv: np.ndarray, dv: np.ndarray
+    ru: IndexArray, du: DistArray, rv: IndexArray, dv: DistArray
 ) -> int:
     """Minimum ``d(u, hub) + d(hub, v)`` over shared hubs (sorted join)."""
     common, iu, iv = np.intersect1d(
@@ -244,11 +257,11 @@ class LandmarkDistanceOracle(LazyDistanceOracle):
     backend = "landmark"
     fast_pairs = True  # label joins, never a BFS row
 
-    def __init__(self, graph, **kwargs) -> None:
+    def __init__(self, graph: "Graph", **kwargs: object) -> None:
         super().__init__(graph, **kwargs)
-        self._label_ranks: list[np.ndarray] | None = None
-        self._label_dists: list[np.ndarray] | None = None
-        self._landmark_order: np.ndarray | None = None
+        self._label_ranks: list[IndexArray] | None = None
+        self._label_dists: list[DistArray] | None = None
+        self._landmark_order: IndexArray | None = None
         self._label_entries = 0
         self._pair_queries = 0
 
@@ -268,7 +281,7 @@ class LandmarkDistanceOracle(LazyDistanceOracle):
             )
             self._label_entries = sum(r.size for r in self._label_ranks)
 
-    def label(self, u: NodeId) -> tuple[np.ndarray, np.ndarray]:
+    def label(self, u: NodeId) -> tuple[IndexArray, DistArray]:
         """``u``'s 2-hop label as ``(hub_ranks, hub_dists)`` arrays."""
         self._ensure_labels()
         return self._label_ranks[int(u)], self._label_dists[int(u)]
@@ -297,7 +310,7 @@ class LandmarkDistanceOracle(LazyDistanceOracle):
             self._label_dists[v],
         )
 
-    def distances(self, source: NodeId, targets: Sequence[NodeId]) -> np.ndarray:
+    def distances(self, source: NodeId, targets: Sequence[NodeId]) -> DistArray:
         if len(targets) == 0:
             return np.zeros(0, dtype=DIST_DTYPE)
         source = int(source)
@@ -321,7 +334,7 @@ class LandmarkDistanceOracle(LazyDistanceOracle):
 
     def pair_distances(
         self, pairs: Sequence[Tuple[NodeId, NodeId]]
-    ) -> np.ndarray:
+    ) -> DistArray:
         if len(pairs) == 0:
             return np.zeros(0, dtype=DIST_DTYPE)
         out = np.empty(len(pairs), dtype=DIST_DTYPE)
@@ -329,7 +342,7 @@ class LandmarkDistanceOracle(LazyDistanceOracle):
             out[i] = self.distance(u, v)
         return out
 
-    def pairwise_distances(self, nodes: Sequence[NodeId]) -> np.ndarray:
+    def pairwise_distances(self, nodes: Sequence[NodeId]) -> DistArray:
         idx = [int(x) for x in nodes]
         out = np.zeros((len(idx), len(idx)), dtype=DIST_DTYPE)
         for i, u in enumerate(idx):

@@ -90,7 +90,7 @@ from typing import TYPE_CHECKING, Iterator, Sequence, Tuple
 import numpy as np
 
 from ..errors import InvalidParameterError
-from ..types import NodeId
+from ..types import DistArray, IndexArray, NodeId
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids circular import
     from .graph import Graph
@@ -330,11 +330,11 @@ class DistanceOracle:
 
     # -- queries ------------------------------------------------------- #
 
-    def row(self, source: NodeId) -> np.ndarray:
+    def row(self, source: NodeId) -> DistArray:
         """Hop distances from ``source`` to all nodes (read-only int32)."""
         raise NotImplementedError
 
-    def cached_row(self, source: NodeId) -> np.ndarray | None:
+    def cached_row(self, source: NodeId) -> DistArray | None:
         """``row(source)`` if it is already resident, else ``None``.
 
         A pure cache probe — never triggers a BFS.  Consumers that can
@@ -344,7 +344,7 @@ class DistanceOracle:
         """
         return None
 
-    def rows(self, sources: Sequence[NodeId]) -> np.ndarray:
+    def rows(self, sources: Sequence[NodeId]) -> DistArray:
         """Stacked distance rows, shape ``(len(sources), n)``."""
         if len(sources) == 0:
             return np.zeros((0, self._graph.n), dtype=DIST_DTYPE)
@@ -354,13 +354,13 @@ class DistanceOracle:
         """Hop distance between ``u`` and ``v`` (UNREACHABLE if none)."""
         return int(self.row(u)[v])
 
-    def distances(self, source: NodeId, targets: Sequence[NodeId]) -> np.ndarray:
+    def distances(self, source: NodeId, targets: Sequence[NodeId]) -> DistArray:
         """Distances from ``source`` to each node in ``targets``."""
         if len(targets) == 0:
             return np.zeros(0, dtype=DIST_DTYPE)
         return self.row(source)[np.asarray(targets, dtype=np.intp)]
 
-    def pair_distances(self, pairs: Sequence[Tuple[NodeId, NodeId]]) -> np.ndarray:
+    def pair_distances(self, pairs: Sequence[Tuple[NodeId, NodeId]]) -> DistArray:
         """Distances for an arbitrary pair list, grouped by source.
 
         Pairs sharing a first endpoint are answered from one row, and all
@@ -378,7 +378,7 @@ class DistanceOracle:
         block = self.rows(sources)
         return block[inverse, arr[:, 1]]
 
-    def pairwise_distances(self, nodes: Sequence[NodeId]) -> np.ndarray:
+    def pairwise_distances(self, nodes: Sequence[NodeId]) -> DistArray:
         """All-pairs distances among ``nodes``, shape ``(len, len)``.
 
         Chunked over :data:`BATCH_BITS`-source sweeps so the transient
@@ -391,7 +391,7 @@ class DistanceOracle:
             out[start : start + chunk.size] = self.rows(chunk)[:, idx]
         return out
 
-    def ball(self, source: NodeId, radius: int) -> Tuple[np.ndarray, np.ndarray]:
+    def ball(self, source: NodeId, radius: int) -> Tuple[IndexArray, DistArray]:
         """Closed ball: nodes at hop distance ``<= radius`` from ``source``.
 
         Returns ``(nodes, dists)`` — sorted node IDs (including ``source``
@@ -449,8 +449,8 @@ def _ball_from_row(row: np.ndarray, radius: int) -> Tuple[np.ndarray, np.ndarray
 
 
 def gather_csr_neighbors(
-    indptr: np.ndarray, indices: np.ndarray, nodes: np.ndarray
-) -> Tuple[np.ndarray, np.ndarray]:
+    indptr: IndexArray, indices: IndexArray, nodes: IndexArray
+) -> Tuple[IndexArray, IndexArray]:
     """Concatenated CSR adjacency of ``nodes``: ``(neighbors, counts)``.
 
     The frontier-expansion primitive every level-synchronous sweep in the
@@ -468,12 +468,12 @@ def gather_csr_neighbors(
 
 
 def _csr_bfs(
-    indptr: np.ndarray,
-    indices: np.ndarray,
+    indptr: IndexArray,
+    indices: IndexArray,
     n: int,
     source: int,
     max_depth: int | None = None,
-) -> Tuple[np.ndarray, np.ndarray]:
+) -> Tuple[DistArray, IndexArray]:
     """Single-source BFS over CSR adjacency, vectorized per level.
 
     Returns ``(dist, visited)``: the int32 distance vector (UNREACHABLE
@@ -500,13 +500,13 @@ def _csr_bfs(
 
 
 def multi_source_bfs(
-    indptr: np.ndarray,
-    indices: np.ndarray,
+    indptr: IndexArray,
+    indices: IndexArray,
     n: int,
     sources: Sequence[int],
-    out: np.ndarray | None = None,
+    out: DistArray | None = None,
     max_depth: int | None = None,
-) -> np.ndarray:
+) -> DistArray:
     """Bit-packed multi-source BFS: up to B sources advance together.
 
     Per-node frontier/visited state is a block of ``ceil(B / 64)`` uint64
@@ -624,20 +624,20 @@ class DenseDistanceOracle(DistanceOracle):
         return self._matrix is not None
 
     @property
-    def matrix(self) -> np.ndarray:
+    def matrix(self) -> DistArray:
         """The full ``(n, n)`` int32 hop-distance matrix (computed once)."""
         if self._matrix is None:
             matrix, self._sweeps = _dense_all_pairs(self._graph)
             self._matrix = _readonly(matrix)
         return self._matrix
 
-    def row(self, source: NodeId) -> np.ndarray:
+    def row(self, source: NodeId) -> DistArray:
         return self.matrix[source]
 
-    def cached_row(self, source: NodeId) -> np.ndarray | None:
+    def cached_row(self, source: NodeId) -> DistArray | None:
         return self._matrix[source] if self._matrix is not None else None
 
-    def rows(self, sources: Sequence[NodeId]) -> np.ndarray:
+    def rows(self, sources: Sequence[NodeId]) -> DistArray:
         if len(sources) == 0:
             return np.zeros((0, self._graph.n), dtype=DIST_DTYPE)
         return self.matrix[np.asarray(sources, dtype=np.intp)]
@@ -645,11 +645,11 @@ class DenseDistanceOracle(DistanceOracle):
     def distance(self, u: NodeId, v: NodeId) -> int:
         return int(self.matrix[u, v])
 
-    def pairwise_distances(self, nodes: Sequence[NodeId]) -> np.ndarray:
+    def pairwise_distances(self, nodes: Sequence[NodeId]) -> DistArray:
         idx = np.asarray([int(x) for x in nodes], dtype=np.intp)
         return self.matrix[np.ix_(idx, idx)]
 
-    def ball(self, source: NodeId, radius: int) -> Tuple[np.ndarray, np.ndarray]:
+    def ball(self, source: NodeId, radius: int) -> Tuple[IndexArray, DistArray]:
         _check_radius(radius)
         return _ball_from_row(self.matrix[source], radius)
 
@@ -1264,10 +1264,10 @@ class LazyDistanceOracle(DistanceOracle):
         self._rows_reexpanded += 1
         return dist
 
-    def cached_row(self, source: NodeId) -> np.ndarray | None:
+    def cached_row(self, source: NodeId) -> DistArray | None:
         return self._rows.get(int(source))
 
-    def row(self, source: NodeId) -> np.ndarray:
+    def row(self, source: NodeId) -> DistArray:
         source = int(source)
         cached = self._rows.get(source)
         if cached is not None:
@@ -1285,7 +1285,7 @@ class LazyDistanceOracle(DistanceOracle):
         self._store_row(source, dist)
         return dist
 
-    def rows(self, sources: Sequence[NodeId]) -> np.ndarray:
+    def rows(self, sources: Sequence[NodeId]) -> DistArray:
         n = self._graph.n
         srcs = [int(s) for s in sources]
         if not srcs:
@@ -1363,7 +1363,7 @@ class LazyDistanceOracle(DistanceOracle):
                 self._store_ball((s, radius), result)
         return len(missing)
 
-    def ball(self, source: NodeId, radius: int) -> Tuple[np.ndarray, np.ndarray]:
+    def ball(self, source: NodeId, radius: int) -> Tuple[IndexArray, DistArray]:
         _check_radius(radius)
         source = int(source)
         key = (source, radius)

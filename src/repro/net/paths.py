@@ -31,6 +31,8 @@ touches O(heads) rows, never the O(n²) matrix.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 import numpy as np
 
 from ..errors import DisconnectedGraphError
@@ -153,7 +155,9 @@ class PathOracle:
             self._peak_bytes = self._cache.nbytes
         return len(seed)
 
-    def inherit_edge_delta(self, parent: "PathOracle", touched) -> int:
+    def inherit_edge_delta(
+        self, parent: "PathOracle", touched: Iterable[NodeId]
+    ) -> int:
         """Seed the path cache from ``parent`` after an edge delta.
 
         ``touched`` is the set of endpoints of every added or removed
@@ -229,7 +233,7 @@ class PathOracle:
             return True
         return ((u, v) if u < v else (v, u)) in self._cache
 
-    def seed_paths(self, paths) -> int:
+    def seed_paths(self, paths: Iterable[tuple[NodeId, ...]]) -> int:
         """Bulk-insert known canonical paths (e.g. surviving virtual links).
 
         Every path must be the *canonical* path between its endpoints on

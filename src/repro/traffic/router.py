@@ -35,15 +35,16 @@ what the repair actually changed.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
 
 from ..cds.routing import HeadRouter
 from ..core.pipeline import BackboneResult
 from ..errors import InvalidParameterError
-from ..net.oracle import BATCH_BITS
+from ..net.oracle import BATCH_BITS, DIST_DTYPE
 from ..net.paths import PathOracle
-from ..types import NodeId, normalize_edge
+from ..types import DistArray, FloatArray, NodeId, normalize_edge
 from .workloads import Workload
 
 __all__ = ["RoutedFlows", "BatchRouter"]
@@ -56,17 +57,17 @@ class RoutedFlows:
     Attributes:
         workload: the routed workload (arrays parallel to the lists here).
         walks: per-flow node walks (source .. target, inclusive).
-        hops: per-flow walk lengths in hops (int64).
-        shortest: per-flow shortest-path hop distances (int64; empty when
-            routed with ``with_shortest=False``).
+        hops: per-flow walk lengths in hops (DIST_DTYPE).
+        shortest: per-flow shortest-path hop distances (DIST_DTYPE; empty
+            when routed with ``with_shortest=False``).
         head_paths: per-flow traversed head sequence (empty tuple for
             intra-cluster flows) — the virtual-link utilization record.
     """
 
     workload: Workload
     walks: list[tuple[NodeId, ...]]
-    hops: np.ndarray
-    shortest: np.ndarray
+    hops: DistArray
+    shortest: DistArray
     head_paths: list[tuple[NodeId, ...]]
 
     @property
@@ -74,7 +75,7 @@ class RoutedFlows:
         """Number of routed flows."""
         return len(self.walks)
 
-    def stretches(self) -> np.ndarray:
+    def stretches(self) -> FloatArray:
         """Per-flow stretch (walk hops / shortest hops), float64."""
         if self.shortest.size != self.hops.size:
             raise InvalidParameterError(
@@ -143,7 +144,7 @@ class BatchRouter:
         return stats
 
     def inherit_edge_delta(
-        self, old: "BatchRouter", touched
+        self, old: "BatchRouter", touched: Iterable[NodeId]
     ) -> dict[str, int]:
         """Carry ``old``'s caches across a mobility edge delta.
 
@@ -257,15 +258,15 @@ class BatchRouter:
             head_paths.append(router.head_sequence(a, b))
 
         hops = np.fromiter(
-            (len(w) - 1 for w in walks), dtype=np.int64, count=len(walks)
+            (len(w) - 1 for w in walks), dtype=DIST_DTYPE, count=len(walks)
         )
         if with_shortest:
             norm = [
                 normalize_edge(u, v) for u, v in zip(src.tolist(), dst.tolist())
             ]
-            shortest = self._graph.oracle.pair_distances(norm).astype(np.int64)
+            shortest = self._graph.oracle.pair_distances(norm)
         else:
-            shortest = np.zeros(0, dtype=np.int64)
+            shortest = np.zeros(0, dtype=DIST_DTYPE)
         return RoutedFlows(
             workload=workload,
             walks=walks,

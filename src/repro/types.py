@@ -11,10 +11,37 @@ from __future__ import annotations
 
 from typing import Iterable, Tuple
 
-__all__ = ["NodeId", "Hops", "Edge", "normalize_edge", "normalize_edges"]
+import numpy as np
+from numpy.typing import NDArray
+
+__all__ = [
+    "NodeId",
+    "Hops",
+    "Edge",
+    "DistArray",
+    "IndexArray",
+    "BoolArray",
+    "FloatArray",
+    "normalize_edge",
+    "normalize_edges",
+]
 
 #: A network host identifier.  Dense, hashable, totally ordered.
 NodeId = int
+
+#: A hop-distance array.  The element type mirrors
+#: :data:`repro.net.oracle.DIST_DTYPE` (int32) — the repro-lint R002 rule
+#: keeps runtime arrays on that dtype, this alias keeps the signatures.
+DistArray = NDArray[np.int32]
+
+#: A node-index array (CSR indptr/indices, id lists, argsort results).
+IndexArray = NDArray[np.int64]
+
+#: A boolean mask over nodes or edges.
+BoolArray = NDArray[np.bool_]
+
+#: Euclidean geometry (positions, radii, stretch factors).
+FloatArray = NDArray[np.float64]
 
 #: A hop count (graph distance in G).
 Hops = int

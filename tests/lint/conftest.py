@@ -1,0 +1,32 @@
+"""Shared fixture machinery for the repro-lint rule tests.
+
+Every rule gates on repository-relative paths (``src/repro/...``,
+``tests/...``), so fixtures are written into a throwaway tree under
+``tmp_path`` that mimics the real layout, then linted with
+:func:`repro.lint.run_lint` rooted at that tree.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.lint import run_lint
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """Write ``{rel_path: source}`` fixtures and lint the resulting tree."""
+
+    def _lint(files, paths=None, rules=None):
+        for rel, source in files.items():
+            target = tmp_path / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(textwrap.dedent(source))
+        return run_lint(tmp_path, paths=paths, rules=rules)
+
+    return _lint
+
+
+def codes(run):
+    """The sorted rule codes present in a lint run's findings."""
+    return sorted({d.code for d in run.diagnostics})

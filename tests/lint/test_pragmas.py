@@ -1,0 +1,66 @@
+"""Unit tests for the pragma layer and the diagnostic types."""
+
+from repro.errors import Diagnostic, LintError, ReproError
+from repro.lint.pragmas import parse_pragmas
+
+
+class TestParsePragmas:
+    def test_line_disable_single_code(self):
+        pragmas = parse_pragmas("x = 1  # repro-lint: disable=R002\n")
+        assert pragmas.suppressed(1, "R002")
+        assert not pragmas.suppressed(1, "R004")
+        assert not pragmas.suppressed(2, "R002")
+
+    def test_line_disable_multiple_codes(self):
+        pragmas = parse_pragmas("x = 1  # repro-lint: disable=R002, R004\n")
+        assert pragmas.suppressed(1, "R002")
+        assert pragmas.suppressed(1, "R004")
+
+    def test_disable_all(self):
+        pragmas = parse_pragmas("x = 1  # repro-lint: disable=all\n")
+        assert pragmas.suppressed(1, "R001")
+        assert pragmas.suppressed(1, "R008")
+
+    def test_file_wide_disable(self):
+        text = "# repro-lint: disable-file=R004\nx = 1\ny = 2\n"
+        pragmas = parse_pragmas(text)
+        assert pragmas.suppressed(3, "R004")
+        assert not pragmas.suppressed(3, "R002")
+
+    def test_pragma_inside_string_is_inert(self):
+        text = 'msg = "# repro-lint: disable=R001"\n'
+        pragmas = parse_pragmas(text)
+        assert not pragmas.suppressed(1, "R001")
+
+    def test_unparseable_text_yields_empty_set(self):
+        pragmas = parse_pragmas("def broken(:\n")
+        assert not pragmas.suppressed(1, "R001")
+        assert not pragmas.file_wide
+
+
+class TestDiagnosticTypes:
+    def test_diagnostic_str_is_clickable(self):
+        diag = Diagnostic("src/repro/x.py", 12, "R002", "bad dtype")
+        assert str(diag) == "src/repro/x.py:12: R002 bad dtype"
+
+    def test_diagnostics_sort_in_report_order(self):
+        a = Diagnostic("a.py", 5, "R001", "m")
+        b = Diagnostic("a.py", 2, "R004", "m")
+        c = Diagnostic("b.py", 1, "R001", "m")
+        assert sorted([c, a, b]) == [b, a, c]
+
+    def test_lint_error_report_counts_findings(self):
+        err = LintError(
+            diagnostics=(
+                Diagnostic("b.py", 2, "R002", "two"),
+                Diagnostic("a.py", 1, "R001", "one"),
+            )
+        )
+        report = err.report()
+        assert report.splitlines()[0] == "a.py:1: R001 one"
+        assert report.splitlines()[-1] == "repro-lint: 2 findings"
+        assert isinstance(err, ReproError)
+
+    def test_lint_error_singular_finding(self):
+        err = LintError(diagnostics=(Diagnostic("a.py", 1, "R001", "m"),))
+        assert err.report().endswith("repro-lint: 1 finding")

@@ -196,6 +196,53 @@ class TestVectorizedConstruction:
         assert ranks == [] and dists == [] and order.size == 0
 
 
+class TestDistDtypeContract:
+    """PR 6 regression: the repro-lint R002 findings, frozen as behavior.
+
+    ``build_pruned_labels`` used to keep the persistent label-distance
+    arrays in int64; they are DIST_DTYPE now.  The narrowing is only
+    sound because the prune check's sentinel arithmetic
+    (``UNREACHABLE + d``) runs in the int64 ``hub_dist`` scratch array —
+    in int32 it would wrap negative and defeat the pruning comparison.
+    A disconnected graph keeps the sentinel resident in that scratch for
+    every cross-component candidate, so it is exactly the family where a
+    careless narrowing would produce silently wrong labels.
+    """
+
+    def test_label_distances_are_dist_dtype(self):
+        g = toroidal_grid(6, 6)
+        indptr, indices = g.csr_adjacency
+        _, dists, _ = build_pruned_labels(indptr, indices, g.n)
+        assert dists and all(d.dtype == DIST_DTYPE for d in dists)
+
+    def test_sentinel_arithmetic_survives_disconnection(self):
+        # Three components of very different shapes: a long path, a
+        # clique, and a single edge.  Every prune check rooted in one
+        # component sees the sentinel for hubs of the others.
+        edges = [(i, i + 1) for i in range(9)]
+        edges += [
+            (10 + a, 10 + b) for a in range(5) for b in range(a + 1, 5)
+        ]
+        edges += [(15, 16)]
+        g = Graph(17, edges)
+        indptr, indices = g.csr_adjacency
+        v_ranks, v_dists, v_order = build_pruned_labels(indptr, indices, g.n)
+        r_ranks, r_dists, r_order = _build_pruned_labels_reference(
+            indptr, indices, g.n
+        )
+        assert np.array_equal(v_order, r_order)
+        for u in range(g.n):
+            assert np.array_equal(v_ranks[u], r_ranks[u]), u
+            assert np.array_equal(v_dists[u], r_dists[u]), u
+            # the sentinel itself never leaks into a stored label
+            assert (v_dists[u] < UNREACHABLE).all()
+            assert (v_dists[u] >= 0).all()
+        oracle = LandmarkDistanceOracle(g)
+        assert oracle.distance(0, 12) == UNREACHABLE
+        assert oracle.distance(16, 3) == UNREACHABLE
+        assert oracle.distance(0, 9) == 9
+
+
 class TestPrunedLabels:
     def test_labels_cover_all_pairs_exactly(self):
         g = ring_of_cliques(5, 4)

@@ -7,6 +7,7 @@ from repro.cds.routing import HeadRouter, route, routing_report
 from repro.core.clustering import khop_cluster
 from repro.core.pipeline import build_backbone
 from repro.errors import InvalidParameterError
+from repro.net.oracle import DIST_DTYPE
 from repro.net.paths import PathOracle
 from repro.net.topology import random_topology
 from repro.traffic.router import BatchRouter
@@ -120,6 +121,22 @@ class TestBatchEquivalence:
         wl = uniform_pairs(10, 5, seed=25)
         with pytest.raises(InvalidParameterError):
             BatchRouter(backbone).route_flows(wl)
+
+    def test_routed_arrays_are_dist_dtype(self, backbone):
+        """PR 6 regression (repro-lint R002): RoutedFlows used to build
+        ``hops``/``shortest`` in int64; both are hop counts and belong on
+        the oracle's DIST_DTYPE contract — and must stay there however
+        the batch is routed."""
+        g = backbone.clustering.graph
+        wl = uniform_pairs(g.n, 64, seed=26)
+        routed = BatchRouter(backbone).route_flows(wl)
+        assert routed.hops.dtype == DIST_DTYPE
+        assert routed.shortest.dtype == DIST_DTYPE
+        skipped = BatchRouter(backbone).route_flows(wl, with_shortest=False)
+        assert skipped.shortest.dtype == DIST_DTYPE
+        assert skipped.shortest.size == 0
+        # stretch stays exact float division, unharmed by the narrowing
+        assert routed.stretches().dtype == np.float64
 
 
 class TestRouterInheritance:
