@@ -33,10 +33,13 @@ from .errors import (
     CalibrationError,
     DisconnectedGraphError,
     InvalidParameterError,
+    PartitionError,
     ProtocolError,
+    RepairError,
     ReproError,
     ValidationError,
 )
+from .faults import FaultState, LossModel, deliver, random_campaign, run_chaos
 from .net import Graph, PathOracle, Topology, random_topology, unit_disk_graph
 from .traffic import (
     BatchRouter,
@@ -79,11 +82,19 @@ __all__ = [
     "measure_load",
     "simulate_traffic_lifetime",
     "run_traffic",
+    # fault injection
+    "FaultState",
+    "LossModel",
+    "deliver",
+    "random_campaign",
+    "run_chaos",
     # errors
     "ReproError",
     "InvalidParameterError",
     "DisconnectedGraphError",
+    "PartitionError",
     "CalibrationError",
     "ValidationError",
     "ProtocolError",
+    "RepairError",
 ]

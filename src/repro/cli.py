@@ -9,6 +9,7 @@ Installed as ``repro-khop`` (see pyproject).  Examples::
     repro-khop traffic --flows 10000        # batch-route a flow workload
     repro-khop traffic --lifetime-epochs 40 # traffic-driven lifetime loop
     repro-khop mobility --snapshots 30      # traffic over RandomWaypoint motion
+    repro-khop chaos --seed 7 --events 500  # fault campaign + invariant checks
     repro-khop all --trials 5               # everything, quickly
 """
 
@@ -99,6 +100,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="incremental edge-delta maintenance vs from-scratch baseline",
     )
 
+    pc = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection campaign with per-batch invariant checks",
+    )
+    pc.add_argument("--seed", type=int, default=7)
+    pc.add_argument("--events", type=int, default=500)
+    pc.add_argument("--n", type=int, default=120)
+    pc.add_argument("--degree", type=float, default=8.0)
+    pc.add_argument("--k", type=int, default=2)
+    pc.add_argument("--algorithm", default="AC-LMST")
+    pc.add_argument("--flows", type=int, default=200)
+    pc.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="collect every violation instead of stopping at the first",
+    )
+
     pl = sub.add_parser(
         "lint", help="run the repro-lint static-analysis suite"
     )
@@ -157,6 +175,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"({len(run.rules)} rules, {run.suppressed} pragma-suppressed)"
         )
         return 0
+    if args.command == "chaos":
+        from .faults import render_chaos, run_chaos
+
+        chaos_report = run_chaos(
+            seed=args.seed,
+            events=args.events,
+            n=args.n,
+            degree=args.degree,
+            k=args.k,
+            algorithm=args.algorithm,
+            flows=args.flows,
+            stop_on_violation=not args.keep_going,
+        )
+        print(render_chaos(chaos_report))
+        return 0 if chaos_report.ok else 1
     if args.command == "figure4":
         data = figure4.run(n=args.n, degree=args.degree, k=args.k, seed=args.seed)
         print(figure4.render(data))

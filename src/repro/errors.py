@@ -18,8 +18,10 @@ __all__ = [
     "ReproError",
     "InvalidParameterError",
     "DisconnectedGraphError",
+    "PartitionError",
     "CalibrationError",
     "ValidationError",
+    "RepairError",
     "ProtocolError",
     "Diagnostic",
     "LintError",
@@ -47,6 +49,30 @@ class DisconnectedGraphError(ReproError):
     """
 
 
+class PartitionError(DisconnectedGraphError):
+    """A structural change split the surviving network into components.
+
+    The fault-tolerant loops (churn, lifetime, chaos) raise or catch this
+    to distinguish an *expected environmental condition* — no single
+    backbone can span a partitioned network — from an actual defect in
+    the repair machinery (:class:`RepairError`).  Callers that can keep
+    going should catch it and fall back to component-local (degraded)
+    routing; callers that cannot should let it propagate.
+
+    Attributes:
+        components: the surviving connected components (node tuples),
+            when the raiser knows them; empty tuple otherwise.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        components: tuple[tuple[int, ...], ...] = (),
+    ) -> None:
+        super().__init__(message)
+        self.components = components
+
+
 class CalibrationError(ReproError):
     """Topology generation failed to hit the requested target.
 
@@ -62,6 +88,19 @@ class ValidationError(ReproError):
     Raised by :mod:`repro.core.validate` and :mod:`repro.cds.verify` when a
     produced clustering or backbone violates the k-hop dominating-set,
     independent-set, or connectivity properties.
+    """
+
+
+class RepairError(ValidationError):
+    """The §3.3 repair ladder failed on a *connected* survivor graph.
+
+    Unlike :class:`PartitionError` (an expected consequence of the fault
+    environment) this always indicates a bug: the final re-clustering
+    rung is supposed to absorb any failure that leaves the survivors
+    connected, so a verification failure there means the repair machinery
+    itself produced an invalid backbone.  Subclasses
+    :class:`ValidationError` so existing catch-all maintenance callers
+    keep working while new callers can tell the two conditions apart.
     """
 
 

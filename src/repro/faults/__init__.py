@@ -1,0 +1,65 @@
+"""Seeded fault injection and degraded delivery for the repro engine.
+
+The paper's premise is that a k-hop clustered backbone keeps an ad hoc
+network usable *while nodes fail and move*; this package supplies the
+adversary.  Three layers compose:
+
+* :mod:`repro.faults.plan` — deterministic, RNG-disciplined schedules of
+  node crashes, link flaps, per-link loss degradation and correlated
+  spatial (jamming-disk) outages, emitted as per-epoch
+  :class:`FaultEvent` batches that compile down to the engine's existing
+  :meth:`~repro.net.graph.Graph.without_nodes` /
+  :meth:`~repro.net.graph.Graph.with_edge_delta` machinery;
+* :mod:`repro.faults.delivery` — lossy per-hop delivery with
+  retry/backoff over routed flows: every walk becomes a vectorized
+  survival draw, failed flows retry under an exponential-backoff budget,
+  retransmissions charge the energy model, and each flow ends in a typed
+  :class:`FlowOutcome`;
+* :mod:`repro.faults.chaos` — the chaos harness: a seeded randomized
+  campaign driven against the full pipeline with engine invariants
+  (CSR symmetry, inherited-vs-fresh walk identity, CDS cover, flow
+  conservation) checked after every event batch, printing a minimal
+  reproduction line on the first violation.
+"""
+
+from .chaos import ChaosReport, EpochRecord, render_chaos, run_chaos
+from .delivery import (
+    DeliveryReport,
+    FlowOutcome,
+    LossModel,
+    deliver,
+)
+from .plan import (
+    FaultEvent,
+    FaultPlan,
+    FaultState,
+    compose,
+    crash_plan,
+    degrade_plan,
+    flap_plan,
+    jam_plan,
+    random_campaign,
+)
+
+__all__ = [
+    # plans
+    "FaultEvent",
+    "FaultPlan",
+    "FaultState",
+    "crash_plan",
+    "flap_plan",
+    "degrade_plan",
+    "jam_plan",
+    "compose",
+    "random_campaign",
+    # delivery
+    "FlowOutcome",
+    "LossModel",
+    "DeliveryReport",
+    "deliver",
+    # chaos
+    "ChaosReport",
+    "EpochRecord",
+    "render_chaos",
+    "run_chaos",
+]

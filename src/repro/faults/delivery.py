@@ -1,0 +1,364 @@
+"""Lossy per-hop delivery with retry/backoff over routed flows.
+
+The binary world — a flow is either perfectly delivered or silently
+dropped — ends here.  Given a routed batch
+(:class:`~repro.traffic.router.RoutedFlows`) and a :class:`LossModel`
+of per-link loss probabilities, :func:`deliver` turns every walk into a
+vectorized per-hop survival draw:
+
+* each *attempt* transmits the walk hop by hop until every hop survives
+  (``DELIVERED``) or one draw fails — the failing hop's transmit is
+  charged but its receive is not, which is exactly how a lost radio
+  frame costs energy;
+* failed flows retry up to ``max_attempts`` with exponential backoff:
+  attempt ``i`` re-enters ``backoff_base**(i-1)`` epochs after the
+  previous one, so the report's ``completion_epoch`` says *when* (in
+  epoch units) each flow finally got through or died;
+* flows that exhaust the budget end as ``DROPPED_AT_HOP``; flows that
+  never had a viable route (endpoint dead, cross-partition) are
+  ``ABANDONED`` without touching the network.
+
+All accounting is flat-array work — one random draw per hop per round,
+``np.minimum.reduceat`` for first-failure positions, demand-weighted
+``np.bincount`` for per-node transmit/receive tallies — so the cost is
+O(total walk length x rounds), never a Python per-packet loop.  The
+per-node ``tx``/``rx`` vectors plug straight into
+:meth:`~repro.net.energy.EnergyModel.charge_load`, so lossy regions
+(whose flows retransmit) drain first.
+
+The flow-conservation identity ``tx.sum() - rx.sum() == lost packets``
+(one unreceived transmission per failed attempt, demand-weighted) is the
+invariant the chaos harness checks after every event batch.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from ..net.oracle import DIST_DTYPE
+from ..traffic.router import RoutedFlows
+from ..types import Edge
+
+__all__ = ["FlowOutcome", "LossModel", "DeliveryReport", "deliver"]
+
+
+class FlowOutcome(IntEnum):
+    """Per-flow terminal state of one lossy delivery round.
+
+    Attributes:
+        DELIVERED: some attempt survived every hop.
+        DROPPED_AT_HOP: every allowed attempt died in-network; the report
+            records the last failing hop index.
+        ABANDONED: the flow never entered the network — no viable route
+            (dead endpoint, cross-partition) or a zero attempt budget.
+    """
+
+    DELIVERED = 0
+    DROPPED_AT_HOP = 1
+    ABANDONED = 2
+
+
+@dataclass(frozen=True)
+class LossModel:
+    """Per-link loss probabilities: a base rate plus per-edge overrides.
+
+    An override *replaces* the base rate for its link (it does not
+    compose), matching the last-writer-wins semantics of ``degrade``
+    fault events.  Lookup is one ``searchsorted`` against the encoded,
+    sorted override keys, so per-hop rates for a whole flow batch cost
+    O(H log overrides).
+
+    Attributes:
+        n: node-ID space (edges are encoded as ``min * n + max``).
+        base_loss: loss probability of every link without an override.
+        keys: sorted encoded override edges (int64, read-only).
+        rates: override loss probabilities parallel to ``keys``.
+    """
+
+    n: int
+    base_loss: float
+    keys: np.ndarray
+    rates: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise InvalidParameterError(f"n must be >= 0, got {self.n}")
+        if not 0.0 <= self.base_loss <= 1.0:
+            raise InvalidParameterError(
+                f"base_loss must be in [0, 1], got {self.base_loss}"
+            )
+
+    @classmethod
+    def uniform(cls, n: int, loss: float) -> "LossModel":
+        """Every link loses independently with probability ``loss``."""
+        return cls.from_overrides(n, {}, base_loss=loss)
+
+    @classmethod
+    def from_overrides(
+        cls,
+        n: int,
+        overrides: Mapping[Edge, float],
+        *,
+        base_loss: float = 0.0,
+    ) -> "LossModel":
+        """Build from a ``{edge: loss}`` mapping (e.g. ``FaultState.loss``)."""
+        items = sorted(
+            (min(e) * n + max(e), float(p)) for e, p in overrides.items()
+        )
+        for _, p in items:
+            if not 0.0 <= p <= 1.0:
+                raise InvalidParameterError(
+                    f"loss probabilities must be in [0, 1], got {p}"
+                )
+        keys = np.asarray([k for k, _ in items], dtype=np.int64)
+        rates = np.asarray([p for _, p in items], dtype=np.float64)
+        keys.setflags(write=False)
+        rates.setflags(write=False)
+        return cls(n=n, base_loss=base_loss, keys=keys, rates=rates)
+
+    @property
+    def num_overrides(self) -> int:
+        """How many links carry a non-base loss rate."""
+        return int(self.keys.size)
+
+    def hop_loss(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Loss probability for each hop ``u[i] -> v[i]`` (float64)."""
+        lo = np.minimum(u, v).astype(np.int64)
+        hi = np.maximum(u, v).astype(np.int64)
+        code = lo * self.n + hi
+        out = np.full(code.shape, self.base_loss, dtype=np.float64)
+        if self.keys.size:
+            idx = np.searchsorted(self.keys, code)
+            idx_c = np.minimum(idx, self.keys.size - 1)
+            hit = self.keys[idx_c] == code
+            out[hit] = self.rates[idx_c[hit]]
+        return out
+
+    def link_loss(self, u: int, v: int) -> float:
+        """Loss probability of one link (scalar convenience)."""
+        return float(
+            self.hop_loss(
+                np.asarray([u], dtype=np.int64),
+                np.asarray([v], dtype=np.int64),
+            )[0]
+        )
+
+
+@dataclass(frozen=True)
+class DeliveryReport:
+    """Per-flow outcomes and per-node costs of one lossy delivery.
+
+    Arrays are parallel to the routed batch's flows.
+
+    Attributes:
+        outcome: per-flow :class:`FlowOutcome` values (int8).
+        attempts: transmission attempts made per flow (0 for abandoned).
+        failed_hop: hop index (0-based along the walk) where the *last*
+            attempt of a dropped flow died; -1 for delivered/abandoned.
+        completion_epoch: virtual epoch offset (backoff units) at which
+            the flow delivered or made its final attempt; 0 for
+            first-try deliveries and abandoned flows.
+        tx / rx: per-node demand-weighted transmit / receive counts,
+            including every retransmission and truncated walk — feed
+            these to :meth:`~repro.net.energy.EnergyModel.charge_load`.
+    """
+
+    outcome: np.ndarray
+    attempts: np.ndarray
+    failed_hop: np.ndarray
+    completion_epoch: np.ndarray
+    tx: np.ndarray
+    rx: np.ndarray
+    offered_packets: int
+    delivered_packets: int
+
+    @property
+    def num_flows(self) -> int:
+        """Number of flows accounted."""
+        return int(self.outcome.size)
+
+    @property
+    def delivered_fraction(self) -> float:
+        """Demand-weighted fraction of offered packets delivered."""
+        if self.offered_packets == 0:
+            return 1.0
+        return self.delivered_packets / self.offered_packets
+
+    @property
+    def lost_packets(self) -> int:
+        """Transmissions that were never received (one per failed attempt)."""
+        return int(self.tx.sum() - self.rx.sum())
+
+    @property
+    def mean_attempts(self) -> float:
+        """Mean attempts over flows that entered the network."""
+        tried = self.attempts[self.attempts > 0]
+        return float(tried.mean()) if tried.size else 0.0
+
+    def counts(self) -> dict[str, int]:
+        """Histogram of outcomes by name."""
+        return {
+            o.name: int((self.outcome == o).sum()) for o in FlowOutcome
+        }
+
+
+def deliver(
+    routed: RoutedFlows,
+    loss: LossModel,
+    *,
+    seed: int,
+    max_attempts: int = 3,
+    backoff_base: int = 2,
+    routable: Optional[np.ndarray] = None,
+) -> DeliveryReport:
+    """Run every routed flow through the lossy network with retries.
+
+    Args:
+        routed: the routed batch (walks define the hops to survive).
+        loss: per-link loss probabilities.
+        seed: RNG seed; identical seeds give identical outcomes.
+        max_attempts: total attempt budget per flow (>= 0; 0 abandons
+            every flow without transmitting).
+        backoff_base: attempt ``i`` waits ``backoff_base**(i-1)`` epochs
+            after attempt ``i-1`` (1 = immediate retries).
+        routable: optional per-flow bool mask; flows marked False are
+            ``ABANDONED`` without any attempt (the degraded-mode hook for
+            cross-partition flows).
+    """
+    if max_attempts < 0:
+        raise InvalidParameterError(
+            f"max_attempts must be >= 0, got {max_attempts}"
+        )
+    if backoff_base < 1:
+        raise InvalidParameterError(
+            f"backoff_base must be >= 1, got {backoff_base}"
+        )
+    num_flows = routed.num_flows
+    demands = routed.workload.demands
+    n = loss.n
+    outcome = np.full(num_flows, int(FlowOutcome.ABANDONED), dtype=np.int8)
+    attempts = np.zeros(num_flows, dtype=np.int64)
+    failed_hop = np.full(num_flows, -1, dtype=DIST_DTYPE)
+    completion = np.zeros(num_flows, dtype=np.int64)
+    tx = np.zeros(n, dtype=np.int64)
+    rx = np.zeros(n, dtype=np.int64)
+    offered = int(demands.sum())
+
+    if routable is None:
+        active = np.ones(num_flows, dtype=bool)
+    else:
+        active = np.asarray(routable, dtype=bool).copy()
+        if active.shape != (num_flows,):
+            raise InvalidParameterError(
+                f"routable mask must have shape ({num_flows},), "
+                f"got {active.shape}"
+            )
+    if max_attempts == 0:
+        active[:] = False
+
+    per_flow_hops = np.asarray(routed.hops, dtype=np.int64)
+    # Zero-hop walks (degraded-mode placeholders the caller forgot to
+    # mask, or source-at-target corner cases) have nothing to lose:
+    # deliver them on a free first attempt instead of feeding empty
+    # segments to the reduceat below.
+    trivial = active & (per_flow_hops == 0)
+    if trivial.any():
+        outcome[trivial] = int(FlowOutcome.DELIVERED)
+        attempts[trivial] = 1
+        active &= ~trivial
+
+    if num_flows == 0 or not active.any():
+        delivered_mask = outcome == int(FlowOutcome.DELIVERED)
+        return DeliveryReport(
+            outcome=outcome,
+            attempts=attempts,
+            failed_hop=failed_hop,
+            completion_epoch=completion,
+            tx=tx,
+            rx=rx,
+            offered_packets=offered,
+            delivered_packets=int(demands[delivered_mask].sum()),
+        )
+
+    # Flatten every walk's hops once: hop i of flow f is
+    # walks[f][i] -> walks[f][i+1].  Zero-hop flows are inactive by now,
+    # so their empty segments only need index clamping (reduceat reads
+    # the element *at* an empty segment's start); the garbage minima they
+    # produce are masked off by `active`.
+    flat = np.concatenate([np.asarray(w, dtype=np.int64) for w in routed.walks])
+    lengths = per_flow_hops + 1
+    ends = np.cumsum(lengths)
+    starts = ends - lengths
+    is_first = np.zeros(flat.size, dtype=bool)
+    is_first[starts] = True
+    is_last = np.zeros(flat.size, dtype=bool)
+    is_last[ends - 1] = True
+    hop_u = flat[~is_last]
+    hop_v = flat[~is_first]
+    total_hops = int(per_flow_hops.sum())
+    hop_flow = np.repeat(np.arange(num_flows, dtype=np.int64), per_flow_hops)
+    hop_starts = np.cumsum(per_flow_hops) - per_flow_hops
+    hop_pos = np.arange(total_hops, dtype=np.int64) - np.repeat(
+        hop_starts, per_flow_hops
+    )
+    p_hop = loss.hop_loss(hop_u, hop_v)
+    w_hop = np.repeat(demands, per_flow_hops).astype(np.float64)
+
+    rng = np.random.default_rng(seed)
+    epoch_offset = 0
+    sentinel = total_hops  # > every valid hop position
+    for attempt in range(1, max_attempts + 1):
+        if not active.any():
+            break
+        # One draw per hop for *all* flows keeps each flow's fate a pure
+        # function of (seed, attempt, its own hops) — inactive draws are
+        # simply ignored, so composing campaigns stays deterministic.
+        draws = rng.random(total_hops)
+        fail_vals = np.where(draws < p_hop, hop_pos, sentinel)
+        first_fail = np.minimum.reduceat(
+            fail_vals, np.minimum(hop_starts, total_hops - 1)
+        )
+        attempts[active] += 1
+        delivered_now = active & (first_fail == sentinel)
+        dropped_now = active & (first_fail < sentinel)
+
+        # Hops transmitted this round: everything up to and including the
+        # first failing hop (whose receive is lost); delivered flows
+        # transmit their whole walk.
+        ff_hop = np.repeat(first_fail, per_flow_hops)
+        act_hop = active[hop_flow]
+        tx_mask = act_hop & (hop_pos <= ff_hop)
+        rx_mask = act_hop & (hop_pos < ff_hop)
+        tx += np.rint(
+            np.bincount(hop_u[tx_mask], weights=w_hop[tx_mask], minlength=n)
+        ).astype(np.int64)
+        rx += np.rint(
+            np.bincount(hop_v[rx_mask], weights=w_hop[rx_mask], minlength=n)
+        ).astype(np.int64)
+
+        outcome[delivered_now] = int(FlowOutcome.DELIVERED)
+        failed_hop[delivered_now] = -1
+        completion[delivered_now] = epoch_offset
+        failed_hop[dropped_now] = first_fail[dropped_now].astype(DIST_DTYPE)
+        completion[dropped_now] = epoch_offset
+        active = dropped_now
+        epoch_offset += backoff_base ** (attempt - 1)
+
+    outcome[active] = int(FlowOutcome.DROPPED_AT_HOP)
+    delivered_mask = outcome == int(FlowOutcome.DELIVERED)
+    delivered_packets = int(demands[delivered_mask].sum())
+    return DeliveryReport(
+        outcome=outcome,
+        attempts=attempts,
+        failed_hop=failed_hop,
+        completion_epoch=completion,
+        tx=tx,
+        rx=rx,
+        offered_packets=offered,
+        delivered_packets=delivered_packets,
+    )

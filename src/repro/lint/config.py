@@ -81,6 +81,13 @@ RULE_DOCS: dict[str, tuple[str, str]] = {
         "scipy/matplotlib never import at module top level inside "
         "src/repro, keeping `import repro` lightweight (PR 3 contract)",
     ),
+    "R009": (
+        "silent-exception",
+        "no silently swallowed exceptions in src/repro: bare `except:` "
+        "is always a bug, and a pass-only `except Exception` body hides "
+        "real failures — fault handling must be typed and observable "
+        "(PartitionError, RepairError, ...)",
+    ),
 }
 
 SRC_PREFIX = "src/repro/"

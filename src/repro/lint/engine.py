@@ -123,7 +123,11 @@ def all_rules() -> list[Rule]:
     from .rules_arrays import DenseAllocationRule, DistDtypeRule
     from .rules_project import AllConsistencyRule, InheritanceCoverageRule
     from .rules_rng import RngDisciplineRule, SeededTestsRule
-    from .rules_structure import HotPathLoopRule, LazyImportRule
+    from .rules_structure import (
+        HotPathLoopRule,
+        LazyImportRule,
+        SilentExceptionRule,
+    )
 
     rules: list[Rule] = [
         RngDisciplineRule(),
@@ -134,6 +138,7 @@ def all_rules() -> list[Rule]:
         AllConsistencyRule(),
         SeededTestsRule(),
         LazyImportRule(),
+        SilentExceptionRule(),
     ]
     return sorted(rules, key=lambda r: r.code)
 

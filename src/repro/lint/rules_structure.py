@@ -13,6 +13,15 @@ list per node is O(n) bookkeeping, not an O(n * m) sweep.
 R008 keeps ``import repro`` lightweight (the PR 3 contract): ``scipy``
 and ``matplotlib`` may only be imported inside functions (or under
 ``TYPE_CHECKING``), never at module top level in ``src/repro``.
+
+R009 keeps failures observable: the fault-injection subsystem leans on
+typed exceptions (``PartitionError``, ``RepairError``) propagating to
+the layer that can act on them, so a handler that swallows everything —
+bare ``except:``, or ``except Exception`` whose body is only
+``pass``/``...`` — silently converts engine bugs into wrong answers.
+Bare ``except:`` is always flagged (it also eats ``KeyboardInterrupt``
+and ``SystemExit``); broad handlers that *do* something (log, degrade,
+re-raise) are allowed.
 """
 
 from __future__ import annotations
@@ -30,7 +39,7 @@ from .config import (
 )
 from .engine import Rule, SourceFile
 
-__all__ = ["HotPathLoopRule", "LazyImportRule"]
+__all__ = ["HotPathLoopRule", "LazyImportRule", "SilentExceptionRule"]
 
 
 def _is_node_count(expr: ast.expr) -> bool:
@@ -140,3 +149,55 @@ class LazyImportRule(Rule):
                     return True
             cur = src.parents.get(cur)
         return False
+
+
+def _body_is_silent(body: list[ast.stmt]) -> bool:
+    """Whether a handler body does nothing: only ``pass`` / ``...``."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis
+        ):
+            continue
+        return False
+    return True
+
+
+class SilentExceptionRule(Rule):
+    """R009: no bare or do-nothing broad exception handlers in src/repro."""
+
+    code = "R009"
+    name = "silent-exception"
+
+    def check_file(self, src: SourceFile) -> Iterator[Diagnostic]:
+        if not src.rel.startswith(SRC_PREFIX):
+            return
+        assert src.tree is not None
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield Diagnostic(
+                    src.rel,
+                    node.lineno,
+                    self.code,
+                    "bare `except:` swallows every exception including "
+                    "KeyboardInterrupt/SystemExit; catch the typed "
+                    "exception the failure actually raises",
+                )
+                continue
+            name = dotted_name(node.type)
+            if name in ("Exception", "BaseException") and _body_is_silent(
+                node.body
+            ):
+                yield Diagnostic(
+                    src.rel,
+                    node.lineno,
+                    self.code,
+                    f"`except {name}` with a do-nothing body silently "
+                    "swallows all failures; narrow the type or handle "
+                    "(degrade, log, re-raise) what was caught",
+                )

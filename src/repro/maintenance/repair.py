@@ -35,9 +35,16 @@ from typing import Optional
 import numpy as np
 
 from ..core.clustering import Clustering, group_by_assignment, khop_cluster
-from ..core.pipeline import BackboneResult, build_backbone
+from ..core.pipeline import _LOCALIZED, BackboneResult, build_backbone
+from ..core.virtual_graph import VirtualGraph, VirtualLink
 from ..cds.verify import check_gateways_are_members
-from ..errors import InvalidParameterError, ValidationError
+from ..errors import (
+    DisconnectedGraphError,
+    InvalidParameterError,
+    PartitionError,
+    RepairError,
+    ValidationError,
+)
 from ..net.graph import Graph
 from ..net.oracle import gather_csr_neighbors
 from ..net.paths import PathOracle
@@ -47,6 +54,8 @@ __all__ = [
     "RepairOutcome",
     "failure_role",
     "repair",
+    "degraded_repair",
+    "ensure_survivors_connected",
     "clustering_still_valid",
     "delta_path_oracle",
 ]
@@ -60,13 +69,25 @@ class RepairOutcome:
         failed_node: the node that disappeared.
         role: its role at failure time (``member`` / ``gateway`` / ``head``).
         action: what the repair did: ``"none"`` (CDS untouched),
-            ``"gateway-reselect"``, ``"recluster"``, or ``"partition"``.
+            ``"gateway-reselect"``, ``"recluster"``, ``"partition"``, or
+            ``"degraded"`` (:func:`degraded_repair` only: component-local
+            backbones on a partitioned survivor graph).
         escalated: True when a cheap fix failed validation and the repair
             fell back to a more global action than §3.3 promises.
         scope_heads: clusterheads whose local state had to change.
         partitioned: the failure disconnected the network (no single
             backbone can span it; caller must handle components).
-        backbone: the repaired, verified backbone (None when partitioned).
+        backbone: the repaired, verified backbone (None when partitioned
+            and not degraded).
+        spliced: the accepted backbone reused the old structure instead
+            of a pipeline rebuild — the member fast path, or the gateway
+            splice that re-derives only the virtual links routed through
+            the dead gateway.
+        degraded: the backbone is component-local (see
+            :func:`degraded_repair`); cross-component flows are
+            unroutable and walks on it must be treated as degraded-mode.
+        components: the surviving connected components when
+            ``partitioned`` (largest first); empty otherwise.
     """
 
     failed_node: NodeId
@@ -76,6 +97,9 @@ class RepairOutcome:
     scope_heads: frozenset[NodeId]
     partitioned: bool
     backbone: Optional[BackboneResult]
+    spliced: bool = False
+    degraded: bool = False
+    components: tuple[tuple[int, ...], ...] = ()
 
     @property
     def locality(self) -> float:
@@ -241,6 +265,97 @@ def _seeded_path_oracle(
     return oracle
 
 
+def _splice_gateway(
+    backbone: BackboneResult,
+    surviving: Clustering,
+    graph2: Graph,
+    gone: set[NodeId],
+    node: NodeId,
+) -> Optional[BackboneResult]:
+    """Gateway death without a rebuild: re-derive only the broken links.
+
+    §3.3 promises that for a gateway failure "only the corresponding
+    clusterhead needs to re-run the gateway selection process", yet the
+    ladder used to fall back to a full pipeline rebuild.  This splice
+    keeps the clustering, the neighbor structure and the selected link
+    set, and re-derives canonical paths *only* for the virtual links the
+    dead gateway actually sat on.
+
+    The reuse of ``selected_links`` is exact, not heuristic: the link
+    pairs come from the unchanged clustering, and every re-derived path
+    must realize the **same hop weight** as before — link order keys
+    ``(hops, u, v)`` are therefore unchanged, so Mesh/LMST selection over
+    the new virtual graph would pick the identical link set (the
+    walk-identity test in ``tests/maintenance/test_repair.py`` asserts
+    routed walks match the rebuild).  Any weight increase, a head
+    appearing in a new interior, or a verification failure returns None
+    and the caller falls back to the rebuild path.
+    """
+    head_set = set(surviving.heads)
+    oracle = _seeded_path_oracle(graph2, backbone, gone)
+    links: list[VirtualLink] = []
+    try:
+        for link in backbone.virtual_graph.links():
+            # The old backbone was verified after every earlier failure,
+            # so the only dead node a stored path can contain is `node`.
+            if node not in link.path:
+                links.append(link)
+                continue
+            path = oracle.path(link.u, link.v)
+            if len(path) - 1 != link.weight:
+                return None  # weight grew: selection could differ
+            if any(w in head_set for w in path[1:-1]):
+                return None
+            links.append(VirtualLink(link.u, link.v, path))
+        vgraph = VirtualGraph(surviving.heads, links)
+        result = replace(
+            backbone,
+            clustering=surviving,
+            virtual_graph=vgraph,
+            gateways=vgraph.gateways_for(backbone.selected_links),
+        )
+        return _verify_and_accept(result, gone)
+    except (DisconnectedGraphError, ValidationError):
+        return None
+
+
+def ensure_survivors_connected(graph: Graph, gone: set[NodeId]) -> None:
+    """Raise :class:`PartitionError` unless survivors form one component.
+
+    The typed boundary between "expected environmental condition" and
+    "bug": fault-tolerant loops (chaos, degraded mobility) call this to
+    turn a structural partition into a catchable, component-carrying
+    exception instead of a downstream ValidationError.
+    """
+    if not _survivors_connected(graph, gone):
+        # The component payload needs the dead nodes actually isolated —
+        # on the caller's graph they may still be wired in, which would
+        # merge components straight through the failure.
+        reduced = graph.without_nodes(sorted(gone)) if gone else graph
+        comps = _surviving_components(reduced, gone)
+        raise PartitionError(
+            f"survivor graph has {len(comps)} components "
+            f"(largest {len(comps[0]) if comps else 0} nodes)",
+            components=comps,
+        )
+
+
+def _surviving_components(
+    graph: Graph, gone: set[NodeId]
+) -> tuple[tuple[int, ...], ...]:
+    """Connected components of the survivors, largest first.
+
+    ``graph`` must already have the ``gone`` nodes isolated (their
+    singletons are dropped here); ties keep discovery order, so the
+    result is deterministic.
+    """
+    comps = [
+        c for c in graph.connected_components() if not set(c) <= gone
+    ]
+    comps.sort(key=len, reverse=True)
+    return tuple(comps)
+
+
 def clustering_still_valid(
     clustering: Clustering, graph2: Graph, exclude: set[NodeId] = frozenset()
 ) -> bool:
@@ -355,6 +470,7 @@ def repair(backbone: BackboneResult, node: NodeId) -> RepairOutcome:
     ):
         surviving = _strip_nodes(clustering, graph2, gone)
         result = None
+        spliced = False
         if role == "member":
             # §3.3: "nothing needs to be done with respect to the existing
             # CDS".  A failed member is neither a head nor a gateway, so no
@@ -365,8 +481,15 @@ def repair(backbone: BackboneResult, node: NodeId) -> RepairOutcome:
                 result = _verify_and_accept(
                     replace(backbone, clustering=surviving), gone
                 )
+                spliced = True
             except ValidationError:
                 result = None
+        if result is None and role == "gateway":
+            # §3.3's local fix, structurally: keep clustering, neighbor
+            # structure and selected links; re-derive only the virtual
+            # links routed through the dead gateway.
+            result = _splice_gateway(backbone, surviving, graph2, gone, node)
+            spliced = result is not None
         if result is None:
             try:
                 result = build_backbone(
@@ -396,6 +519,7 @@ def repair(backbone: BackboneResult, node: NodeId) -> RepairOutcome:
                 scope_heads=scope,
                 partitioned=False,
                 backbone=result,
+                spliced=spliced,
             )
 
     # --- rung 3: clusterhead election re-runs --------------------------- #
@@ -408,12 +532,24 @@ def repair(backbone: BackboneResult, node: NodeId) -> RepairOutcome:
     # Isolated dead nodes elect themselves into phantom singleton
     # clusters; strip them before building the backbone.
     stripped = _strip_nodes(reclustered, graph2, gone)
-    result = build_backbone(
-        stripped,
-        backbone.algorithm,
-        oracle=_seeded_path_oracle(graph2, backbone, gone),
-    )
-    _verify_excluding(result, gone)
+    # The final rung must absorb any failure that leaves the survivors
+    # connected; a verification failure here is a defect in the repair
+    # machinery, not an environmental condition — surface it as the
+    # typed bug class so callers can tell it apart from a partition.
+    try:
+        result = build_backbone(
+            stripped,
+            backbone.algorithm,
+            oracle=_seeded_path_oracle(graph2, backbone, gone),
+        )
+        _verify_excluding(result, gone)
+    except RepairError:
+        raise
+    except ValidationError as exc:
+        raise RepairError(
+            f"re-clustering rung produced an invalid backbone after "
+            f"removing node {node} from a connected survivor graph: {exc}"
+        ) from exc
     return RepairOutcome(
         failed_node=node,
         role=role,
@@ -422,4 +558,105 @@ def repair(backbone: BackboneResult, node: NodeId) -> RepairOutcome:
         scope_heads=frozenset(backbone.heads) | frozenset(result.heads),
         partitioned=False,
         backbone=result,
+    )
+
+
+def _verify_degraded(
+    result: BackboneResult,
+    excluded: set[NodeId],
+    components: tuple[tuple[int, ...], ...],
+) -> None:
+    """The verification battery for a component-local (degraded) backbone.
+
+    Same checks as :func:`_verify_excluding` except connectivity, which a
+    partitioned graph can only satisfy *per component*: the CDS nodes
+    inside each surviving component must form a connected subgraph, and
+    every survivor must still be k-hop dominated by some head (heads are
+    per-component, so domination never crosses a partition).
+    """
+    g = result.clustering.graph
+    check_gateways_are_members(result)
+    _check_links_alive(result)
+    cds = set(result.cds)
+    for comp in components:
+        if not g.is_connected_subset(cds & set(comp)):
+            raise ValidationError(
+                f"degraded CDS is not connected inside component of "
+                f"{len(comp)} survivors"
+            )
+    k = result.clustering.k
+    g.oracle.prepare_balls(result.heads, k)
+    covered = set(g.nodes_within(result.heads, k))
+    for u in g.nodes():
+        if u in excluded:
+            continue
+        if u not in covered:
+            raise ValidationError(f"survivor {u} lost k-hop domination")
+
+
+def degraded_repair(backbone: BackboneResult, node: NodeId) -> RepairOutcome:
+    """The §3.3 ladder with a graceful floor under partition.
+
+    Runs :func:`repair`; when the failure partitioned the survivor
+    graph — where the plain ladder gives up with ``backbone=None`` —
+    falls back to *component-local* operation instead: the survivors are
+    re-clustered (``require_connected=False``), a backbone is built with
+    the same localized algorithm (neighbor rules only pair heads within
+    2k+1 hops, so virtual links never cross a partition), and the result
+    is verified per component.  The returned outcome has
+    ``action="degraded"``, ``degraded=True``, the surviving components,
+    and a backbone on which same-component flows remain routable —
+    cross-component flows must be filtered out by the caller (e.g. via
+    the ``routable`` mask of :func:`repro.faults.delivery.deliver`).
+
+    Raises:
+        InvalidParameterError: for ``G-MST`` backbones — the metric
+            closure needs all-pairs paths, which a partitioned graph
+            cannot provide; degraded mode is restricted to the localized
+            algorithms.
+        RepairError: when the component-local pipeline itself produces an
+            invalid backbone (a bug, not an environmental condition).
+    """
+    out = repair(backbone, node)
+    if not out.partitioned:
+        return out
+    if backbone.algorithm not in _LOCALIZED:
+        raise InvalidParameterError(
+            f"degraded repair needs a localized algorithm, got "
+            f"{backbone.algorithm!r} (known: {sorted(_LOCALIZED)})"
+        )
+    clustering = backbone.clustering
+    graph = clustering.graph
+    gone = _excluded_nodes(clustering) | {node}
+    graph2 = graph.without_nodes([node])
+    components = _surviving_components(graph2, gone)
+    reclustered = khop_cluster(
+        graph2,
+        clustering.k,
+        membership=clustering.membership_name,
+        require_connected=False,
+    )
+    stripped = _strip_nodes(reclustered, graph2, gone)
+    try:
+        result = build_backbone(
+            stripped,
+            backbone.algorithm,
+            oracle=_seeded_path_oracle(graph2, backbone, gone),
+        )
+        _verify_degraded(result, gone, components)
+    except ValidationError as exc:
+        raise RepairError(
+            f"degraded repair produced an invalid component-local "
+            f"backbone after removing node {node}: {exc}"
+        ) from exc
+    return RepairOutcome(
+        failed_node=node,
+        role=out.role,
+        action="degraded",
+        escalated=True,
+        scope_heads=frozenset(backbone.heads) | frozenset(result.heads),
+        partitioned=True,
+        backbone=result,
+        degraded=True,
+        components=components,
     )

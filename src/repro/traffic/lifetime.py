@@ -30,9 +30,12 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> traffic)
+    from ..faults.delivery import LossModel
 
 from ..core.clustering import Clustering, khop_cluster
 from ..core.pipeline import BackboneResult, build_backbone
@@ -41,7 +44,7 @@ from ..errors import InvalidParameterError
 from ..maintenance.repair import repair
 from ..net.energy import EnergyModel, EnergyParams
 from ..net.graph import Graph
-from .load import measure_load
+from .load import lossy_load, measure_load
 from .router import BatchRouter
 from .workloads import Workload
 
@@ -67,6 +70,8 @@ class LifetimeEpoch:
         min_residual / mean_residual: residual energy over *alive* nodes
             after the epoch's drain.
         deaths: nodes that died at the end of this epoch, in repair order.
+        delivered: demand-weighted fraction of offered packets delivered
+            this epoch (1.0 in the lossless world).
     """
 
     epoch: int
@@ -78,6 +83,7 @@ class LifetimeEpoch:
     min_residual: float
     mean_residual: float
     deaths: tuple[int, ...]
+    delivered: float = 1.0
 
 
 @dataclass
@@ -126,6 +132,15 @@ class LifetimeReport:
         """Nodes that ran out of energy during the simulation."""
         return len(self.deaths)
 
+    @property
+    def mean_delivered(self) -> float:
+        """Mean per-epoch delivered fraction (1.0 when lossless)."""
+        if not self.epochs:
+            return 1.0
+        return float(
+            sum(e.delivered for e in self.epochs) / len(self.epochs)
+        )
+
 
 def _strip_dead(clustering: Clustering, dead: set[int]) -> Clustering:
     """Drop dead (isolated, self-elected) nodes from a fresh clustering."""
@@ -153,6 +168,10 @@ def simulate_traffic_lifetime(
     algorithm: str = "AC-LMST",
     params: EnergyParams | None = None,
     idle_rounds_per_epoch: int = 1,
+    loss: Optional["LossModel"] = None,
+    max_attempts: int = 3,
+    backoff_base: int = 2,
+    delivery_seed: int = 0,
 ) -> LifetimeReport:
     """Replay ``workload`` for up to ``epochs`` epochs of drain + repair.
 
@@ -169,6 +188,17 @@ def simulate_traffic_lifetime(
         params: energy constants (default :class:`EnergyParams`).
         idle_rounds_per_epoch: role-dependent idle rounds charged per
             epoch on top of the traffic load.
+        loss: optional per-link loss model
+            (:class:`~repro.faults.delivery.LossModel`).  When set, every
+            epoch's flows pass through the lossy delivery engine
+            (:func:`~repro.faults.delivery.deliver`): failed hops
+            truncate the walk, retries re-charge the surviving prefix,
+            and the energy ledger is charged with the *actual* per-node
+            transmit/receive counts — so lossy regions drain first.
+        max_attempts / backoff_base: retry budget and exponential
+            backoff base forwarded to the delivery engine.
+        delivery_seed: base seed for the per-epoch loss draws (epoch
+            ``e`` draws from ``delivery_seed + e``).
     """
     if scheme not in ("energy", "static"):
         raise InvalidParameterError(f"unknown lifetime scheme {scheme!r}")
@@ -180,6 +210,10 @@ def simulate_traffic_lifetime(
         )
     if idle_rounds_per_epoch < 0:
         raise InvalidParameterError("idle_rounds_per_epoch must be >= 0")
+    if loss is not None and loss.n != graph.n:
+        raise InvalidParameterError(
+            f"loss model covers {loss.n} nodes, graph has {graph.n}"
+        )
 
     model = EnergyModel(graph.n, params)
     alive = np.ones(graph.n, dtype=bool)
@@ -211,7 +245,24 @@ def simulate_traffic_lifetime(
         routed = router.route_flows(
             workload.restrict(alive), with_shortest=False
         )
-        load = measure_load(backbone, routed)
+        delivered = 1.0
+        if loss is not None:
+            # Runtime import: faults.delivery imports traffic.router at
+            # module level, so traffic must only pull it lazily.
+            from ..faults.delivery import deliver
+
+            delivery = deliver(
+                routed,
+                loss,
+                seed=delivery_seed + epoch,
+                max_attempts=max_attempts,
+                backoff_base=backoff_base,
+            )
+            routed = routed.with_delivery(delivery)
+            load = lossy_load(backbone, routed, delivery)
+            delivered = routed.delivered_fraction()
+        else:
+            load = measure_load(backbone, routed)
         model.charge_load(load.tx, load.rx)
         for _ in range(idle_rounds_per_epoch):
             model.charge_idle_round(set(backbone.cds))
@@ -260,6 +311,7 @@ def simulate_traffic_lifetime(
                 min_residual=float(alive_res.min()) if alive_res.size else 0.0,
                 mean_residual=float(alive_res.mean()) if alive_res.size else 0.0,
                 deaths=tuple(deaths),
+                delivered=delivered,
             )
         )
         if partitioned:
@@ -277,11 +329,13 @@ def compare_rotation_under_traffic(
     algorithm: str = "AC-LMST",
     params: EnergyParams | None = None,
     idle_rounds_per_epoch: int = 1,
+    loss: Optional["LossModel"] = None,
 ) -> dict[str, LifetimeReport]:
     """Run both schemes on identical fresh energy ledgers and workloads.
 
     Returns ``{"energy": ..., "static": ...}`` — the rotation-vs-static
-    lifetime comparison the acceptance scenario asserts on.
+    lifetime comparison the acceptance scenario asserts on.  A ``loss``
+    model applies identically to both schemes (same per-epoch seeds).
     """
     return {
         scheme: simulate_traffic_lifetime(
@@ -293,6 +347,7 @@ def compare_rotation_under_traffic(
             algorithm=algorithm,
             params=params,
             idle_rounds_per_epoch=idle_rounds_per_epoch,
+            loss=loss,
         )
         for scheme in ("energy", "static")
     }

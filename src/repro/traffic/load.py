@@ -26,6 +26,7 @@ forwards; totals match the per-node sums) are asserted in
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -35,7 +36,10 @@ from ..errors import InvalidParameterError
 from ..types import Edge, NodeId, normalize_edge
 from .router import RoutedFlows
 
-__all__ = ["LoadReport", "measure_load"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> traffic)
+    from ..faults.delivery import DeliveryReport
+
+__all__ = ["LoadReport", "measure_load", "lossy_load"]
 
 
 @dataclass(frozen=True)
@@ -154,6 +158,93 @@ def measure_load(result: BackboneResult, routed: RoutedFlows) -> LoadReport:
     cds_share = (
         float(tx[cds].sum() / packet_hops) if packet_hops else 0.0
     )
+    backbone_fairness = jain_fairness(load[cds]) if cds else 0.0
+
+    return LoadReport(
+        num_flows=routed.num_flows,
+        total_packets=routed.workload.total_packets,
+        packet_hops=packet_hops,
+        tx=tx,
+        rx=rx,
+        transit=transit,
+        link_util=link_util,
+        mean_stretch=mean_stretch,
+        max_stretch=max_stretch,
+        p95_stretch=p95_stretch,
+        max_node_load=max_node_load,
+        p50_node_load=p50,
+        p95_node_load=p95,
+        p99_node_load=p99,
+        cds_share=cds_share,
+        backbone_fairness=backbone_fairness,
+    )
+
+
+def lossy_load(
+    result: BackboneResult,
+    routed: RoutedFlows,
+    delivery: "DeliveryReport",
+) -> LoadReport:
+    """A :class:`LoadReport` reflecting what a lossy delivery *actually* cost.
+
+    :func:`measure_load` charges every walk end to end; under loss the
+    truth is the delivery's own tallies — truncated attempts charge only
+    up to the failing hop, retries charge the surviving prefix again.
+    This adapter rebuilds the per-node and congestion statistics from
+    ``delivery.tx`` / ``delivery.rx`` while keeping the routing-shape
+    metrics (stretch, link utilization) from the routed batch.
+
+    Transit is exact, not estimated: within one attempt, every
+    non-terminal reception is immediately followed by a retransmission
+    by the same node (the failing hop's transmitter is the last
+    receiver), so forwarded packets are receptions minus the terminal
+    receptions of delivered flows.
+    """
+    n = result.clustering.graph.n
+    demands = routed.workload.demands
+    if delivery.num_flows != routed.num_flows:
+        raise InvalidParameterError(
+            "delivery report and routed batch disagree on flow count"
+        )
+    tx = delivery.tx
+    rx = delivery.rx
+    delivered = delivery.outcome == 0  # FlowOutcome.DELIVERED
+    terminal = np.bincount(
+        routed.workload.targets[delivered],
+        weights=demands[delivered].astype(np.float64),
+        minlength=n,
+    )
+    transit = rx - np.rint(terminal).astype(np.int64)
+
+    link_util: dict[Edge, int] = {}
+    for seq, d in zip(routed.head_paths, demands.tolist()):
+        for a, b in zip(seq, seq[1:]):
+            e = normalize_edge(a, b)
+            link_util[e] = link_util.get(e, 0) + d
+
+    packet_hops = int(tx.sum())
+    if routed.shortest.size:
+        stretches = routed.stretches()
+        mean_stretch = float(stretches.mean()) if stretches.size else 1.0
+        max_stretch = float(stretches.max()) if stretches.size else 1.0
+        p95_stretch = (
+            float(np.percentile(stretches, 95)) if stretches.size else 1.0
+        )
+    else:
+        mean_stretch = max_stretch = p95_stretch = float("nan")
+
+    load = tx + rx
+    loaded = load[load > 0]
+    if loaded.size:
+        max_node_load = float(loaded.max())
+        p50, p95, p99 = (
+            float(np.percentile(loaded, q)) for q in (50, 95, 99)
+        )
+    else:
+        max_node_load = p50 = p95 = p99 = 0.0
+
+    cds = sorted(result.cds)
+    cds_share = float(tx[cds].sum() / packet_hops) if packet_hops else 0.0
     backbone_fairness = jain_fairness(load[cds]) if cds else 0.0
 
     return LoadReport(

@@ -28,11 +28,17 @@ Two engines produce **walk-identical** results (the acceptance gate of
   batched engine is cheap, and keeping a merely-still-valid old
   clustering would diverge from the rebuild baseline).
 
-Disconnected snapshots are not routed: the epoch records the fraction of
-flows whose endpoints still share a component (*delivery*), the graph
-keeps evolving by deltas underneath, and pending touched nodes accumulate
-so the next connected snapshot's inheritance remains sound across the
-gap.
+Disconnected snapshots are not routed by default: the epoch records the
+fraction of flows whose endpoints still share a component (*delivery*),
+the graph keeps evolving by deltas underneath, and pending touched nodes
+accumulate so the next connected snapshot's inheritance remains sound
+across the gap.  With ``degraded=True`` the loop instead falls back to
+**component-local routing** (:func:`route_degraded`): every surviving
+component is clustered and routed on its own backbone, flows whose
+endpoints share a component still move, and cross-component flows carry
+placeholder walks flagged with a ``valid=False`` bit.  The report's
+``recovery_times`` records how many epochs each outage lasted before the
+network reconnected and routing was fully re-validated.
 """
 
 from __future__ import annotations
@@ -45,22 +51,23 @@ import numpy as np
 
 from ..analysis.stats import jaccard_distance
 from ..core.clustering import khop_cluster
-from ..core.pipeline import build_backbone
+from ..core.pipeline import _LOCALIZED, BackboneResult, build_backbone
 from ..errors import InvalidParameterError
 from ..maintenance.repair import delta_path_oracle
 from ..net.graph import Graph
 from ..net.mobility import RandomWaypoint, snapshot_edge_delta
-from ..net.oracle import LazyDistanceOracle
+from ..net.oracle import DIST_DTYPE, LazyDistanceOracle
 from ..net.paths import PathOracle
 from ..net.topology import Topology, random_topology
 from .load import measure_load
-from .router import BatchRouter
+from .router import BatchRouter, RoutedFlows
 from .workloads import Workload, make_workload
 
 __all__ = [
     "MobileEpoch",
     "MobileTrafficReport",
     "simulate_mobile_traffic",
+    "route_degraded",
     "render_mobile",
 ]
 
@@ -85,6 +92,9 @@ class MobileEpoch:
         num_heads / cds_size: backbone shape that served the snapshot.
         head_churn: Jaccard distance to the previous routed snapshot's
             head set (NaN for the first routed snapshot).
+        degraded: True when a disconnected snapshot was served by
+            component-local routing (:func:`route_degraded`) instead of
+            being skipped — its metrics then cover the routable subset.
     """
 
     step: int
@@ -102,6 +112,7 @@ class MobileEpoch:
     num_heads: int
     cds_size: int
     head_churn: float
+    degraded: bool = False
 
 
 @dataclass
@@ -122,6 +133,11 @@ class MobileTrafficReport:
         paths_inherited: canonical paths (virtual links + legs) carried.
         router_rebuilds_avoided: snapshots whose whole head-routing layer
             (Dijkstra trees, head walks) survived structurally.
+        degraded_epochs: disconnected snapshots served component-locally
+            (``degraded=True`` runs only).
+        recovery_times: length in epochs of every completed outage — from
+            the first disconnected snapshot of a stretch to the snapshot
+            before the network reconnected and routing re-validated.
         walks: per-epoch routed walks when ``collect_walks=True`` (the
             walk-identity benchmark compares these across engines).
     """
@@ -136,11 +152,17 @@ class MobileTrafficReport:
     balls_inherited: int = 0
     paths_inherited: int = 0
     router_rebuilds_avoided: int = 0
+    degraded_epochs: int = 0
+    recovery_times: list[int] = field(default_factory=list)
     walks: Optional[list[list[tuple[int, ...]]]] = None
 
     def routed_epochs(self) -> list[MobileEpoch]:
         """The epochs that actually carried traffic."""
-        return [e for e in self.epochs if e.connected]
+        return [
+            e
+            for e in self.epochs
+            if e.connected or (e.degraded and e.flows_routed > 0)
+        ]
 
     def mean(self, metric: str) -> float:
         """Mean of one per-epoch metric over the routed epochs."""
@@ -167,6 +189,69 @@ def _component_labels(graph: Graph) -> np.ndarray:
     return labels
 
 
+def route_degraded(
+    graph: Graph,
+    k: int,
+    workload: Workload,
+    *,
+    algorithm: str = "AC-LMST",
+) -> tuple[BackboneResult, RoutedFlows]:
+    """Component-local routing over a disconnected snapshot.
+
+    Clusters every surviving component (``require_connected=False``),
+    builds one backbone spanning them all — localized algorithms only:
+    G-MST needs the global metric closure, which does not exist on a
+    disconnected graph — and routes the flows whose endpoints share a
+    component.  Cross-component flows get single-node placeholder walks
+    flagged ``valid=False``: the degraded world's stale-walk bit.  Their
+    entries carry no traffic and must not be trusted as routes.
+
+    Returns the per-component backbone and the merged
+    :class:`RoutedFlows` covering *every* flow of ``workload`` (real
+    walks where routable, placeholders elsewhere, ``valid`` telling
+    them apart).
+    """
+    if algorithm not in _LOCALIZED:
+        raise InvalidParameterError(
+            f"degraded routing needs a localized algorithm "
+            f"(one of {sorted(_LOCALIZED)}), got {algorithm!r}"
+        )
+    labels = _component_labels(graph)
+    routable = labels[workload.sources] == labels[workload.targets]
+    sub = Workload(
+        name=workload.name,
+        n=workload.n,
+        sources=workload.sources[routable],
+        targets=workload.targets[routable],
+        demands=workload.demands[routable],
+        seed=workload.seed,
+    )
+    clustering = khop_cluster(graph, k, require_connected=False)
+    backbone = build_backbone(clustering, algorithm)
+    routed_sub = BatchRouter(backbone).route_flows(sub, with_shortest=True)
+
+    idx = np.flatnonzero(routable)
+    walks: list[tuple[int, ...]] = [
+        (int(s),) for s in workload.sources.tolist()
+    ]
+    head_paths: list[tuple[int, ...]] = [() for _ in walks]
+    hops = np.zeros(workload.num_flows, dtype=DIST_DTYPE)
+    shortest = np.zeros(workload.num_flows, dtype=DIST_DTYPE)
+    hops[idx] = routed_sub.hops
+    shortest[idx] = routed_sub.shortest
+    for j, i in enumerate(idx.tolist()):
+        walks[i] = routed_sub.walks[j]
+        head_paths[i] = routed_sub.head_paths[j]
+    return backbone, RoutedFlows(
+        workload=workload,
+        walks=walks,
+        hops=hops,
+        shortest=shortest,
+        head_paths=head_paths,
+        valid=routable,
+    )
+
+
 def simulate_mobile_traffic(
     topology: Topology,
     k: int,
@@ -178,6 +263,7 @@ def simulate_mobile_traffic(
     algorithm: str = "AC-LMST",
     engine: str = "delta",
     collect_walks: bool = False,
+    degraded: bool = False,
 ) -> MobileTrafficReport:
     """Move nodes, re-route ``workload`` on every snapshot, measure traffic.
 
@@ -198,11 +284,22 @@ def simulate_mobile_traffic(
             still produce identical results, just without the row reuse.
         collect_walks: keep every epoch's routed walks on the report
             (memory-heavy; the equivalence benchmark needs it).
+        degraded: serve disconnected snapshots by component-local
+            routing (:func:`route_degraded`) instead of skipping them —
+            localized algorithms only.  Incremental caches are left
+            untouched during the outage, so the next connected
+            snapshot's inheritance stays sound; the report records each
+            outage's length in ``recovery_times``.
     """
     if snapshots < 1:
         raise InvalidParameterError(f"snapshots must be >= 1, got {snapshots}")
     if engine not in ("delta", "rebuild"):
         raise InvalidParameterError(f"unknown mobility engine {engine!r}")
+    if degraded and algorithm not in _LOCALIZED:
+        raise InvalidParameterError(
+            f"degraded mode needs a localized algorithm "
+            f"(one of {sorted(_LOCALIZED)}), got {algorithm!r}"
+        )
     if workload.n != topology.graph.n:
         raise InvalidParameterError(
             f"workload addresses {workload.n} nodes, topology has {topology.graph.n}"
@@ -228,6 +325,9 @@ def simulate_mobile_traffic(
     # disconnected gap composes deltas, and inheritance across the gap
     # must be judged against the union of their endpoints.
     pending_touched: set[int] = set()
+    # Consecutive disconnected snapshots of the current outage (degraded
+    # or skipped alike) — flushed to recovery_times on reconnection.
+    outage = 0
 
     for step in range(snapshots + 1):
         if step == 0:
@@ -260,6 +360,49 @@ def simulate_mobile_traffic(
 
         if not graph.is_connected():
             delivered = workload.delivered_fraction(_component_labels(graph))
+            outage += 1
+            if degraded:
+                dg_backbone, dg_routed = route_degraded(
+                    graph, k, workload, algorithm=algorithm
+                )
+                dg_load = measure_load(dg_backbone, dg_routed)
+                valid = dg_routed.valid
+                assert valid is not None  # route_degraded always sets it
+                st = dg_routed.hops[valid] / np.maximum(
+                    dg_routed.shortest[valid], 1
+                )
+                report.degraded_epochs += 1
+                report.epochs.append(
+                    MobileEpoch(
+                        step=step,
+                        connected=False,
+                        edges_added=len(added),
+                        edges_removed=len(removed),
+                        delivered=delivered,
+                        flows_routed=int(np.count_nonzero(valid)),
+                        mean_stretch=(
+                            float(st.mean()) if st.size else float("nan")
+                        ),
+                        p95_stretch=(
+                            float(np.percentile(st, 95))
+                            if st.size
+                            else float("nan")
+                        ),
+                        max_stretch=(
+                            float(st.max()) if st.size else float("nan")
+                        ),
+                        max_node_load=dg_load.max_node_load,
+                        backbone_fairness=dg_load.backbone_fairness,
+                        cds_share=dg_load.cds_share,
+                        num_heads=len(dg_backbone.heads),
+                        cds_size=dg_backbone.cds_size,
+                        head_churn=float("nan"),
+                        degraded=True,
+                    )
+                )
+                if collect_walks:
+                    report.walks.append(dg_routed.walks)
+                continue
             report.skipped_disconnected += 1
             report.epochs.append(
                 MobileEpoch(
@@ -284,6 +427,9 @@ def simulate_mobile_traffic(
                 report.walks.append([])
             continue
 
+        if outage:
+            report.recovery_times.append(outage)
+            outage = 0
         clustering = khop_cluster(graph, k)
         if engine == "delta" and prev_paths is not None:
             paths = delta_path_oracle(graph, prev_paths, pending_touched)
@@ -339,18 +485,19 @@ def render_mobile(report: MobileTrafficReport) -> str:
         "epoch  ±edges  deliv  stretch(mean/p95)  maxload  jain   heads  cds  churn",
     ]
     for e in report.epochs:
-        if not e.connected:
+        if not e.connected and not e.degraded:
             lines.append(
                 f"{e.step:5d}  +{e.edges_added}/-{e.edges_removed}  "
                 f"{e.delivered:.2f}   -- disconnected, not routed --"
             )
             continue
         churn = f"{e.head_churn:.2f}" if not math.isnan(e.head_churn) else "  - "
+        tag = "  [degraded]" if e.degraded else ""
         lines.append(
             f"{e.step:5d}  +{e.edges_added}/-{e.edges_removed}  "
             f"{e.delivered:.2f}  {e.mean_stretch:.3f} / {e.p95_stretch:.3f}"
             f"      {e.max_node_load:7.0f}  {e.backbone_fairness:.3f}  "
-            f"{e.num_heads:5d}  {e.cds_size:3d}  {churn}"
+            f"{e.num_heads:5d}  {e.cds_size:3d}  {churn}{tag}"
         )
     lines += [
         "",
@@ -359,6 +506,16 @@ def render_mobile(report: MobileTrafficReport) -> str:
         f"mean stretch {report.mean('mean_stretch'):.3f}, "
         f"mean head churn {report.mean('head_churn'):.3f}",
     ]
+    if report.degraded_epochs:
+        recov = (
+            ", ".join(str(t) for t in report.recovery_times)
+            if report.recovery_times
+            else "none completed"
+        )
+        lines.append(
+            f"degraded: {report.degraded_epochs} disconnected epochs served "
+            f"component-locally; recovery times (epochs): {recov}"
+        )
     if report.engine == "delta":
         lines.append(
             f"inherited: {report.rows_inherited} rows "

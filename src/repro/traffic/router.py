@@ -34,10 +34,13 @@ what the repair actually changed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Iterable, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> traffic)
+    from ..faults.delivery import DeliveryReport
 
 from ..cds.routing import HeadRouter
 from ..core.pipeline import BackboneResult
@@ -62,6 +65,15 @@ class RoutedFlows:
             when routed with ``with_shortest=False``).
         head_paths: per-flow traversed head sequence (empty tuple for
             intra-cluster flows) — the virtual-link utilization record.
+        outcome: per-flow :class:`~repro.faults.delivery.FlowOutcome`
+            values (int8) once a lossy delivery ran; None in the default
+            binary world (every routed flow counts as delivered).
+        attempts: per-flow transmission attempts (parallel to
+            ``outcome``); None before a lossy delivery.
+        valid: per-flow validity bits — False marks a stale/placeholder
+            walk that must not be trusted (degraded mode routes only
+            same-component flows and flags the rest); None when every
+            walk is a real route on the current backbone.
     """
 
     workload: Workload
@@ -69,11 +81,38 @@ class RoutedFlows:
     hops: DistArray
     shortest: DistArray
     head_paths: list[tuple[NodeId, ...]]
+    outcome: Optional[np.ndarray] = None
+    attempts: Optional[np.ndarray] = None
+    valid: Optional[np.ndarray] = None
 
     @property
     def num_flows(self) -> int:
         """Number of routed flows."""
         return len(self.walks)
+
+    def with_delivery(self, report: "DeliveryReport") -> "RoutedFlows":
+        """Copy of the batch annotated with a lossy delivery's outcomes."""
+        if report.num_flows != self.num_flows:
+            raise InvalidParameterError(
+                f"delivery report covers {report.num_flows} flows, "
+                f"batch has {self.num_flows}"
+            )
+        return replace(
+            self, outcome=report.outcome, attempts=report.attempts
+        )
+
+    def delivered_fraction(self) -> float:
+        """Demand-weighted fraction of offered packets delivered.
+
+        1.0 in the binary world (no ``outcome`` recorded — routing
+        succeeded, so everything counts as delivered); otherwise the
+        lossy delivery's packet-weighted success rate.
+        """
+        demands = self.workload.demands
+        offered = int(demands.sum())
+        if self.outcome is None or offered == 0:
+            return 1.0
+        return float(demands[self.outcome == 0].sum()) / offered
 
     def stretches(self) -> FloatArray:
         """Per-flow stretch (walk hops / shortest hops), float64."""

@@ -1,0 +1,220 @@
+"""Lossy delivery: loss models, retry/backoff accounting, conservation."""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import khop_cluster
+from repro.core.pipeline import build_backbone
+from repro.errors import InvalidParameterError
+from repro.faults.delivery import (
+    DeliveryReport,
+    FlowOutcome,
+    LossModel,
+    deliver,
+)
+from repro.net.topology import random_topology
+from repro.traffic.load import lossy_load, measure_load
+from repro.traffic.router import BatchRouter
+from repro.traffic.workloads import uniform_pairs
+
+
+@pytest.fixture(scope="module")
+def backbone():
+    topo = random_topology(120, degree=7.0, seed=5)
+    return build_backbone(khop_cluster(topo.graph, 2), "AC-LMST")
+
+
+@pytest.fixture(scope="module")
+def routed(backbone):
+    g = backbone.clustering.graph
+    wl = uniform_pairs(g.n, 300, seed=8)
+    return BatchRouter(backbone).route_flows(wl, with_shortest=True)
+
+
+class TestLossModel:
+    def test_uniform_applies_everywhere(self):
+        m = LossModel.uniform(10, 0.25)
+        assert m.num_overrides == 0
+        assert m.link_loss(0, 1) == 0.25
+        assert m.link_loss(7, 3) == 0.25
+
+    def test_override_replaces_base(self):
+        m = LossModel.from_overrides(10, {(2, 5): 0.9}, base_loss=0.1)
+        assert m.num_overrides == 1
+        assert m.link_loss(2, 5) == 0.9
+        assert m.link_loss(5, 2) == 0.9  # orientation-free
+        assert m.link_loss(0, 1) == 0.1
+
+    def test_hop_loss_vectorized(self):
+        m = LossModel.from_overrides(6, {(0, 1): 0.5, (2, 3): 0.7})
+        u = np.asarray([1, 3, 4], dtype=np.int64)
+        v = np.asarray([0, 2, 5], dtype=np.int64)
+        assert m.hop_loss(u, v).tolist() == [0.5, 0.7, 0.0]
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            LossModel.uniform(5, 1.5)
+        with pytest.raises(InvalidParameterError):
+            LossModel.from_overrides(5, {(0, 1): -0.1})
+
+
+class TestDeliverLimits:
+    def test_zero_loss_matches_binary_load(self, backbone, routed):
+        report = deliver(routed, LossModel.uniform(120, 0.0), seed=1)
+        assert (report.outcome == int(FlowOutcome.DELIVERED)).all()
+        assert (report.attempts == 1).all()
+        assert (report.failed_hop == -1).all()
+        assert (report.completion_epoch == 0).all()
+        assert report.delivered_fraction == 1.0
+        assert report.lost_packets == 0
+        load = measure_load(backbone, routed)
+        np.testing.assert_array_equal(report.tx, load.tx)
+        np.testing.assert_array_equal(report.rx, load.rx)
+
+    def test_total_loss_drops_everything_at_hop_zero(self, routed):
+        report = deliver(
+            routed, LossModel.uniform(120, 1.0), seed=1, max_attempts=3
+        )
+        assert (report.outcome == int(FlowOutcome.DROPPED_AT_HOP)).all()
+        assert (report.failed_hop == 0).all()
+        assert (report.attempts == 3).all()
+        assert report.rx.sum() == 0
+        assert report.delivered_fraction == 0.0
+        assert report.lost_packets == report.tx.sum()
+
+    def test_backoff_timestamps(self, routed):
+        # Attempt i re-enters backoff_base**(i-1) epochs after the
+        # previous one, so three doomed attempts finish at 0 + 1 + 2 = 3.
+        report = deliver(
+            routed,
+            LossModel.uniform(120, 1.0),
+            seed=1,
+            max_attempts=3,
+            backoff_base=2,
+        )
+        assert (report.completion_epoch == 3).all()
+
+    def test_zero_attempts_abandons_all(self, routed):
+        report = deliver(
+            routed, LossModel.uniform(120, 0.0), seed=1, max_attempts=0
+        )
+        assert (report.outcome == int(FlowOutcome.ABANDONED)).all()
+        assert report.tx.sum() == 0
+        assert report.attempts.sum() == 0
+        assert report.delivered_fraction == 0.0
+
+    def test_parameter_validation(self, routed):
+        m = LossModel.uniform(120, 0.1)
+        with pytest.raises(InvalidParameterError):
+            deliver(routed, m, seed=1, max_attempts=-1)
+        with pytest.raises(InvalidParameterError):
+            deliver(routed, m, seed=1, backoff_base=0)
+
+
+class TestDeliverStochastic:
+    def test_same_seed_same_report(self, routed):
+        m = LossModel.uniform(120, 0.2)
+        a = deliver(routed, m, seed=33)
+        b = deliver(routed, m, seed=33)
+        for name in ("outcome", "attempts", "failed_hop", "completion_epoch",
+                     "tx", "rx"):
+            np.testing.assert_array_equal(
+                getattr(a, name), getattr(b, name), err_msg=name
+            )
+
+    def test_different_seed_different_fates(self, routed):
+        m = LossModel.uniform(120, 0.2)
+        a = deliver(routed, m, seed=33)
+        b = deliver(routed, m, seed=34)
+        assert not np.array_equal(a.tx, b.tx)
+
+    def test_flow_conservation_identity(self, routed):
+        report = deliver(routed, LossModel.uniform(120, 0.3), seed=7)
+        dem = routed.workload.demands
+        delivered = report.outcome == int(FlowOutcome.DELIVERED)
+        expected = int((dem * report.attempts).sum() - dem[delivered].sum())
+        assert report.lost_packets == expected
+        assert report.lost_packets == int(report.tx.sum() - report.rx.sum())
+
+    def test_retries_improve_delivery(self, routed):
+        m = LossModel.uniform(120, 0.2)
+        naive = deliver(routed, m, seed=5, max_attempts=1)
+        persistent = deliver(routed, m, seed=5, max_attempts=4)
+        assert persistent.delivered_fraction > naive.delivered_fraction
+        assert persistent.mean_attempts > 1.0
+
+    def test_routable_mask_abandons_without_transmitting(self, routed):
+        mask = np.ones(routed.num_flows, dtype=bool)
+        mask[::2] = False
+        report = deliver(
+            routed, LossModel.uniform(120, 0.1), seed=2, routable=mask
+        )
+        assert (
+            report.outcome[~mask] == int(FlowOutcome.ABANDONED)
+        ).all()
+        assert report.attempts[~mask].sum() == 0
+        assert (report.outcome[mask] != int(FlowOutcome.ABANDONED)).all()
+
+    def test_bad_mask_shape_rejected(self, routed):
+        with pytest.raises(InvalidParameterError):
+            deliver(
+                routed,
+                LossModel.uniform(120, 0.1),
+                seed=2,
+                routable=np.ones(3, dtype=bool),
+            )
+
+
+class TestRoutedFlowsIntegration:
+    def test_with_delivery_annotates_fraction(self, routed):
+        report = deliver(routed, LossModel.uniform(120, 0.25), seed=11)
+        annotated = routed.with_delivery(report)
+        assert routed.delivered_fraction() == 1.0  # binary world untouched
+        assert annotated.delivered_fraction() == pytest.approx(
+            report.delivered_fraction
+        )
+
+    def test_with_delivery_rejects_mismatched_report(self, backbone, routed):
+        g = backbone.clustering.graph
+        other = BatchRouter(backbone).route_flows(
+            uniform_pairs(g.n, 5, seed=1)
+        )
+        report = deliver(other, LossModel.uniform(120, 0.1), seed=1)
+        with pytest.raises(InvalidParameterError):
+            routed.with_delivery(report)
+
+    def test_lossy_load_charges_actual_cost(self, backbone, routed):
+        report = deliver(routed, LossModel.uniform(120, 0.25), seed=11)
+        load = lossy_load(backbone, routed.with_delivery(report), report)
+        np.testing.assert_array_equal(load.tx, report.tx)
+        np.testing.assert_array_equal(load.rx, report.rx)
+        assert load.packet_hops == int(report.tx.sum())
+        # Transit is receptions minus delivered flows' terminal receptions
+        # — and therefore never negative.
+        dem = routed.workload.demands
+        delivered = report.outcome == int(FlowOutcome.DELIVERED)
+        terminal = np.bincount(
+            routed.workload.targets[delivered],
+            weights=dem[delivered].astype(np.float64),
+            minlength=120,
+        )
+        np.testing.assert_array_equal(
+            load.transit, report.rx - np.rint(terminal).astype(np.int64)
+        )
+        assert (load.transit >= 0).all()
+
+    def test_lossy_load_rejects_flow_count_mismatch(self, backbone, routed):
+        g = backbone.clustering.graph
+        other = BatchRouter(backbone).route_flows(
+            uniform_pairs(g.n, 5, seed=1), with_shortest=True
+        )
+        report = deliver(other, LossModel.uniform(120, 0.1), seed=1)
+        with pytest.raises(InvalidParameterError):
+            lossy_load(backbone, routed, report)
+
+    def test_report_counts_partition_flows(self, routed):
+        report = deliver(routed, LossModel.uniform(120, 0.2), seed=3)
+        counts = report.counts()
+        assert sum(counts.values()) == routed.num_flows
+        assert set(counts) == {o.name for o in FlowOutcome}
+        assert isinstance(report, DeliveryReport)

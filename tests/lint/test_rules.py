@@ -643,3 +643,121 @@ class TestLazyImportsR008:
         )
         assert codes(run) == []
         assert run.suppressed == 1
+
+
+class TestSilentExceptionR009:
+    def test_bare_except_fires(self, lint_tree):
+        run = lint_tree(
+            {
+                "src/repro/x.py": """\
+                def load(path):
+                    try:
+                        return open(path).read()
+                    except:
+                        return None
+                """
+            }
+        )
+        assert codes(run) == ["R009"]
+        assert lines_with(run, "R009") == [4]
+
+    def test_bare_except_fires_even_with_real_body(self, lint_tree):
+        run = lint_tree(
+            {
+                "src/repro/x.py": """\
+                def load(path):
+                    try:
+                        return open(path).read()
+                    except:
+                        raise ValueError(path)
+                """
+            }
+        )
+        assert codes(run) == ["R009"]
+
+    def test_pass_only_broad_handler_fires(self, lint_tree):
+        run = lint_tree(
+            {
+                "src/repro/x.py": """\
+                def maybe(fn):
+                    try:
+                        fn()
+                    except Exception:
+                        pass
+                """
+            }
+        )
+        assert codes(run) == ["R009"]
+
+    def test_ellipsis_body_base_exception_fires(self, lint_tree):
+        run = lint_tree(
+            {
+                "src/repro/x.py": """\
+                def maybe(fn):
+                    try:
+                        fn()
+                    except BaseException:
+                        ...
+                """
+            }
+        )
+        assert codes(run) == ["R009"]
+
+    def test_broad_handler_that_acts_is_clean(self, lint_tree):
+        run = lint_tree(
+            {
+                "src/repro/x.py": """\
+                def maybe(fn, log):
+                    try:
+                        fn()
+                    except Exception as exc:
+                        log.append(exc)
+                        raise
+                """
+            }
+        )
+        assert codes(run) == []
+
+    def test_typed_pass_handler_is_clean(self, lint_tree):
+        # Narrow types may legitimately be ignored (e.g. a cache miss).
+        run = lint_tree(
+            {
+                "src/repro/x.py": """\
+                def maybe(fn):
+                    try:
+                        fn()
+                    except KeyError:
+                        pass
+                """
+            }
+        )
+        assert codes(run) == []
+
+    def test_rule_does_not_apply_to_tests(self, lint_tree):
+        run = lint_tree(
+            {
+                "tests/test_x.py": """\
+                def test_it(fn):
+                    try:
+                        fn()
+                    except:
+                        pass
+                """
+            }
+        )
+        assert codes(run) == []
+
+    def test_pragma_suppresses(self, lint_tree):
+        run = lint_tree(
+            {
+                "src/repro/x.py": """\
+                def maybe(fn):
+                    try:
+                        fn()
+                    except Exception:  # repro-lint: disable=R009
+                        pass
+                """
+            }
+        )
+        assert codes(run) == []
+        assert run.suppressed == 1

@@ -189,3 +189,146 @@ class TestSurvivorsConnected:
         g = path_graph(5)
         assert _survivors_connected(g, {0, 1, 2, 3}) is True
         assert _survivors_connected(g, set(range(5))) is True
+
+
+class TestGatewaySplice:
+    """The gateway splice must be routing-indistinguishable from a rebuild."""
+
+    def test_spliced_walks_match_rebuild(self):
+        import numpy as np
+
+        from repro.maintenance.repair import (
+            _seeded_path_oracle,
+            _strip_nodes,
+        )
+        from repro.net.topology import random_topology
+        from repro.traffic.router import BatchRouter
+        from repro.traffic.workloads import uniform_pairs
+
+        topo = random_topology(100, degree=7.0, seed=3)
+        g = topo.graph
+        res = backbone_for(g, k=2)
+        node = next(
+            gw
+            for gw in sorted(res.gateways)
+            if repair(res, gw).spliced
+        )
+        out = repair(res, node)
+        assert out.spliced and out.action == "gateway-reselect"
+        assert out.backbone is not None
+
+        # The comparator is the ladder's own fallback: a full pipeline
+        # rebuild on the stripped clustering with the seeded oracle.
+        gone = {node}
+        graph2 = g.without_nodes([node])
+        surviving = _strip_nodes(res.clustering, graph2, gone)
+        rebuilt = build_backbone(
+            surviving,
+            res.algorithm,
+            oracle=_seeded_path_oracle(graph2, res, gone),
+        )
+
+        alive = np.ones(g.n, dtype=bool)
+        alive[node] = False
+        wl = uniform_pairs(g.n, 300, seed=17).restrict(alive)
+        assert wl.sources.size > 0
+        spliced_walks = BatchRouter(out.backbone).route_flows(wl).walks
+        rebuilt_walks = BatchRouter(rebuilt).route_flows(wl).walks
+        assert spliced_walks == rebuilt_walks
+
+    def test_splice_preserves_link_weights(self):
+        from repro.net.topology import random_topology
+
+        topo = random_topology(100, degree=7.0, seed=5)
+        res = backbone_for(topo.graph, k=2)
+        node = next(
+            gw
+            for gw in sorted(res.gateways)
+            if repair(res, gw).spliced
+        )
+        out = repair(res, node)
+        old = {
+            (link.u, link.v): link.weight
+            for link in res.virtual_graph.links()
+        }
+        for link in out.backbone.virtual_graph.links():
+            assert old[(link.u, link.v)] == link.weight
+
+
+class TestPartitionBoundary:
+    def test_ensure_survivors_connected_passes_when_whole(self):
+        from repro.maintenance.repair import ensure_survivors_connected
+
+        ensure_survivors_connected(two_cliques_bridge(4, 2), set())
+
+    def test_partition_error_carries_components(self):
+        from repro.errors import PartitionError
+        from repro.maintenance.repair import ensure_survivors_connected
+
+        g = path_graph(5)
+        with pytest.raises(PartitionError) as exc:
+            ensure_survivors_connected(g, {2})
+        comps = exc.value.components
+        assert {frozenset(c) for c in comps} == {
+            frozenset({0, 1}),
+            frozenset({3, 4}),
+        }
+        # Largest first is part of the contract.
+        assert all(
+            len(comps[i]) >= len(comps[i + 1])
+            for i in range(len(comps) - 1)
+        )
+
+
+class TestDegradedRepair:
+    def bridge_backbone(self, alg="AC-LMST"):
+        return backbone_for(two_cliques_bridge(6, 3), k=1, alg=alg)
+
+    def test_partition_falls_back_to_component_local(self):
+        from repro.maintenance.repair import degraded_repair
+
+        res = self.bridge_backbone()
+        out = degraded_repair(res, 7)  # middle bridge node
+        assert out.partitioned and out.degraded
+        assert out.action == "degraded"
+        assert out.backbone is not None
+        assert {frozenset(c) for c in out.components} == {
+            frozenset(range(0, 7)),
+            frozenset(range(8, 15)),
+        }
+
+    def test_degraded_backbone_routes_within_components(self):
+        import numpy as np
+
+        from repro.maintenance.repair import degraded_repair
+        from repro.traffic.router import BatchRouter
+        from repro.traffic.workloads import Workload
+
+        res = self.bridge_backbone()
+        out = degraded_repair(res, 7)
+        # One flow inside each surviving clique routes fine.
+        wl = Workload(
+            name="manual",
+            n=15,
+            sources=np.asarray([1, 9]),
+            targets=np.asarray([5, 14]),
+            demands=np.asarray([1, 1]),
+        )
+        routed = BatchRouter(out.backbone).route_flows(wl)
+        assert routed.num_flows == 2
+        assert all(len(w) >= 2 for w in routed.walks)
+
+    def test_gmst_rejected(self):
+        from repro.maintenance.repair import degraded_repair
+
+        res = self.bridge_backbone(alg="G-MST")
+        with pytest.raises(InvalidParameterError):
+            degraded_repair(res, 7)
+
+    def test_connected_failure_passes_through(self):
+        from repro.maintenance.repair import degraded_repair
+
+        res = self.bridge_backbone()
+        out = degraded_repair(res, 3)  # clique member, no partition
+        assert not out.partitioned and not out.degraded
+        assert out.action != "degraded"

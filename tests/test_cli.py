@@ -65,3 +65,22 @@ class TestMain:
         assert rc == 0
         out = capsys.readouterr().out
         assert "packet-hops" in out and "CDS share" in out
+
+
+class TestChaosCommand:
+    def test_chaos_options(self):
+        args = build_parser().parse_args(
+            ["chaos", "--seed", "5", "--events", "42", "--n", "60"]
+        )
+        assert args.command == "chaos"
+        assert args.seed == 5 and args.events == 42 and args.n == 60
+
+    def test_chaos_end_to_end(self, capsys):
+        code = main(
+            ["chaos", "--seed", "9", "--events", "40", "--n", "60",
+             "--flows", "60"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "all invariants held" in out
+        assert "seed=9" in out

@@ -109,3 +109,58 @@ class TestLifetimeValidation:
         assert report.first_partition_epoch is None
         assert len(report.epochs) == 2
         assert report.lifetime == 2
+
+
+class TestLossyLifetime:
+    def test_lossless_equals_default_world(self, scenario):
+        from repro.faults.delivery import LossModel
+
+        graph, wl, params = scenario
+        plain = simulate_traffic_lifetime(
+            graph, 2, wl, epochs=5, params=params
+        )
+        lossless = simulate_traffic_lifetime(
+            graph, 2, wl, epochs=5, params=params,
+            loss=LossModel.uniform(graph.n, 0.0),
+        )
+        assert plain.mean_delivered == 1.0
+        assert lossless.mean_delivered == 1.0
+        assert [e.deaths for e in plain.epochs] == [
+            e.deaths for e in lossless.epochs
+        ]
+
+    def test_loss_reduces_delivery_and_reshapes_drain(self, scenario):
+        from repro.faults.delivery import LossModel
+
+        graph, wl, params = scenario
+        lossy = simulate_traffic_lifetime(
+            graph, 2, wl, epochs=5, params=params,
+            loss=LossModel.uniform(graph.n, 0.15),
+        )
+        assert 0.0 < lossy.mean_delivered < 1.0
+        assert all(0.0 <= e.delivered <= 1.0 for e in lossy.epochs)
+
+    def test_same_delivery_seed_reproduces(self, scenario):
+        from repro.faults.delivery import LossModel
+
+        graph, wl, params = scenario
+        m = LossModel.uniform(graph.n, 0.1)
+        a = simulate_traffic_lifetime(
+            graph, 2, wl, epochs=4, params=params, loss=m, delivery_seed=3
+        )
+        b = simulate_traffic_lifetime(
+            graph, 2, wl, epochs=4, params=params, loss=m, delivery_seed=3
+        )
+        assert [e.delivered for e in a.epochs] == [
+            e.delivered for e in b.epochs
+        ]
+
+    def test_rejects_mismatched_loss_model(self, scenario):
+        from repro.faults.delivery import LossModel
+
+        graph, wl, params = scenario
+        with pytest.raises(InvalidParameterError):
+            simulate_traffic_lifetime(
+                graph, 2, wl, epochs=1, params=params,
+                loss=LossModel.uniform(graph.n + 1, 0.1),
+            )

@@ -146,3 +146,95 @@ class TestValidation:
         _, wl = instance
         with pytest.raises(InvalidParameterError):
             wl.delivered_fraction(np.zeros(3, dtype=np.int64))
+
+
+class TestDegradedMobility:
+    """Component-local routing keeps serving disconnected snapshots."""
+
+    @pytest.fixture(scope="class")
+    def sparse(self):
+        topo = random_topology(60, degree=5.0, seed=23)
+        wl = uniform_pairs(topo.graph.n, 120, seed=2)
+        return topo, wl
+
+    def test_degraded_epochs_route_flows(self, sparse):
+        topo, wl = sparse
+        report = simulate_mobile_traffic(
+            topo, 2, wl, snapshots=12, speed=(3.0, 8.0), seed=1,
+            degraded=True,
+        )
+        if not report.degraded_epochs:
+            pytest.skip("scenario never disconnected")
+        served = [e for e in report.epochs if e.degraded]
+        assert len(served) == report.degraded_epochs
+        assert any(e.flows_routed > 0 for e in served)
+        for e in served:
+            assert not e.connected
+            assert math.isnan(e.head_churn)
+            assert 0.0 <= e.delivered <= 1.0
+
+    def test_degraded_does_not_change_connected_epochs(self, sparse):
+        topo, wl = sparse
+        plain = simulate_mobile_traffic(
+            topo, 2, wl, snapshots=12, speed=(3.0, 8.0), seed=1,
+            collect_walks=True,
+        )
+        deg = simulate_mobile_traffic(
+            topo, 2, wl, snapshots=12, speed=(3.0, 8.0), seed=1,
+            degraded=True, collect_walks=True,
+        )
+        for a, b in zip(plain.epochs, deg.epochs):
+            if a.connected:
+                assert b.connected
+                assert a.flows_routed == b.flows_routed
+                assert a.mean_stretch == b.mean_stretch
+
+    def test_recovery_times_recorded(self, sparse):
+        topo, wl = sparse
+        report = simulate_mobile_traffic(
+            topo, 2, wl, snapshots=12, speed=(3.0, 8.0), seed=1,
+            degraded=True,
+        )
+        if not report.degraded_epochs:
+            pytest.skip("scenario never disconnected")
+        assert all(t >= 1 for t in report.recovery_times)
+        assert sum(report.recovery_times) <= report.degraded_epochs
+
+    def test_degraded_requires_localized_algorithm(self, sparse):
+        topo, wl = sparse
+        with pytest.raises(InvalidParameterError):
+            simulate_mobile_traffic(
+                topo, 2, wl, snapshots=2, degraded=True, algorithm="G-MST"
+            )
+
+    def test_route_degraded_marks_cross_component_flows(self):
+        import numpy as np
+
+        from repro.net.generators import two_cliques_bridge
+        from repro.traffic.mobile import route_degraded
+        from repro.traffic.workloads import Workload
+
+        g = two_cliques_bridge(6, 3).without_nodes([7])  # partitioned
+        wl = Workload(
+            name="manual",
+            n=15,
+            sources=np.asarray([1, 9, 2]),
+            targets=np.asarray([5, 14, 12]),  # last one crosses
+            demands=np.asarray([1, 1, 1]),
+        )
+        backbone, routed = route_degraded(g, 1, wl)
+        assert routed.valid is not None
+        assert routed.valid.tolist() == [True, True, False]
+        assert len(routed.walks[0]) >= 2
+        assert routed.hops[~routed.valid].tolist() == [0]
+
+    def test_render_mentions_degraded(self, sparse):
+        topo, wl = sparse
+        report = simulate_mobile_traffic(
+            topo, 2, wl, snapshots=12, speed=(3.0, 8.0), seed=1,
+            degraded=True,
+        )
+        if not report.degraded_epochs:
+            pytest.skip("scenario never disconnected")
+        text = render_mobile(report)
+        assert "degraded" in text
