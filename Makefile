@@ -5,22 +5,24 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-all lint typecheck chaos bench-smoke bench-smoke-ci bench-scaling bench-churn bench-traffic bench-pipeline bench-mobility bench-faults help
+.PHONY: test test-all lint typecheck chaos stats bench-smoke bench-smoke-ci bench-scaling bench-churn bench-traffic bench-pipeline bench-mobility bench-faults bench-obs help
 
 help:
 	@echo "make test           - tier-1 test suite (tests/ + benchmarks/, -x -q; slow cells skipped)"
 	@echo "make test-all       - full suite including the slow scenario-matrix cells"
-	@echo "make lint           - repro-lint static analysis (rules R001-R009; exits non-zero on findings)"
+	@echo "make lint           - repro-lint static analysis (rules R001-R010; exits non-zero on findings)"
 	@echo "make typecheck      - mypy strict on the typed core (net/, traffic/, core/); skipped if mypy absent"
 	@echo "make chaos          - randomized fault campaign (500 events) with per-batch invariant checks"
+	@echo "make stats          - instrumented quick traffic run: metrics registry + span flame summary"
 	@echo "make bench-smoke    - benchmark suite at the reduced REPRO_TRIALS budget"
-	@echo "make bench-smoke-ci - scaling + churn + traffic + pipeline + mobility benchmarks (the CI smoke job)"
+	@echo "make bench-smoke-ci - scaling + churn + traffic + pipeline + mobility + obs benchmarks (the CI smoke job)"
 	@echo "make bench-scaling  - the full N=200..5000 distance-oracle scaling sweep"
 	@echo "make bench-churn    - full churn benchmark (N=2000, 50 failures, >=3x gate)"
 	@echo "make bench-traffic  - full traffic benchmark (N=2000, 10k flows, >=10x gate)"
 	@echo "make bench-pipeline - full construction sweep N=2000..10000 (>=5x clustering gate at N=5000)"
 	@echo "make bench-mobility - full mobility benchmark (N=2000, 20 snapshots, >=3x delta gate)"
 	@echo "make bench-faults   - fault-tolerance benchmark (loss tiers + crash campaign, >=1.5x retry gate)"
+	@echo "make bench-obs      - observability overhead gate (traced vs untraced quick pipeline, <=2%)"
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -41,11 +43,14 @@ typecheck:
 chaos:
 	$(PYTHON) -m repro.cli chaos --seed $${SEED:-7} --events $${EVENTS:-500}
 
+stats:
+	$(PYTHON) -m repro.cli stats
+
 bench-smoke:
 	REPRO_TRIALS=$${REPRO_TRIALS:-2} $(PYTHON) -m pytest benchmarks -q
 
 bench-smoke-ci:
-	$(PYTHON) -m pytest benchmarks/test_bench_scaling.py benchmarks/test_bench_churn.py benchmarks/test_bench_traffic.py benchmarks/test_bench_pipeline.py benchmarks/test_bench_mobility.py benchmarks/test_bench_faults.py -q
+	$(PYTHON) -m pytest benchmarks/test_bench_scaling.py benchmarks/test_bench_churn.py benchmarks/test_bench_traffic.py benchmarks/test_bench_pipeline.py benchmarks/test_bench_mobility.py benchmarks/test_bench_faults.py benchmarks/test_bench_obs.py -q
 
 bench-scaling:
 	REPRO_BENCH_FULL=1 REPRO_BENCH_STRICT=1 $(PYTHON) -m pytest benchmarks/test_bench_scaling.py -q
@@ -64,3 +69,6 @@ bench-mobility:
 
 bench-faults:
 	REPRO_BENCH_FULL=1 REPRO_BENCH_STRICT=1 $(PYTHON) -m pytest benchmarks/test_bench_faults.py -q
+
+bench-obs:
+	REPRO_BENCH_FULL=1 REPRO_BENCH_STRICT=1 $(PYTHON) -m pytest benchmarks/test_bench_obs.py -q -s

@@ -1,0 +1,97 @@
+"""Observability-layer overhead gate: traced vs untraced quick pipeline.
+
+The obs layer promises a no-op fast path: with tracing disabled the
+instrumented engine pays one flag test per publish site, and with it
+enabled the span/counter bookkeeping stays negligible next to the real
+work.  This benchmark runs the same quick traffic pipeline both ways,
+interleaved best-of-N on CPU time (robust to CI scheduling noise), and
+under ``REPRO_BENCH_STRICT`` enforces **traced <= untraced x 1.02** —
+the <= 2% overhead acceptance gate.  Deliberate runs persist both arms
+plus the traced run's per-stage span breakdown to ``BENCH_obs.json``.
+"""
+
+import os
+import time
+
+from conftest import persist_bench
+
+from repro import obs
+from repro.traffic.report import run_traffic
+
+#: The quick-pipeline case both arms run (identical seeds -> identical work).
+OBS_CASE = dict(n=1000, degree=8.0, k=2, flows=500, seed=41)
+
+#: Interleaved measurement rounds per arm; best-of wins.
+ROUNDS = 3
+
+#: The strict acceptance margin: traced within 2% of untraced.
+OVERHEAD_GATE = 1.02
+
+
+def _one_run(traced: bool) -> tuple[float, list]:
+    """One pipeline run; returns (cpu seconds, finished root spans)."""
+    obs.set_enabled(traced)
+    obs.reset()
+    obs.reset_tracer()
+    try:
+        t0 = time.process_time()
+        report = run_traffic(**OBS_CASE)
+        elapsed = time.process_time() - t0
+        spans = obs.take_finished()
+    finally:
+        obs.reset()
+        obs.reset_tracer()
+        obs.set_enabled(False)
+    assert report.load.packet_hops > 0
+    assert bool(spans) == traced
+    return elapsed, spans
+
+
+def test_bench_obs_overhead_gate(benchmark):
+    # Warm both arms once (imports, allocator) before measuring.
+    _one_run(False)
+    _, warm_spans = _one_run(True)
+
+    untraced: list[float] = []
+    traced: list[float] = []
+    for _ in range(ROUNDS):  # interleaved so drift hits both arms alike
+        untraced.append(_one_run(False)[0])
+        traced.append(_one_run(True)[0])
+    best_untraced, best_traced = min(untraced), min(traced)
+    overhead = best_traced / max(best_untraced, 1e-9)
+    benchmark.pedantic(_one_run, args=(False,), rounds=1, iterations=1)
+
+    if os.environ.get("REPRO_BENCH_STRICT"):
+        assert overhead <= OVERHEAD_GATE, (
+            f"traced quick pipeline ({best_traced:.3f}s) exceeds the "
+            f"{OVERHEAD_GATE:.0%} overhead gate over untraced "
+            f"({best_untraced:.3f}s): x{overhead:.3f}"
+        )
+
+    # The traced arm measured the real pipeline: its span tree covers the
+    # stages and its self-times telescope to the root duration.
+    (root,) = warm_spans
+    names = {sp.name for sp in root.walk()}
+    assert {"traffic", "topology", "cluster", "cds", "router"} <= names
+    covered = sum(sp.self_time for sp in root.walk())
+    assert covered >= 0.90 * root.duration
+
+    stage_seconds = {
+        sp.name: round(sp.duration, 3) for sp in root.children
+    }
+    record = dict(
+        benchmark="obs_overhead",
+        **OBS_CASE,
+        rounds=ROUNDS,
+        untraced_seconds=round(best_untraced, 3),
+        traced_seconds=round(best_traced, 3),
+        overhead=round(overhead, 4),
+        stages=stage_seconds,
+    )
+    benchmark.extra_info.update(record)
+    persist_bench("BENCH_obs.json", record)
+    print(
+        f"\nobs overhead: untraced {best_untraced:.3f}s, "
+        f"traced {best_traced:.3f}s (x{overhead:.3f}, gate "
+        f"{OVERHEAD_GATE:.2f} strict-only)"
+    )

@@ -15,14 +15,17 @@ bench-pipeline``); the default/CI pass runs a reduced instance.  Strict
 speedup margins are enforced under ``REPRO_BENCH_STRICT``; deliberate
 runs persist per-stage timings (cluster / cds / labels / router) to
 ``BENCH_pipeline.json`` and print a one-line table per N for trajectory
-tracking.
+tracking.  Per-stage timing comes from the ``repro.obs`` span tree — the
+same instrumentation a ``--trace`` run exports — instead of hand-rolled
+clock reads.
 """
 
 import os
-import time
+from contextlib import contextmanager
 
 from conftest import persist_bench
 
+from repro import obs
 from repro.core.clustering import khop_cluster
 from repro.core.pipeline import build_backbone
 from repro.net.graph import Graph
@@ -45,21 +48,41 @@ def _case():
     return FULL_CASE if os.environ.get("REPRO_BENCH_FULL") else QUICK_CASE
 
 
+@contextmanager
+def _tracing():
+    """Obs layer on with clean state for the block, off (and clean) after."""
+    obs.set_enabled(True)
+    obs.reset()
+    obs.reset_tracer()
+    try:
+        yield
+    finally:
+        obs.reset()
+        obs.reset_tracer()
+        obs.set_enabled(False)
+
+
 def _build_stage_timings(n: int, flows: int) -> dict:
-    """One full construction at size ``n``; returns per-stage seconds."""
+    """One full construction at size ``n``; returns per-stage seconds.
+
+    The engine's own ``cluster``/``cds``/``labels`` spans supply the
+    stage breakdown; only the routing stage (spanned in the traffic
+    report driver, not the router itself) needs a local span.
+    """
     topo = random_topology(n, degree=PIPELINE_DEGREE, seed=41)
     g = topo.graph.use_distance_backend("landmark")
-    t0 = time.process_time()
-    clustering = khop_cluster(g, PIPELINE_K)
-    t1 = time.process_time()
-    backbone = build_backbone(clustering, "AC-LMST")
-    t2 = time.process_time()
-    g.oracle.label(0)  # force the vectorized pruned-landmark construction
-    t3 = time.process_time()
-    routed = BatchRouter(backbone).route_flows(
-        uniform_pairs(n, flows, seed=43), with_shortest=True
-    )
-    t4 = time.process_time()
+    with _tracing():
+        with obs.span("pipeline", n=n):
+            clustering = khop_cluster(g, PIPELINE_K)
+            backbone = build_backbone(clustering, "AC-LMST")
+            # forces the vectorized pruned-landmark construction
+            g.oracle.label(0)
+            with obs.span("router", flows=flows):
+                routed = BatchRouter(backbone).route_flows(
+                    uniform_pairs(n, flows, seed=43), with_shortest=True
+                )
+        (root,) = obs.take_finished()
+    stage = {sp.name: sp.duration for sp in root.children}
     assert routed.num_flows == flows
     assert (routed.stretches() >= 1.0).all()
     return dict(
@@ -69,10 +92,10 @@ def _build_stage_timings(n: int, flows: int) -> dict:
         heads=len(backbone.heads),
         cds_size=backbone.cds_size,
         label_entries=g.oracle.stats().label_entries,
-        cluster_seconds=round(t1 - t0, 3),
-        cds_seconds=round(t2 - t1, 3),
-        labels_seconds=round(t3 - t2, 3),
-        router_seconds=round(t4 - t3, 3),
+        cluster_seconds=round(stage["cluster"], 3),
+        cds_seconds=round(stage["cds"], 3),
+        labels_seconds=round(stage["labels"], 3),
+        router_seconds=round(stage["router"], 3),
         mean_stretch=round(float(routed.stretches().mean()), 3),
     )
 
@@ -90,15 +113,15 @@ def test_bench_pipeline_clustering_batched_vs_scalar(benchmark):
         rounds=1,
         iterations=1,
     )
-    t0 = time.process_time()
-    khop_cluster(g, PIPELINE_K, engine="batched")
-    t1 = time.process_time()
-    # Scalar runs on a fresh graph so its oracle warm-up is counted, the
-    # same cold start the batched engine just paid.
-    g2 = Graph(g.n, g.edges)
-    scalar = khop_cluster(g2, PIPELINE_K, engine="scalar")
-    t2 = time.process_time()
-    batched_s, scalar_s = t1 - t0, t2 - t1
+    with _tracing():
+        with obs.span("compare", engine="batched") as sp_batched:
+            khop_cluster(g, PIPELINE_K, engine="batched")
+        # Scalar runs on a fresh graph so its oracle warm-up is counted,
+        # the same cold start the batched engine just paid.
+        g2 = Graph(g.n, g.edges)
+        with obs.span("compare", engine="scalar") as sp_scalar:
+            scalar = khop_cluster(g2, PIPELINE_K, engine="scalar")
+        batched_s, scalar_s = sp_batched.duration, sp_scalar.duration
 
     assert batched.head_of == scalar.head_of  # identical clusterings
     assert batched.heads == scalar.heads

@@ -10,6 +10,8 @@ Installed as ``repro-khop`` (see pyproject).  Examples::
     repro-khop traffic --lifetime-epochs 40 # traffic-driven lifetime loop
     repro-khop mobility --snapshots 30      # traffic over RandomWaypoint motion
     repro-khop chaos --seed 7 --events 500  # fault campaign + invariant checks
+    repro-khop stats                        # metrics + span flame of a quick run
+    repro-khop traffic --trace out.jsonl    # JSONL trace + manifest of the run
     repro-khop all --trials 5               # everything, quickly
 """
 
@@ -68,6 +70,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="also run the rotation-vs-static traffic-driven lifetime loop",
     )
+    pt.add_argument(
+        "--backend",
+        default="landmark",
+        choices=("dense", "lazy", "landmark", "auto"),
+        help="hop-distance backend (results are identical on every choice; "
+        "landmark keeps the batch's pair queries cheap)",
+    )
+    pt.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="enable the observability layer and write a JSONL trace "
+        "(manifest + span tree + metrics snapshot) to PATH",
+    )
 
     pm = sub.add_parser(
         "mobility",
@@ -99,6 +115,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("delta", "rebuild"),
         help="incremental edge-delta maintenance vs from-scratch baseline",
     )
+    pm.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="enable the observability layer and write a JSONL trace to PATH",
+    )
 
     pc = sub.add_parser(
         "chaos",
@@ -115,6 +137,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--keep-going",
         action="store_true",
         help="collect every violation instead of stopping at the first",
+    )
+    pc.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="enable the observability layer and write a JSONL trace to PATH "
+        "(violation repro lines then carry the same flag)",
+    )
+
+    ps = sub.add_parser(
+        "stats",
+        help="run a quick instrumented traffic experiment and print the "
+        "metrics registry + span flame summary",
+    )
+    ps.add_argument("--n", type=int, default=400)
+    ps.add_argument("--degree", type=float, default=8.0)
+    ps.add_argument("--k", type=int, default=2)
+    ps.add_argument("--algorithm", default="AC-LMST")
+    ps.add_argument("--flows", type=int, default=1000)
+    ps.add_argument("--seed", type=int, default=7)
+    ps.add_argument(
+        "--backend",
+        default="landmark",
+        choices=("dense", "lazy", "landmark", "auto"),
+    )
+    ps.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="also write the JSONL trace to PATH",
     )
 
     pl = sub.add_parser(
@@ -153,6 +205,71 @@ def _apply_budget(trials: Optional[int]) -> None:
         os.environ["REPRO_TRIALS"] = str(trials)
 
 
+def _start_tracing() -> None:
+    """Switch the observability layer on with a clean registry/tracer."""
+    from . import obs
+
+    obs.set_enabled(True)
+    obs.reset()
+    obs.reset_tracer()
+
+
+def _finish_tracing(trace_path: Optional[str], **knobs: object) -> None:
+    """Export the collected spans/metrics and switch the layer back off."""
+    from . import obs
+
+    spans = obs.take_finished()
+    if trace_path is not None:
+        out = obs.write_trace(
+            trace_path, spans, obs.run_manifest(**knobs)
+        )
+        print(f"trace written to {out}")
+    obs.set_enabled(False)
+
+
+def _run_stats(args: argparse.Namespace) -> int:
+    """The ``repro-khop stats`` command: one instrumented quick run."""
+    from . import obs
+    from .traffic.report import run_traffic
+
+    _start_tracing()
+    run_traffic(
+        n=args.n,
+        degree=args.degree,
+        k=args.k,
+        algorithm=args.algorithm,
+        flows=args.flows,
+        seed=args.seed,
+        backend=args.backend,
+    )
+    spans = obs.take_finished()
+    manifest = obs.run_manifest(
+        command="stats",
+        n=args.n,
+        degree=args.degree,
+        k=args.k,
+        algorithm=args.algorithm,
+        flows=args.flows,
+        seed=args.seed,
+        backend=args.backend,
+    )
+    knobs = ", ".join(f"{k}={v}" for k, v in manifest["knobs"].items())
+    print(
+        f"manifest: schema={manifest['schema']} "
+        f"git={manifest['git_sha'][:12]} python={manifest['python']}"
+    )
+    print(f"knobs: {knobs}")
+    print()
+    print(obs.render_trace_summary(spans))
+    print()
+    print(obs.render_metrics())
+    if args.trace is not None:
+        out = obs.write_trace(args.trace, spans, manifest)
+        print(f"\ntrace written to {out}")
+    obs.set_enabled(False)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -175,9 +292,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"({len(run.rules)} rules, {run.suppressed} pragma-suppressed)"
         )
         return 0
+    if args.command == "stats":
+        return _run_stats(args)
     if args.command == "chaos":
         from .faults import render_chaos, run_chaos
 
+        if args.trace is not None:
+            _start_tracing()
         chaos_report = run_chaos(
             seed=args.seed,
             events=args.events,
@@ -187,8 +308,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             algorithm=args.algorithm,
             flows=args.flows,
             stop_on_violation=not args.keep_going,
+            trace_path=args.trace,
         )
         print(render_chaos(chaos_report))
+        if args.trace is not None:
+            _finish_tracing(
+                args.trace,
+                command="chaos",
+                seed=args.seed,
+                events=args.events,
+                n=args.n,
+                degree=args.degree,
+                k=args.k,
+                algorithm=args.algorithm,
+                flows=args.flows,
+            )
         return 0 if chaos_report.ok else 1
     if args.command == "figure4":
         data = figure4.run(n=args.n, degree=args.degree, k=args.k, seed=args.seed)
@@ -196,6 +330,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     elif args.command == "traffic":
         from .traffic import report as traffic_report
 
+        if args.trace is not None:
+            _start_tracing()
         traffic_report.main(
             n=args.n,
             degree=args.degree,
@@ -205,10 +341,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             flows=args.flows,
             seed=args.seed,
             lifetime_epochs=args.lifetime_epochs,
+            backend=args.backend,
         )
+        if args.trace is not None:
+            _finish_tracing(
+                args.trace,
+                command="traffic",
+                n=args.n,
+                degree=args.degree,
+                k=args.k,
+                algorithm=args.algorithm,
+                workload=args.workload,
+                flows=args.flows,
+                seed=args.seed,
+                lifetime_epochs=args.lifetime_epochs,
+                backend=args.backend,
+            )
     elif args.command == "mobility":
         from .traffic import mobile
 
+        if args.trace is not None:
+            _start_tracing()
         mobile.main(
             n=args.n,
             degree=args.degree,
@@ -221,6 +374,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             seed=args.seed,
             engine=args.engine,
         )
+        if args.trace is not None:
+            _finish_tracing(
+                args.trace,
+                command="mobility",
+                n=args.n,
+                degree=args.degree,
+                k=args.k,
+                algorithm=args.algorithm,
+                workload=args.workload,
+                flows=args.flows,
+                snapshots=args.snapshots,
+                speed=list(args.speed),
+                seed=args.seed,
+                engine=args.engine,
+            )
     elif args.command == "figure5":
         figure5.main()
     elif args.command == "figure6":

@@ -68,6 +68,7 @@ import numpy as np
 from ..errors import DisconnectedGraphError, InvalidParameterError
 from ..net.graph import Graph
 from ..net.oracle import multi_source_bfs
+from ..obs import span
 from ..types import NodeId
 from .membership import JoinContext, MembershipPolicy, resolve_membership
 from .priorities import PriorityScheme, key_ranks, resolve_priority
@@ -221,7 +222,8 @@ def khop_cluster(
     prio = resolve_priority(priority)
     policy = resolve_membership(membership)
     run = _khop_cluster_batched if name == "batched" else _khop_cluster_scalar
-    head_of, heads, rounds = run(graph, k, prio, policy)
+    with span("cluster", n=graph.n, k=k, engine=name):
+        head_of, heads, rounds = run(graph, k, prio, policy)
     return Clustering(
         graph=graph,
         k=k,

@@ -22,6 +22,7 @@ from typing import Callable, Mapping, Optional
 from ..errors import InvalidParameterError
 from ..net.graph import Graph
 from ..net.paths import PathOracle
+from ..obs import span
 from ..net.topology import Topology
 from ..types import Edge, NodeId
 from .clustering import Clustering, khop_cluster
@@ -132,34 +133,35 @@ def build_backbone(
     # __len__, so a fresh one is falsy) — inherit-then-build flows hand
     # those in deliberately.
     oracle = oracle if oracle is not None else PathOracle(clustering.graph)
-    if algorithm == "G-MST":
-        vgraph = VirtualGraph.metric_closure(clustering, oracle)
-        selected = gmst_selected_links(vgraph)
+    with span("cds", algorithm=algorithm):
+        if algorithm == "G-MST":
+            vgraph = VirtualGraph.metric_closure(clustering, oracle)
+            selected = gmst_selected_links(vgraph)
+            return BackboneResult(
+                algorithm=algorithm,
+                clustering=clustering,
+                neighbor_map=None,
+                virtual_graph=vgraph,
+                selected_links=frozenset(selected),
+                gateways=vgraph.gateways_for(selected),
+            )
+        try:
+            neighbor_fn, link_fn = _LOCALIZED[algorithm]
+        except KeyError:
+            raise InvalidParameterError(
+                f"unknown algorithm {algorithm!r}; known: {list(ALGORITHMS)}"
+            ) from None
+        nmap = neighbor_fn(clustering)
+        vgraph = VirtualGraph.from_neighbor_map(clustering, nmap, oracle)
+        selected = link_fn(vgraph)
         return BackboneResult(
             algorithm=algorithm,
             clustering=clustering,
-            neighbor_map=None,
+            neighbor_map=nmap,
             virtual_graph=vgraph,
             selected_links=frozenset(selected),
             gateways=vgraph.gateways_for(selected),
         )
-    try:
-        neighbor_fn, link_fn = _LOCALIZED[algorithm]
-    except KeyError:
-        raise InvalidParameterError(
-            f"unknown algorithm {algorithm!r}; known: {list(ALGORITHMS)}"
-        ) from None
-    nmap = neighbor_fn(clustering)
-    vgraph = VirtualGraph.from_neighbor_map(clustering, nmap, oracle)
-    selected = link_fn(vgraph)
-    return BackboneResult(
-        algorithm=algorithm,
-        clustering=clustering,
-        neighbor_map=nmap,
-        virtual_graph=vgraph,
-        selected_links=frozenset(selected),
-        gateways=vgraph.gateways_for(selected),
-    )
 
 
 def build_all_backbones(

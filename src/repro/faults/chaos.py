@@ -50,6 +50,7 @@ from ..maintenance.repair import (
     _verify_degraded,
 )
 from ..net.topology import random_topology
+from ..obs import span
 from ..traffic.router import BatchRouter
 from ..traffic.workloads import Workload, make_workload
 from ..types import normalize_edge
@@ -142,6 +143,7 @@ def run_chaos(
     base_loss: float = 0.05,
     max_attempts: int = 3,
     stop_on_violation: bool = True,
+    trace_path: str | None = None,
 ) -> ChaosReport:
     """Run one seeded chaos campaign and check invariants per batch.
 
@@ -162,6 +164,10 @@ def run_chaos(
         stop_on_violation: stop at the first violated invariant
             (the default — the repro line points at it); False keeps
             going and collects every violation.
+        trace_path: when the run is being traced (``--trace``), the
+            trace file's path; violation repro lines then carry a
+            matching ``--trace`` flag so the repro run captures the
+            same observability artifacts.
     """
     if events < 1:
         raise InvalidParameterError(f"events must be >= 1, got {events}")
@@ -182,147 +188,150 @@ def run_chaos(
     prev_edges = set(topology.graph.edges)
 
     def violate(msg: str) -> None:
+        trace_arg = f" --trace {trace_path}" if trace_path else ""
         report.violations.append(
             f"seed={seed} events={report.events_applied}: {msg} "
             f"(repro: repro-khop chaos --seed {seed} "
-            f"--events {report.events_applied})"
+            f"--events {report.events_applied}{trace_arg})"
         )
 
-    for epoch, batch in plan.batches():
-        if not batch:
-            continue
-        state.apply_batch(batch)
-        report.events_applied += len(batch)
-        graph = state.graph
-        dead = set(state.dead)
-        checks = 0
+    with span("chaos", seed=seed, events=events):
+        for epoch, batch in plan.batches():
+            if not batch:
+                continue
+            with span("batch", epoch=epoch, events=len(batch)):
+                state.apply_batch(batch)
+                report.events_applied += len(batch)
+                graph = state.graph
+                dead = set(state.dead)
+                checks = 0
 
-        # 1 — edge-set coherence + CSR symmetry.
-        realized = set(graph.edges)
-        expected = state.expected_edges()
-        checks += 1
-        if realized != expected:
-            missing = sorted(expected - realized)[:3]
-            extra = sorted(realized - expected)[:3]
-            violate(
-                f"edge-set mismatch after batch at epoch {epoch}: "
-                f"missing={missing} extra={extra}"
-            )
-        checks += 1
-        csr_edges = _csr_edge_set(graph)
-        if csr_edges is None:
-            violate(f"CSR adjacency asymmetric at epoch {epoch}")
-        elif csr_edges != realized:
-            violate(f"CSR edge set diverges from edge list at epoch {epoch}")
+                # 1 — edge-set coherence + CSR symmetry.
+                realized = set(graph.edges)
+                expected = state.expected_edges()
+                checks += 1
+                if realized != expected:
+                    missing = sorted(expected - realized)[:3]
+                    extra = sorted(realized - expected)[:3]
+                    violate(
+                        f"edge-set mismatch after batch at epoch {epoch}: "
+                        f"missing={missing} extra={extra}"
+                    )
+                checks += 1
+                csr_edges = _csr_edge_set(graph)
+                if csr_edges is None:
+                    violate(f"CSR adjacency asymmetric at epoch {epoch}")
+                elif csr_edges != realized:
+                    violate(f"CSR edge set diverges from edge list at epoch {epoch}")
 
-        # 2 — component-local backbone passes the degraded battery.
-        components = _surviving_components(graph, dead)
-        clustering = khop_cluster(graph, k, require_connected=False)
-        stripped = _strip_nodes(clustering, graph, dead)
-        checks += 1
-        try:
-            backbone = build_backbone(stripped, algorithm)
-            _verify_degraded(backbone, dead, components)
-        except ValidationError as exc:
-            violate(f"degraded backbone battery failed at epoch {epoch}: {exc}")
-            if stop_on_violation:
-                break
-            prev_router = None
-            prev_edges = realized
-            continue
+                # 2 — component-local backbone passes the degraded battery.
+                components = _surviving_components(graph, dead)
+                clustering = khop_cluster(graph, k, require_connected=False)
+                stripped = _strip_nodes(clustering, graph, dead)
+                checks += 1
+                try:
+                    backbone = build_backbone(stripped, algorithm)
+                    _verify_degraded(backbone, dead, components)
+                except ValidationError as exc:
+                    violate(f"degraded backbone battery failed at epoch {epoch}: {exc}")
+                    if stop_on_violation:
+                        break
+                    prev_router = None
+                    prev_edges = realized
+                    continue
 
-        # Routable flows: endpoints alive and sharing a component.
-        labels = np.full(n, -1, dtype=np.int64)
-        for i, comp in enumerate(graph.connected_components()):
-            labels[list(comp)] = i
-        routable = labels[workload.sources] == labels[workload.targets]
-        sub = Workload(
-            name=workload.name,
-            n=n,
-            sources=workload.sources[routable],
-            targets=workload.targets[routable],
-            demands=workload.demands[routable],
-            seed=workload.seed,
-        )
-        router = BatchRouter(backbone)
-
-        # 3 — inherited caches route identically to a cold router.
-        if prev_router is not None and sub.num_flows:
-            touched = {x for e in prev_edges ^ realized for x in e}
-            inherited = BatchRouter(backbone)
-            inherited.inherit_edge_delta(prev_router, touched)
-            take = min(sample, sub.num_flows)
-            probe = Workload(
-                name=sub.name,
-                n=n,
-                sources=sub.sources[:take],
-                targets=sub.targets[:take],
-                demands=sub.demands[:take],
-                seed=sub.seed,
-            )
-            checks += 1
-            cold = router.route_flows(probe, with_shortest=False)
-            warm = inherited.route_flows(probe, with_shortest=False)
-            if cold.walks != warm.walks:
-                diverged = next(
-                    i
-                    for i, (a, b) in enumerate(zip(cold.walks, warm.walks))
-                    if a != b
+                # Routable flows: endpoints alive and sharing a component.
+                labels = np.full(n, -1, dtype=np.int64)
+                for i, comp in enumerate(graph.connected_components()):
+                    labels[list(comp)] = i
+                routable = labels[workload.sources] == labels[workload.targets]
+                sub = Workload(
+                    name=workload.name,
+                    n=n,
+                    sources=workload.sources[routable],
+                    targets=workload.targets[routable],
+                    demands=workload.demands[routable],
+                    seed=workload.seed,
                 )
-                violate(
-                    f"inherited router diverged from cold router at epoch "
-                    f"{epoch}, flow {diverged}: "
-                    f"{warm.walks[diverged]} != {cold.walks[diverged]}"
-                )
+                router = BatchRouter(backbone)
 
-        # 4 — lossy delivery satisfies the exact loss ledger.
-        delivered = 1.0
-        if sub.num_flows:
-            loss = LossModel.from_overrides(
-                n, dict(state.loss), base_loss=base_loss
-            )
-            routed = router.route_flows(sub, with_shortest=False)
-            delivery = deliver(
-                routed,
-                loss,
-                seed=seed + report.events_applied,
-                max_attempts=max_attempts,
-            )
-            delivered = float(delivery.delivered_fraction)
-            dem = sub.demands.astype(np.int64)
-            success = delivery.outcome == 0  # FlowOutcome.DELIVERED
-            expected_lost = int(
-                (dem * delivery.attempts).sum() - dem[success].sum()
-            )
-            checks += 1
-            if delivery.lost_packets != expected_lost:
-                violate(
-                    f"loss ledger broken at epoch {epoch}: tx-rx = "
-                    f"{delivery.lost_packets}, failed attempts account "
-                    f"for {expected_lost}"
-                )
-            checks += 1
-            if delivery.delivered_packets > delivery.offered_packets:
-                violate(
-                    f"delivered more packets than offered at epoch {epoch}"
-                )
+                # 3 — inherited caches route identically to a cold router.
+                if prev_router is not None and sub.num_flows:
+                    touched = {x for e in prev_edges ^ realized for x in e}
+                    inherited = BatchRouter(backbone)
+                    inherited.inherit_edge_delta(prev_router, touched)
+                    take = min(sample, sub.num_flows)
+                    probe = Workload(
+                        name=sub.name,
+                        n=n,
+                        sources=sub.sources[:take],
+                        targets=sub.targets[:take],
+                        demands=sub.demands[:take],
+                        seed=sub.seed,
+                    )
+                    checks += 1
+                    cold = router.route_flows(probe, with_shortest=False)
+                    warm = inherited.route_flows(probe, with_shortest=False)
+                    if cold.walks != warm.walks:
+                        diverged = next(
+                            i
+                            for i, (a, b) in enumerate(zip(cold.walks, warm.walks))
+                            if a != b
+                        )
+                        violate(
+                            f"inherited router diverged from cold router at epoch "
+                            f"{epoch}, flow {diverged}: "
+                            f"{warm.walks[diverged]} != {cold.walks[diverged]}"
+                        )
 
-        report.epochs.append(
-            EpochRecord(
-                epoch=epoch,
-                events_applied=report.events_applied,
-                alive=n - len(dead),
-                edges=len(realized),
-                components=len(components),
-                flows_routable=int(sub.num_flows),
-                delivered=delivered,
-                checks=checks,
-            )
-        )
-        prev_router = router
-        prev_edges = realized
-        if report.violations and stop_on_violation:
-            break
+                # 4 — lossy delivery satisfies the exact loss ledger.
+                delivered = 1.0
+                if sub.num_flows:
+                    loss = LossModel.from_overrides(
+                        n, dict(state.loss), base_loss=base_loss
+                    )
+                    routed = router.route_flows(sub, with_shortest=False)
+                    delivery = deliver(
+                        routed,
+                        loss,
+                        seed=seed + report.events_applied,
+                        max_attempts=max_attempts,
+                    )
+                    delivered = float(delivery.delivered_fraction)
+                    dem = sub.demands.astype(np.int64)
+                    success = delivery.outcome == 0  # FlowOutcome.DELIVERED
+                    expected_lost = int(
+                        (dem * delivery.attempts).sum() - dem[success].sum()
+                    )
+                    checks += 1
+                    if delivery.lost_packets != expected_lost:
+                        violate(
+                            f"loss ledger broken at epoch {epoch}: tx-rx = "
+                            f"{delivery.lost_packets}, failed attempts account "
+                            f"for {expected_lost}"
+                        )
+                    checks += 1
+                    if delivery.delivered_packets > delivery.offered_packets:
+                        violate(
+                            f"delivered more packets than offered at epoch {epoch}"
+                        )
+
+                report.epochs.append(
+                    EpochRecord(
+                        epoch=epoch,
+                        events_applied=report.events_applied,
+                        alive=n - len(dead),
+                        edges=len(realized),
+                        components=len(components),
+                        flows_routable=int(sub.num_flows),
+                        delivered=delivered,
+                        checks=checks,
+                    )
+                )
+                prev_router = router
+                prev_edges = realized
+                if report.violations and stop_on_violation:
+                    break
     return report
 
 

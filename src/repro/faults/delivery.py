@@ -41,6 +41,9 @@ import numpy as np
 
 from ..errors import InvalidParameterError
 from ..net.oracle import DIST_DTYPE
+from ..obs import counter as obs_counter
+from ..obs import enabled as obs_enabled
+from ..obs import histogram as obs_histogram
 from ..traffic.router import RoutedFlows
 from ..types import Edge
 
@@ -207,6 +210,19 @@ class DeliveryReport:
         }
 
 
+def _publish_delivery(report: DeliveryReport) -> DeliveryReport:
+    """Tally one delivery round into the metrics registry (if enabled)."""
+    if obs_enabled():
+        obs_counter("delivery.flows_offered").add(report.num_flows)
+        obs_counter("delivery.tx_packets").add(int(report.tx.sum()))
+        obs_counter("delivery.rx_packets").add(int(report.rx.sum()))
+        obs_counter("delivery.lost_packets").add(report.lost_packets)
+        obs_histogram("delivery.flow_attempts").observe_many(
+            report.attempts[report.attempts > 0].tolist()
+        )
+    return report
+
+
 def deliver(
     routed: RoutedFlows,
     loss: LossModel,
@@ -217,6 +233,10 @@ def deliver(
     routable: Optional[np.ndarray] = None,
 ) -> DeliveryReport:
     """Run every routed flow through the lossy network with retries.
+
+    When the observability layer is enabled, each round's tx/rx/lost
+    packet ledger lands in ``delivery.*`` counters and the per-flow
+    attempt counts in the ``delivery.flow_attempts`` histogram.
 
     Args:
         routed: the routed batch (walks define the hops to survive).
@@ -274,15 +294,17 @@ def deliver(
 
     if num_flows == 0 or not active.any():
         delivered_mask = outcome == int(FlowOutcome.DELIVERED)
-        return DeliveryReport(
-            outcome=outcome,
-            attempts=attempts,
-            failed_hop=failed_hop,
-            completion_epoch=completion,
-            tx=tx,
-            rx=rx,
-            offered_packets=offered,
-            delivered_packets=int(demands[delivered_mask].sum()),
+        return _publish_delivery(
+            DeliveryReport(
+                outcome=outcome,
+                attempts=attempts,
+                failed_hop=failed_hop,
+                completion_epoch=completion,
+                tx=tx,
+                rx=rx,
+                offered_packets=offered,
+                delivered_packets=int(demands[delivered_mask].sum()),
+            )
         )
 
     # Flatten every walk's hops once: hop i of flow f is
@@ -352,13 +374,15 @@ def deliver(
     outcome[active] = int(FlowOutcome.DROPPED_AT_HOP)
     delivered_mask = outcome == int(FlowOutcome.DELIVERED)
     delivered_packets = int(demands[delivered_mask].sum())
-    return DeliveryReport(
-        outcome=outcome,
-        attempts=attempts,
-        failed_hop=failed_hop,
-        completion_epoch=completion,
-        tx=tx,
-        rx=rx,
-        offered_packets=offered,
-        delivered_packets=delivered_packets,
+    return _publish_delivery(
+        DeliveryReport(
+            outcome=outcome,
+            attempts=attempts,
+            failed_hop=failed_hop,
+            completion_epoch=completion,
+            tx=tx,
+            rx=rx,
+            offered_packets=offered,
+            delivered_packets=delivered_packets,
+        )
     )

@@ -25,6 +25,7 @@ __all__ = [
     "HOT_ALLOWLIST",
     "LAZY_IMPORT_MODULES",
     "COVERAGE_METHOD_RE",
+    "TIMING_ALLOWLIST",
 ]
 
 #: Rule code -> (title, what it protects).  The single source of truth
@@ -87,6 +88,13 @@ RULE_DOCS: dict[str, tuple[str, str]] = {
         "is always a bug, and a pass-only `except Exception` body hides "
         "real failures — fault handling must be typed and observable "
         "(PartitionError, RepairError, ...)",
+    ),
+    "R010": (
+        "timing-discipline",
+        "no raw clock reads (time.time/perf_counter/...) in src/repro "
+        "outside the obs layer — stage timing flows through repro.obs "
+        "spans so every measurement lands in one trace with one "
+        "attribution model (benchmarks/tests exempt)",
     ),
 }
 
@@ -167,3 +175,9 @@ LAZY_IMPORT_MODULES = frozenset({"scipy", "matplotlib"})
 
 #: R005: public cache-carryover method names that must be test-covered.
 COVERAGE_METHOD_RE = re.compile(r"^(inherit_\w+|with_\w*delta)$")
+
+#: R010: src/repro modules (beyond ``src/repro/obs/``) with a standing,
+#: reviewed reason to read clocks directly.  Empty on purpose: new
+#: entries need the same review a pragma would get, in one greppable
+#: place.
+TIMING_ALLOWLIST: tuple[str, ...] = ()

@@ -128,6 +128,7 @@ def all_rules() -> list[Rule]:
         LazyImportRule,
         SilentExceptionRule,
     )
+    from .rules_timing import TimingDisciplineRule
 
     rules: list[Rule] = [
         RngDisciplineRule(),
@@ -139,6 +140,7 @@ def all_rules() -> list[Rule]:
         SeededTestsRule(),
         LazyImportRule(),
         SilentExceptionRule(),
+        TimingDisciplineRule(),
     ]
     return sorted(rules, key=lambda r: r.code)
 

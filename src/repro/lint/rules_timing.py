@@ -1,0 +1,99 @@
+"""R010 — timing discipline: wall-clock reads live in the obs layer only.
+
+PR 8 moved all stage timing behind :mod:`repro.obs` spans: one clock
+(``time.perf_counter``), one attribution model (nested self-times that
+telescope to the root), one export format.  A stray ``time.time()`` in
+engine code bypasses all of that — it produces a number no trace can
+see, tempts ad-hoc printouts, and (worse) invites timing-dependent
+control flow into deterministic simulation code.  This rule bans direct
+clock reads in ``src/repro`` outside ``src/repro/obs/``; benchmarks and
+tests are out of scope (the bench harness may keep raw timers where it
+needs process CPU time).  Single-site exceptions go through the usual
+pragma; reviewable standing exceptions through
+:data:`~repro.lint.config.TIMING_ALLOWLIST`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..errors import Diagnostic
+from .astutil import dotted_name
+from .config import SRC_PREFIX, TIMING_ALLOWLIST
+from .engine import Rule, SourceFile
+
+__all__ = ["TimingDisciplineRule"]
+
+#: ``time``-module clock reads (measurement, not formatting — strftime,
+#: gmtime, sleep and friends stay legal everywhere).
+_BANNED_CLOCKS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "monotonic",
+        "monotonic_ns",
+    }
+)
+
+#: The one subtree allowed to read clocks (the span tracer itself).
+_OBS_PREFIX = "src/repro/obs/"
+
+
+def _time_aliases(tree: ast.Module) -> set[str]:
+    """Local names bound to the ``time`` module (``time``, aliases)."""
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "time":
+                    aliases.add(alias.asname or "time")
+    return aliases
+
+
+class TimingDisciplineRule(Rule):
+    """R010: engine code measures time through obs spans, not raw clocks."""
+
+    code = "R010"
+    name = "timing-discipline"
+
+    def check_file(self, src: SourceFile) -> Iterator[Diagnostic]:
+        rel = src.rel
+        if not rel.startswith(SRC_PREFIX) or rel.startswith(_OBS_PREFIX):
+            return
+        if rel in TIMING_ALLOWLIST:
+            return
+        assert src.tree is not None
+        aliases = _time_aliases(src.tree)
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module == "time" and node.level == 0:
+                    for alias in node.names:
+                        if alias.name in _BANNED_CLOCKS:
+                            yield Diagnostic(
+                                rel,
+                                node.lineno,
+                                self.code,
+                                f"`from time import {alias.name}` in engine "
+                                "code; measure stages with repro.obs.span() "
+                                "instead of raw clocks",
+                            )
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None or "." not in name:
+                continue
+            head, _, tail = name.partition(".")
+            if head in aliases and tail in _BANNED_CLOCKS:
+                yield Diagnostic(
+                    rel,
+                    node.lineno,
+                    self.code,
+                    f"direct {head}.{tail}() clock read in engine code; "
+                    "measure stages with repro.obs.span() instead",
+                )

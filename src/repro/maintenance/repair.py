@@ -48,6 +48,8 @@ from ..errors import (
 from ..net.graph import Graph
 from ..net.oracle import gather_csr_neighbors
 from ..net.paths import PathOracle
+from ..obs import counter as obs_counter
+from ..obs import span
 from ..types import NodeId
 
 __all__ = [
@@ -437,9 +439,23 @@ def _survivors_connected(graph2: Graph, gone: set[NodeId]) -> bool:
 def repair(backbone: BackboneResult, node: NodeId) -> RepairOutcome:
     """Handle the disappearance of ``node`` per the §3.3 ladder.
 
+    Each call is traced as a ``repair`` span and tallies the ladder
+    outcome into the ``repair.actions.*`` / ``repair.spliced`` counters
+    when the observability layer is enabled.
+
     Raises:
         InvalidParameterError: if ``node`` is not a node of the graph.
     """
+    with span("repair", node=int(node)):
+        outcome = _repair_ladder(backbone, node)
+        obs_counter(f"repair.actions.{outcome.action}").add()
+        if outcome.spliced:
+            obs_counter("repair.spliced").add()
+    return outcome
+
+
+def _repair_ladder(backbone: BackboneResult, node: NodeId) -> RepairOutcome:
+    """The untraced §3.3 escalation ladder behind :func:`repair`."""
     clustering = backbone.clustering
     graph = clustering.graph
     if not (0 <= node < graph.n):

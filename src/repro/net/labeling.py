@@ -52,6 +52,8 @@ from typing import TYPE_CHECKING, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import counter as obs_counter
+from ..obs import span
 from ..types import DistArray, IndexArray, NodeId
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids circular import
@@ -274,12 +276,14 @@ class LandmarkDistanceOracle(LazyDistanceOracle):
 
     def _ensure_labels(self) -> None:
         if self._label_ranks is None:
-            self._label_ranks, self._label_dists, self._landmark_order = (
-                build_pruned_labels(
-                    self._indptr, self._indices, self._graph.n
+            with span("labels", n=self._graph.n):
+                self._label_ranks, self._label_dists, self._landmark_order = (
+                    build_pruned_labels(
+                        self._indptr, self._indices, self._graph.n
+                    )
                 )
-            )
-            self._label_entries = sum(r.size for r in self._label_ranks)
+                self._label_entries = sum(r.size for r in self._label_ranks)
+                obs_counter("oracle.labels_built").add()
 
     def label(self, u: NodeId) -> tuple[IndexArray, DistArray]:
         """``u``'s 2-hop label as ``(hub_ranks, hub_dists)`` arrays."""

@@ -175,6 +175,18 @@ class OracleStats:
         label_entries: total 2-hop label entries held (landmark backend).
         paths_computed: canonical paths computed (path-cache stats).
         path_hits: path queries answered from the path cache.
+        lineage_rows_computed / lineage_row_hits /
+        lineage_balls_computed / lineage_ball_hits: cumulative totals
+            over the oracle's whole inheritance chain (this oracle plus
+            every ancestor it inherited caches from).  The per-oracle
+            fields above are explicitly snapshot-and-zeroed at each
+            inheritance, so these are the conserved quantities: across a
+            chained-repair sequence, ``lineage_rows_computed +
+            lineage_row_hits`` equals every ``row()``-path query the
+            chain ever answered.
+        lineage_inherits: inheritance hops behind this oracle (0 for a
+            fresh oracle, parents' count + 1 after ``inherit_from`` /
+            ``inherit_edge_delta``).
     """
 
     backend: str
@@ -194,6 +206,11 @@ class OracleStats:
     label_entries: int = 0
     paths_computed: int = 0
     path_hits: int = 0
+    lineage_rows_computed: int = 0
+    lineage_row_hits: int = 0
+    lineage_balls_computed: int = 0
+    lineage_ball_hits: int = 0
+    lineage_inherits: int = 0
 
 
 def _check_size(n: int) -> None:
@@ -665,6 +682,8 @@ class DenseDistanceOracle(DistanceOracle):
             cached_bytes=nbytes,
             peak_cached_bytes=nbytes,
             batched_sweeps=self._sweeps,
+            # Dense oracles never inherit: lineage == own totals.
+            lineage_rows_computed=n if self._matrix is not None else 0,
         )
 
 
@@ -755,6 +774,9 @@ class LazyDistanceOracle(DistanceOracle):
         self._rows_patched = 0
         self._rows_reexpanded = 0
         self._batched_sweeps = 0
+        # Cumulative (rows_computed, row_hits, balls_computed, ball_hits,
+        # inherits) over every ancestor oracle — see _carry_lineage.
+        self._lineage = (0, 0, 0, 0, 0)
         self._peak_bytes = 0
         # source -> (stale parent row, valid-prefix radius, removed nodes):
         # rows invalidated by a removal but salvageable — entries at
@@ -784,6 +806,35 @@ class LazyDistanceOracle(DistanceOracle):
 
     # -- incremental maintenance --------------------------------------- #
 
+    def _carry_lineage(self, parent: "LazyDistanceOracle") -> None:
+        """Carry ``parent``'s cumulative query totals, zero the per-oracle
+        counters.
+
+        Inheritance used to leave the child's hit/miss counters at their
+        construction-time zeros while ``rows_patched`` accumulated inside
+        the inherit call itself — a mix in which a chain of repairs
+        silently dropped every ancestor's history (counter-reset drift).
+        The contract is now explicit: per-oracle counters describe
+        **post-inheritance work only** (snapshot-and-zeroed here), and
+        the conserved chain-wide totals live in the ``lineage_*`` stats
+        fields, accumulated parent-by-parent.
+        """
+        base = parent._lineage
+        self._lineage = (
+            base[0] + parent._rows_computed,
+            base[1] + parent._row_hits,
+            base[2] + parent._balls_computed,
+            base[3] + parent._ball_hits,
+            base[4] + 1,
+        )
+        self._rows_computed = 0
+        self._row_hits = 0
+        self._balls_computed = 0
+        self._ball_hits = 0
+        self._rows_patched = 0
+        self._rows_reexpanded = 0
+        self._batched_sweeps = 0
+
     def inherit_from(self, parent: "LazyDistanceOracle", removed: int) -> None:
         """Seed caches from ``parent`` after ``removed`` lost its edges.
 
@@ -810,6 +861,7 @@ class LazyDistanceOracle(DistanceOracle):
 
         Everything else is dropped and will be recomputed on demand.
         """
+        self._carry_lineage(parent)
         row_seed = []
         for src, row in parent._rows.items():
             d_rm = int(row[removed])
@@ -1068,6 +1120,7 @@ class LazyDistanceOracle(DistanceOracle):
         touched node inside its prefix (stale values beyond the radius
         only certify ``> radius``, so they never shrink it).
         """
+        self._carry_lineage(parent)
         add = np.asarray(sorted(added), dtype=np.intp).reshape(-1, 2)
         rem = np.asarray(sorted(removed), dtype=np.intp).reshape(-1, 2)
         touched = np.unique(np.concatenate([add.ravel(), rem.ravel()]))
@@ -1401,6 +1454,11 @@ class LazyDistanceOracle(DistanceOracle):
             rows_patched=self._rows_patched,
             rows_reexpanded=self._rows_reexpanded,
             batched_sweeps=self._batched_sweeps,
+            lineage_rows_computed=self._lineage[0] + self._rows_computed,
+            lineage_row_hits=self._lineage[1] + self._row_hits,
+            lineage_balls_computed=self._lineage[2] + self._balls_computed,
+            lineage_ball_hits=self._lineage[3] + self._ball_hits,
+            lineage_inherits=self._lineage[4],
         )
 
 

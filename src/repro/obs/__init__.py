@@ -1,0 +1,100 @@
+"""repro.obs — the unified observability layer (metrics, spans, traces).
+
+One instrumentation substrate answers "what did this run do and where did
+it spend its budget" for every experiment the engine can drive:
+
+* :mod:`~repro.obs.metrics` — a process-local **metrics registry**
+  (counters, gauges, histograms with fixed log-spaced buckets) fed by the
+  engine's existing stats sources: distance-oracle cache hits/misses and
+  inheritance counters, router tree/leg carryover, repair-ladder action
+  outcomes, lossy-delivery tx/rx/lost ledgers.  The sources keep their
+  dataclass APIs (:class:`~repro.net.oracle.OracleStats`,
+  :class:`~repro.faults.delivery.DeliveryReport`, ...); the registry is a
+  second sink the instrumented call sites publish into.
+* :mod:`~repro.obs.trace` — **span-based tracing**: nested
+  ``span("cluster")`` / ``span("labels")`` context managers recording
+  wall time and per-span counter deltas across the full pipeline
+  (cluster -> CDS -> labels -> router -> traffic epochs -> repair), with
+  a shared no-op fast path when disabled.
+* :mod:`~repro.obs.export` — **exporters**: a JSONL trace dump whose
+  first line is a run **manifest** (seed, n, k, backend, git sha, config
+  knobs — any bench/chaos run reproduces from its artifact alone), plus
+  ASCII flame/metrics tables in the :mod:`repro.analysis.ascii_plot`
+  idiom.
+
+Everything is gated on one switch — :func:`set_enabled` / the
+``REPRO_TRACE`` environment variable — and **off by default**: while
+disabled every ``span(...)`` returns one shared no-op context manager,
+every metric helper returns a shared no-op instrument, and the registry
+stays empty (the bench-smoke overhead gate holds the disabled-mode cost
+of the instrumented quick pipeline within 2%).
+
+Surface:
+
+* library — ``with span("stage"): ...``, ``counter("x").add()``,
+  ``registry().snapshot()``, ``write_trace(path, take_finished(),
+  run_manifest(seed=..., n=...))``;
+* CLI — ``repro-khop stats`` prints the metrics/span summary of an
+  instrumented quick run; ``repro-khop traffic|mobility|chaos --trace
+  out.jsonl`` records any experiment, and chaos repro lines carry the
+  trace path so a violation's artifact is named in the failure itself.
+
+Zero third-party dependencies: this package imports only the standard
+library, so it can wrap every layer (including numpy-free callers)
+without cycles.
+"""
+
+from .export import (
+    read_trace,
+    render_metrics,
+    render_trace_summary,
+    run_manifest,
+    write_trace,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    enabled,
+    gauge,
+    histogram,
+    publish_counters,
+    publish_oracle_stats,
+    registry,
+    reset,
+    set_enabled,
+)
+from .trace import Span, active_span, reset_tracer, span, take_finished
+
+__all__ = [
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "counter",
+    "gauge",
+    "histogram",
+    "enabled",
+    "set_enabled",
+    "registry",
+    "reset",
+    "publish_counters",
+    "publish_oracle_stats",
+    # tracing
+    "Span",
+    "span",
+    "active_span",
+    "take_finished",
+    "reset_tracer",
+    # export
+    "run_manifest",
+    "write_trace",
+    "read_trace",
+    "render_trace_summary",
+    "render_metrics",
+]

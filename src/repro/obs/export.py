@@ -1,0 +1,239 @@
+"""Trace/manifest exporters: JSONL dump, run manifest, ASCII summaries.
+
+The on-disk format is JSON Lines, one record per line, ``type``-tagged:
+
+* line 1 — ``{"type": "manifest", ...}``: everything needed to reproduce
+  the run (seed, n, k, backend, command knobs, git sha, python version);
+* one ``{"type": "span", ...}`` line per completed **root** span, with
+  the whole child tree nested inside (times relative to the root start);
+* a final ``{"type": "metrics", ...}`` line holding the registry
+  snapshot.
+
+:func:`render_trace_summary` prints the span tree as an indented ASCII
+flame table (self-time bars, the idiom of
+:mod:`repro.analysis.ascii_plot`), and :func:`render_metrics` the
+registry as aligned name/value tables — both for ``repro-khop stats``
+and the ``--trace`` epilogue.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, Optional, Sequence, Union
+
+from .metrics import MetricsRegistry, registry
+from .trace import Span
+
+__all__ = [
+    "run_manifest",
+    "write_trace",
+    "read_trace",
+    "render_trace_summary",
+    "render_metrics",
+]
+
+#: Format tag written into every manifest (bump on breaking changes).
+TRACE_SCHEMA = "repro-khop-trace/1"
+
+#: Glyphs for the self-time bars (ascii_plot idiom: coarse, grep-able).
+_BAR = "#"
+_BAR_WIDTH = 24
+
+
+def _git_sha() -> str:
+    """The repository HEAD sha, or ``"unknown"`` outside a work tree."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def run_manifest(**knobs: Any) -> dict[str, Any]:
+    """A reproducibility manifest for one instrumented run.
+
+    ``knobs`` are the run's configuration (seed, n, k, backend,
+    algorithm, flows, ...) verbatim; the environment fields (git sha,
+    python, timestamp) are filled in here so every trace artifact is
+    self-describing.
+    """
+    return {
+        "type": "manifest",
+        "schema": TRACE_SCHEMA,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "git_sha": _git_sha(),
+        "python": platform.python_version(),
+        "knobs": {k: knobs[k] for k in sorted(knobs)},
+    }
+
+
+def write_trace(
+    path: Union[str, Path],
+    spans: Sequence[Span],
+    manifest: dict[str, Any],
+    metrics: Optional[MetricsRegistry] = None,
+) -> Path:
+    """Write manifest + spans + metrics snapshot as JSONL; returns path."""
+    metrics = metrics if metrics is not None else registry()
+    path = Path(path)
+    lines = [json.dumps(manifest, sort_keys=True)]
+    for sp in spans:
+        lines.append(
+            json.dumps({"type": "span", **sp.to_dict()}, sort_keys=True)
+        )
+    lines.append(
+        json.dumps(
+            {"type": "metrics", **metrics.snapshot()}, sort_keys=True
+        )
+    )
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+def read_trace(
+    path: Union[str, Path],
+) -> tuple[dict[str, Any], list[dict[str, Any]], dict[str, Any]]:
+    """Parse a JSONL trace back into ``(manifest, spans, metrics)``.
+
+    Spans come back as the nested dicts :meth:`Span.to_dict` produced
+    (name/start/duration/self_time/meta/counters/children) — the
+    round-trip contract the obs test suite asserts.
+    """
+    manifest: dict[str, Any] = {}
+    spans: list[dict[str, Any]] = []
+    metrics: dict[str, Any] = {}
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        kind = record.get("type")
+        if kind == "manifest":
+            manifest = record
+        elif kind == "span":
+            spans.append(record)
+        elif kind == "metrics":
+            metrics = record
+    return manifest, spans, metrics
+
+
+def _flatten(
+    node: dict[str, Any], depth: int, out: list[tuple[int, dict[str, Any]]]
+) -> None:
+    out.append((depth, node))
+    for child in node.get("children", ()):
+        _flatten(child, depth + 1, out)
+
+
+def render_trace_summary(spans: Sequence[Union[Span, dict[str, Any]]]) -> str:
+    """Indented ASCII flame table of one or more span trees.
+
+    One row per span: indented name, duration, self time, a self-time bar
+    scaled to the tallest root, and the span's attributed counters.
+    Accepts live :class:`Span` objects or :func:`read_trace` dicts.
+    """
+    trees = [
+        sp.to_dict() if isinstance(sp, Span) else sp for sp in spans
+    ]
+    if not trees:
+        return "no spans recorded"
+    rows: list[tuple[int, dict[str, Any]]] = []
+    for tree in trees:
+        _flatten(tree, 0, rows)
+    total = max(tree["duration"] for tree in trees) or 1.0
+
+    def _label(depth: int, node: dict[str, Any]) -> str:
+        label = "  " * depth + node["name"]
+        meta = node.get("meta")
+        if meta:
+            label += (
+                "[" + ",".join(f"{k}={v}" for k, v in meta.items()) + "]"
+            )
+        return label
+
+    name_width = max(len(_label(d, n)) for d, n in rows) + 2
+    lines = [
+        f"{'span':<{name_width}} {'total':>9} {'self':>9}  self-time",
+        "-" * (name_width + 20 + _BAR_WIDTH),
+    ]
+    for depth, node in rows:
+        label = _label(depth, node)
+        bar = _BAR * max(
+            1 if node["self_time"] > 0 else 0,
+            round(_BAR_WIDTH * node["self_time"] / total),
+        )
+        extra = ""
+        counters = node.get("counters")
+        if counters:
+            top = sorted(counters.items(), key=lambda kv: -kv[1])[:3]
+            extra = "  " + " ".join(f"{k}={v}" for k, v in top)
+        lines.append(
+            f"{label:<{name_width}} {node['duration']:>8.3f}s "
+            f"{node['self_time']:>8.3f}s  {bar}{extra}"
+        )
+    covered = sum(n["self_time"] for _, n in rows)
+    lines.append(
+        f"{'sum of self-times':<{name_width}} {covered:>8.3f}s "
+        f"({covered / total:.1%} of tallest root)"
+    )
+    return "\n".join(lines)
+
+
+def render_metrics(metrics: Optional[MetricsRegistry] = None) -> str:
+    """Aligned tables of every registered counter/gauge/histogram."""
+    snap = (metrics if metrics is not None else registry()).snapshot()
+    counters: dict[str, int] = snap["counters"]  # type: ignore[assignment]
+    gauges: dict[str, float] = snap["gauges"]  # type: ignore[assignment]
+    hists: dict[str, Any] = snap["histograms"]  # type: ignore[assignment]
+    if not (counters or gauges or hists):
+        return "no metrics recorded (is the observability layer enabled?)"
+    names = (
+        list(counters) + list(gauges) + [f"{n} (hist)" for n in hists]
+    )
+    width = max(len(n) for n in names) + 2
+    lines: list[str] = []
+    if counters:
+        lines.append("counters:")
+        lines += [
+            f"  {name:<{width}} {value:>12}"
+            for name, value in counters.items()
+        ]
+    if gauges:
+        if lines:
+            lines.append("")
+        lines.append("gauges:")
+        lines += [
+            f"  {name:<{width}} {value:>12g}"
+            for name, value in gauges.items()
+        ]
+    if hists:
+        if lines:
+            lines.append("")
+        lines.append("histograms:")
+        for name, h in hists.items():
+            lines.append(
+                f"  {name:<{width}} count={h['count']} "
+                f"mean={h['sum'] / h['count'] if h['count'] else 0.0:.2f}"
+            )
+            peak = max(h["counts"]) or 1
+            for bound, cnt in zip(h["bounds"], h["counts"]):
+                if cnt:
+                    bar = _BAR * max(1, round(_BAR_WIDTH * cnt / peak))
+                    lines.append(
+                        f"    <= {bound:>12g}  {cnt:>8}  {bar}"
+                    )
+            if h["counts"][-1]:
+                cnt = h["counts"][-1]
+                bar = _BAR * max(1, round(_BAR_WIDTH * cnt / peak))
+                lines.append(f"    >  {h['bounds'][-1]:>12g}  {cnt:>8}  {bar}")
+    return "\n".join(lines)

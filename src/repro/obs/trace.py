@@ -1,0 +1,186 @@
+"""Span-based tracing: nested wall-time + counter-delta attribution.
+
+A span is one named stage of the pipeline (``cluster``, ``cds``,
+``labels``, ``router``, ``epochs``, ``epoch``, ``repair``, ...).  Spans
+nest: entering a span while another is open attaches it as a child, so
+one ``repro-khop traffic --trace`` run yields a tree whose root covers
+the whole experiment and whose leaves are the individual stages.  Each
+span records
+
+* wall time (``duration``), and the *self* time left after subtracting
+  its children — summed self-times over a tree telescope exactly to the
+  root's duration, which is what makes the flame summary additive;
+* the registry counter deltas attributed to it: counters incremented
+  between enter and exit that no *child* span already claimed.
+
+While the observability switch is off (:func:`repro.obs.metrics.enabled`)
+:func:`span` returns one shared no-op context manager — no allocation, no
+clock read — so instrumented engine code pays a flag test per stage and
+nothing else.  This module is the **only** place in ``src/repro`` allowed
+to touch ``time.perf_counter`` (lint rule R010 ``timing-discipline``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Optional
+
+from .metrics import enabled, registry
+
+__all__ = [
+    "Span",
+    "span",
+    "take_finished",
+    "active_span",
+    "reset_tracer",
+]
+
+
+class Span:
+    """One completed or in-flight pipeline stage."""
+
+    __slots__ = ("name", "meta", "start", "end", "children", "counters")
+
+    def __init__(self, name: str, meta: dict[str, Any]) -> None:
+        self.name = name
+        self.meta = meta
+        self.start = 0.0
+        self.end = 0.0
+        self.children: list[Span] = []
+        self.counters: dict[str, int] = {}
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds between enter and exit."""
+        return self.end - self.start
+
+    @property
+    def self_time(self) -> float:
+        """Duration not covered by child spans (never below zero)."""
+        return max(0.0, self.duration - sum(c.duration for c in self.children))
+
+    def walk(self) -> list["Span"]:
+        """This span plus every descendant, depth-first preorder."""
+        out = [self]
+        for child in self.children:
+            out.extend(child.walk())
+        return out
+
+    def to_dict(self, origin: Optional[float] = None) -> dict[str, Any]:
+        """JSON-ready nested dict; times are seconds relative to ``origin``
+        (the root's start when omitted), so traces carry no absolute
+        clock values and diff cleanly across runs."""
+        if origin is None:
+            origin = self.start
+        out: dict[str, Any] = {
+            "name": self.name,
+            "start": round(self.start - origin, 6),
+            "duration": round(self.duration, 6),
+            "self_time": round(self.self_time, 6),
+        }
+        if self.meta:
+            out["meta"] = self.meta
+        if self.counters:
+            out["counters"] = self.counters
+        if self.children:
+            out["children"] = [c.to_dict(origin) for c in self.children]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, {self.duration:.4f}s, "
+            f"{len(self.children)} children)"
+        )
+
+
+class _SpanContext:
+    """Context manager driving one live :class:`Span`."""
+
+    __slots__ = ("_span", "_snapshot")
+
+    def __init__(self, name: str, meta: dict[str, Any]) -> None:
+        self._span = Span(name, meta)
+        self._snapshot: dict[str, int] = {}
+
+    def __enter__(self) -> Span:
+        parent = _STACK[-1] if _STACK else None
+        if parent is not None:
+            parent.children.append(self._span)
+        _STACK.append(self._span)
+        self._snapshot = registry().counter_values()
+        self._span.start = time.perf_counter()
+        return self._span
+
+    def __exit__(self, *exc: object) -> None:
+        sp = self._span
+        sp.end = time.perf_counter()
+        before = self._snapshot
+        deltas: dict[str, int] = {}
+        for name, value in registry().counter_values().items():
+            delta = value - before.get(name, 0)
+            if delta:
+                deltas[name] = delta
+        # Counters a descendant already claimed belong to it: keep only
+        # this span's unattributed remainder, so sums stay additive.  The
+        # whole subtree must be walked — a child whose own remainder was
+        # zero still has grandchildren holding claims.
+        for child in sp.children:
+            for node in child.walk():
+                for name, delta in node.counters.items():
+                    if name in deltas:
+                        deltas[name] -= delta
+                        if deltas[name] <= 0:
+                            del deltas[name]
+        sp.counters = deltas
+        if _STACK and _STACK[-1] is sp:
+            _STACK.pop()
+        if not _STACK:
+            _FINISHED.append(sp)
+
+
+class _NoopSpanContext:
+    """Shared do-nothing context manager for the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpanContext":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpanContext()
+_STACK: list[Span] = []
+_FINISHED: list[Span] = []
+
+
+def span(name: str, **meta: Any) -> Any:
+    """Open a (possibly nested) trace span named ``name``.
+
+    ``meta`` keyword pairs (seed, n, step, ...) ride along into the JSONL
+    export.  Returns a context manager; while tracing is disabled it is
+    one shared no-op object and the call costs a flag test.
+    """
+    if not enabled():
+        return _NOOP_SPAN
+    return _SpanContext(name, meta)
+
+
+def active_span() -> Optional[Span]:
+    """The innermost open span, or None outside any span."""
+    return _STACK[-1] if _STACK else None
+
+
+def take_finished() -> list[Span]:
+    """Drain and return the completed root spans, oldest first."""
+    global _FINISHED
+    out, _FINISHED = _FINISHED, []
+    return out
+
+
+def reset_tracer() -> None:
+    """Drop all tracer state (open stack included) — tests/CLI restarts."""
+    global _STACK, _FINISHED
+    _STACK = []
+    _FINISHED = []

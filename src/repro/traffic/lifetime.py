@@ -44,6 +44,7 @@ from ..errors import InvalidParameterError
 from ..maintenance.repair import repair
 from ..net.energy import EnergyModel, EnergyParams
 from ..net.graph import Graph
+from ..obs import publish_counters, span
 from .load import lossy_load, measure_load
 from .router import BatchRouter
 from .workloads import Workload
@@ -224,99 +225,101 @@ def simulate_traffic_lifetime(
     report = LifetimeReport(scheme=scheme)
 
     for epoch in range(epochs):
-        if backbone is None or scheme == "energy":
-            priority = (
-                ResidualEnergy(model.residuals()) if scheme == "energy" else None
-            )
-            clustering = khop_cluster(
-                current, k, priority=priority, require_connected=False
-            )
-            backbone = build_backbone(_strip_dead(clustering, dead), algorithm)
-            router = BatchRouter(backbone)
-        elif router is None:  # pragma: no cover - defensive
-            router = BatchRouter(backbone)
-        # Snapshot before the deaths loop: repairs may change the heads,
-        # but *these* are the nodes that carried this epoch's traffic.
-        epoch_heads = backbone.heads
-        epoch_cds_size = backbone.cds_size
-        for h in epoch_heads:
-            report.head_service[h] += 1
-
-        routed = router.route_flows(
-            workload.restrict(alive), with_shortest=False
-        )
-        delivered = 1.0
-        if loss is not None:
-            # Runtime import: faults.delivery imports traffic.router at
-            # module level, so traffic must only pull it lazily.
-            from ..faults.delivery import deliver
-
-            delivery = deliver(
-                routed,
-                loss,
-                seed=delivery_seed + epoch,
-                max_attempts=max_attempts,
-                backoff_base=backoff_base,
-            )
-            routed = routed.with_delivery(delivery)
-            load = lossy_load(backbone, routed, delivery)
-            delivered = routed.delivered_fraction()
-        else:
-            load = measure_load(backbone, routed)
-        model.charge_load(load.tx, load.rx)
-        for _ in range(idle_rounds_per_epoch):
-            model.charge_idle_round(set(backbone.cds))
-
-        deaths = [
-            u
-            for u in np.flatnonzero(alive).tolist()
-            if not model.is_alive(u)
-        ]
-        partitioned = False
-        for node in deaths:
-            alive[node] = False
-            dead.add(node)
-            outcome = repair(backbone, node)
-            report.deaths.append((epoch, node, outcome.role))
-            report.repair_actions[outcome.action] += 1
-            if outcome.partitioned:
-                partitioned = True
-                break
-            old_router = router
-            backbone = outcome.backbone
-            current = backbone.clustering.graph
-            if scheme == "static":
-                # The repaired backbone serves the next epoch's flows:
-                # carry the routing layer across instead of rebuilding.
-                # Under rotation the next epoch re-elects heads anyway,
-                # so inheriting would be wasted work.
-                router = BatchRouter(backbone)
-                inherited = router.inherit_from(
-                    old_router, node, outcome.scope_heads
+        with span("epoch", scheme=scheme, epoch=epoch):
+            if backbone is None or scheme == "energy":
+                priority = (
+                    ResidualEnergy(model.residuals()) if scheme == "energy" else None
                 )
-                if inherited["head_graph_unchanged"]:
-                    report.router_rebuilds_avoided += 1
-                report.router_legs_inherited += inherited["legs"]
+                clustering = khop_cluster(
+                    current, k, priority=priority, require_connected=False
+                )
+                backbone = build_backbone(_strip_dead(clustering, dead), algorithm)
+                router = BatchRouter(backbone)
+            elif router is None:  # pragma: no cover - defensive
+                router = BatchRouter(backbone)
+            # Snapshot before the deaths loop: repairs may change the heads,
+            # but *these* are the nodes that carried this epoch's traffic.
+            epoch_heads = backbone.heads
+            epoch_cds_size = backbone.cds_size
+            for h in epoch_heads:
+                report.head_service[h] += 1
 
-        residuals = model.residuals()
-        alive_res = residuals[alive] if alive.any() else residuals
-        report.epochs.append(
-            LifetimeEpoch(
-                epoch=epoch,
-                heads=epoch_heads,
-                cds_size=epoch_cds_size,
-                flows_routed=routed.num_flows,
-                packet_hops=load.packet_hops,
-                max_node_load=load.max_node_load,
-                min_residual=float(alive_res.min()) if alive_res.size else 0.0,
-                mean_residual=float(alive_res.mean()) if alive_res.size else 0.0,
-                deaths=tuple(deaths),
-                delivered=delivered,
+            routed = router.route_flows(
+                workload.restrict(alive), with_shortest=False
             )
-        )
-        if partitioned:
-            report.first_partition_epoch = epoch
-            break
+            delivered = 1.0
+            if loss is not None:
+                # Runtime import: faults.delivery imports traffic.router at
+                # module level, so traffic must only pull it lazily.
+                from ..faults.delivery import deliver
+
+                delivery = deliver(
+                    routed,
+                    loss,
+                    seed=delivery_seed + epoch,
+                    max_attempts=max_attempts,
+                    backoff_base=backoff_base,
+                )
+                routed = routed.with_delivery(delivery)
+                load = lossy_load(backbone, routed, delivery)
+                delivered = routed.delivered_fraction()
+            else:
+                load = measure_load(backbone, routed)
+            model.charge_load(load.tx, load.rx)
+            for _ in range(idle_rounds_per_epoch):
+                model.charge_idle_round(set(backbone.cds))
+
+            deaths = [
+                u
+                for u in np.flatnonzero(alive).tolist()
+                if not model.is_alive(u)
+            ]
+            partitioned = False
+            for node in deaths:
+                alive[node] = False
+                dead.add(node)
+                outcome = repair(backbone, node)
+                report.deaths.append((epoch, node, outcome.role))
+                report.repair_actions[outcome.action] += 1
+                if outcome.partitioned:
+                    partitioned = True
+                    break
+                old_router = router
+                backbone = outcome.backbone
+                current = backbone.clustering.graph
+                if scheme == "static":
+                    # The repaired backbone serves the next epoch's flows:
+                    # carry the routing layer across instead of rebuilding.
+                    # Under rotation the next epoch re-elects heads anyway,
+                    # so inheriting would be wasted work.
+                    router = BatchRouter(backbone)
+                    inherited = router.inherit_from(
+                        old_router, node, outcome.scope_heads
+                    )
+                    if inherited["head_graph_unchanged"]:
+                        report.router_rebuilds_avoided += 1
+                    report.router_legs_inherited += inherited["legs"]
+                    publish_counters("router.inherit", inherited)
+
+            residuals = model.residuals()
+            alive_res = residuals[alive] if alive.any() else residuals
+            report.epochs.append(
+                LifetimeEpoch(
+                    epoch=epoch,
+                    heads=epoch_heads,
+                    cds_size=epoch_cds_size,
+                    flows_routed=routed.num_flows,
+                    packet_hops=load.packet_hops,
+                    max_node_load=load.max_node_load,
+                    min_residual=float(alive_res.min()) if alive_res.size else 0.0,
+                    mean_residual=float(alive_res.mean()) if alive_res.size else 0.0,
+                    deaths=tuple(deaths),
+                    delivered=delivered,
+                )
+            )
+            if partitioned:
+                report.first_partition_epoch = epoch
+                break
     return report
 
 

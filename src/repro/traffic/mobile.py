@@ -59,6 +59,7 @@ from ..net.mobility import RandomWaypoint, snapshot_edge_delta
 from ..net.oracle import DIST_DTYPE, LazyDistanceOracle
 from ..net.paths import PathOracle
 from ..net.topology import Topology, random_topology
+from ..obs import publish_counters, span
 from .load import measure_load
 from .router import BatchRouter, RoutedFlows
 from .workloads import Workload, make_workload
@@ -329,150 +330,163 @@ def simulate_mobile_traffic(
     # or skipped alike) — flushed to recovery_times on reconnection.
     outage = 0
 
-    for step in range(snapshots + 1):
-        if step == 0:
-            added: list = []
-            removed: list = []
-        else:
-            mob.step()
-            added, removed = snapshot_edge_delta(
-                graph, mob.snapshot_edges(topology.radius)
-            )
-            if engine == "delta":
-                derived = graph.with_edge_delta(added, removed)
-                if derived is not graph:  # empty deltas return self:
-                    # re-reading the same oracles would double-count.
-                    for oracle in derived._oracles.values():
-                        if isinstance(oracle, LazyDistanceOracle):
-                            stats = oracle.stats()
-                            report.rows_inherited += stats.rows_inherited
-                            report.rows_partial_inherited += (
-                                stats.rows_partial_inherited
-                            )
-                            report.balls_inherited += stats.balls_inherited
-                graph = derived
-            else:
-                g = Graph(graph.n, set(graph.edges) - set(removed) | set(added))
-                g._backend = graph._backend
-                graph = g
-            pending_touched.update(x for e in added for x in e)
-            pending_touched.update(x for e in removed for x in e)
+    with span("mobility", engine=engine, k=k, snapshots=snapshots):
+        for step in range(snapshots + 1):
+            with span("epoch", step=step):
+                if step == 0:
+                    added: list = []
+                    removed: list = []
+                else:
+                    mob.step()
+                    added, removed = snapshot_edge_delta(
+                        graph, mob.snapshot_edges(topology.radius)
+                    )
+                    if engine == "delta":
+                        derived = graph.with_edge_delta(added, removed)
+                        if derived is not graph:  # empty deltas return self:
+                            # re-reading the same oracles would double-count.
+                            for oracle in derived._oracles.values():
+                                if isinstance(oracle, LazyDistanceOracle):
+                                    stats = oracle.stats()
+                                    report.rows_inherited += stats.rows_inherited
+                                    report.rows_partial_inherited += (
+                                        stats.rows_partial_inherited
+                                    )
+                                    report.balls_inherited += stats.balls_inherited
+                                    publish_counters(
+                                        "oracle.inherit",
+                                        {
+                                            "rows": stats.rows_inherited,
+                                            "rows_partial": (
+                                                stats.rows_partial_inherited
+                                            ),
+                                            "balls": stats.balls_inherited,
+                                        },
+                                    )
+                        graph = derived
+                    else:
+                        g = Graph(graph.n, set(graph.edges) - set(removed) | set(added))
+                        g._backend = graph._backend
+                        graph = g
+                    pending_touched.update(x for e in added for x in e)
+                    pending_touched.update(x for e in removed for x in e)
 
-        if not graph.is_connected():
-            delivered = workload.delivered_fraction(_component_labels(graph))
-            outage += 1
-            if degraded:
-                dg_backbone, dg_routed = route_degraded(
-                    graph, k, workload, algorithm=algorithm
-                )
-                dg_load = measure_load(dg_backbone, dg_routed)
-                valid = dg_routed.valid
-                assert valid is not None  # route_degraded always sets it
-                st = dg_routed.hops[valid] / np.maximum(
-                    dg_routed.shortest[valid], 1
-                )
-                report.degraded_epochs += 1
+                if not graph.is_connected():
+                    delivered = workload.delivered_fraction(_component_labels(graph))
+                    outage += 1
+                    if degraded:
+                        dg_backbone, dg_routed = route_degraded(
+                            graph, k, workload, algorithm=algorithm
+                        )
+                        dg_load = measure_load(dg_backbone, dg_routed)
+                        valid = dg_routed.valid
+                        assert valid is not None  # route_degraded always sets it
+                        st = dg_routed.hops[valid] / np.maximum(
+                            dg_routed.shortest[valid], 1
+                        )
+                        report.degraded_epochs += 1
+                        report.epochs.append(
+                            MobileEpoch(
+                                step=step,
+                                connected=False,
+                                edges_added=len(added),
+                                edges_removed=len(removed),
+                                delivered=delivered,
+                                flows_routed=int(np.count_nonzero(valid)),
+                                mean_stretch=(
+                                    float(st.mean()) if st.size else float("nan")
+                                ),
+                                p95_stretch=(
+                                    float(np.percentile(st, 95))
+                                    if st.size
+                                    else float("nan")
+                                ),
+                                max_stretch=(
+                                    float(st.max()) if st.size else float("nan")
+                                ),
+                                max_node_load=dg_load.max_node_load,
+                                backbone_fairness=dg_load.backbone_fairness,
+                                cds_share=dg_load.cds_share,
+                                num_heads=len(dg_backbone.heads),
+                                cds_size=dg_backbone.cds_size,
+                                head_churn=float("nan"),
+                                degraded=True,
+                            )
+                        )
+                        if collect_walks:
+                            report.walks.append(dg_routed.walks)
+                        continue
+                    report.skipped_disconnected += 1
+                    report.epochs.append(
+                        MobileEpoch(
+                            step=step,
+                            connected=False,
+                            edges_added=len(added),
+                            edges_removed=len(removed),
+                            delivered=delivered,
+                            flows_routed=0,
+                            mean_stretch=float("nan"),
+                            p95_stretch=float("nan"),
+                            max_stretch=float("nan"),
+                            max_node_load=0.0,
+                            backbone_fairness=float("nan"),
+                            cds_share=float("nan"),
+                            num_heads=0,
+                            cds_size=0,
+                            head_churn=float("nan"),
+                        )
+                    )
+                    if collect_walks:
+                        report.walks.append([])
+                    continue
+
+                if outage:
+                    report.recovery_times.append(outage)
+                    outage = 0
+                clustering = khop_cluster(graph, k)
+                if engine == "delta" and prev_paths is not None:
+                    paths = delta_path_oracle(graph, prev_paths, pending_touched)
+                    report.paths_inherited += paths.paths_inherited
+                else:
+                    paths = PathOracle(graph)
+                backbone = build_backbone(clustering, algorithm, oracle=paths)
+                router = BatchRouter(backbone, oracle=paths)
+                if engine == "delta" and prev_router is not None:
+                    stats = router.inherit_edge_delta(prev_router, pending_touched)
+                    if stats["head_graph_unchanged"]:
+                        report.router_rebuilds_avoided += 1
+                    publish_counters("router.inherit", stats)
+                pending_touched = set()
+
+                routed = router.route_flows(workload, with_shortest=True)
+                load = measure_load(backbone, routed)
+                heads = set(backbone.heads)
                 report.epochs.append(
                     MobileEpoch(
                         step=step,
-                        connected=False,
+                        connected=True,
                         edges_added=len(added),
                         edges_removed=len(removed),
-                        delivered=delivered,
-                        flows_routed=int(np.count_nonzero(valid)),
-                        mean_stretch=(
-                            float(st.mean()) if st.size else float("nan")
-                        ),
-                        p95_stretch=(
-                            float(np.percentile(st, 95))
-                            if st.size
+                        delivered=1.0,
+                        flows_routed=routed.num_flows,
+                        mean_stretch=load.mean_stretch,
+                        p95_stretch=load.p95_stretch,
+                        max_stretch=load.max_stretch,
+                        max_node_load=load.max_node_load,
+                        backbone_fairness=load.backbone_fairness,
+                        cds_share=load.cds_share,
+                        num_heads=len(heads),
+                        cds_size=backbone.cds_size,
+                        head_churn=(
+                            jaccard_distance(prev_heads, heads)
+                            if prev_heads is not None
                             else float("nan")
                         ),
-                        max_stretch=(
-                            float(st.max()) if st.size else float("nan")
-                        ),
-                        max_node_load=dg_load.max_node_load,
-                        backbone_fairness=dg_load.backbone_fairness,
-                        cds_share=dg_load.cds_share,
-                        num_heads=len(dg_backbone.heads),
-                        cds_size=dg_backbone.cds_size,
-                        head_churn=float("nan"),
-                        degraded=True,
                     )
                 )
                 if collect_walks:
-                    report.walks.append(dg_routed.walks)
-                continue
-            report.skipped_disconnected += 1
-            report.epochs.append(
-                MobileEpoch(
-                    step=step,
-                    connected=False,
-                    edges_added=len(added),
-                    edges_removed=len(removed),
-                    delivered=delivered,
-                    flows_routed=0,
-                    mean_stretch=float("nan"),
-                    p95_stretch=float("nan"),
-                    max_stretch=float("nan"),
-                    max_node_load=0.0,
-                    backbone_fairness=float("nan"),
-                    cds_share=float("nan"),
-                    num_heads=0,
-                    cds_size=0,
-                    head_churn=float("nan"),
-                )
-            )
-            if collect_walks:
-                report.walks.append([])
-            continue
-
-        if outage:
-            report.recovery_times.append(outage)
-            outage = 0
-        clustering = khop_cluster(graph, k)
-        if engine == "delta" and prev_paths is not None:
-            paths = delta_path_oracle(graph, prev_paths, pending_touched)
-            report.paths_inherited += paths.paths_inherited
-        else:
-            paths = PathOracle(graph)
-        backbone = build_backbone(clustering, algorithm, oracle=paths)
-        router = BatchRouter(backbone, oracle=paths)
-        if engine == "delta" and prev_router is not None:
-            stats = router.inherit_edge_delta(prev_router, pending_touched)
-            if stats["head_graph_unchanged"]:
-                report.router_rebuilds_avoided += 1
-        pending_touched = set()
-
-        routed = router.route_flows(workload, with_shortest=True)
-        load = measure_load(backbone, routed)
-        heads = set(backbone.heads)
-        report.epochs.append(
-            MobileEpoch(
-                step=step,
-                connected=True,
-                edges_added=len(added),
-                edges_removed=len(removed),
-                delivered=1.0,
-                flows_routed=routed.num_flows,
-                mean_stretch=load.mean_stretch,
-                p95_stretch=load.p95_stretch,
-                max_stretch=load.max_stretch,
-                max_node_load=load.max_node_load,
-                backbone_fairness=load.backbone_fairness,
-                cds_share=load.cds_share,
-                num_heads=len(heads),
-                cds_size=backbone.cds_size,
-                head_churn=(
-                    jaccard_distance(prev_heads, heads)
-                    if prev_heads is not None
-                    else float("nan")
-                ),
-            )
-        )
-        if collect_walks:
-            report.walks.append(routed.walks)
-        prev_paths, prev_router, prev_heads = paths, router, heads
+                    report.walks.append(routed.walks)
+                prev_paths, prev_router, prev_heads = paths, router, heads
     return report
 
 

@@ -18,6 +18,7 @@ from ..errors import InvalidParameterError
 from ..net.energy import EnergyParams
 from ..net.paths import PathOracle
 from ..net.topology import random_topology
+from ..obs import publish_oracle_stats, span
 from .lifetime import LifetimeReport, compare_rotation_under_traffic
 from .load import LoadReport, measure_load
 from .router import BatchRouter
@@ -57,6 +58,7 @@ def run_traffic(
     seed: int = 7,
     lifetime_epochs: int = 0,
     energy_params: EnergyParams | None = None,
+    backend: str | None = None,
 ) -> TrafficReport:
     """Build an instance, route a workload batch, account the load.
 
@@ -70,34 +72,64 @@ def run_traffic(
         lifetime_epochs: when > 0, also run the traffic-driven lifetime
             comparison (rotation vs static) for this many epochs.
         energy_params: energy constants for the lifetime comparison.
+        backend: force the hop-distance backend (``"dense"``/``"lazy"``/
+            ``"landmark"``/``"auto"``); None keeps the graph's policy.
+            Batch routing is pair-query-heavy, so the CLI pins
+            ``"landmark"`` — results are identical on every backend.
+
+    The whole run is traced when the observability layer is enabled
+    (``repro-khop traffic --trace``): a root ``traffic`` span over
+    nested ``topology`` / ``cluster`` / ``cds`` / ``labels`` /
+    ``router`` / ``epochs`` stages, plus the oracle/path-cache stats
+    published into the metrics registry.
     """
     if flows < 1:
         raise InvalidParameterError(f"flows must be >= 1, got {flows}")
-    topo = random_topology(n, degree=degree, seed=seed)
-    graph = topo.graph
-    backbone = run_pipeline(graph, k, algorithm)
-    wl = make_workload(workload, graph.n, flows, seed=seed)
-    batch = BatchRouter(backbone)
-    routed = batch.route_flows(wl, with_shortest=True)
-    load = measure_load(backbone, routed)
-    # The stretch/table sample shares the batch run's warmed head router.
-    routing = routing_report(
-        backbone,
-        PathOracle(graph),
-        samples=min(50, flows),
+    with span(
+        "traffic",
+        n=n,
+        k=k,
+        algorithm=algorithm,
+        workload=workload,
+        flows=flows,
         seed=seed,
-        router=batch.router,
-    )
-    lifetimes = None
-    if lifetime_epochs > 0:
-        lifetimes = compare_rotation_under_traffic(
-            graph,
-            k,
-            wl,
-            epochs=lifetime_epochs,
-            algorithm=algorithm,
-            params=energy_params,
-        )
+    ):
+        with span("topology", n=n):
+            topo = random_topology(n, degree=degree, seed=seed)
+            graph = topo.graph
+            if backend is not None:
+                graph.use_distance_backend(backend)
+        backbone = run_pipeline(graph, k, algorithm)
+        wl = make_workload(workload, graph.n, flows, seed=seed)
+        with span("router", flows=wl.num_flows):
+            batch = BatchRouter(backbone)
+            routed = batch.route_flows(wl, with_shortest=True)
+        with span("epochs"):
+            # The offered batch is one traffic epoch; the lifetime loop
+            # (when requested) adds one child span per drained epoch.
+            with span("epoch", step=0):
+                load = measure_load(backbone, routed)
+                # The stretch/table sample shares the batch run's warmed
+                # head router.
+                routing = routing_report(
+                    backbone,
+                    PathOracle(graph),
+                    samples=min(50, flows),
+                    seed=seed,
+                    router=batch.router,
+                )
+            lifetimes = None
+            if lifetime_epochs > 0:
+                lifetimes = compare_rotation_under_traffic(
+                    graph,
+                    k,
+                    wl,
+                    epochs=lifetime_epochs,
+                    algorithm=algorithm,
+                    params=energy_params,
+                )
+        publish_oracle_stats(graph.oracle.stats())
+        publish_oracle_stats(batch.path_oracle.stats(), prefix="paths")
     return TrafficReport(
         backbone=backbone,
         workload=wl,
@@ -171,6 +203,7 @@ def main(
     flows: int = 5000,
     seed: int = 7,
     lifetime_epochs: int = 0,
+    backend: str | None = None,
 ) -> None:
     """CLI driver: run one traffic experiment and print the summary."""
     report = run_traffic(
@@ -182,5 +215,6 @@ def main(
         flows=flows,
         seed=seed,
         lifetime_epochs=lifetime_epochs,
+        backend=backend,
     )
     print(render_traffic(report))

@@ -58,3 +58,27 @@ class TestRenderChaos:
         text = render_chaos(report)
         assert "VIOLATION" in text
         assert "repro-khop chaos --seed 4" in text
+
+
+class TestTraceRepro:
+    def test_violation_repro_line_carries_trace_flag(self, monkeypatch):
+        # Force invariant 1's CSR check to fail so violate() runs; a
+        # traced campaign's repro line must name the trace artifact.
+        from repro.faults import chaos as chaos_mod
+
+        monkeypatch.setattr(chaos_mod, "_csr_edge_set", lambda graph: None)
+        report = run_chaos(
+            seed=4, events=30, n=50, flows=60, trace_path="run.jsonl"
+        )
+        assert not report.ok
+        line = report.violations[0]
+        assert "CSR adjacency asymmetric" in line
+        assert line.endswith("--trace run.jsonl)")
+
+    def test_untraced_repro_line_has_no_trace_flag(self, monkeypatch):
+        from repro.faults import chaos as chaos_mod
+
+        monkeypatch.setattr(chaos_mod, "_csr_edge_set", lambda graph: None)
+        report = run_chaos(seed=4, events=30, n=50, flows=60)
+        assert not report.ok
+        assert "--trace" not in report.violations[0]

@@ -761,3 +761,125 @@ class TestSilentExceptionR009:
         )
         assert codes(run) == []
         assert run.suppressed == 1
+
+
+class TestTimingDisciplineR010:
+    def test_dotted_clock_call_fires(self, lint_tree):
+        run = lint_tree(
+            {
+                "src/repro/engine.py": """\
+                import time
+
+                def build():
+                    t0 = time.perf_counter()
+                    return time.time() - t0
+                """
+            }
+        )
+        assert codes(run) == ["R010"]
+        assert lines_with(run, "R010") == [4, 5]
+
+    def test_aliased_module_fires(self, lint_tree):
+        run = lint_tree(
+            {
+                "src/repro/engine.py": """\
+                import time as clock
+
+                def build():
+                    return clock.monotonic()
+                """
+            }
+        )
+        assert codes(run) == ["R010"]
+
+    def test_from_import_fires(self, lint_tree):
+        run = lint_tree(
+            {
+                "src/repro/engine.py": """\
+                from time import perf_counter
+
+                def build():
+                    return perf_counter()
+                """
+            }
+        )
+        assert codes(run) == ["R010"]
+        assert lines_with(run, "R010") == [1]
+
+    def test_formatting_helpers_are_clean(self, lint_tree):
+        run = lint_tree(
+            {
+                "src/repro/engine.py": """\
+                import time
+
+                def stamp():
+                    return time.strftime("%Y", time.gmtime())
+                """
+            }
+        )
+        assert codes(run) == []
+
+    def test_obs_layer_is_exempt(self, lint_tree):
+        run = lint_tree(
+            {
+                "src/repro/obs/trace.py": """\
+                import time
+
+                def now():
+                    return time.perf_counter()
+                """
+            }
+        )
+        assert codes(run) == []
+
+    def test_benchmarks_and_tests_are_out_of_scope(self, lint_tree):
+        run = lint_tree(
+            {
+                "benchmarks/test_bench.py": """\
+                import time
+
+                def timer():
+                    return time.process_time()
+                """,
+                "tests/test_x.py": """\
+                import time
+
+                def test_speed():
+                    assert time.perf_counter() > 0
+                """,
+            }
+        )
+        assert codes(run) == []
+
+    def test_allowlist_exempts_module(self, lint_tree, monkeypatch):
+        from repro.lint import rules_timing
+
+        monkeypatch.setattr(
+            rules_timing,
+            "TIMING_ALLOWLIST",
+            ("src/repro/legacy.py",),
+        )
+        run = lint_tree(
+            {
+                "src/repro/legacy.py": """\
+                import time
+
+                def build():
+                    return time.time()
+                """
+            }
+        )
+        assert codes(run) == []
+
+    def test_pragma_suppresses(self, lint_tree):
+        run = lint_tree(
+            {
+                "src/repro/engine.py": (
+                    "import time\n"
+                    "T0 = time.time()"
+                    "  # repro-lint: disable=R010\n"
+                )
+            }
+        )
+        assert codes(run) == []
+        assert run.suppressed == 1

@@ -585,3 +585,65 @@ class TestPartialRowInheritance:
         child.inherit_from(oracle, 1)
         # pending stale rows obey the same byte discipline as the cache
         assert len(child._partial_rows) <= 3
+
+
+class TestLineageConservation:
+    """``lineage_*`` stats conserve query totals across inherit chains.
+
+    Per-oracle counters are snapshot-and-zeroed at every inheritance
+    (no counter-reset drift), so ``lineage_rows_computed +
+    lineage_row_hits`` must equal every ``row()`` call the chain ever
+    answered — the :class:`~repro.net.oracle.OracleStats` contract.
+    """
+
+    @staticmethod
+    def query_rows(g: Graph, step: int) -> int:
+        """Issue one ``row()`` per sampled source; return the call count."""
+        count = 0
+        for s in range(0, g.n, step):
+            g.oracle.row(s)
+            count += 1
+        return count
+
+    def test_chained_removals_conserve_row_totals(self):
+        g = random_topology(150, degree=8.0, seed=31).graph
+        g = g.use_distance_backend("lazy")
+        calls = self.query_rows(g, 5)
+        calls += self.query_rows(g, 5)  # repeat pass: pure cache hits
+        current = g
+        for removed in (3, 40, 77):
+            current = current.without_nodes([removed])
+            calls += self.query_rows(current, 7)
+        stats = current.oracle.stats()
+        assert stats.lineage_inherits == 3
+        assert stats.lineage_rows_computed + stats.lineage_row_hits == calls
+        # the hit side is non-trivial in both directions
+        assert stats.lineage_row_hits > 0
+        assert stats.lineage_rows_computed > 0
+
+    def test_per_oracle_counters_cover_post_inheritance_work_only(self):
+        g = random_topology(120, degree=8.0, seed=33).graph
+        g = g.use_distance_backend("lazy")
+        self.query_rows(g, 4)
+        parent_stats = g.oracle.stats()
+        child = g.without_nodes([7])
+        round_calls = self.query_rows(child, 6)
+        stats = child.oracle.stats()
+        assert stats.rows_computed + stats.row_hits == round_calls
+        assert stats.lineage_inherits == 1
+        assert (
+            stats.lineage_rows_computed + stats.lineage_row_hits
+            == parent_stats.rows_computed + parent_stats.row_hits + round_calls
+        )
+
+    def test_edge_delta_inheritance_conserves_row_totals(self):
+        g = random_topology(120, degree=8.0, seed=35).graph
+        g = g.use_distance_backend("lazy")
+        calls = self.query_rows(g, 4)
+        dropped = g.edges[0]
+        derived = g.with_edge_delta(removed=[dropped])
+        assert derived is not g  # the delta was effective
+        calls += self.query_rows(derived, 4)
+        stats = derived.oracle.stats()
+        assert stats.lineage_inherits == 1
+        assert stats.lineage_rows_computed + stats.lineage_row_hits == calls

@@ -1,0 +1,1 @@
+"""Test package marker (enables relative imports of the shared conftest)."""

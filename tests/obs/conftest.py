@@ -1,0 +1,35 @@
+"""Shared fixtures for the observability-layer tests.
+
+The obs layer is process-global state (one registry, one span stack), so
+every test that flips the switch must restore a pristine disabled world
+— including on failure — or it would leak instrumentation into the rest
+of the suite.
+"""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture
+def obs_on():
+    """Enable the observability layer with clean state; disable after."""
+    obs.set_enabled(True)
+    obs.reset()
+    obs.reset_tracer()
+    yield
+    obs.reset()
+    obs.reset_tracer()
+    obs.set_enabled(False)
+
+
+@pytest.fixture
+def obs_off():
+    """Guarantee the disabled state with clean registry/tracer."""
+    obs.set_enabled(False)
+    obs.reset()
+    obs.reset_tracer()
+    yield
+    obs.reset()
+    obs.reset_tracer()
+    obs.set_enabled(False)

@@ -1,0 +1,113 @@
+"""Manifest contents, JSONL round-trip, and the ASCII renderers."""
+
+import json
+import re
+
+from repro import obs
+from repro.obs.export import TRACE_SCHEMA
+
+
+def _sample_spans():
+    with obs.span("root", seed=7) as root:
+        obs.counter("events").add(2)
+        with obs.span("stage", step=0):
+            obs.counter("events").add(3)
+    return [root]
+
+
+class TestRunManifest:
+    def test_self_describing_fields(self):
+        m = obs.run_manifest(seed=7, n=400, k=2, backend="landmark")
+        assert m["type"] == "manifest"
+        assert m["schema"] == TRACE_SCHEMA
+        assert m["git_sha"]  # "unknown" at worst, never empty
+        assert m["python"].count(".") == 2
+        assert "T" in m["created"] and m["created"].endswith("Z")
+        assert m["knobs"] == {
+            "backend": "landmark",
+            "k": 2,
+            "n": 400,
+            "seed": 7,
+        }
+
+    def test_knobs_are_sorted_for_stable_diffs(self):
+        m = obs.run_manifest(zulu=1, alpha=2, mid=3)
+        assert list(m["knobs"]) == ["alpha", "mid", "zulu"]
+
+
+class TestJsonlRoundTrip:
+    def test_write_then_read_restores_all_three_sections(
+        self, obs_on, tmp_path
+    ):
+        spans = _sample_spans()
+        out = obs.write_trace(
+            tmp_path / "t.jsonl", spans, obs.run_manifest(seed=7)
+        )
+        manifest, span_dicts, metrics = obs.read_trace(out)
+        assert manifest["knobs"] == {"seed": 7}
+        assert len(span_dicts) == 1
+        root = span_dicts[0]
+        assert root["name"] == "root"
+        assert root["meta"] == {"seed": 7}
+        assert root["counters"] == {"events": 2}
+        (child,) = root["children"]
+        assert child["name"] == "stage"
+        assert child["counters"] == {"events": 3}
+        assert metrics["counters"] == {"events": 5}
+
+    def test_file_is_one_json_record_per_line(self, obs_on, tmp_path):
+        out = obs.write_trace(
+            tmp_path / "t.jsonl", _sample_spans(), obs.run_manifest()
+        )
+        lines = out.read_text().splitlines()
+        assert [json.loads(ln)["type"] for ln in lines] == [
+            "manifest",
+            "span",
+            "metrics",
+        ]
+
+    def test_round_trip_dicts_render_like_live_spans(self, obs_on, tmp_path):
+        spans = _sample_spans()
+        out = obs.write_trace(
+            tmp_path / "t.jsonl", spans, obs.run_manifest()
+        )
+        _, span_dicts, _ = obs.read_trace(out)
+        live = obs.render_trace_summary(spans)
+        reread = obs.render_trace_summary(span_dicts)
+        assert live == reread
+
+
+class TestRenderers:
+    def test_trace_summary_rows_and_footer(self, obs_on):
+        text = obs.render_trace_summary(_sample_spans())
+        lines = text.splitlines()
+        assert "root[seed=7]" in lines[2]
+        assert "  stage[step=0]" in lines[3]
+        assert "events=3" in lines[3]  # per-span counter attribution
+        assert "of tallest root" in lines[-1]
+        # Self-times telescope to the root; the footer is computed from
+        # microsecond-rounded to_dict values, so allow rounding slack on
+        # these sub-millisecond test spans.
+        match = re.search(r"\((\d+(?:\.\d+)?)% of tallest root\)", lines[-1])
+        assert match is not None
+        assert float(match.group(1)) >= 90.0
+
+    def test_trace_summary_without_spans(self):
+        assert obs.render_trace_summary([]) == "no spans recorded"
+
+    def test_metrics_tables(self, obs_on):
+        obs.counter("c.hits").add(3)
+        obs.gauge("g.depth").set(2.5)
+        obs.histogram("h.attempts", bounds=(1.0, 4.0)).observe_many(
+            [1, 2, 9]
+        )
+        text = obs.render_metrics()
+        assert "counters:" in text
+        assert "c.hits" in text and "3" in text
+        assert "gauges:" in text and "2.5" in text
+        assert "histograms:" in text
+        assert "count=3" in text
+        assert ">" in text  # the 9 sample lands in the overflow row
+
+    def test_metrics_empty_message(self, obs_off):
+        assert "no metrics recorded" in obs.render_metrics()

@@ -1,0 +1,129 @@
+"""Registry instruments, publish helpers, and the disabled fast path."""
+
+import os
+
+import pytest
+
+from repro import obs
+from repro.net.topology import random_topology
+from repro.obs.metrics import _NOOP, Counter, Gauge, Histogram
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        c = Counter("c")
+        c.add()
+        c.add(4)
+        assert c.value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            Counter("c").add(-1)
+
+    def test_gauge_overwrites(self):
+        g = Gauge("g")
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+
+    def test_histogram_bins_cumulative_upper_bounds(self):
+        h = Histogram("h", bounds=(1.0, 4.0, 16.0))
+        for v in (0.5, 1.0, 5.0, 16.0, 17.0):
+            h.observe(v)
+        # bin i holds values <= bounds[i]; the extra bin is overflow.
+        assert h.counts == [2, 0, 2, 1]
+        assert h.count == 5
+        assert h.mean == pytest.approx(39.5 / 5)
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError, match="ascend"):
+            Histogram("h", bounds=(4.0, 1.0))
+
+    def test_default_buckets_cover_large_counts(self):
+        h = Histogram("h")
+        h.observe_many([1, 10**9, 10**10])
+        assert h.count == 3
+        assert h.counts[-1] == 1  # 10^10 > 4^15 lands in overflow
+
+
+class TestRegistry:
+    def test_instruments_are_created_once(self, obs_on):
+        assert obs.counter("x") is obs.counter("x")
+        assert obs.gauge("y") is obs.gauge("y")
+        assert obs.histogram("z") is obs.histogram("z")
+        assert len(obs.registry()) == 3
+
+    def test_snapshot_shape_and_sorting(self, obs_on):
+        obs.counter("b").add(2)
+        obs.counter("a").add(1)
+        obs.gauge("g").set(7)
+        obs.histogram("h", bounds=(1.0,)).observe(0.5)
+        snap = obs.registry().snapshot()
+        assert list(snap["counters"]) == ["a", "b"]
+        assert snap["counters"] == {"a": 1, "b": 2}
+        assert snap["gauges"] == {"g": 7.0}
+        assert snap["histograms"]["h"] == {
+            "bounds": [1.0],
+            "counts": [1, 0],
+            "sum": 0.5,
+            "count": 1,
+        }
+
+    def test_reset_drops_everything(self, obs_on):
+        obs.counter("x").add()
+        obs.reset()
+        assert len(obs.registry()) == 0
+
+
+class TestPublishHelpers:
+    def test_publish_counters_prefixes_and_adds(self, obs_on):
+        obs.publish_counters("router.inherit", {"legs": 3, "trees": 1})
+        obs.publish_counters("router.inherit", {"legs": 2})
+        values = obs.registry().counter_values()
+        assert values["router.inherit.legs"] == 5
+        assert values["router.inherit.trees"] == 1
+
+    def test_publish_oracle_stats_gauges_by_backend(self, obs_on):
+        g = random_topology(40, degree=5.0, seed=3).graph
+        g.use_distance_backend("lazy")
+        g.oracle.row(0)
+        g.oracle.row(0)
+        obs.publish_oracle_stats(g.oracle.stats())
+        snap = obs.registry().snapshot()
+        assert snap["gauges"]["oracle.lazy.rows_computed"] == 1.0
+        assert snap["gauges"]["oracle.lazy.row_hits"] == 1.0
+        # zero-valued fields are skipped, not published as 0-gauges
+        assert "oracle.lazy.balls_computed" not in snap["gauges"]
+
+    def test_publish_is_idempotent_for_repeated_snapshots(self, obs_on):
+        g = random_topology(40, degree=5.0, seed=3).graph
+        g.use_distance_backend("lazy")
+        g.oracle.row(0)
+        obs.publish_oracle_stats(g.oracle.stats())
+        obs.publish_oracle_stats(g.oracle.stats())  # gauges: set, not add
+        snap = obs.registry().snapshot()
+        assert snap["gauges"]["oracle.lazy.rows_computed"] == 1.0
+
+
+class TestDisabledFastPath:
+    def test_helpers_return_shared_noop(self, obs_off):
+        assert obs.counter("x") is _NOOP
+        assert obs.gauge("y") is _NOOP
+        assert obs.histogram("z") is _NOOP
+        _NOOP.add(5)
+        _NOOP.set(1)
+        _NOOP.observe(2)
+        _NOOP.observe_many([3])
+        assert len(obs.registry()) == 0
+
+    def test_publishers_are_noops(self, obs_off):
+        obs.publish_counters("p", {"x": 1})
+        g = random_topology(30, degree=5.0, seed=1).graph
+        obs.publish_oracle_stats(g.oracle.stats())
+        assert len(obs.registry()) == 0
+
+    def test_env_default_is_off(self):
+        if os.environ.get("REPRO_TRACE", "0") not in ("", "0"):
+            pytest.skip("REPRO_TRACE set in the environment")
+        # The suite runs without REPRO_TRACE: nothing may be collecting.
+        assert not obs.enabled()

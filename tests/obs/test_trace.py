@@ -1,0 +1,137 @@
+"""Span nesting, self-time telescoping, and counter-delta attribution."""
+
+import pytest
+
+from repro import obs
+from repro.obs.trace import _NOOP_SPAN
+
+
+class TestNesting:
+    def test_children_attach_and_stack_unwinds(self, obs_on):
+        with obs.span("root") as root:
+            assert obs.active_span() is root
+            with obs.span("a") as a:
+                assert obs.active_span() is a
+            with obs.span("b"):
+                with obs.span("b1"):
+                    pass
+        assert obs.active_span() is None
+        assert [c.name for c in root.children] == ["a", "b"]
+        assert [c.name for c in root.children[1].children] == ["b1"]
+
+    def test_timing_is_monotone_and_self_times_telescope(self, obs_on):
+        with obs.span("root") as root:
+            with obs.span("a"):
+                pass
+            with obs.span("b"):
+                with obs.span("b1"):
+                    pass
+        for node in root.walk():
+            assert node.duration >= 0.0
+            assert node.self_time >= 0.0
+            for child in node.children:
+                assert child.start >= node.start
+                assert child.end <= node.end
+                assert child.duration <= node.duration
+        # The additive contract behind the flame summary footer.
+        total_self = sum(node.self_time for node in root.walk())
+        assert total_self == pytest.approx(root.duration)
+
+    def test_take_finished_drains_roots_in_order(self, obs_on):
+        with obs.span("first"):
+            pass
+        with obs.span("second"):
+            with obs.span("child"):
+                pass
+        roots = obs.take_finished()
+        assert [sp.name for sp in roots] == ["first", "second"]
+        assert obs.take_finished() == []
+
+    def test_walk_is_depth_first_preorder(self, obs_on):
+        with obs.span("root") as root:
+            with obs.span("a"):
+                with obs.span("a1"):
+                    pass
+            with obs.span("b"):
+                pass
+        assert [s.name for s in root.walk()] == ["root", "a", "a1", "b"]
+
+
+class TestCounterAttribution:
+    def test_children_claim_their_deltas(self, obs_on):
+        with obs.span("parent") as parent:
+            obs.counter("x").add(1)
+            with obs.span("left") as left:
+                obs.counter("x").add(3)
+            with obs.span("right") as right:
+                obs.counter("x").add(2)
+        assert left.counters == {"x": 3}
+        assert right.counters == {"x": 2}
+        # parent keeps only its own unattributed remainder
+        assert parent.counters == {"x": 1}
+
+    def test_grandchild_claims_survive_zero_remainder_child(self, obs_on):
+        # The middle span increments nothing itself: its remainder for x
+        # is empty, but its *child's* claim must still shield the root.
+        with obs.span("root") as root:
+            with obs.span("mid") as mid:
+                with obs.span("leaf") as leaf:
+                    obs.counter("x").add(5)
+        assert leaf.counters == {"x": 5}
+        assert mid.counters == {}
+        assert root.counters == {}
+
+    def test_fully_claimed_counters_vanish_from_parent(self, obs_on):
+        with obs.span("parent") as parent:
+            with obs.span("child") as child:
+                obs.counter("x").add(4)
+        assert child.counters == {"x": 4}
+        assert "x" not in parent.counters
+
+    def test_meta_rides_along(self, obs_on):
+        with obs.span("epoch", step=3, scheme="rotate") as sp:
+            pass
+        assert sp.meta == {"step": 3, "scheme": "rotate"}
+
+
+class TestToDict:
+    def test_times_are_relative_to_root_start(self, obs_on):
+        with obs.span("root") as root:
+            with obs.span("child"):
+                pass
+        d = root.to_dict()
+        assert d["start"] == 0.0
+        child = d["children"][0]
+        assert child["start"] >= 0.0
+        assert child["start"] + child["duration"] <= d["duration"] + 1e-6
+
+    def test_empty_fields_are_omitted(self, obs_on):
+        with obs.span("bare") as sp:
+            pass
+        d = sp.to_dict()
+        assert "meta" not in d
+        assert "counters" not in d
+        assert "children" not in d
+
+
+class TestDisabledFastPath:
+    def test_span_returns_shared_noop(self, obs_off):
+        first = obs.span("anything", n=1)
+        second = obs.span("else")
+        assert first is second is _NOOP_SPAN
+        with first:
+            with obs.span("nested"):
+                pass
+        assert obs.take_finished() == []
+        assert obs.active_span() is None
+        assert len(obs.registry()) == 0
+
+    def test_exception_still_closes_and_records_span(self, obs_on):
+        with pytest.raises(RuntimeError):
+            with obs.span("root"):
+                with obs.span("child"):
+                    raise RuntimeError("boom")
+        roots = obs.take_finished()
+        assert [sp.name for sp in roots] == ["root"]
+        assert roots[0].end >= roots[0].start
+        assert obs.active_span() is None

@@ -84,3 +84,110 @@ class TestChaosCommand:
         assert code == 0
         assert "all invariants held" in out
         assert "seed=9" in out
+
+
+class TestStatsCommand:
+    def test_stats_options(self):
+        args = build_parser().parse_args(
+            ["stats", "--n", "80", "--backend", "lazy", "--flows", "200"]
+        )
+        assert args.command == "stats"
+        assert args.n == 80 and args.backend == "lazy" and args.flows == 200
+        assert args.trace is None
+
+    def test_stats_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stats", "--backend", "nope"])
+
+    def test_stats_end_to_end(self, capsys):
+        rc = main(
+            ["stats", "--n", "80", "--degree", "6", "--flows", "120",
+             "--seed", "3"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "manifest: schema=repro-khop-trace/1" in out
+        assert "knobs:" in out and "seed=3" in out
+        # the span flame covers the pipeline stages
+        for stage in ("traffic", "router", "epochs"):
+            assert stage in out
+        assert "of tallest root" in out
+        assert "counters:" in out or "gauges:" in out
+        # the layer is switched back off afterwards
+        from repro import obs
+
+        assert not obs.enabled()
+
+    def test_stats_optionally_writes_trace(self, capsys, tmp_path):
+        trace = tmp_path / "s.jsonl"
+        rc = main(
+            ["stats", "--n", "80", "--degree", "6", "--flows", "120",
+             "--seed", "3", "--trace", str(trace)]
+        )
+        assert rc == 0
+        assert f"trace written to {trace}" in capsys.readouterr().out
+        assert trace.is_file()
+
+
+class TestTracedRuns:
+    @staticmethod
+    def span_names(span_dict):
+        names = {span_dict["name"]}
+        for child in span_dict.get("children", ()):
+            names |= TestTracedRuns.span_names(child)
+        return names
+
+    def test_traffic_trace_writes_full_jsonl(self, capsys, tmp_path):
+        from repro import obs
+
+        trace = tmp_path / "t.jsonl"
+        rc = main(
+            ["traffic", "--n", "80", "--degree", "6", "--flows", "150",
+             "--seed", "3", "--trace", str(trace)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "packet-hops" in out
+        assert f"trace written to {trace}" in out
+        manifest, spans, metrics = obs.read_trace(trace)
+        assert manifest["knobs"]["command"] == "traffic"
+        assert manifest["knobs"]["n"] == 80
+        assert len(spans) == 1
+        names = self.span_names(spans[0])
+        assert {"traffic", "topology", "cluster", "cds", "labels",
+                "router", "epochs", "epoch"} <= names
+        assert metrics["gauges"]  # oracle/paths stats landed
+        assert not obs.enabled()
+
+    def test_mobility_trace_writes_jsonl(self, capsys, tmp_path):
+        from repro import obs
+
+        trace = tmp_path / "m.jsonl"
+        rc = main(
+            ["mobility", "--n", "80", "--degree", "6", "--flows", "100",
+             "--snapshots", "3", "--seed", "3", "--trace", str(trace)]
+        )
+        assert rc == 0
+        assert f"trace written to {trace}" in capsys.readouterr().out
+        manifest, spans, _ = obs.read_trace(trace)
+        assert manifest["knobs"]["command"] == "mobility"
+        assert manifest["knobs"]["snapshots"] == 3
+        names = self.span_names(spans[0])
+        assert "mobility" in names and "epoch" in names
+
+    def test_chaos_trace_writes_jsonl(self, capsys, tmp_path):
+        from repro import obs
+
+        trace = tmp_path / "c.jsonl"
+        rc = main(
+            ["chaos", "--seed", "9", "--events", "40", "--n", "60",
+             "--flows", "60", "--trace", str(trace)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "all invariants held" in out
+        assert f"trace written to {trace}" in out
+        manifest, spans, _ = obs.read_trace(trace)
+        assert manifest["knobs"]["command"] == "chaos"
+        names = self.span_names(spans[0])
+        assert "chaos" in names and "batch" in names
