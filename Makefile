@@ -5,15 +5,16 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-all lint typecheck chaos stats bench-smoke bench-smoke-ci bench-scaling bench-churn bench-traffic bench-pipeline bench-mobility bench-faults bench-obs help
+.PHONY: test test-all lint typecheck chaos stats serve-demo bench-smoke bench-smoke-ci bench-scaling bench-churn bench-traffic bench-pipeline bench-mobility bench-faults bench-obs bench-service help
 
 help:
 	@echo "make test           - tier-1 test suite (tests/ + benchmarks/, -x -q; slow cells skipped)"
 	@echo "make test-all       - full suite including the slow scenario-matrix cells"
-	@echo "make lint           - repro-lint static analysis (rules R001-R010; exits non-zero on findings)"
+	@echo "make lint           - repro-lint static analysis (rules R001-R011; exits non-zero on findings)"
 	@echo "make typecheck      - mypy strict on the typed core (net/, traffic/, core/); skipped if mypy absent"
 	@echo "make chaos          - randomized fault campaign (500 events) with per-batch invariant checks"
 	@echo "make stats          - instrumented quick traffic run: metrics registry + span flame summary"
+	@echo "make serve-demo     - long-lived engine service demo: seeded event stream + checkpoints in ./service-demo"
 	@echo "make bench-smoke    - benchmark suite at the reduced REPRO_TRIALS budget"
 	@echo "make bench-smoke-ci - scaling + churn + traffic + pipeline + mobility + obs benchmarks (the CI smoke job)"
 	@echo "make bench-scaling  - the full N=200..5000 distance-oracle scaling sweep"
@@ -23,6 +24,7 @@ help:
 	@echo "make bench-mobility - full mobility benchmark (N=2000, 20 snapshots, >=3x delta gate)"
 	@echo "make bench-faults   - fault-tolerance benchmark (loss tiers + crash campaign, >=1.5x retry gate)"
 	@echo "make bench-obs      - observability overhead gate (traced vs untraced quick pipeline, <=2%)"
+	@echo "make bench-service  - service growth benchmark (10^3 -> 10^4 joins under traffic, >=5x vs rebuild-per-join)"
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -46,11 +48,14 @@ chaos:
 stats:
 	$(PYTHON) -m repro.cli stats
 
+serve-demo:
+	$(PYTHON) -m repro.cli serve --events $${EVENTS:-200} --seed $${SEED:-7} --dir $${DIR:-service-demo}
+
 bench-smoke:
 	REPRO_TRIALS=$${REPRO_TRIALS:-2} $(PYTHON) -m pytest benchmarks -q
 
 bench-smoke-ci:
-	$(PYTHON) -m pytest benchmarks/test_bench_scaling.py benchmarks/test_bench_churn.py benchmarks/test_bench_traffic.py benchmarks/test_bench_pipeline.py benchmarks/test_bench_mobility.py benchmarks/test_bench_faults.py benchmarks/test_bench_obs.py -q
+	$(PYTHON) -m pytest benchmarks/test_bench_scaling.py benchmarks/test_bench_churn.py benchmarks/test_bench_traffic.py benchmarks/test_bench_pipeline.py benchmarks/test_bench_mobility.py benchmarks/test_bench_faults.py benchmarks/test_bench_obs.py benchmarks/test_bench_service.py -q
 
 bench-scaling:
 	REPRO_BENCH_FULL=1 REPRO_BENCH_STRICT=1 $(PYTHON) -m pytest benchmarks/test_bench_scaling.py -q
@@ -72,3 +77,6 @@ bench-faults:
 
 bench-obs:
 	REPRO_BENCH_FULL=1 REPRO_BENCH_STRICT=1 $(PYTHON) -m pytest benchmarks/test_bench_obs.py -q -s
+
+bench-service:
+	REPRO_BENCH_FULL=1 REPRO_BENCH_STRICT=1 $(PYTHON) -m pytest benchmarks/test_bench_service.py -q

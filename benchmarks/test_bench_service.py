@@ -1,0 +1,187 @@
+"""Service-growth benchmark: incremental admission vs rebuild-per-join.
+
+The tentpole claim this benchmark measures: the long-lived engine grows
+a network by an order of magnitude **under continuous traffic** without
+ever re-running the global clustering algorithm — every arrival is
+admitted through :func:`~repro.core.clustering.admit_nodes` plus the
+member-join backbone fast path (or a declared-head backbone-stage
+rebuild), with oracle/path/router caches inherited.  Against the naive
+alternative — rebuild ``khop_cluster`` + ``build_backbone`` from scratch
+on every arrival (the seed behavior for any topology change) — the
+incremental service must be **>= 5x** faster.
+
+The acceptance grid point (``REPRO_BENCH_FULL=1`` / ``make
+bench-service``) grows 10^3 -> 10^4 nodes; the default tier-1 pass uses
+a reduced instance so the gate stays fast.  The rebuild baseline is
+measured on evenly spaced snapshots of the same growth trajectory and
+integrated piecewise (rebuilding at every single arrival would take
+hours at the full point — that is the point).  Deliberate bench runs
+(strict/full/persist env flags) record to ``BENCH_service.json``.
+"""
+
+import os
+import time
+
+import numpy as np
+from conftest import persist_bench
+
+from repro.core.clustering import khop_cluster
+from repro.core.pipeline import build_backbone
+from repro.net.graph import Graph
+from repro.service.engine import ServiceConfig, ServiceEngine
+from repro.service.events import ServiceEvent
+
+#: (initial n, final n) — acceptance grid point and the reduced tier-1 one.
+FULL_CASE = (1_000, 10_000)
+QUICK_CASE = (150, 400)
+
+#: Average degree of the initial deployment.
+SERVICE_DEGREE = 8.0
+
+#: Cluster radius.
+SERVICE_K = 2
+
+#: A flow batch is injected every this many arrivals (continuous traffic).
+FLOW_EVERY = 20
+
+#: Flows per injected batch.
+FLOWS_PER_BATCH = 25
+
+#: Rebuild-baseline sample count along the growth trajectory.
+REBUILD_SAMPLES = 6
+
+
+def _case():
+    return FULL_CASE if os.environ.get("REPRO_BENCH_FULL") else QUICK_CASE
+
+
+def _growth_schedule(config, n_final, seed):
+    """Joins to ``n_final`` at seeded uniform positions, flows interleaved."""
+    rng = np.random.default_rng(seed)
+    w, h = 100.0, 100.0
+    events = []
+    for i in range(n_final - config.n):
+        pos = rng.uniform(0.0, 1.0, size=2) * (w, h)
+        events.append(
+            ServiceEvent(
+                seq=0, kind="join", position=(float(pos[0]), float(pos[1]))
+            )
+        )
+        if (i + 1) % FLOW_EVERY == 0:
+            events.append(
+                ServiceEvent(seq=0, kind="flow", flows=FLOWS_PER_BATCH)
+            )
+    return events
+
+
+def test_bench_service_growth_vs_rebuild_per_join(benchmark):
+    n0, n_final = _case()
+    joins = n_final - n0
+    config = ServiceConfig(
+        n=n0,
+        degree=SERVICE_DEGREE,
+        k=SERVICE_K,
+        seed=41,
+        checkpoint_every=0,
+        guard_every=0,  # guards are exercised by tier-1; this measures growth
+    )
+    schedule = _growth_schedule(config, n_final, seed=43)
+    engine = ServiceEngine(config)
+
+    def grow():
+        engine.apply_all(schedule)
+        return engine
+
+    # CPU time so the strict >= 5x gate is robust to CI scheduling noise.
+    t0 = time.process_time()
+    benchmark.pedantic(grow, rounds=1, iterations=1)
+    t1 = time.process_time()
+    incremental_s = t1 - t0
+
+    # The growth contract: every arrival admitted, traffic served, and
+    # *zero* from-scratch clustering re-runs along the way.
+    assert engine.graph.n == n_final
+    assert engine.counts["khop_reruns"] == 0
+    assert engine.counts["rebuild_fallbacks"] == 0
+    assert engine.counts["joins_admitted"] + engine.counts["heads_declared"] == joins
+    assert engine.counts["flows_routed"] > 0
+    assert all(h["flows"] > 0 for h in engine.history)
+
+    # Rebuild-per-join baseline, integrated over sampled snapshots: replay
+    # the same trajectory, and at evenly spaced sizes measure a full
+    # khop_cluster + build_backbone, charging that cost to every join in
+    # the surrounding stride.
+    replay = ServiceEngine(config)
+    stride = max(1, joins // REBUILD_SAMPLES)
+    rebuild_s = 0.0
+    sampled = 0
+    applied_joins = 0
+    for ev in schedule:
+        replay.apply(ev)
+        if ev.kind != "join":
+            continue
+        applied_joins += 1
+        if applied_joins % stride == 0 and sampled < REBUILD_SAMPLES:
+            g = Graph(replay.graph.n, replay.graph.edges)
+            r0 = time.process_time()
+            c = khop_cluster(g, SERVICE_K, engine="batched")
+            build_backbone(c, config.algorithm)
+            rebuild_s += (time.process_time() - r0) * stride
+            sampled += 1
+    rebuild_s *= joins / (sampled * stride)
+
+    speedup = rebuild_s / max(incremental_s, 1e-9)
+    if os.environ.get("REPRO_BENCH_STRICT"):
+        assert speedup >= 5.0, (
+            f"incremental growth ({incremental_s:.2f}s) should be >= 5x "
+            f"faster than rebuild-per-join (est. {rebuild_s:.2f}s)"
+        )
+    record = dict(
+        n_initial=n0,
+        n_final=n_final,
+        joins=joins,
+        k=SERVICE_K,
+        incremental_seconds=round(incremental_s, 3),
+        rebuild_per_join_seconds=round(rebuild_s, 3),
+        speedup=round(speedup, 1),
+        joins_admitted=int(engine.counts["joins_admitted"]),
+        heads_declared=int(engine.counts["heads_declared"]),
+        flows_routed=int(engine.counts["flows_routed"]),
+        mean_delivered=round(
+            float(np.mean([h["delivered"] for h in engine.history])), 4
+        ),
+    )
+    benchmark.extra_info.update(record)
+    persist_bench("BENCH_service.json", {"benchmark": "service_growth", **record})
+
+
+def test_bench_service_checkpoint_cost(benchmark, tmp_path):
+    """Durability overhead: snapshot latency and size at the grown scale."""
+    n0, n_final = _case()
+    # Durability cost is about state size, not growth history: grow a
+    # fraction of the full trajectory, then measure one snapshot.
+    target = n0 + max(50, (n_final - n0) // 10)
+    config = ServiceConfig(
+        n=n0, degree=SERVICE_DEGREE, k=SERVICE_K, seed=47,
+        checkpoint_every=0, guard_every=0,
+    )
+    engine = ServiceEngine(config, tmp_path)
+    engine.apply_all(_growth_schedule(config, target, seed=53))
+
+    t0 = time.process_time()
+    path = benchmark.pedantic(engine.checkpoint, rounds=1, iterations=1)
+    latency_s = time.process_time() - t0
+    nbytes = path.stat().st_size
+
+    from repro.service.checkpoint import latest_checkpoint
+
+    seq, record = latest_checkpoint(tmp_path)
+    assert seq == engine.cursor
+    assert record["state"]["n"] == engine.graph.n
+    out = dict(
+        n=engine.graph.n,
+        checkpoint_bytes=int(nbytes),
+        checkpoint_seconds=round(latency_s, 4),
+    )
+    benchmark.extra_info.update(out)
+    persist_bench("BENCH_service.json", {"benchmark": "service_checkpoint", **out})

@@ -90,6 +90,31 @@ class HeadRouter:
 
     # -- incremental maintenance ---------------------------------------- #
 
+    def rebind(self, result: BackboneResult) -> None:
+        """Swap in a backbone with *identical* head-graph objects, in place.
+
+        The O(1) counterpart of :meth:`inherit_from` for the one change
+        that cannot touch the head-routing layer: a member arrival, where
+        ``result`` differs from the current backbone only in its
+        ``clustering``.  The virtual graph, selected links, adjacency,
+        Dijkstra trees, head sequences, expanded walks and link segments
+        all remain exact verbatim — no verification, no copying.
+
+        Raises:
+            InvalidParameterError: if ``result`` does not share this
+                router's virtual-graph and selected-links objects (a
+                changed CDS stage must rebuild and :meth:`inherit_from`).
+        """
+        if (
+            result.virtual_graph is not self._result.virtual_graph
+            or result.selected_links is not self._result.selected_links
+        ):
+            raise InvalidParameterError(
+                "rebind requires the same head-graph objects; a changed "
+                "CDS stage must rebuild the router and inherit_from"
+            )
+        self._result = result
+
     def inherit_from(
         self,
         old: "HeadRouter",

@@ -20,6 +20,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import zlib
 from typing import Optional, Sequence
 
 from .figures import ablations, claims, figure4, figure5, figure6, figure7, overhead
@@ -134,6 +135,13 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--algorithm", default="AC-LMST")
     pc.add_argument("--flows", type=int, default=200)
     pc.add_argument(
+        "--join-weight",
+        type=float,
+        default=0.0,
+        help="campaign weight of node-arrival events (0 disables growth; "
+        "> 0 interleaves grow+shrink+rewire)",
+    )
+    pc.add_argument(
         "--keep-going",
         action="store_true",
         help="collect every violation instead of stopping at the first",
@@ -167,6 +175,45 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="also write the JSONL trace to PATH",
+    )
+
+    pv = sub.add_parser(
+        "serve",
+        help="run the long-lived engine service over a seeded event "
+        "schedule, with crash-consistent checkpoints and replay recovery",
+    )
+    pv.add_argument("--n", type=int, default=100)
+    pv.add_argument("--degree", type=float, default=8.0)
+    pv.add_argument("--k", type=int, default=2)
+    pv.add_argument("--algorithm", default="NC-Mesh")
+    pv.add_argument(
+        "--backend",
+        default="lazy",
+        choices=("dense", "lazy", "landmark", "auto"),
+    )
+    pv.add_argument("--seed", type=int, default=7)
+    pv.add_argument("--events", type=int, default=200)
+    pv.add_argument("--base-loss", type=float, default=0.05)
+    pv.add_argument("--checkpoint-every", type=int, default=50)
+    pv.add_argument("--guard-every", type=int, default=1)
+    pv.add_argument(
+        "--dir",
+        default=None,
+        metavar="PATH",
+        help="service directory for the event log and checkpoints "
+        "(default: in-memory only, no durability)",
+    )
+    pv.add_argument(
+        "--resume",
+        action="store_true",
+        help="recover from the service directory's durable state and "
+        "continue the schedule instead of starting fresh",
+    )
+    pv.add_argument(
+        "--no-fsync",
+        action="store_true",
+        help="skip fsync on event-log appends (faster; kill -9 "
+        "consistency is kept, power-loss durability is not)",
     )
 
     pl = sub.add_parser(
@@ -270,6 +317,44 @@ def _run_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """The ``repro-khop serve`` command: the supervised service loop."""
+    from . import obs
+    from .service import ServiceConfig, run_service
+
+    config = ServiceConfig(
+        n=args.n,
+        degree=args.degree,
+        k=args.k,
+        algorithm=args.algorithm,
+        backend=args.backend,
+        seed=args.seed,
+        base_loss=args.base_loss,
+        checkpoint_every=args.checkpoint_every,
+        guard_every=args.guard_every,
+        fsync=not args.no_fsync,
+    )
+    _start_tracing()
+    engine, report = run_service(
+        config,
+        events=args.events,
+        directory=args.dir,
+        resume=args.resume,
+    )
+    print(report.render())
+    # One-line digest of the observable state: two runs that processed
+    # the same schedule — straight through or via kill/recover/replay —
+    # print the same value (the CI recovery check greps it).
+    fp = zlib.crc32(repr(engine.fingerprint()).encode())
+    print(f"fingerprint          {fp:08x}")
+    if args.dir is not None:
+        print(f"service directory     {args.dir}")
+    print()
+    print(obs.render_metrics())
+    obs.set_enabled(False)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -294,6 +379,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.command == "stats":
         return _run_stats(args)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "chaos":
         from .faults import render_chaos, run_chaos
 
@@ -307,6 +394,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             k=args.k,
             algorithm=args.algorithm,
             flows=args.flows,
+            join_weight=args.join_weight,
             stop_on_violation=not args.keep_going,
             trace_path=args.trace,
         )
@@ -322,6 +410,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 k=args.k,
                 algorithm=args.algorithm,
                 flows=args.flows,
+                join_weight=args.join_weight,
             )
         return 0 if chaos_report.ok else 1
     if args.command == "figure4":

@@ -73,7 +73,13 @@ from ..types import NodeId
 from .membership import JoinContext, MembershipPolicy, resolve_membership
 from .priorities import PriorityScheme, key_ranks, resolve_priority
 
-__all__ = ["Clustering", "group_by_assignment", "khop_cluster"]
+__all__ = [
+    "Clustering",
+    "admit_nodes",
+    "group_by_assignment",
+    "khop_cluster",
+    "resolve_head_conflicts",
+]
 
 #: Environment variable selecting the clustering engine ("batched" default;
 #: "scalar" runs the per-node reference loop).
@@ -232,6 +238,195 @@ def khop_cluster(
         rounds=rounds,
         priority_name=prio.name,
         membership_name=policy.name,
+    )
+
+
+def admit_nodes(clustering: Clustering, graph: Graph) -> Clustering:
+    """Admit a grown graph's new nodes into an existing clustering.
+
+    The long-lived service's arrival path: ``graph`` extends
+    ``clustering.graph`` with new nodes at the next IDs (a
+    :meth:`~repro.net.graph.Graph.with_nodes` result), and each new node
+    is decided without re-running the global algorithm — it joins a head
+    within ``k`` hops through the clustering's membership policy, or
+    declares itself a head when none is in range.  New nodes are decided
+    in increasing ID order, and a node declared earlier in the batch is a
+    candidate for later arrivals.
+
+    Like §3.3 repair, this preserves the cover property (every member
+    within ``k`` hops of its head — re-checkable with
+    ``clustering_still_valid``) but not the initial rounds' k-hop
+    independence between heads: an arrival bridging two clusters can
+    leave their heads closer than ``k + 1`` hops, exactly as member
+    departures can after a repair splice.
+
+    Candidate extraction reuses the batched engine's join machinery (one
+    depth-``k`` multi-source BFS from the new nodes plus vectorized
+    in-range masks); the joins themselves resolve through
+    :meth:`~repro.core.membership.MembershipPolicy.choose` seeded with the
+    *current* cluster sizes, so the size-based policy sees the real
+    occupancy rather than the fresh-round sizes ``choose_batch`` assumes.
+    """
+    old_n = len(clustering.head_of)
+    if graph.n < old_n:
+        raise InvalidParameterError(
+            f"grown graph has {graph.n} nodes but clustering covers {old_n}"
+        )
+    if graph.n == old_n:
+        if graph is clustering.graph:
+            return clustering
+        raise InvalidParameterError(
+            "admit_nodes expects a graph grown from the clustering's graph"
+        )
+    k = clustering.k
+    policy = resolve_membership(clustering.membership_name)
+    indptr, indices = graph.csr_adjacency
+    new_nodes = np.arange(old_n, graph.n, dtype=np.int64)
+    head_of = [int(h) for h in clustering.head_of]
+    sizes = {h: s for h, s in clustering.cluster_sizes().items()}
+    declared: list[int] = []
+    with span("cluster.admit", n=graph.n, grown=int(new_nodes.size), k=k):
+        block = multi_source_bfs(indptr, indices, graph.n, new_nodes, max_depth=k)
+        base_heads = np.asarray(clustering.heads, dtype=np.int64)
+        # Distances from every new node to every pre-existing head, one
+        # gather; finite entries are <= k by the BFS depth limit.
+        base_dists = block[:, base_heads] if base_heads.size else block[:, :0]
+        for i, x in enumerate(new_nodes.tolist()):
+            in_range = base_dists[i] <= k
+            cands = base_heads[in_range].tolist()
+            cdists = base_dists[i][in_range].tolist()
+            for h in declared:  # earlier arrivals that declared (IDs ascend)
+                if block[i, h] <= k:
+                    cands.append(h)
+                    cdists.append(int(block[i, h]))
+            if not cands:
+                head_of.append(x)
+                declared.append(x)
+                sizes[x] = 1
+                continue
+            ctx = JoinContext(
+                node=x,
+                candidates=cands,
+                distances=[int(d) for d in cdists],
+                sizes=[sizes[h] for h in cands],
+            )
+            chosen = int(policy.choose(ctx))
+            if chosen not in sizes:
+                raise InvalidParameterError(
+                    f"membership policy {policy.name!r} chose non-candidate "
+                    f"head {chosen} for node {x}"
+                )
+            head_of.append(chosen)
+            sizes[chosen] += 1
+    return Clustering(
+        graph=graph,
+        k=k,
+        head_of=tuple(head_of),
+        # Declared arrivals carry the highest IDs, so appending keeps the
+        # head tuple sorted.
+        heads=tuple(clustering.heads) + tuple(declared),
+        rounds=clustering.rounds,
+        priority_name=clustering.priority_name,
+        membership_name=clustering.membership_name,
+    )
+
+
+def resolve_head_conflicts(clustering: Clustering) -> Clustering:
+    """Restore pairwise ``> k`` head separation after structural change.
+
+    Growth (and edge arrivals generally) can only *shorten* distances, so
+    two heads that were independent can drift within ``k`` hops of each
+    other — which is exactly the condition under which a virtual link's
+    canonical path can cross a third head and the backbone stage rejects
+    the clustering.  This is the local merge response: in each pass, for
+    every conflicting head pair the lower ID keeps its cluster (the
+    paper's min-ID priority idiom) and the higher is demoted; the
+    demoted cluster's nodes re-admit to a surviving head within ``k``
+    through the membership policy, or re-declare when none is in range.
+    A freshly declared node is ``> k`` from every head at that moment,
+    so each pass strictly shrinks the conflict set and the loop
+    terminates.
+
+    Returns ``clustering`` itself when no conflict exists (the cheap
+    common case: one multi-source BFS of depth ``k`` from the heads).
+    Cover is preserved: every node ends within ``k`` of its head.
+    """
+    graph = clustering.graph
+    k = clustering.k
+    indptr, indices = graph.csr_adjacency
+    policy = resolve_membership(clustering.membership_name)
+    head_of = [int(h) for h in clustering.head_of]
+    heads = [int(h) for h in clustering.heads]
+    merges = 0
+    with span("cluster.merge", n=graph.n, k=k):
+        while True:
+            harr = np.asarray(heads, dtype=np.int64)
+            block = multi_source_bfs(
+                indptr, indices, graph.n, harr, max_depth=k
+            )
+            demoted: set[int] = set()
+            for i, h in enumerate(heads):
+                if h in demoted:
+                    continue
+                for j in range(i + 1, len(heads)):
+                    h2 = heads[j]
+                    if h2 not in demoted and block[i, h2] <= k:
+                        demoted.add(h2)
+            if not demoted:
+                break
+            merges += len(demoted)
+            survivors = [h for h in heads if h not in demoted]
+            index_of = {h: i for i, h in enumerate(heads)}
+            sizes = {h: 0 for h in survivors}
+            for u, h in enumerate(head_of):
+                if h in sizes and u != h:
+                    sizes[h] += 1
+            for h in survivors:
+                sizes[h] += 1
+            orphans = [u for u in range(graph.n) if head_of[u] in demoted]
+            declared: list[int] = []
+            declared_balls: dict[int, np.ndarray] = {}
+            for u in orphans:
+                cands = [
+                    h for h in survivors if block[index_of[h], u] <= k
+                ]
+                cdists = [int(block[index_of[h], u]) for h in cands]
+                for h in declared:
+                    if declared_balls[h][u] <= k:
+                        cands.append(h)
+                        cdists.append(int(declared_balls[h][u]))
+                if not cands:
+                    head_of[u] = u
+                    declared.append(u)
+                    declared_balls[u] = multi_source_bfs(
+                        indptr,
+                        indices,
+                        graph.n,
+                        np.asarray([u], dtype=np.int64),
+                        max_depth=k,
+                    )[0]
+                    sizes[u] = 1
+                    continue
+                ctx = JoinContext(
+                    node=u,
+                    candidates=cands,
+                    distances=cdists,
+                    sizes=[sizes[h] for h in cands],
+                )
+                chosen = int(policy.choose(ctx))
+                head_of[u] = chosen
+                sizes[chosen] += 1
+            heads = sorted(survivors + declared)
+    if merges == 0:
+        return clustering
+    return Clustering(
+        graph=graph,
+        k=k,
+        head_of=tuple(head_of),
+        heads=tuple(heads),
+        rounds=clustering.rounds,
+        priority_name=clustering.priority_name,
+        membership_name=clustering.membership_name,
     )
 
 

@@ -142,6 +142,7 @@ def run_chaos(
     sample: int = 16,
     base_loss: float = 0.05,
     max_attempts: int = 3,
+    join_weight: float = 0.0,
     stop_on_violation: bool = True,
     trace_path: str | None = None,
 ) -> ChaosReport:
@@ -149,9 +150,18 @@ def run_chaos(
 
     Args:
         seed: campaign seed — topology, plan, workload and loss draws
-            all derive from it, so (seed, events) is a full repro.
+            all derive from it, so (seed, events, join_weight) is a
+            full repro.
         events: fault events to request from
             :func:`~repro.faults.plan.random_campaign`.
+        join_weight: campaign weight of node-arrival (``join``) events;
+            0 (the default) reproduces the pre-growth campaigns
+            bit-for-bit, > 0 interleaves grow+shrink+rewire.  Arrivals
+            resize the per-batch workload/loss model to the current
+            node count; the inherited-vs-fresh walk check inherits
+            join-only batches through the node-add path and skips
+            batches that mix growth with link changes (no single
+            inheritance certificate covers both at once).
         n / degree: chaos topology size and target mean degree.
         k: cluster radius.
         algorithm: backbone pipeline (localized only — the campaign
@@ -176,9 +186,17 @@ def run_chaos(
             f"chaos needs a localized algorithm "
             f"(one of {sorted(_LOCALIZED)}), got {algorithm!r}"
         )
+    if not 0.0 <= join_weight < 1.0:
+        raise InvalidParameterError(
+            f"join_weight must be in [0, 1), got {join_weight}"
+        )
     topology = random_topology(n, degree=degree, seed=seed)
     plan = random_campaign(
-        topology, events=events, epochs=max(2, events // 4), seed=seed
+        topology,
+        events=events,
+        epochs=max(2, events // 4),
+        seed=seed,
+        weights={"join": join_weight} if join_weight else None,
     )
     workload = make_workload("uniform", n, flows, seed=seed)
     state = FaultState(topology.graph)
@@ -189,10 +207,11 @@ def run_chaos(
 
     def violate(msg: str) -> None:
         trace_arg = f" --trace {trace_path}" if trace_path else ""
+        join_arg = f" --join-weight {join_weight}" if join_weight else ""
         report.violations.append(
             f"seed={seed} events={report.events_applied}: {msg} "
             f"(repro: repro-khop chaos --seed {seed} "
-            f"--events {report.events_applied}{trace_arg})"
+            f"--events {report.events_applied}{join_arg}{trace_arg})"
         )
 
     with span("chaos", seed=seed, events=events):
@@ -200,11 +219,19 @@ def run_chaos(
             if not batch:
                 continue
             with span("batch", epoch=epoch, events=len(batch)):
+                batch_kinds = {ev.kind for ev in batch}
                 state.apply_batch(batch)
                 report.events_applied += len(batch)
                 graph = state.graph
                 dead = set(state.dead)
                 checks = 0
+                if workload.n != graph.n:
+                    # Arrivals grew the population: regenerate the
+                    # (seed-pure) workload at the current node count so
+                    # new nodes source and sink traffic too.
+                    workload = make_workload(
+                        "uniform", graph.n, flows, seed=seed
+                    )
 
                 # 1 — edge-set coherence + CSR symmetry.
                 realized = set(graph.edges)
@@ -241,13 +268,13 @@ def run_chaos(
                     continue
 
                 # Routable flows: endpoints alive and sharing a component.
-                labels = np.full(n, -1, dtype=np.int64)
+                labels = np.full(graph.n, -1, dtype=np.int64)
                 for i, comp in enumerate(graph.connected_components()):
                     labels[list(comp)] = i
                 routable = labels[workload.sources] == labels[workload.targets]
                 sub = Workload(
                     name=workload.name,
-                    n=n,
+                    n=graph.n,
                     sources=workload.sources[routable],
                     targets=workload.targets[routable],
                     demands=workload.demands[routable],
@@ -256,14 +283,23 @@ def run_chaos(
                 router = BatchRouter(backbone)
 
                 # 3 — inherited caches route identically to a cold router.
+                # Join-only batches inherit through the node-add path;
+                # batches mixing growth with link changes have no single
+                # inheritance certificate and skip the check.
+                inherited: Optional[BatchRouter] = None
                 if prev_router is not None and sub.num_flows:
-                    touched = {x for e in prev_edges ^ realized for x in e}
-                    inherited = BatchRouter(backbone)
-                    inherited.inherit_edge_delta(prev_router, touched)
+                    if batch_kinds == {"join"}:
+                        inherited = BatchRouter(backbone)
+                        inherited.inherit_node_add(prev_router)
+                    elif "join" not in batch_kinds:
+                        touched = {x for e in prev_edges ^ realized for x in e}
+                        inherited = BatchRouter(backbone)
+                        inherited.inherit_edge_delta(prev_router, touched)
+                if inherited is not None:
                     take = min(sample, sub.num_flows)
                     probe = Workload(
                         name=sub.name,
-                        n=n,
+                        n=graph.n,
                         sources=sub.sources[:take],
                         targets=sub.targets[:take],
                         demands=sub.demands[:take],
@@ -288,7 +324,7 @@ def run_chaos(
                 delivered = 1.0
                 if sub.num_flows:
                     loss = LossModel.from_overrides(
-                        n, dict(state.loss), base_loss=base_loss
+                        graph.n, dict(state.loss), base_loss=base_loss
                     )
                     routed = router.route_flows(sub, with_shortest=False)
                     delivery = deliver(
@@ -320,7 +356,7 @@ def run_chaos(
                     EpochRecord(
                         epoch=epoch,
                         events_applied=report.events_applied,
-                        alive=n - len(dead),
+                        alive=graph.n - len(dead),
                         edges=len(realized),
                         components=len(components),
                         flows_routable=int(sub.num_flows),

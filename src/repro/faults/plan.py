@@ -56,6 +56,7 @@ __all__ = [
 #: Recognized event kinds, in no particular order.
 EVENT_KINDS: tuple[str, ...] = (
     "crash",
+    "join",
     "link_down",
     "link_up",
     "degrade",
@@ -77,10 +78,14 @@ class FaultEvent:
     Attributes:
         epoch: epoch index the event fires in (0-based).
         kind: one of :data:`EVENT_KINDS`.
-        node: crashed node for ``crash`` events.
-        edges: affected links for link/jam/degrade events (normalized).
+        node: crashed node for ``crash`` events; the arriving node's
+            planned id for ``join`` events (ids are assigned in plan
+            order, so the compiler can check numbering).
+        edges: affected links for link/jam/degrade events; for ``join``
+            events the compiled unit-disk attach links (normalized).
         loss: new per-link loss probability for ``degrade`` events.
-        center: jamming-disk center for ``jam``/``jam_end`` events.
+        center: jamming-disk center for ``jam``/``jam_end`` events; the
+            arrival position for ``join`` events.
         radius: jamming-disk radius for ``jam``/``jam_end`` events.
     """
 
@@ -375,15 +380,20 @@ def random_campaign(
     crash_fraction: float = 0.2,
     weights: Optional[dict[str, float]] = None,
 ) -> FaultPlan:
-    """A mixed seeded campaign: crashes, flaps, degrades and jams.
+    """A mixed seeded campaign: crashes, joins, flaps, degrades and jams.
 
     Draws ``events`` *scheduling decisions* from one RNG stream (so the
     whole campaign is a pure function of ``seed``), with kind
     probabilities from ``weights`` (default: flap-heavy with occasional
-    crashes and jams).  Crashes are drawn without replacement and hard
-    capped at ``crash_fraction`` of the node population so a long
-    campaign degrades the network instead of annihilating it; once the
-    cap is hit, further crash draws become flaps.
+    crashes and jams; ``join`` defaults to 0 — opting in exercises
+    grow+shrink+rewire interleavings).  Crashes are drawn without
+    replacement from the *initial* population and hard capped at
+    ``crash_fraction`` of it so a long campaign degrades the network
+    instead of annihilating it; once the cap is hit, further crash
+    draws become flaps.  Joins place a uniform random position in the
+    deployment area and compile its unit-disk attach links against all
+    earlier positions (including earlier arrivals); ids are assigned in
+    plan order, matching :class:`FaultState`'s sequential numbering.
 
     Note the emitted plan can contain more than ``events`` records:
     every flap and jam schedules its own recovery event.
@@ -394,7 +404,13 @@ def random_campaign(
         raise InvalidParameterError(
             f"crash_fraction must be in [0, 1], got {crash_fraction}"
         )
-    kind_weights = {"crash": 0.1, "link_down": 0.45, "degrade": 0.3, "jam": 0.15}
+    kind_weights = {
+        "crash": 0.1,
+        "join": 0.0,
+        "link_down": 0.45,
+        "degrade": 0.3,
+        "jam": 0.15,
+    }
     if weights is not None:
         unknown = set(weights) - set(kind_weights)
         if unknown:
@@ -407,6 +423,7 @@ def random_campaign(
     g = topology.graph
     max_crashes = int(crash_fraction * g.n)
     alive = list(range(g.n))
+    positions = [tuple(map(float, p)) for p in topology.positions.tolist()]
     out: list[FaultEvent] = []
     when = _spread_epochs(rng, events, epochs)
     for i in range(events):
@@ -417,6 +434,29 @@ def random_campaign(
         if kind == "crash":
             x = alive.pop(int(rng.integers(len(alive))))
             out.append(FaultEvent(epoch=epoch, kind="crash", node=x))
+        elif kind == "join":
+            w, h = topology.area
+            px = float(rng.uniform(0.0, w))
+            py = float(rng.uniform(0.0, h))
+            arr = np.asarray(positions, dtype=np.float64)
+            d2 = ((arr - (px, py)) ** 2).sum(axis=1)
+            x = len(positions)
+            attach = tuple(
+                normalize_edge(int(u), x)
+                for u in np.flatnonzero(
+                    d2 <= topology.radius * topology.radius
+                ).tolist()
+            )
+            positions.append((px, py))
+            out.append(
+                FaultEvent(
+                    epoch=epoch,
+                    kind="join",
+                    node=x,
+                    edges=attach,
+                    center=(px, py),
+                )
+            )
         elif kind == "link_down":
             if g.m == 0:
                 continue
@@ -480,12 +520,14 @@ class FaultState:
 
     Tracks which nodes are dead, a per-link outage reference count (so
     overlapping jams and flaps compose correctly: a link only recovers
-    when every outage holding it down has ended), and the current
-    per-link loss overrides consumed by
-    :class:`~repro.faults.delivery.LossModel`.
+    when every outage holding it down has ended), the links added by
+    ``join`` arrivals, and the current per-link loss overrides consumed
+    by :class:`~repro.faults.delivery.LossModel`.
 
-    The compiled graph always preserves node numbering, so clusterings
-    and walks remain comparable across the whole campaign.
+    The compiled graph always preserves node numbering — removals keep
+    dead nodes as isolated vertices and arrivals append at the top —
+    so clusterings and walks remain comparable across the whole
+    campaign.
     """
 
     base: Graph
@@ -493,6 +535,7 @@ class FaultState:
     dead: set[int] = field(default_factory=set)
     down: Counter = field(default_factory=Counter)
     loss: dict[Edge, float] = field(default_factory=dict)
+    grown: set[Edge] = field(default_factory=set)
 
     def __post_init__(self) -> None:
         self.graph = self.base
@@ -504,13 +547,14 @@ class FaultState:
     def expected_edges(self) -> set[Edge]:
         """The edge set the compiled graph *must* have right now.
 
-        Base edges, minus any incident to a dead node, minus any held
-        down by at least one active outage.  The chaos harness checks
-        the compiled graph against this after every batch.
+        Base edges plus join-grown attach links, minus any incident to
+        a dead node, minus any held down by at least one active outage.
+        The chaos harness checks the compiled graph against this after
+        every batch.
         """
         return {
             e
-            for e in self.base.edges
+            for e in set(self.base.edges) | self.grown
             if e[0] not in self.dead
             and e[1] not in self.dead
             and self.down[e] == 0
@@ -520,9 +564,10 @@ class FaultState:
         """Fold one epoch's events into the current graph and return it.
 
         Crashes are applied one node at a time through
-        :meth:`~repro.net.graph.Graph.without_nodes` (the incremental
-        CSR-patch + oracle-inheritance path); all link changes in the
-        batch collapse into a single
+        :meth:`~repro.net.graph.Graph.without_nodes` and arrivals
+        through :meth:`~repro.net.graph.Graph.with_nodes` (both
+        incremental CSR-patch + oracle-inheritance paths); all link
+        changes in the batch collapse into a single
         :meth:`~repro.net.graph.Graph.with_edge_delta` call.
         """
         removed: set[Edge] = set()
@@ -542,10 +587,29 @@ class FaultState:
                     for e, p in self.loss.items()
                     if x not in e
                 }
+            elif ev.kind == "join":
+                x = ev.node
+                if x is None:
+                    raise InvalidParameterError("join event without a node id")
+                if x != self.graph.n:
+                    raise InvalidParameterError(
+                        f"join numbering conflict: expected node "
+                        f"{self.graph.n}, event plans {x} (composed "
+                        "growth plans cannot interleave)"
+                    )
+                attach = [
+                    e
+                    for e in ev.edges
+                    if e[0] not in self.dead and e[1] not in self.dead
+                ]
+                self.graph = self.graph.with_nodes(1, attach)
+                self.grown.update(attach)
             elif ev.kind in ("link_down", "jam"):
                 for e in ev.edges:
                     self.down[e] += 1
-                    if self.down[e] == 1 and e in self.base_edges:
+                    if self.down[e] == 1 and (
+                        e in self.base_edges or e in self.grown
+                    ):
                         removed.add(e)
                         added.discard(e)
             elif ev.kind in ("link_up", "jam_end"):
@@ -555,7 +619,7 @@ class FaultState:
                     self.down[e] -= 1
                     if (
                         self.down[e] == 0
-                        and e in self.base_edges
+                        and (e in self.base_edges or e in self.grown)
                         and e[0] not in self.dead
                         and e[1] not in self.dead
                     ):

@@ -24,6 +24,7 @@ __all__ = [
     "HOT_MODULES",
     "HOT_ALLOWLIST",
     "LAZY_IMPORT_MODULES",
+    "DURABLE_FORMAT_MODULES",
     "COVERAGE_METHOD_RE",
     "TIMING_ALLOWLIST",
 ]
@@ -95,6 +96,13 @@ RULE_DOCS: dict[str, tuple[str, str]] = {
         "outside the obs layer — stage timing flows through repro.obs "
         "spans so every measurement lands in one trace with one "
         "attribution model (benchmarks/tests exempt)",
+    ),
+    "R011": (
+        "durable-formats",
+        "pickle/marshal/shelve never import in src/repro, at any level "
+        "— durable state (checkpoints, event logs) is versioned JSON, "
+        "so every artifact stays inspectable, diffable and loadable "
+        "across code versions (PR 9 contract)",
     ),
 }
 
@@ -172,6 +180,11 @@ HOT_ALLOWLIST: dict[str, tuple[str, ...]] = {
 
 #: R008: top-level imports of these packages are banned in src/repro.
 LAZY_IMPORT_MODULES = frozenset({"scipy", "matplotlib"})
+
+#: R011: serialization modules banned in src/repro at *any* import level
+#: (unlike R008 there is no function-local escape — a lazily imported
+#: pickle is just as opaque on disk as an eager one).
+DURABLE_FORMAT_MODULES = frozenset({"pickle", "cPickle", "marshal", "shelve"})
 
 #: R005: public cache-carryover method names that must be test-covered.
 COVERAGE_METHOD_RE = re.compile(r"^(inherit_\w+|with_\w*delta)$")

@@ -124,6 +124,7 @@ def all_rules() -> list[Rule]:
     from .rules_project import AllConsistencyRule, InheritanceCoverageRule
     from .rules_rng import RngDisciplineRule, SeededTestsRule
     from .rules_structure import (
+        DurableFormatRule,
         HotPathLoopRule,
         LazyImportRule,
         SilentExceptionRule,
@@ -141,6 +142,7 @@ def all_rules() -> list[Rule]:
         LazyImportRule(),
         SilentExceptionRule(),
         TimingDisciplineRule(),
+        DurableFormatRule(),
     ]
     return sorted(rules, key=lambda r: r.code)
 

@@ -14,6 +14,12 @@ R008 keeps ``import repro`` lightweight (the PR 3 contract): ``scipy``
 and ``matplotlib`` may only be imported inside functions (or under
 ``TYPE_CHECKING``), never at module top level in ``src/repro``.
 
+R011 keeps durable artifacts durable: the service layer's checkpoints
+and event logs are versioned JSON (crash-consistent, diffable, loadable
+by any future version), so ``pickle``/``marshal``/``shelve`` never
+import in ``src/repro`` — at *any* level.  R008's function-local escape
+does not apply: a lazily imported pickle is just as opaque on disk.
+
 R009 keeps failures observable: the fault-injection subsystem leans on
 typed exceptions (``PartitionError``, ``RepairError``) propagating to
 the layer that can act on them, so a handler that swallows everything —
@@ -32,6 +38,7 @@ from typing import Iterator
 from ..errors import Diagnostic
 from .astutil import dotted_name
 from .config import (
+    DURABLE_FORMAT_MODULES,
     HOT_ALLOWLIST,
     HOT_MODULES,
     LAZY_IMPORT_MODULES,
@@ -39,7 +46,12 @@ from .config import (
 )
 from .engine import Rule, SourceFile
 
-__all__ = ["HotPathLoopRule", "LazyImportRule", "SilentExceptionRule"]
+__all__ = [
+    "DurableFormatRule",
+    "HotPathLoopRule",
+    "LazyImportRule",
+    "SilentExceptionRule",
+]
 
 
 def _is_node_count(expr: ast.expr) -> bool:
@@ -149,6 +161,44 @@ class LazyImportRule(Rule):
                     return True
             cur = src.parents.get(cur)
         return False
+
+
+class DurableFormatRule(Rule):
+    """R011: pickle/marshal/shelve never import in src/repro."""
+
+    code = "R011"
+    name = "durable-formats"
+
+    def check_file(self, src: SourceFile) -> Iterator[Diagnostic]:
+        if not src.rel.startswith(SRC_PREFIX):
+            return
+        assert src.tree is not None
+        for node in ast.walk(src.tree):
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            if isinstance(node, ast.Import):
+                banned = [
+                    a.name.split(".")[0]
+                    for a in node.names
+                    if a.name.split(".")[0] in DURABLE_FORMAT_MODULES
+                ]
+            else:
+                if node.level or not node.module:
+                    continue
+                root = node.module.split(".")[0]
+                banned = [root] if root in DURABLE_FORMAT_MODULES else []
+            if not banned:
+                continue
+            # No function-local or TYPE_CHECKING escape: any import site
+            # means the format can reach a durable path.
+            yield Diagnostic(
+                src.rel,
+                node.lineno,
+                self.code,
+                f"import of {banned[0]}; durable state uses the versioned "
+                "JSON checkpoint/event-log formats — pickled artifacts "
+                "are opaque and break across code versions",
+            )
 
 
 def _body_is_silent(body: list[ast.stmt]) -> bool:

@@ -195,12 +195,33 @@ def _old_assignment_valid(
     return True
 
 
-def _verify_excluding(result: BackboneResult, excluded: set[NodeId]) -> None:
-    """Backbone verification that ignores the dead nodes."""
+def _verify_excluding(
+    result: BackboneResult,
+    excluded: set[NodeId],
+    *,
+    per_component: bool = False,
+) -> None:
+    """Backbone verification that ignores the dead nodes.
+
+    With ``per_component=True`` the CDS-connectivity requirement is
+    checked within each graph component instead of globally — the
+    service guard's contract, where a disconnected *graph* (an islanded
+    arrival, a partition served by degraded routing) is an expected
+    environmental condition, while a CDS split inside one component is
+    still an engine bug.
+    """
     g = result.clustering.graph
     check_gateways_are_members(result)
     _check_links_alive(result)
-    if not g.is_connected_subset(result.cds):
+    if per_component:
+        cds = set(result.cds)
+        for comp in g.connected_components():
+            sub = cds & set(comp)
+            if sub and not g.is_connected_subset(sub):
+                raise ValidationError(
+                    "repaired CDS is not connected within its component"
+                )
+    elif not g.is_connected_subset(result.cds):
         raise ValidationError("repaired CDS is not connected")
     k = result.clustering.k
     # Union of per-head k-balls (cache-friendly, output-sensitive) instead

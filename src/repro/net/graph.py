@@ -39,6 +39,11 @@ Design notes
   few edges, so the CSR arrays are patched only around the changed edges'
   endpoints and oracle caches inherit under the edge-delta valid-prefix
   rules (:meth:`~repro.net.oracle.LazyDistanceOracle.inherit_edge_delta`).
+* Node arrivals (the long-lived service's growth path) produce new graphs
+  via :meth:`Graph.with_nodes`: new nodes append at the next IDs, CSR rows
+  for them are appended while only the attachment endpoints' slices are
+  rewritten, and oracle caches carry over under the decrease-only
+  node-add rules (:meth:`~repro.net.oracle.LazyDistanceOracle.inherit_node_add`).
 * All backends use the int32 :data:`UNREACHABLE` sentinel and refuse
   graphs beyond :data:`~repro.net.oracle.MAX_ORACLE_NODES` nodes rather
   than silently overflowing hop distances (the seed's int16 ceiling of
@@ -569,6 +574,128 @@ class Graph:
                     new_adj[t], dtype=np.int64
                 )
             prev = t + 1
+        new_indptr.setflags(write=False)
+        new_indices.setflags(write=False)
+        return new_indptr, new_indices
+
+    def with_nodes(
+        self,
+        count: int,
+        edges: Iterable[tuple[NodeId, NodeId]] = (),
+        inherit_oracles: bool = True,
+    ) -> "Graph":
+        """Copy of the graph grown by ``count`` new nodes (the arrival case).
+
+        The mirror of :meth:`without_nodes`: new nodes take the next IDs
+        ``n .. n+count-1`` (existing numbering is preserved, so
+        clusterings and routes computed before an arrival stay directly
+        comparable), and ``edges`` are the arrivals' attachment edges.
+        Every attachment edge must touch at least one *new* node; a delta
+        purely among existing nodes is :meth:`with_edge_delta`'s job.
+
+        Like the other derived-graph hot paths, adjacency and CSR arrays
+        are patched rather than rebuilt — new CSR rows are appended and
+        only the old attachment endpoints' slices are rewritten — and
+        every lazy-family oracle carries its cached rows, partial rows
+        and balls into the grown graph via
+        :meth:`~repro.net.oracle.LazyDistanceOracle.inherit_node_add`
+        (arrivals only ever *decrease* distances, so carried rows are
+        padded and Dial-relaxed instead of recomputed).
+
+        ``inherit_oracles=False`` skips that carry and starts the grown
+        graph with empty oracle caches.  Relaxing every cached row costs
+        O(cache) *per arrival*; a long-lived growth loop that admits
+        thousands of nodes between queries pays O(cache x arrivals) to
+        preserve rows it could rebuild once, on demand, at the next
+        query batch.  Dropping caches never changes results — the
+        oracles are exact and rebuild lazily.
+
+        ``count == 0`` with no edges returns ``self`` (graphs are
+        immutable, so sharing is safe).
+        """
+        if count < 0:
+            raise InvalidParameterError(f"node count must be >= 0, got {count}")
+        new_n = self._n + count
+        add: set[Edge] = set()
+        for u, v in edges:
+            e = normalize_edge(int(u), int(v))
+            if not (0 <= e[0] < new_n and e[1] < new_n):
+                raise InvalidParameterError(
+                    f"edge {e} out of range for grown n={new_n}"
+                )
+            if e[1] < self._n:
+                raise InvalidParameterError(
+                    f"with_nodes edge {e} joins two existing nodes; "
+                    "use with_edge_delta for pure edge changes"
+                )
+            add.add(e)
+        if count == 0:
+            return self
+        added = sorted(add)
+        g = Graph.__new__(Graph)
+        g._n = new_n
+        # Both operands are sorted runs, so timsort merges in O(m).
+        g._edges = tuple(sorted(self._edges + tuple(added)))
+        adj: list[tuple[int, ...]] = list(self._adj) + [()] * count
+        patch: dict[int, set[int]] = {}
+        for u, v in added:
+            patch.setdefault(u, set(adj[u])).add(v)
+            patch.setdefault(v, set(adj[v])).add(u)
+        for t, nbrs in patch.items():
+            adj[t] = tuple(sorted(nbrs))
+        g._adj = tuple(adj)
+        g._oracles = {}
+        g._backend = self._backend
+        if "csr_adjacency" in self.__dict__:
+            touched_old = sorted(t for t in patch if t < self._n)
+            g.__dict__["csr_adjacency"] = self._grown_csr(
+                g._adj, touched_old, new_n
+            )
+        if inherit_oracles:
+            self._inherit_lazy_oracles(
+                g, lambda child, parent: child.inherit_node_add(parent, added)
+            )
+        return g
+
+    def _grown_csr(
+        self,
+        new_adj: Sequence[tuple[int, ...]],
+        touched_old: Sequence[int],
+        new_n: int,
+    ) -> tuple[IndexArray, IndexArray]:
+        """CSR arrays for a grown graph, reusing this graph's cached CSR.
+
+        Same contract as :meth:`_patched_csr`, plus appended rows for the
+        new node IDs ``self.n .. new_n-1``: untouched old spans are copied
+        contiguously, only the old attachment endpoints' slices are
+        rewritten, and the new nodes' slices land at the tail.
+        """
+        indptr, indices = self.csr_adjacency
+        new_degs = np.zeros(new_n, dtype=np.int64)
+        if self._n:
+            new_degs[: self._n] = np.diff(indptr)
+        for t in touched_old:
+            new_degs[t] = len(new_adj[t])
+        for x in range(self._n, new_n):
+            new_degs[x] = len(new_adj[x])
+        new_indptr = np.zeros(new_n + 1, dtype=np.int64)
+        np.cumsum(new_degs, out=new_indptr[1:])
+        new_indices = np.empty(int(new_indptr[-1]), dtype=np.int64)
+        prev = 0
+        for t in [*touched_old, self._n]:
+            if t > prev:  # contiguous untouched span [prev, t)
+                new_indices[new_indptr[prev] : new_indptr[t]] = indices[
+                    indptr[prev] : indptr[t]
+                ]
+            if t < self._n:
+                new_indices[new_indptr[t] : new_indptr[t + 1]] = np.asarray(
+                    new_adj[t], dtype=np.int64
+                )
+            prev = t + 1
+        for x in range(self._n, new_n):
+            new_indices[new_indptr[x] : new_indptr[x + 1]] = np.asarray(
+                new_adj[x], dtype=np.int64
+            )
         new_indptr.setflags(write=False)
         new_indices.setflags(write=False)
         return new_indptr, new_indices

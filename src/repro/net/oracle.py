@@ -79,6 +79,14 @@ endpoint, stay exact) and recompute through the bit-packed kernel
 instead.  A cached ball ``(s, r)`` survives iff every touched node sits
 at distance ``>= r`` from ``s`` — absent from the ball or exactly on its
 boundary.
+
+:meth:`Graph.with_nodes` (node arrivals, the long-lived service's growth
+path) inherits through :meth:`LazyDistanceOracle.inherit_node_add` — the
+pure *decrease* half of the same update: every old path survives, so
+cached rows are padded to the grown length and Dial-relaxed from the
+attachment endpoints (no orphan cascade exists), landing as exact full
+child rows; balls survive under the same boundary rule against the old
+attachment endpoints.
 """
 
 from __future__ import annotations
@@ -1261,6 +1269,103 @@ class LazyDistanceOracle(DistanceOracle):
             hit[hit] = nodes[pos[hit]] == touched[hit]
             if hit.any() and (dists[pos[hit]] != radius).any():
                 continue  # a touched node strictly inside: invalidated
+            ball_seed.append((key, ball, ball[0].nbytes + ball[1].nbytes))
+        self._rows.seed(row_seed)
+        self._balls.seed(ball_seed)
+        self._rows_inherited = len(row_seed)
+        self._balls_inherited = len(ball_seed)
+        self._note_peak()
+
+    def inherit_node_add(
+        self,
+        parent: "LazyDistanceOracle",
+        added: Sequence[tuple[int, int]],
+    ) -> None:
+        """Seed caches from ``parent`` after new nodes were appended.
+
+        ``added`` are the arrivals' attachment edges (each touching at
+        least one node ID ``>= parent.graph.n``).  Node addition is the
+        pure *decrease* case of the dynamic-BFS update: every old path
+        survives, so every cached parent entry remains a realizable upper
+        bound, and the only over-estimates are the new nodes themselves
+        (born at :data:`UNREACHABLE`) plus any old pair a path through a
+        new node genuinely shortcuts.  There is no orphan cascade —
+        :meth:`_relax_rows` alone, seeded with every finite attachment
+        endpoint, reaches the fixed point: any strictly-shorter child
+        path crosses an attachment edge at its first new node, and the
+        Dial sweep settles pairs in ascending distance order.
+
+        Every cached parent row is therefore carried as a **full exact**
+        child row: padded to the grown length with the sentinel, stacked,
+        and relaxed in one batch.  Rows whose *old* entries came through
+        unchanged (new nodes merely appended) are recorded in
+        :attr:`delta_certified_sources` — canonical-path inheritance
+        builds on that proof; rows with genuine old-entry shortcuts count
+        as ``rows_patched``.
+
+        A cached **ball** ``(s, r)`` survives iff every old attachment
+        endpoint sits at distance ``>= r`` from ``s``: a new node is then
+        at distance ``>= r + 1``, so it neither enters the closed ball
+        nor shortens any member's distance (a detour through it costs
+        ``>= r + 2``).  Parent partial rows chain with their radius
+        shrunk to the nearest old attachment endpoint inside the prefix,
+        padded to the grown length.
+        """
+        self._carry_lineage(parent)
+        old_n = parent._graph.n
+        new_n = self._graph.n
+        grown = new_n - old_n
+        add = np.asarray(sorted(added), dtype=np.int64).reshape(-1, 2)
+        ends = _dedupe_flat(add.ravel().copy())
+        touched_old = ends[ends < old_n]
+
+        def _padded(row: np.ndarray) -> np.ndarray:
+            out = np.full(new_n, UNREACHABLE, dtype=DIST_DTYPE)
+            out[:old_n] = row
+            return out
+
+        for src, (row, radius, chain) in parent._partial_rows.items():
+            if src in self._partial_rows:
+                continue
+            vals = row[touched_old]
+            inside = vals[vals <= radius]
+            m = int(inside.min()) if inside.size else radius
+            if m > 0:
+                self._partial_rows[src] = (_readonly(_padded(row)), m, chain)
+        srcs = [s for s, _ in parent._rows.items()]
+        certified: set[int] = set()
+        row_seed = []
+        if srcs:
+            old_block = np.stack([parent._rows.get(s) for s in srcs])
+            block = np.full((len(srcs), new_n), UNREACHABLE, dtype=np.int64)
+            block[:, :old_n] = old_block
+            # Seed every attachment endpoint in every row; endpoints still
+            # at the sentinel (new nodes, unreachable components) are
+            # filtered by the bucket sweep and re-enter once they gain a
+            # value through a finite neighbor.
+            rows_idx = np.repeat(np.arange(len(srcs)), ends.size)
+            nodes_idx = np.tile(ends, len(srcs))
+            if grown and ends.size:
+                self._relax_rows(block, rows_idx, nodes_idx)
+            old_changed = (block[:, :old_n] != old_block).any(axis=1)
+            for j, src in enumerate(srcs):
+                row = _readonly(block[j].astype(DIST_DTYPE))
+                if old_changed[j]:
+                    self._rows_patched += 1
+                else:
+                    certified.add(src)
+                row_seed.append((src, row, row.nbytes))
+        self._delta_certified = frozenset(certified)
+        self._cap_partial_rows()
+        ball_seed = []
+        for key, ball in parent._balls.items():
+            _, radius = key
+            nodes, dists = ball
+            pos = nodes.searchsorted(touched_old)
+            hit = pos < nodes.size
+            hit[hit] = nodes[pos[hit]] == touched_old[hit]
+            if hit.any() and (dists[pos[hit]] != radius).any():
+                continue  # an attachment endpoint strictly inside: invalidated
             ball_seed.append((key, ball, ball[0].nbytes + ball[1].nbytes))
         self._rows.seed(row_seed)
         self._balls.seed(ball_seed)

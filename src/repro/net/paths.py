@@ -227,6 +227,65 @@ class PathOracle:
             self._peak_bytes = self._cache.nbytes
         return len(seed)
 
+    def inherit_node_add(self, parent: "PathOracle") -> int:
+        """Seed the path cache from ``parent`` after node arrivals.
+
+        New nodes append at IDs ``>= parent.graph.n``, so they can never
+        win a min-ID tie in the backward walk — adjacency growing by
+        only-higher-ID neighbors leaves every candidate ``min()``
+        unchanged.  A cached path therefore survives iff the BFS levels
+        its walk consults are provably unchanged: both oracles must hold
+        resident rows for the path's root ``s``
+        (:meth:`DistanceOracle.cached_row`), and the child row's *old*
+        prefix must agree with the parent row on every path node and
+        every old neighbor of a path node (arrivals only decrease
+        distances, so a disagreement means a genuine shortcut rerouted
+        the walk's levels).  The verification mirrors
+        :meth:`inherit_edge_delta` — and like there, the row comparison
+        judges the parent oracle's graph against this one, so chained
+        arrivals compose (the recorded per-hop certificates deliberately
+        go unused).
+
+        Returns the number of paths carried over.
+        """
+        old_n = parent._graph.n
+        parent_oracle = parent._graph.oracle
+        child_oracle = self._graph.oracle
+        indptr, indices = self._graph.csr_adjacency
+        # Per source: nodes whose own or neighboring level changed (None =
+        # no resident row pair, drop the source's paths).
+        bad_nodes: dict[int, set | None] = {}
+        seed = []
+        for key, path in parent._cache.items():
+            if key in self._cache:
+                continue
+            s = key[0]
+            bad = bad_nodes.get(s, -1)
+            if bad == -1:
+                old_row = parent_oracle.cached_row(s)
+                new_row = child_oracle.cached_row(s)
+                if old_row is None or new_row is None:
+                    bad = None
+                else:
+                    moved = np.flatnonzero(new_row[:old_n] != old_row)
+                    if moved.size:
+                        nbrs, _ = gather_csr_neighbors(
+                            indptr, indices, moved
+                        )
+                        bad = set(moved.tolist())
+                        bad.update(nbrs.tolist())
+                    else:
+                        bad = set()
+                bad_nodes[s] = bad
+            if bad is None or not bad.isdisjoint(path):
+                continue
+            seed.append((key, path, _path_nbytes(path)))
+        self._cache.seed(seed)
+        self._paths_inherited += len(seed)
+        if self._cache.nbytes > self._peak_bytes:
+            self._peak_bytes = self._cache.nbytes
+        return len(seed)
+
     def has_path(self, u: NodeId, v: NodeId) -> bool:
         """Whether the ``u``-``v`` canonical path is already cached."""
         if u == v:

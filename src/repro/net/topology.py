@@ -19,7 +19,7 @@ Two radius-calibration modes are offered:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 import numpy as np
@@ -69,6 +69,31 @@ class Topology:
     def realized_degree(self) -> float:
         """Mean degree of the generated graph."""
         return self.graph.average_degree()
+
+    def with_node(self, position: np.ndarray) -> "Topology":
+        """The topology grown by one node at ``position`` (the arrival case).
+
+        The new node takes ID ``n``; its attachment edges are every
+        existing node within the common transmission ``radius``, computed
+        with the same float expression as :func:`unit_disk_edges` so
+        growth and from-scratch generation agree bit-identically at the
+        radius knife-edge.  The underlying graph grows through
+        :meth:`Graph.with_nodes` (CSR patching + oracle cache
+        inheritance); an arrival outside everyone's range still joins the
+        topology, just as an isolated node.
+        """
+        pos = np.asarray(position, dtype=np.float64).reshape(2)
+        diff = self.positions - pos
+        within = np.sqrt(np.einsum("ij,ij->i", diff, diff)) <= self.radius
+        x = self.n
+        grown = self.graph.with_nodes(
+            1, [(int(u), x) for u in np.flatnonzero(within)]
+        )
+        return replace(
+            self,
+            graph=grown,
+            positions=np.concatenate([self.positions, pos[None, :]]),
+        )
 
 
 def radius_for_degree(n: int, degree: float, area: Area = PAPER_AREA) -> float:

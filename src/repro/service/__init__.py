@@ -1,0 +1,68 @@
+"""repro.service — the long-lived engine service.
+
+Everything else in the repository answers one-shot questions: build a
+topology, cluster it, run an experiment, exit.  This package keeps the
+engine *running*: a supervised event loop consumes a stream of
+join/leave/move/link/flow events and folds each one through the
+incremental machinery the earlier layers already provide —
+:meth:`~repro.net.graph.Graph.with_nodes` growth with oracle/path/router
+cache inheritance, :func:`~repro.core.clustering.admit_nodes` admission,
+the §3.3 repair ladder for departures, edge deltas for motion — so the
+service's steady state never re-runs the global clustering algorithm.
+
+The three concerns, one module each:
+
+* :mod:`~repro.service.engine` — the event loop itself
+  (:class:`ServiceEngine`), plus the seeded demo runner the CLI and the
+  benchmarks drive;
+* :mod:`~repro.service.events` — the typed, JSON-round-trippable event
+  model (:class:`ServiceEvent`), seeded schedule generation, and the
+  adapter folding a :class:`~repro.faults.plan.FaultPlan` into the same
+  stream;
+* :mod:`~repro.service.guards` — runtime invariant guards (CSR
+  symmetry, cover validity, backbone battery) that turn a violated
+  invariant into a structured incident plus a scoped rebuild instead of
+  a crash;
+* :mod:`~repro.service.checkpoint` / :mod:`~repro.service.recovery` —
+  crash-consistent durability: append-only JSONL event log, versioned
+  atomic snapshots, and deterministic restore-and-replay such that a
+  killed process resumes bit-identical (same walks, same RNG stream
+  position).
+
+Durable formats are JSON/JSONL only — never pickle (lint rule R011).
+"""
+
+from .checkpoint import (
+    append_event,
+    latest_checkpoint,
+    read_events,
+    write_checkpoint,
+)
+from .engine import ServiceConfig, ServiceEngine, ServiceReport, run_service
+from .events import (
+    SERVICE_EVENT_KINDS,
+    ServiceEvent,
+    events_from_fault_plan,
+    seeded_schedule,
+)
+from .guards import GuardIncident, run_guards
+from .recovery import recover, replay_events
+
+__all__ = [
+    "SERVICE_EVENT_KINDS",
+    "ServiceConfig",
+    "ServiceEngine",
+    "ServiceEvent",
+    "ServiceReport",
+    "GuardIncident",
+    "append_event",
+    "events_from_fault_plan",
+    "latest_checkpoint",
+    "read_events",
+    "recover",
+    "replay_events",
+    "run_guards",
+    "run_service",
+    "seeded_schedule",
+    "write_checkpoint",
+]

@@ -1,0 +1,301 @@
+"""The service's typed event model and seeded schedule generation.
+
+A :class:`ServiceEvent` is one unit of work for the long-lived engine:
+an arrival (``join``, carrying a deployment position), a departure
+(``leave``), motion (``move``), a manual link perturbation
+(``link_down``/``link_up``), a per-link loss degradation (``degrade``),
+or a traffic batch (``flow``).  Events are values with an exact JSON
+round-trip (:meth:`ServiceEvent.to_record` /
+:meth:`ServiceEvent.from_record`) — the append-only event log and the
+replay recovery path depend on the round-trip being lossless.
+
+Two producers feed the same stream:
+
+* :func:`seeded_schedule` — a deterministic, seed-reproducible mix of
+  all kinds (the growth demo's driver: arrival-heavy under continuous
+  traffic); identical seeds yield identical schedules bit-for-bit.
+* :func:`events_from_fault_plan` — folds a PR-7
+  :class:`~repro.faults.plan.FaultPlan` into service events (crash
+  becomes leave, flap/jam become link events, degrade carries over), so
+  chaos campaigns compose with the service loop.
+
+Events carry *intent*, not compiled deltas: a join's concrete edges are
+derived at apply time from the engine's current positions (unit-disk
+rule), which keeps the log replayable from any checkpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Iterator, Optional, Sequence
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from ..faults.plan import FaultPlan
+from ..net.topology import Topology
+from ..types import Edge, normalize_edge
+
+__all__ = [
+    "SERVICE_EVENT_KINDS",
+    "ServiceEvent",
+    "seeded_schedule",
+    "events_from_fault_plan",
+    "interleave",
+]
+
+#: Recognized service event kinds.
+SERVICE_EVENT_KINDS: tuple[str, ...] = (
+    "join",
+    "leave",
+    "move",
+    "link_down",
+    "link_up",
+    "degrade",
+    "flow",
+)
+
+
+@dataclass(frozen=True)
+class ServiceEvent:
+    """One unit of work for the service loop.
+
+    Attributes:
+        seq: position in the event log (0-based; the engine re-stamps on
+            apply, so producers may leave it at 0).
+        kind: one of :data:`SERVICE_EVENT_KINDS`.
+        node: subject node for ``leave``/``move``.
+        position: deployment/destination coordinates for
+            ``join``/``move``.
+        edges: affected links for ``link_down``/``link_up``/``degrade``.
+        loss: per-link loss probability for ``degrade``.
+        flows: batch size for ``flow`` events.
+    """
+
+    seq: int
+    kind: str
+    node: Optional[int] = None
+    position: Optional[tuple[float, float]] = None
+    edges: tuple[Edge, ...] = ()
+    loss: float = 0.0
+    flows: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in SERVICE_EVENT_KINDS:
+            raise InvalidParameterError(f"unknown service event {self.kind!r}")
+        if self.seq < 0:
+            raise InvalidParameterError(f"seq must be >= 0, got {self.seq}")
+        if self.kind in ("join", "move") and self.position is None:
+            raise InvalidParameterError(f"{self.kind} event needs a position")
+        if self.kind in ("leave", "move") and self.node is None:
+            raise InvalidParameterError(f"{self.kind} event needs a node")
+        if not 0.0 <= self.loss <= 1.0:
+            raise InvalidParameterError(f"loss must be in [0, 1], got {self.loss}")
+        if self.kind == "flow" and self.flows < 1:
+            raise InvalidParameterError("flow event needs flows >= 1")
+
+    def to_record(self) -> dict[str, Any]:
+        """A compact JSON-serializable record (omits unset fields)."""
+        rec: dict[str, Any] = {"seq": self.seq, "kind": self.kind}
+        if self.node is not None:
+            rec["node"] = self.node
+        if self.position is not None:
+            rec["position"] = [float(self.position[0]), float(self.position[1])]
+        if self.edges:
+            rec["edges"] = [[int(u), int(v)] for u, v in self.edges]
+        if self.loss:
+            rec["loss"] = self.loss
+        if self.flows:
+            rec["flows"] = self.flows
+        return rec
+
+    @classmethod
+    def from_record(cls, rec: dict[str, Any]) -> "ServiceEvent":
+        """Inverse of :meth:`to_record` (exact round-trip)."""
+        pos = rec.get("position")
+        return cls(
+            seq=int(rec["seq"]),
+            kind=str(rec["kind"]),
+            node=rec.get("node"),
+            position=(float(pos[0]), float(pos[1])) if pos is not None else None,
+            edges=tuple(
+                normalize_edge(int(u), int(v)) for u, v in rec.get("edges", ())
+            ),
+            loss=float(rec.get("loss", 0.0)),
+            flows=int(rec.get("flows", 0)),
+        )
+
+    def stamped(self, seq: int) -> "ServiceEvent":
+        """Copy with ``seq`` set (the engine's log-position stamp)."""
+        return replace(self, seq=seq)
+
+
+def seeded_schedule(
+    topology: Topology,
+    *,
+    events: int,
+    seed: int,
+    weights: Optional[dict[str, float]] = None,
+    flows_per_batch: int = 50,
+    loss_range: tuple[float, float] = (0.05, 0.4),
+) -> tuple[ServiceEvent, ...]:
+    """A deterministic mixed event schedule for the service demo.
+
+    Draws ``events`` decisions from one RNG stream, so the whole
+    schedule is a pure function of ``seed``.  Default weights are
+    arrival-heavy with continuous traffic — the growth-under-traffic
+    shape the service benchmark drives.  Join positions are uniform in
+    the deployment area; moves re-place an existing node the same way;
+    leaves and link flaps pick uniformly among the *initially known*
+    nodes/links (the generator tracks arrivals so late events can also
+    target grown nodes, but never nodes it already removed).
+
+    Flap recovery (``link_up``) rides two events after its ``link_down``
+    when the horizon allows, mirroring
+    :func:`~repro.faults.plan.random_campaign`.
+    """
+    if events < 0:
+        raise InvalidParameterError(f"events must be >= 0, got {events}")
+    kind_weights = {
+        "join": 0.35,
+        "flow": 0.35,
+        "move": 0.1,
+        "leave": 0.05,
+        "link_down": 0.1,
+        "degrade": 0.05,
+    }
+    if weights is not None:
+        unknown = set(weights) - set(kind_weights)
+        if unknown:
+            raise InvalidParameterError(f"unknown schedule kinds {unknown}")
+        kind_weights.update(weights)
+    kinds = sorted(k for k, w in kind_weights.items() if w > 0)
+    probs = np.asarray([kind_weights[k] for k in kinds], dtype=np.float64)
+    probs /= probs.sum()
+    rng = np.random.default_rng(seed)
+    w, h = topology.area
+    area = np.asarray([w, h], dtype=np.float64)
+    n = topology.n
+    gone: set[int] = set()
+    base_edges = list(topology.graph.edges)
+    out: list[ServiceEvent] = []
+    pending_up: list[tuple[int, Edge]] = []  # (emit at index, edge)
+    while len(out) < events:
+        due = [e for at, e in pending_up if at <= len(out)]
+        if due:
+            pending_up = [(at, e) for at, e in pending_up if at > len(out)]
+            out.extend(
+                ServiceEvent(seq=0, kind="link_up", edges=(e,)) for e in due
+            )
+            continue
+        kind = kinds[int(rng.choice(len(kinds), p=probs))]
+        alive = [u for u in range(n) if u not in gone]
+        if kind == "leave" and len(alive) <= 4:
+            kind = "flow"  # never drain the network dry
+        if kind == "join":
+            pos = rng.uniform(0.0, 1.0, size=2) * area
+            out.append(
+                ServiceEvent(
+                    seq=0, kind="join", position=(float(pos[0]), float(pos[1]))
+                )
+            )
+            n += 1
+        elif kind == "leave":
+            x = alive[int(rng.integers(len(alive)))]
+            gone.add(x)
+            out.append(ServiceEvent(seq=0, kind="leave", node=x))
+        elif kind == "move":
+            x = alive[int(rng.integers(len(alive)))]
+            pos = rng.uniform(0.0, 1.0, size=2) * area
+            out.append(
+                ServiceEvent(
+                    seq=0,
+                    kind="move",
+                    node=x,
+                    position=(float(pos[0]), float(pos[1])),
+                )
+            )
+        elif kind == "link_down":
+            if not base_edges:
+                continue
+            edge = base_edges[int(rng.integers(len(base_edges)))]
+            out.append(ServiceEvent(seq=0, kind="link_down", edges=(edge,)))
+            pending_up.append((len(out) + 2, edge))
+        elif kind == "degrade":
+            if not base_edges:
+                continue
+            edge = base_edges[int(rng.integers(len(base_edges)))]
+            lo, hi = loss_range
+            out.append(
+                ServiceEvent(
+                    seq=0,
+                    kind="degrade",
+                    edges=(edge,),
+                    loss=float(rng.uniform(lo, hi)),
+                )
+            )
+        else:  # flow
+            out.append(ServiceEvent(seq=0, kind="flow", flows=flows_per_batch))
+    return tuple(ev.stamped(i) for i, ev in enumerate(out[:events]))
+
+
+def events_from_fault_plan(plan: FaultPlan) -> tuple[ServiceEvent, ...]:
+    """Fold a :class:`~repro.faults.plan.FaultPlan` into service events.
+
+    Kind mapping: ``crash`` becomes ``leave``; ``join`` becomes a join
+    at the fault event's arrival position (the engine re-derives attach
+    links from its own positions, so the compiled edge tuple is
+    dropped); ``link_down``/``jam`` become ``link_down`` and their
+    recoveries ``link_up``; ``degrade`` carries its loss override
+    through.  Epoch grouping flattens into log order (events within an
+    epoch keep the plan's stable order) — the service loop is
+    event-granular, not epoch-granular.
+    """
+    out: list[ServiceEvent] = []
+    for ev in plan.events:
+        if ev.kind == "crash":
+            if ev.node is None:
+                raise InvalidParameterError("crash event without a node")
+            out.append(ServiceEvent(seq=0, kind="leave", node=ev.node))
+        elif ev.kind == "join":
+            if ev.center is None:
+                raise InvalidParameterError("join event without a position")
+            out.append(
+                ServiceEvent(seq=0, kind="join", position=ev.center)
+            )
+        elif ev.kind in ("link_down", "jam"):
+            if ev.edges:
+                out.append(
+                    ServiceEvent(seq=0, kind="link_down", edges=ev.edges)
+                )
+        elif ev.kind in ("link_up", "jam_end"):
+            if ev.edges:
+                out.append(ServiceEvent(seq=0, kind="link_up", edges=ev.edges))
+        elif ev.kind == "degrade":
+            out.append(
+                ServiceEvent(
+                    seq=0, kind="degrade", edges=ev.edges, loss=ev.loss
+                )
+            )
+        else:  # pragma: no cover - FaultEvent validates kinds
+            raise InvalidParameterError(f"unknown fault kind {ev.kind!r}")
+    return tuple(ev.stamped(i) for i, ev in enumerate(out))
+
+
+def interleave(
+    *streams: Sequence[ServiceEvent],
+) -> Iterator[ServiceEvent]:
+    """Round-robin merge of event streams, re-stamped in merge order."""
+    iters = [iter(s) for s in streams]
+    seq = 0
+    while iters:
+        nxt: list[Iterator[ServiceEvent]] = []
+        for it in iters:
+            try:
+                ev = next(it)
+            except StopIteration:
+                continue
+            yield ev.stamped(seq)
+            seq += 1
+            nxt.append(it)
+        iters = nxt

@@ -1,0 +1,151 @@
+"""Runtime invariant guards for the long-lived service.
+
+A one-shot experiment can afford to crash on a broken invariant — the
+operator reruns it.  A service cannot: the contract here is that a
+violated invariant becomes a **structured incident** plus a scoped
+rebuild, never an unhandled exception.  The guards re-check, on the live
+state, the same invariants the chaos harness asserts offline:
+
+1. **CSR symmetry / edge coherence** — the compiled adjacency arrays
+   round-trip to the graph's normalized edge set, every arc paired with
+   its reverse (:func:`check_csr_symmetry`);
+2. **cover validity** — every alive node still sits within ``k`` hops of
+   its assigned head
+   (:func:`~repro.maintenance.repair.clustering_still_valid` via
+   :func:`check_cover`);
+3. **backbone battery** — the verification battery the repair ladder
+   runs before accepting a backbone, excluding dead nodes
+   (:func:`check_backbone`).
+
+:func:`run_guards` bundles all three and returns the incidents found
+(empty list = healthy); the engine counts trips, logs each incident to
+the run's incident log, and falls back to a scoped rebuild.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..core.clustering import Clustering
+from ..core.pipeline import BackboneResult
+from ..errors import ValidationError
+from ..maintenance.repair import clustering_still_valid
+from ..net.graph import Graph
+from ..types import normalize_edge
+
+__all__ = [
+    "GuardIncident",
+    "check_csr_symmetry",
+    "check_cover",
+    "check_backbone",
+    "run_guards",
+]
+
+
+@dataclass(frozen=True)
+class GuardIncident:
+    """One detected invariant violation, ready for the incident log.
+
+    Attributes:
+        guard: which guard tripped (``csr`` / ``cover`` / ``backbone``).
+        message: human-readable description of the violation.
+        seq: event-log position of the event that exposed it.
+        kind: that event's kind (diagnosis context).
+    """
+
+    guard: str
+    message: str
+    seq: int
+    kind: str
+
+    def to_record(self) -> dict[str, Any]:
+        """JSON-serializable incident record."""
+        return {
+            "type": "incident",
+            "guard": self.guard,
+            "message": self.message,
+            "seq": self.seq,
+            "kind": self.kind,
+        }
+
+
+def check_csr_symmetry(graph: Graph) -> Optional[str]:
+    """CSR arrays round-trip to the normalized edge set; None if healthy."""
+    indptr, indices = graph.csr_adjacency
+    arcs = set()
+    for u in range(graph.n):
+        for v in indices[indptr[u] : indptr[u + 1]].tolist():
+            arcs.add((u, v))
+    for u, v in arcs:
+        if (v, u) not in arcs:
+            return f"CSR adjacency asymmetric: arc ({u}, {v}) has no reverse"
+    realized = {normalize_edge(u, v) for u, v in arcs}
+    if realized != set(graph.edges):
+        missing = sorted(set(graph.edges) - realized)[:3]
+        extra = sorted(realized - set(graph.edges))[:3]
+        return f"CSR edge set diverges: missing={missing} extra={extra}"
+    return None
+
+
+def check_cover(
+    clustering: Clustering, graph: Graph, dead: set[int]
+) -> Optional[str]:
+    """Every alive node within ``k`` of its head; None if healthy."""
+    if clustering_still_valid(clustering, graph, exclude=dead):
+        return None
+    return (
+        f"cover violated: an alive node is more than k={clustering.k} "
+        "hops from its assigned head"
+    )
+
+
+def check_backbone(
+    backbone: BackboneResult, dead: set[int]
+) -> Optional[str]:
+    """The repair ladder's verification battery; None if healthy.
+
+    CDS connectivity is required per graph component, not globally: a
+    disconnected graph (an islanded arrival, a partition) is an expected
+    environmental condition the service keeps serving through, while a
+    CDS split *inside* one component is still an engine bug.
+    """
+    from ..maintenance.repair import _excluded_nodes, _verify_excluding
+
+    try:
+        _verify_excluding(
+            backbone,
+            _excluded_nodes(backbone.clustering) | dead,
+            per_component=True,
+        )
+    except ValidationError as exc:
+        return f"backbone battery failed: {exc}"
+    return None
+
+
+def run_guards(
+    graph: Graph,
+    clustering: Clustering,
+    backbone: Optional[BackboneResult],
+    dead: set[int],
+    *,
+    seq: int,
+    kind: str,
+) -> list[GuardIncident]:
+    """Run every guard against the live state; empty list = healthy.
+
+    ``backbone=None`` (degraded mode, e.g. after a partition) skips the
+    backbone battery — cover and CSR guards still run.
+    """
+    incidents: list[GuardIncident] = []
+    msg = check_csr_symmetry(graph)
+    if msg is not None:
+        incidents.append(GuardIncident("csr", msg, seq, kind))
+    msg = check_cover(clustering, graph, dead)
+    if msg is not None:
+        incidents.append(GuardIncident("cover", msg, seq, kind))
+    if backbone is not None:
+        msg = check_backbone(backbone, dead)
+        if msg is not None:
+            incidents.append(GuardIncident("backbone", msg, seq, kind))
+    return incidents

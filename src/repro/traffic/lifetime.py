@@ -293,9 +293,16 @@ def simulate_traffic_lifetime(
                     # Under rotation the next epoch re-elects heads anyway,
                     # so inheriting would be wasted work.
                     router = BatchRouter(backbone)
-                    inherited = router.inherit_from(
-                        old_router, node, outcome.scope_heads
+                    # A spliced repair (member fast path or gateway
+                    # splice) is routing-indistinguishable from a
+                    # rebuild — link set and weights are identical —
+                    # so the conservative changed-heads mask would only
+                    # discard state the structural comparison certifies.
+                    changed = (
+                        frozenset() if outcome.spliced
+                        else outcome.scope_heads
                     )
+                    inherited = router.inherit_from(old_router, node, changed)
                     if inherited["head_graph_unchanged"]:
                         report.router_rebuilds_avoided += 1
                     report.router_legs_inherited += inherited["legs"]

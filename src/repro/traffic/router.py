@@ -207,6 +207,54 @@ class BatchRouter:
             )
         return stats
 
+    def admit_member(
+        self, result: BackboneResult, oracle: PathOracle
+    ) -> None:
+        """Rebind to a member-arrival backbone in place, keeping all caches.
+
+        A member join leaves the CDS stage untouched: ``result`` is the
+        served backbone with only ``clustering`` replaced, so the whole
+        head-routing layer (Dijkstra trees, head sequences, expanded
+        walks, link segments) stays exact verbatim via
+        :meth:`~repro.cds.routing.HeadRouter.rebind` — no verification,
+        no copying.  ``oracle`` is the grown graph's resolved-leg oracle
+        (typically fresh: legs re-resolve canonically on demand, which
+        costs one row sweep at the next batch instead of an O(cache)
+        verification pass at *every* arrival — the difference between
+        O(n) and O(n^2) total growth cost).
+
+        Raises:
+            InvalidParameterError: via :meth:`HeadRouter.rebind` when
+                ``result`` does not share this router's head-graph
+                objects (a changed head set must rebuild and inherit).
+        """
+        self._router.rebind(result)
+        self._result = result
+        self._graph = result.clustering.graph
+        self._oracle = oracle
+        self._head_of = np.asarray(result.clustering.head_of, dtype=np.int64)
+
+    def inherit_node_add(self, old: "BatchRouter") -> dict[str, int]:
+        """Carry ``old``'s caches across a node arrival.
+
+        The head-graph layer inherits through the structural per-tree
+        certificates of :meth:`~repro.cds.routing.HeadRouter.inherit_from`
+        — a member join reuses the virtual graph and selected links
+        unchanged (the same-object fast path carries everything), while a
+        declared arrival rebuilds the CDS stage and inherits whatever the
+        link comparison certifies.  Resolved legs inherit through
+        :meth:`~repro.net.paths.PathOracle.inherit_node_add` (paths whose
+        BFS levels provably survived the arrival stay canonical), unless
+        the oracle is shared or was already seeded — the same discipline
+        as :meth:`inherit_edge_delta`.
+        """
+        stats = self._router.inherit_from(old._router)
+        if self._oracle is old._oracle or self._oracle.paths_inherited:
+            stats["legs"] = 0
+        else:
+            stats["legs"] = self._oracle.inherit_node_add(old._oracle)
+        return stats
+
     def route(self, source: NodeId, target: NodeId) -> tuple[NodeId, ...]:
         """One flow's walk, sharing this router's caches."""
         return self._router.walk(self._oracle, source, target)

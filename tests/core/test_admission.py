@@ -1,0 +1,214 @@
+"""Incremental clustering admission: ``admit_nodes`` on grown graphs.
+
+The arrival analogue of §3.3 repair: new nodes join a head within ``k``
+through the clustering's membership policy, or declare when uncovered —
+without re-running the global algorithm.  The contract checked here is
+the cover property (``clustering_still_valid``) plus policy fidelity,
+not the initial rounds' head independence (arrivals, like splices, may
+bridge clusters).
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import (
+    Clustering,
+    admit_nodes,
+    khop_cluster,
+    resolve_head_conflicts,
+)
+from repro.errors import InvalidParameterError
+from repro.maintenance.repair import clustering_still_valid
+from repro.net.graph import Graph
+from repro.net.topology import random_topology
+
+
+def _grown(topo_seed=5, n=50, k=2, membership=None):
+    topo = random_topology(n, 6, seed=topo_seed)
+    g = topo.graph.use_distance_backend("lazy")
+    c = khop_cluster(g, k, membership=membership)
+    return g, c
+
+
+class TestAdmitNodes:
+    def test_join_preserves_cover(self):
+        rng = np.random.default_rng(0)
+        for seed in range(5):
+            g, c = _grown(topo_seed=seed + 1)
+            attach = sorted(
+                int(u) for u in rng.choice(g.n, size=3, replace=False)
+            )
+            g2 = g.with_nodes(1, [(u, g.n) for u in attach])
+            c2 = admit_nodes(c, g2)
+            assert len(c2.head_of) == g2.n
+            assert clustering_still_valid(c2, g2)
+            # old assignments untouched
+            assert c2.head_of[: g.n] == c.head_of
+            # join distance within k
+            x = g.n
+            assert g2.hop_distance(x, c2.head_of[x]) <= c.k
+
+    def test_isolated_arrival_declares(self):
+        g, c = _grown()
+        g2 = g.with_nodes(1)
+        c2 = admit_nodes(c, g2)
+        assert c2.head_of[g.n] == g.n
+        assert g.n in c2.heads
+        assert c2.heads[: len(c.heads)] == c.heads
+
+    def test_out_of_range_arrival_declares(self):
+        # pendant chain of length k+1 hangs the last node out of reach
+        g, c = _grown(k=1)
+        k = c.k
+        chain = [(0, g.n)] + [(g.n + i, g.n + i + 1) for i in range(k)]
+        g2 = g.with_nodes(k + 1, chain)
+        c2 = admit_nodes(c, g2)
+        last = g2.n - 1
+        # nodes within k of a head joined; the far end declared or joined
+        # an earlier declared arrival — either way the cover holds
+        assert clustering_still_valid(c2, g2)
+        assert c2.head_of[last] != -1
+
+    def test_earlier_declared_arrival_is_candidate(self):
+        # two isolated-from-old nodes wired to each other: the first
+        # declares, the second must join it (not declare a second head)
+        g, c = _grown()
+        g2 = g.with_nodes(2, [(g.n, g.n + 1)])
+        c2 = admit_nodes(c, g2)
+        assert c2.head_of[g.n] == g.n
+        assert c2.head_of[g.n + 1] == g.n
+
+    @pytest.mark.parametrize(
+        "membership", ["id-based", "distance-based", "size-based"]
+    )
+    def test_policy_fidelity(self, membership):
+        g, c = _grown(membership=membership)
+        k = c.k
+        rng = np.random.default_rng(7)
+        attach = sorted(int(u) for u in rng.choice(g.n, size=2, replace=False))
+        g2 = g.with_nodes(1, [(u, g.n) for u in attach])
+        c2 = admit_nodes(c, g2)
+        x = g.n
+        chosen = c2.head_of[x]
+        cands = [
+            (h, g2.hop_distance(x, h)) for h in c.heads
+            if g2.hop_distance(x, h) <= k
+        ]
+        assert cands, "arrival attached to the giant component is covered"
+        if membership == "id-based":
+            assert chosen == min(h for h, _ in cands)
+        elif membership == "distance-based":
+            assert chosen == min((d, h) for h, d in cands)[1]
+        else:
+            sizes = c.cluster_sizes()
+            assert chosen == min((sizes[h], d, h) for h, d in cands)[2]
+        assert c2.membership_name == membership
+
+    def test_size_based_sees_current_occupancy(self):
+        # Two sequential admissions into the same reach: the second must
+        # see the first arrival counted in its cluster's size.
+        g, c = _grown(membership="size-based")
+        rng = np.random.default_rng(9)
+        attach = sorted(int(u) for u in rng.choice(g.n, size=2, replace=False))
+        g2 = g.with_nodes(1, [(u, g.n) for u in attach])
+        c2 = admit_nodes(c, g2)
+        first = c2.head_of[g.n]
+        assert c2.cluster_sizes()[first] == c.cluster_sizes()[first] + 1
+
+    def test_provenance_and_rounds_carried(self):
+        g, c = _grown()
+        g2 = g.with_nodes(1, [(0, g.n)])
+        c2 = admit_nodes(c, g2)
+        assert c2.rounds == c.rounds
+        assert c2.priority_name == c.priority_name
+        assert c2.membership_name == c.membership_name
+        assert c2.k == c.k
+        assert c2.graph is g2
+
+    def test_same_graph_is_identity(self):
+        g, c = _grown()
+        assert admit_nodes(c, g) is c
+
+    def test_rejects_shrunken_or_foreign_graph(self):
+        g, c = _grown()
+        with pytest.raises(InvalidParameterError):
+            admit_nodes(c, Graph(g.n - 1, [(0, 1)]))
+        with pytest.raises(InvalidParameterError):
+            admit_nodes(c, Graph(g.n, [(0, 1)]))
+
+    def test_resolve_noop_after_plain_admission(self):
+        # admitting member arrivals never moves heads closer together
+        g, c = _grown()
+        g2 = g.with_nodes(1, [(0, g.n)])
+        c2 = admit_nodes(c, g2)
+        assert resolve_head_conflicts(c2) is c2
+
+    def test_matches_scalar_semantics_chain(self):
+        # a long chain of single-node arrivals stays a valid clustering
+        # and every joined arrival sits within k of its head
+        g, c = _grown(topo_seed=11)
+        rng = np.random.default_rng(3)
+        for _ in range(15):
+            deg = int(rng.integers(1, 4))
+            attach = sorted(
+                int(u) for u in rng.choice(g.n, size=deg, replace=False)
+            )
+            g2 = g.with_nodes(1, [(u, g.n) for u in attach])
+            c = admit_nodes(c, g2)
+            g = g2
+        assert clustering_still_valid(c, g)
+        assert isinstance(c, Clustering)
+        for x in range(50, g.n):
+            h = c.head_of[x]
+            assert h == x or g.hop_distance(x, h) <= c.k
+
+
+class TestResolveHeadConflicts:
+    """Local head-merge after growth breaks head independence."""
+
+    def test_fresh_clustering_is_identity(self):
+        g, c = _grown()
+        assert resolve_head_conflicts(c) is c
+
+    def test_shortcut_edge_demotes_higher_id_head(self):
+        g, c = _grown()
+        h1, h2 = c.heads[0], c.heads[1]
+        g2 = g.with_edge_delta(added=[(h1, h2)])
+        c2 = resolve_head_conflicts(replace(c, graph=g2))
+        assert h1 in c2.heads
+        assert h2 not in c2.heads
+        assert clustering_still_valid(c2, g2)
+
+    def test_merge_restores_pairwise_separation(self):
+        g, c = _grown(topo_seed=3)
+        h1, h2 = c.heads[0], c.heads[1]
+        g2 = g.with_edge_delta(added=[(h1, h2)])
+        c2 = resolve_head_conflicts(replace(c, graph=g2))
+        for i, a in enumerate(c2.heads):
+            for b in c2.heads[i + 1:]:
+                assert g2.hop_distance(a, b) > c.k
+
+    def test_orphan_out_of_reach_redeclares(self):
+        # path 0-1-2 with k=1 and adjacent heads {0, 1}: head 1 is
+        # demoted, node 1 re-admits to head 0, node 2 (two hops from 0)
+        # must re-declare rather than be left uncovered
+        g = Graph(3, [(0, 1), (1, 2)])
+        c = Clustering(
+            graph=g, k=1, head_of=(0, 1, 1), heads=(0, 1), rounds=1
+        )
+        c2 = resolve_head_conflicts(c)
+        assert c2.heads == (0, 2)
+        assert c2.head_of == (0, 0, 2)
+        assert clustering_still_valid(c2, g)
+
+    def test_provenance_carried_through_merge(self):
+        g, c = _grown(membership="distance-based")
+        h1, h2 = c.heads[0], c.heads[1]
+        g2 = g.with_edge_delta(added=[(h1, h2)])
+        c2 = resolve_head_conflicts(replace(c, graph=g2))
+        assert c2.k == c.k
+        assert c2.rounds == c.rounds
+        assert c2.priority_name == c.priority_name
+        assert c2.membership_name == c.membership_name

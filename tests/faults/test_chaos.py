@@ -31,6 +31,31 @@ class TestRunChaos:
             for r in b.epochs
         ]
 
+    def test_growth_campaign_holds_invariants(self):
+        # Arrivals interleaved with crashes, flaps and jams: the compiled
+        # graph, component-local backbones, inheritance identity and the
+        # loss ledger must all survive grow+shrink+rewire composition.
+        report = run_chaos(
+            seed=5, events=60, n=60, flows=80, join_weight=0.3
+        )
+        assert report.ok, report.violations
+        assert report.checks_run > 0
+        # The population actually grew past the initial deployment at
+        # some point (alive = current n minus dead).
+        assert max(r.alive for r in report.epochs) > 60 - 5
+
+    def test_growth_campaign_deterministic(self):
+        a = run_chaos(seed=13, events=40, n=50, flows=60, join_weight=0.25)
+        b = run_chaos(seed=13, events=40, n=50, flows=60, join_weight=0.25)
+        assert a.violations == b.violations
+        assert [
+            (r.epoch, r.alive, r.edges, r.delivered) for r in a.epochs
+        ] == [(r.epoch, r.alive, r.edges, r.delivered) for r in b.epochs]
+
+    def test_join_weight_out_of_range_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            run_chaos(seed=1, events=10, join_weight=1.0)
+
     def test_non_localized_algorithm_rejected(self):
         with pytest.raises(InvalidParameterError):
             run_chaos(seed=1, events=10, algorithm="G-MST")

@@ -155,6 +155,34 @@ class TestSeededBuilders:
         crashes = [e for e in plan.events if e.kind == "crash"]
         assert len(crashes) == 4  # 10% of 40
 
+    def test_random_campaign_join_opt_in(self):
+        topo = random_topology(40, degree=7.0, seed=5)
+        plan = random_campaign(
+            topo, events=60, epochs=12, seed=5, weights={"join": 0.4}
+        )
+        joins = [e for e in plan.events if e.kind == "join"]
+        assert joins  # the weight bump actually produced arrivals
+        # Ids are assigned in plan order starting at n, and every
+        # compiled attach link pairs an earlier node with the arrival.
+        assert [e.node for e in joins] == list(
+            range(topo.graph.n, topo.graph.n + len(joins))
+        )
+        for ev in joins:
+            assert ev.center is not None
+            for u, v in ev.edges:
+                assert v == ev.node and u < v
+
+    def test_join_weight_zero_keeps_legacy_stream(self):
+        # The default campaign must stay bit-for-bit identical now that
+        # "join" exists as a kind: a zero weight drops out of the RNG's
+        # choice set entirely.
+        topo = random_topology(40, degree=7.0, seed=2)
+        a = random_campaign(topo, events=50, epochs=10, seed=2)
+        b = random_campaign(
+            topo, events=50, epochs=10, seed=2, weights={"join": 0.0}
+        )
+        assert a.events == b.events
+
 
 class TestEdgesCrossingDisk:
     def test_disk_on_node_covers_incident_edges(self):
@@ -231,6 +259,43 @@ class TestFaultState:
         state.apply_batch([FaultEvent(epoch=3, kind="crash", node=3)])
         assert state.loss == {}
 
+    def test_join_grows_graph_and_expected_edges(self):
+        g = square_graph()
+        state = FaultState(g)
+        state.apply_batch(
+            [FaultEvent(epoch=0, kind="join", node=4, edges=((0, 4), (2, 4)))]
+        )
+        assert state.graph.n == 5
+        assert {(0, 4), (2, 4)} <= set(state.graph.edges)
+        assert state.expected_edges() == set(state.graph.edges)
+
+    def test_join_skips_attach_to_dead_node(self):
+        g = square_graph()
+        state = FaultState(g)
+        state.apply_batch([FaultEvent(epoch=0, kind="crash", node=0)])
+        state.apply_batch(
+            [FaultEvent(epoch=1, kind="join", node=4, edges=((0, 4), (2, 4)))]
+        )
+        assert state.graph.n == 5
+        assert (2, 4) in set(state.graph.edges)
+        assert (0, 4) not in set(state.graph.edges)
+        assert state.expected_edges() == set(state.graph.edges)
+
+    def test_join_numbering_conflict_rejected(self):
+        state = FaultState(square_graph())
+        with pytest.raises(InvalidParameterError):
+            state.apply_batch([FaultEvent(epoch=0, kind="join", node=9)])
+
+    def test_crash_of_joined_node_drops_grown_links(self):
+        g = square_graph()
+        state = FaultState(g)
+        state.apply_batch(
+            [FaultEvent(epoch=0, kind="join", node=4, edges=((0, 4), (2, 4)))]
+        )
+        state.apply_batch([FaultEvent(epoch=1, kind="crash", node=4)])
+        assert (0, 4) not in set(state.graph.edges)
+        assert state.expected_edges() == set(state.graph.edges)
+
     def test_repeat_crash_is_noop(self):
         g = square_graph()
         state = FaultState(g)
@@ -277,6 +342,26 @@ class TestCampaignRegression:
                 ]
                 runs.append(trace)
             assert runs[0] == runs[1], f"{name} not reproducible"
+
+    def test_growth_campaign_tracks_expected_edges(self):
+        # grow+shrink+rewire interleavings: every batch's compiled graph
+        # must still match the independent edge bookkeeping.
+        topo = random_topology(50, degree=7.0, seed=17)
+        plan = random_campaign(
+            topo,
+            events=80,
+            epochs=16,
+            seed=17,
+            weights={"join": 0.3, "crash": 0.2},
+        )
+        kinds = {e.kind for e in plan.events}
+        assert "join" in kinds and "crash" in kinds
+        state = FaultState(topo.graph)
+        for epoch, g in state.run(plan):
+            assert set(g.edges) == state.expected_edges(), (
+                f"diverged at epoch {epoch}"
+            )
+        assert state.graph.n > topo.graph.n  # the network actually grew
 
     def test_jam_campaign_on_synthetic_topology(self):
         # topology_from_graph positions are synthetic (radius NaN), so the

@@ -645,6 +645,62 @@ class TestLazyImportsR008:
         assert run.suppressed == 1
 
 
+class TestDurableFormatsR011:
+    def test_top_level_pickle_import_fires(self, lint_tree):
+        run = lint_tree(
+            {
+                "src/repro/service/x.py": """\
+                import pickle
+                """
+            }
+        )
+        assert codes(run) == ["R011"]
+
+    def test_from_import_fires(self, lint_tree):
+        run = lint_tree(
+            {
+                "src/repro/service/x.py": """\
+                from shelve import open as dbopen
+                """
+            }
+        )
+        assert codes(run) == ["R011"]
+
+    def test_function_local_import_also_fires(self, lint_tree):
+        # Unlike R008 there is no lazy-import escape: a pickle written
+        # from inside a function is just as opaque on disk.
+        run = lint_tree(
+            {
+                "src/repro/service/x.py": """\
+                def save(state, path):
+                    import marshal
+                    path.write_bytes(marshal.dumps(state))
+                """
+            }
+        )
+        assert codes(run) == ["R011"]
+
+    def test_rule_does_not_apply_outside_src(self, lint_tree):
+        run = lint_tree(
+            {
+                "tests/test_x.py": "import pickle\n",
+                "benchmarks/test_bench_x.py": "import pickle\n",
+            }
+        )
+        assert codes(run) == []
+
+    def test_pragma_suppresses(self, lint_tree):
+        run = lint_tree(
+            {
+                "src/repro/service/x.py": (
+                    "import pickle  # repro-lint: disable=R011\n"
+                )
+            }
+        )
+        assert codes(run) == []
+        assert run.suppressed == 1
+
+
 class TestSilentExceptionR009:
     def test_bare_except_fires(self, lint_tree):
         run = lint_tree(

@@ -25,7 +25,7 @@ class TestShippedTree:
         rules = all_rules()
         assert [r.code for r in rules] == sorted(r.code for r in rules)
         assert {r.code for r in rules} == {
-            f"R{i:03d}" for i in range(1, 11)
+            f"R{i:03d}" for i in range(1, 12)
         }
         for rule in rules:
             assert rule.code in RULE_DOCS

@@ -236,6 +236,52 @@ class TestGatewaySplice:
         rebuilt_walks = BatchRouter(rebuilt).route_flows(wl).walks
         assert spliced_walks == rebuilt_walks
 
+    def test_inherited_router_walks_match_rebuild(self):
+        # The lifetime loop's gateway rung: after a spliced repair the
+        # new router inherits with an *empty* changed-heads mask (the
+        # splice certifies link set + weights unchanged), must actually
+        # carry head-graph state across, and still route identically to
+        # a from-scratch router on a full pipeline rebuild.
+        import numpy as np
+
+        from repro.maintenance.repair import (
+            _seeded_path_oracle,
+            _strip_nodes,
+        )
+        from repro.net.topology import random_topology
+        from repro.traffic.router import BatchRouter
+        from repro.traffic.workloads import uniform_pairs
+
+        topo = random_topology(100, degree=7.0, seed=3)
+        g = topo.graph
+        res = backbone_for(g, k=2)
+        node = next(
+            gw for gw in sorted(res.gateways) if repair(res, gw).spliced
+        )
+        alive = np.ones(g.n, dtype=bool)
+        alive[node] = False
+        wl = uniform_pairs(g.n, 300, seed=19).restrict(alive)
+
+        old_router = BatchRouter(res)
+        old_router.route_flows(wl)  # warm the caches worth inheriting
+        out = repair(res, node)
+        assert out.spliced
+
+        router = BatchRouter(out.backbone)
+        stats = router.inherit_from(old_router, node, frozenset())
+        assert stats["trees"] > 0  # the mask no longer discards them
+
+        gone = {node}
+        graph2 = g.without_nodes([node])
+        rebuilt = build_backbone(
+            _strip_nodes(res.clustering, graph2, gone),
+            res.algorithm,
+            oracle=_seeded_path_oracle(graph2, res, gone),
+        )
+        assert router.route_flows(wl).walks == (
+            BatchRouter(rebuilt).route_flows(wl).walks
+        )
+
     def test_splice_preserves_link_weights(self):
         from repro.net.topology import random_topology
 

@@ -1,0 +1,140 @@
+"""Service event model: validation, JSON round-trip, seeded schedules."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.faults.plan import random_campaign
+from repro.net.topology import random_topology
+from repro.service.events import (
+    SERVICE_EVENT_KINDS,
+    ServiceEvent,
+    events_from_fault_plan,
+    interleave,
+    seeded_schedule,
+)
+
+
+def _topo(seed=5, n=40):
+    return random_topology(n, degree=8.0, seed=seed)
+
+
+class TestServiceEvent:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(InvalidParameterError):
+            ServiceEvent(seq=0, kind="reboot")
+
+    def test_join_needs_position(self):
+        with pytest.raises(InvalidParameterError):
+            ServiceEvent(seq=0, kind="join")
+
+    def test_leave_needs_node(self):
+        with pytest.raises(InvalidParameterError):
+            ServiceEvent(seq=0, kind="leave")
+
+    def test_flow_needs_flows(self):
+        with pytest.raises(InvalidParameterError):
+            ServiceEvent(seq=0, kind="flow")
+
+    def test_loss_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            ServiceEvent(seq=0, kind="degrade", edges=((0, 1),), loss=1.5)
+
+    def test_record_round_trip_every_kind(self):
+        events = [
+            ServiceEvent(seq=0, kind="join", position=(3.5, 7.25)),
+            ServiceEvent(seq=1, kind="leave", node=4),
+            ServiceEvent(seq=2, kind="move", node=2, position=(1.0, 2.0)),
+            ServiceEvent(seq=3, kind="link_down", edges=((0, 3), (1, 2))),
+            ServiceEvent(seq=4, kind="link_up", edges=((0, 3),)),
+            ServiceEvent(seq=5, kind="degrade", edges=((2, 5),), loss=0.25),
+            ServiceEvent(seq=6, kind="flow", flows=40),
+        ]
+        assert {e.kind for e in events} == set(SERVICE_EVENT_KINDS)
+        for ev in events:
+            assert ServiceEvent.from_record(ev.to_record()) == ev
+
+    def test_stamped_sets_seq(self):
+        ev = ServiceEvent(seq=0, kind="flow", flows=3)
+        assert ev.stamped(9).seq == 9
+
+
+class TestSeededSchedule:
+    def test_deterministic(self):
+        topo = _topo()
+        a = seeded_schedule(topo, events=60, seed=3)
+        b = seeded_schedule(topo, events=60, seed=3)
+        assert a == b
+        assert a != seeded_schedule(topo, events=60, seed=4)
+
+    def test_length_and_stamps(self):
+        sched = seeded_schedule(_topo(), events=45, seed=1)
+        assert len(sched) == 45
+        assert [e.seq for e in sched] == list(range(45))
+
+    def test_custom_weights_pure_growth(self):
+        sched = seeded_schedule(
+            _topo(), events=30, seed=2, weights={
+                "join": 0.5, "flow": 0.5, "move": 0.0, "leave": 0.0,
+                "link_down": 0.0, "degrade": 0.0,
+            },
+        )
+        assert {e.kind for e in sched} <= {"join", "flow"}
+        assert any(e.kind == "join" for e in sched)
+
+    def test_unknown_weight_key_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            seeded_schedule(_topo(), events=5, seed=1, weights={"crash": 1.0})
+
+    def test_never_removes_same_node_twice(self):
+        sched = seeded_schedule(
+            _topo(n=30), events=120, seed=9, weights={"leave": 0.4}
+        )
+        gone = [e.node for e in sched if e.kind == "leave"]
+        assert len(gone) == len(set(gone))
+
+
+class TestFaultPlanAdapter:
+    def test_folds_campaign_kinds(self):
+        topo = _topo()
+        plan = random_campaign(topo, events=40, epochs=8, seed=6)
+        sched = events_from_fault_plan(plan)
+        assert len(sched) == len(plan.events)
+        assert [e.seq for e in sched] == list(range(len(sched)))
+        allowed = {"leave", "link_down", "link_up", "degrade"}
+        assert {e.kind for e in sched} <= allowed
+
+    def test_join_becomes_service_join_with_position(self):
+        topo = _topo()
+        plan = random_campaign(
+            topo, events=30, epochs=6, seed=4, weights={"join": 0.6}
+        )
+        fault_joins = [e for e in plan.events if e.kind == "join"]
+        assert fault_joins  # the weight bump actually produced arrivals
+        sched = events_from_fault_plan(plan)
+        joins = [e for e in sched if e.kind == "join"]
+        assert [e.position for e in joins] == [
+            e.center for e in fault_joins
+        ]
+
+    def test_crash_becomes_leave_with_node(self):
+        topo = _topo()
+        plan = random_campaign(
+            topo, events=30, epochs=6, seed=2, weights={"crash": 1.0}
+        )
+        sched = events_from_fault_plan(plan)
+        crashes = [e for e in plan.events if e.kind == "crash"]
+        leaves = [e for e in sched if e.kind == "leave"]
+        assert crashes  # the weight bump actually produced crashes
+        assert [e.node for e in leaves] == [e.node for e in crashes]
+        assert all(e.node is not None for e in leaves)
+
+
+class TestInterleave:
+    def test_round_robin_restamps(self):
+        flows = tuple(
+            ServiceEvent(seq=0, kind="flow", flows=1) for _ in range(3)
+        )
+        leaves = (ServiceEvent(seq=0, kind="leave", node=1),)
+        merged = list(interleave(flows, leaves))
+        assert [e.seq for e in merged] == list(range(4))
+        assert [e.kind for e in merged] == ["flow", "leave", "flow", "flow"]
