@@ -1,0 +1,215 @@
+"""Congestion benchmark: load-adaptive multipath vs canonical routing.
+
+The tentpole claim this benchmark measures: the batch router's
+``balance=`` mode (:meth:`~repro.traffic.router.BatchRouter.route_flows`)
+— k-shortest head walks, seeded tie-break trees, and load-aware flow
+assignment — flattens backbone hot spots on the acceptance grid point
+(N=2000, 10,000 uniform flows): Jain fairness over backbone nodes
+improves by **>= 20%**, the p99 node load drops, and the mean stretch it
+pays for the detours stays within **15%** of canonical.
+
+The full acceptance grid point runs when ``REPRO_BENCH_FULL=1`` (``make
+bench-congestion``); the default tier-1 pass uses a reduced instance so
+the gate stays fast (the fairness-gain floor relaxes to 10% there — the
+head graph is too small for the full headroom).  Gates are enforced
+under ``REPRO_BENCH_STRICT``; deliberate bench runs record measurements
+to ``BENCH_congestion.json`` at the repo root.
+
+A second benchmark closes the loop through delivery: with per-link
+capacities derived from the backbone (:class:`CongestionModel`), the
+same batch delivered canonically loses measurably more packets to
+fluid-queue drops than its balanced counterpart — congestion pushes
+back, and balancing pushes back on the congestion.
+"""
+
+import os
+import time
+
+from conftest import persist_bench
+
+from repro.core.clustering import khop_cluster
+from repro.core.pipeline import build_backbone
+from repro.faults.delivery import LossModel, deliver
+from repro.net.topology import random_topology
+from repro.traffic.congestion import CongestionModel, congestion_report
+from repro.traffic.load import link_utilization, measure_load
+from repro.traffic.router import BatchRouter
+from repro.traffic.workloads import uniform_pairs
+
+#: (n, flows) — the acceptance grid point, and the reduced tier-1 one.
+FULL_CASE = (2000, 10_000)
+QUICK_CASE = (600, 5_000)
+
+#: Average degree / cluster radius (same regime as the traffic bench).
+TRAFFIC_DEGREE = 12.0
+TRAFFIC_K = 2
+
+#: STRICT gates: Jain fairness gain (full / reduced) and stretch cap.
+FAIRNESS_GAIN_FULL = 1.20
+FAIRNESS_GAIN_QUICK = 1.10
+STRETCH_INFLATION_CAP = 1.15
+
+#: Fixed instance for the delivery-loop benchmark (independent of
+#: REPRO_BENCH_FULL: it gates behavior, not scale).
+DELIVERY_CASE = (600, 5_000)
+DELIVERY_RADIO_BUDGET = 2000.0
+
+
+def _case():
+    return FULL_CASE if os.environ.get("REPRO_BENCH_FULL") else QUICK_CASE
+
+
+def _instance(n, flows):
+    topo = random_topology(n, degree=TRAFFIC_DEGREE, seed=41)
+    backbone = build_backbone(khop_cluster(topo.graph, TRAFFIC_K), "AC-LMST")
+    return topo.graph, backbone, uniform_pairs(n, flows, seed=43)
+
+
+def test_bench_congestion_balance_fairness(benchmark):
+    n, flows = _case()
+    g, backbone, workload = _instance(n, flows)
+
+    t0 = time.process_time()
+    canonical = BatchRouter(backbone).route_flows(workload)
+    t1 = time.process_time()
+    base = measure_load(backbone, canonical)
+
+    balancer = BatchRouter(backbone)
+    routed = benchmark.pedantic(
+        balancer.route_flows,
+        args=(workload,),
+        kwargs=dict(balance=True),
+        rounds=1,
+        iterations=1,
+    )
+    t2 = time.process_time()
+    load = measure_load(backbone, routed)
+    canonical_s, balanced_s = t1 - t0, t2 - t1
+
+    # Balance must keep the batch whole: same flows valid, same
+    # endpoints, and the walks it substitutes still deliver.
+    assert routed.num_valid == canonical.num_valid
+    step = max(1, flows // 200)
+    for i in range(0, flows, step):
+        assert routed.walks[i][0] == canonical.walks[i][0]
+        assert routed.walks[i][-1] == canonical.walks[i][-1]
+
+    gain = load.backbone_fairness / base.backbone_fairness
+    inflation = load.mean_stretch / base.mean_stretch
+    if os.environ.get("REPRO_BENCH_STRICT"):
+        floor = (
+            FAIRNESS_GAIN_FULL
+            if os.environ.get("REPRO_BENCH_FULL")
+            else FAIRNESS_GAIN_QUICK
+        )
+        assert gain >= floor, (
+            f"balanced fairness {load.backbone_fairness:.3f} is only "
+            f"{gain:.3f}x canonical {base.backbone_fairness:.3f} "
+            f"(gate {floor}x)"
+        )
+        assert load.p99_node_load < base.p99_node_load, (
+            f"balanced p99 load {load.p99_node_load:.0f} should undercut "
+            f"canonical {base.p99_node_load:.0f}"
+        )
+        assert inflation <= STRETCH_INFLATION_CAP, (
+            f"balanced mean stretch {load.mean_stretch:.3f} inflates "
+            f"canonical {base.mean_stretch:.3f} by {inflation:.3f}x "
+            f"(cap {STRETCH_INFLATION_CAP}x)"
+        )
+    record = dict(
+        n=n,
+        flows=flows,
+        k=TRAFFIC_K,
+        canonical_seconds=round(canonical_s, 3),
+        balanced_seconds=round(balanced_s, 3),
+        canonical_fairness=round(base.backbone_fairness, 3),
+        balanced_fairness=round(load.backbone_fairness, 3),
+        fairness_gain=round(gain, 3),
+        canonical_p99_load=base.p99_node_load,
+        balanced_p99_load=load.p99_node_load,
+        canonical_max_load=base.max_node_load,
+        balanced_max_load=load.max_node_load,
+        canonical_stretch=round(base.mean_stretch, 3),
+        balanced_stretch=round(load.mean_stretch, 3),
+        stretch_inflation=round(inflation, 3),
+        **{f"balance_{k}": v for k, v in balancer.last_balance.items()},
+    )
+    benchmark.extra_info.update(record)
+    persist_bench(
+        "BENCH_congestion.json", {"benchmark": "balance_fairness", **record}
+    )
+
+
+def test_bench_congestion_delivery_pushback(benchmark):
+    """Congestion drops bite the canonical batch harder than the balanced one."""
+    n, flows = DELIVERY_CASE
+    g, backbone, workload = _instance(n, flows)
+    model = CongestionModel.from_backbone(
+        backbone, radio_budget=DELIVERY_RADIO_BUDGET
+    )
+    no_faults = LossModel.uniform(g.n, 0.0)
+
+    canonical = BatchRouter(backbone).route_flows(workload, with_shortest=False)
+    balanced = BatchRouter(backbone).route_flows(
+        workload, with_shortest=False, balance=True
+    )
+    base_report = congestion_report(model, canonical)
+    bal_report = congestion_report(model, balanced)
+
+    # Capacity conservation: fluid drops never let carried load exceed
+    # the link's capacity, and never fire under capacity.
+    offered = link_utilization(canonical, g.n)
+    drops = model.drop_probabilities(offered)
+    for e, q in offered.items():
+        c = model.capacity.get(e)
+        if c is None:
+            continue
+        carried = q * (1.0 - drops.get(e, 0.0))
+        assert carried <= c * (1.0 + 1e-9)
+        if q <= c:
+            assert e not in drops
+
+    base_delivery = deliver(canonical, no_faults, seed=97, congestion=model)
+    bal_delivery = benchmark.pedantic(
+        deliver,
+        args=(balanced, no_faults),
+        kwargs=dict(seed=97, congestion=model),
+        rounds=1,
+        iterations=1,
+    )
+
+    # The congested regime actually bites, and balancing relieves it.
+    assert base_report.congested_links > 0
+    assert base_delivery.delivered_fraction < 1.0
+    if os.environ.get("REPRO_BENCH_STRICT"):
+        assert bal_report.drop_fraction < base_report.drop_fraction, (
+            f"balanced fluid drops {bal_report.drop_fraction:.3f} should "
+            f"undercut canonical {base_report.drop_fraction:.3f}"
+        )
+        assert (
+            bal_delivery.delivered_fraction
+            > base_delivery.delivered_fraction
+        ), (
+            f"balanced delivery {bal_delivery.delivered_fraction:.3f} "
+            f"should beat canonical "
+            f"{base_delivery.delivered_fraction:.3f}"
+        )
+    record = dict(
+        n=n,
+        flows=flows,
+        k=TRAFFIC_K,
+        radio_budget=DELIVERY_RADIO_BUDGET,
+        links=base_report.links,
+        canonical_congested_links=base_report.congested_links,
+        balanced_congested_links=bal_report.congested_links,
+        canonical_drop_fraction=round(base_report.drop_fraction, 4),
+        balanced_drop_fraction=round(bal_report.drop_fraction, 4),
+        canonical_delivered=round(base_delivery.delivered_fraction, 4),
+        balanced_delivered=round(bal_delivery.delivered_fraction, 4),
+        canonical_mean_attempts=round(base_delivery.mean_attempts, 3),
+        balanced_mean_attempts=round(bal_delivery.mean_attempts, 3),
+    )
+    benchmark.extra_info.update(record)
+    persist_bench(
+        "BENCH_congestion.json", {"benchmark": "delivery_pushback", **record}
+    )

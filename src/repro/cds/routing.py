@@ -82,6 +82,15 @@ class HeadRouter:
         self._trees: dict[NodeId, tuple[dict, dict]] = {}
         self._head_seqs: dict[tuple[NodeId, NodeId], tuple[NodeId, ...]] = {}
         self._head_walks: dict[tuple[NodeId, NodeId], tuple[NodeId, ...]] = {}
+        # Multipath layer: seeded tie-break Dijkstra trees, Yen lists and
+        # expanded walks for non-canonical head sequences.  Never inherited
+        # across repairs (conservative: they rebuild lazily on demand).
+        self._alt_ranks: dict[int, dict[NodeId, int]] = {}
+        self._alt_trees: dict[tuple[int, NodeId], tuple[dict, dict]] = {}
+        self._kshort: dict[
+            tuple[NodeId, NodeId, int], list[tuple[NodeId, ...]]
+        ] = {}
+        self._seq_walks: dict[tuple[NodeId, ...], tuple[NodeId, ...]] = {}
 
     @property
     def result(self) -> BackboneResult:
@@ -380,6 +389,221 @@ class HeadRouter:
             seg = path if path[0] == a else tuple(reversed(path))
             self._segments[(a, b)] = seg
         return seg
+
+    # -- multipath: equal-cost variants and k-shortest head walks ------- #
+
+    def link_weight(self, a: NodeId, b: NodeId) -> int:
+        """Weight (physical hop count) of the selected virtual link a-b."""
+        return self._result.virtual_graph.link(
+            *((a, b) if a < b else (b, a))
+        ).weight
+
+    def seq_weight(self, seq: tuple[NodeId, ...]) -> int:
+        """Total physical hop count of a head sequence over selected links."""
+        return sum(self.link_weight(a, b) for a, b in zip(seq, seq[1:]))
+
+    def _rank(self, variant: int) -> dict[NodeId, int]:
+        """A seeded permutation rank over heads (the tie-break order)."""
+        ranks = self._alt_ranks.get(variant)
+        if ranks is None:
+            heads = sorted(self._adj)
+            perm = np.random.default_rng(variant).permutation(len(heads))
+            ranks = {h: int(r) for h, r in zip(heads, perm.tolist())}
+            self._alt_ranks[variant] = ranks
+        return ranks
+
+    def alt_tree(
+        self, src_head: NodeId, variant: int
+    ) -> tuple[dict, dict]:
+        """A Dijkstra tree with *seeded* tie-breaking (cached per variant).
+
+        Identical distances to :meth:`tree`, but nodes at equal distance
+        settle in a seeded-permutation order instead of ascending ID, so
+        among equal-cost predecessors a different one wins ``prev`` —
+        every variant yields shortest head sequences of the *same* weight
+        along *different* equal-cost routes.  One tree per
+        ``(variant, src_head)`` serves every destination, so the cost
+        amortizes across all flows leaving one cluster.
+        """
+        key = (variant, src_head)
+        cached = self._alt_trees.get(key)
+        if cached is not None:
+            return cached
+        rank = self._rank(variant)
+        dist = {src_head: 0}
+        prev: dict[NodeId, NodeId] = {}
+        pq = [(0, rank[src_head], src_head)]
+        while pq:
+            d, _, u = heapq.heappop(pq)
+            if d > dist.get(u, float("inf")):
+                continue
+            for w, v in self._adj[u]:
+                nd = d + w
+                if nd < dist.get(v, float("inf")):
+                    dist[v] = nd
+                    prev[v] = u
+                    heapq.heappush(pq, (nd, rank[v], v))
+        self._alt_trees[key] = (dist, prev)
+        return dist, prev
+
+    def alt_sequence(
+        self, src_head: NodeId, dst_head: NodeId, variant: int
+    ) -> tuple[NodeId, ...]:
+        """A shortest head sequence under variant ``variant`` tie-breaking.
+
+        Same weight as :meth:`head_sequence`'s canonical answer, possibly
+        a different equal-cost route.
+
+        Raises:
+            ValidationError: if the selected links do not connect the pair.
+        """
+        if src_head == dst_head:
+            return (src_head,)
+        dist, prev = self.alt_tree(src_head, variant)
+        if dst_head not in prev:
+            raise ValidationError(
+                f"backbone does not connect heads {src_head} and {dst_head}"
+            )
+        del dist
+        seq = [dst_head]
+        while seq[-1] != src_head:
+            seq.append(prev[seq[-1]])
+        return tuple(reversed(seq))
+
+    def _spur(
+        self,
+        src: NodeId,
+        dst: NodeId,
+        banned_nodes: set[NodeId],
+        banned_edges: set[tuple[NodeId, NodeId]],
+        limit: float = float("inf"),
+    ) -> Optional[tuple[NodeId, ...]]:
+        """Shortest ``src -> dst`` head path avoiding bans (Yen's spur step).
+
+        Deterministic ``(dist, id)`` settle order, early exit at ``dst``,
+        and distance-bounded (``limit``) — a weight-capped k-shortest
+        query never explores heads its detours could not afford.  None
+        when the (restricted, bounded) search does not reach ``dst``.
+        """
+        dist = {src: 0}
+        prev: dict[NodeId, NodeId] = {}
+        pq = [(0, src)]
+        while pq:
+            d, u = heapq.heappop(pq)
+            if d > dist.get(u, float("inf")):
+                continue
+            if u == dst:
+                break
+            for w, v in self._adj[u]:
+                if v in banned_nodes:
+                    continue
+                if ((u, v) if u < v else (v, u)) in banned_edges:
+                    continue
+                nd = d + w
+                if nd > limit:
+                    continue
+                if nd < dist.get(v, float("inf")):
+                    dist[v] = nd
+                    prev[v] = u
+                    heapq.heappush(pq, (nd, v))
+        if dst not in dist:
+            return None
+        seq = [dst]
+        while seq[-1] != src:
+            seq.append(prev[seq[-1]])
+        return tuple(reversed(seq))
+
+    def k_shortest_sequences(
+        self,
+        src_head: NodeId,
+        dst_head: NodeId,
+        k: int,
+        max_weight: float = float("inf"),
+    ) -> list[tuple[NodeId, ...]]:
+        """Up to ``k`` loopless shortest head sequences, Yen-style (cached).
+
+        The first entry is always the canonical :meth:`head_sequence`;
+        later entries ascend in ``(weight, sequence)`` order, so the list
+        is fully deterministic.  Spur paths reuse the head adjacency with
+        per-deviation node/edge bans; every returned sequence is loopless
+        (the root prefix is loopless and the spur avoids its nodes).
+        ``max_weight`` caps the total sequence weight — the spur searches
+        prune at the residual budget, so a tight cap (e.g. a stretch
+        bound) makes the whole query local to the pair's neighborhood.
+
+        Raises:
+            InvalidParameterError: if ``k < 1``.
+            ValidationError: if the selected links do not connect the pair.
+        """
+        if k < 1:
+            raise InvalidParameterError("k_shortest_sequences needs k >= 1")
+        key = (src_head, dst_head, k, max_weight)
+        cached = self._kshort.get(key)
+        if cached is not None:
+            return list(cached)
+        if src_head == dst_head:
+            found = [(src_head,)]
+            self._kshort[key] = found
+            return list(found)
+        first = self._seq(src_head, dst_head)
+        found = [first]
+        seen = {first}
+        candidates: list[tuple[int, tuple[NodeId, ...]]] = []
+        while len(found) < k:
+            base = found[-1]
+            for j in range(len(base) - 1):
+                root = base[: j + 1]
+                budget = max_weight - self.seq_weight(root)
+                if budget < 0:
+                    break
+                banned_edges = {
+                    ((p[j], p[j + 1]) if p[j] < p[j + 1] else (p[j + 1], p[j]))
+                    for p in found
+                    if len(p) > j + 1 and p[: j + 1] == root
+                }
+                alt = self._spur(
+                    root[-1],
+                    dst_head,
+                    set(root[:-1]),
+                    banned_edges,
+                    limit=budget,
+                )
+                if alt is None:
+                    continue
+                seq = root + alt[1:]
+                if seq in seen:
+                    continue
+                seen.add(seq)
+                heapq.heappush(candidates, (self.seq_weight(seq), seq))
+            if not candidates:
+                break
+            _, best = heapq.heappop(candidates)
+            found.append(best)
+        self._kshort[key] = found
+        return list(found)
+
+    def walk_for_seq(self, seq: tuple[NodeId, ...]) -> tuple[NodeId, ...]:
+        """The expanded backbone walk along an explicit head sequence.
+
+        The multipath counterpart of :meth:`head_walk`: adjacent heads
+        join through the selected links' stored gateway paths, oriented
+        in walk direction; results are memoized per sequence so balanced
+        batches expand each candidate once.
+
+        Raises:
+            InvalidParameterError: if consecutive heads are not joined by
+                a selected link (via the virtual graph's link lookup).
+        """
+        if len(seq) < 2:
+            return seq
+        cached = self._seq_walks.get(seq)
+        if cached is None:
+            walk = list(self._segment(seq[0], seq[1]))
+            for i in range(2, len(seq)):
+                walk.extend(self._segment(seq[i - 1], seq[i])[1:])
+            cached = tuple(walk)
+            self._seq_walks[seq] = cached
+        return cached
 
     def walk(
         self, oracle: PathOracle, source: NodeId, target: NodeId

@@ -79,6 +79,20 @@ def build_parser() -> argparse.ArgumentParser:
         "landmark keeps the batch's pair queries cheap)",
     )
     pt.add_argument(
+        "--balance",
+        action="store_true",
+        help="load-adaptive multipath routing: spread flows across "
+        "k-shortest head walks to flatten backbone hot spots",
+    )
+    pt.add_argument(
+        "--radio-budget",
+        type=float,
+        default=None,
+        metavar="PKTS",
+        help="per-radio packet budget; derives per-link capacities from "
+        "the backbone and reports congestion drops against them",
+    )
+    pt.add_argument(
         "--trace",
         default=None,
         metavar="PATH",
@@ -431,6 +445,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             seed=args.seed,
             lifetime_epochs=args.lifetime_epochs,
             backend=args.backend,
+            balance=args.balance,
+            radio_budget=args.radio_budget,
         )
         if args.trace is not None:
             _finish_tracing(
@@ -445,6 +461,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 seed=args.seed,
                 lifetime_epochs=args.lifetime_epochs,
                 backend=args.backend,
+                balance=args.balance,
+                radio_budget=args.radio_budget,
             )
     elif args.command == "mobility":
         from .traffic import mobile

@@ -35,9 +35,12 @@ from __future__ import annotations
 
 from enum import IntEnum
 from dataclasses import dataclass
-from typing import Mapping, Optional
+from typing import TYPE_CHECKING, Mapping, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (traffic -> faults)
+    from ..traffic.congestion import CongestionModel
 
 from ..errors import InvalidParameterError
 from ..net.oracle import DIST_DTYPE
@@ -151,6 +154,43 @@ class LossModel:
             )[0]
         )
 
+    def combine(self, other: "LossModel") -> "LossModel":
+        """Compose two independent loss sources into one model.
+
+        A hop survives the composite iff it survives both sources, so
+        every link's combined rate is ``1 - (1-p1)(1-p2)`` — base rates
+        compose, and the override set is the union of both models'
+        overrides with each code evaluated against *both* models.  The
+        natural way to stack congestion drops
+        (:meth:`~repro.traffic.congestion.CongestionModel.loss_model`)
+        on top of a fault-injection model.
+
+        Raises:
+            InvalidParameterError: if the models disagree on ``n``.
+        """
+        if self.n != other.n:
+            raise InvalidParameterError(
+                f"cannot combine loss models over {self.n} and "
+                f"{other.n} nodes"
+            )
+        codes = np.union1d(self.keys, other.keys).astype(np.int64)
+
+        def rate_of(model: "LossModel") -> np.ndarray:
+            out = np.full(codes.size, model.base_loss, dtype=np.float64)
+            if model.keys.size:
+                idx = np.minimum(
+                    np.searchsorted(model.keys, codes), model.keys.size - 1
+                )
+                hit = model.keys[idx] == codes
+                out[hit] = model.rates[idx[hit]]
+            return out
+
+        rates = 1.0 - (1.0 - rate_of(self)) * (1.0 - rate_of(other))
+        base = 1.0 - (1.0 - self.base_loss) * (1.0 - other.base_loss)
+        codes.setflags(write=False)
+        rates.setflags(write=False)
+        return LossModel(n=self.n, base_loss=base, keys=codes, rates=rates)
+
 
 @dataclass(frozen=True)
 class DeliveryReport:
@@ -231,6 +271,7 @@ def deliver(
     max_attempts: int = 3,
     backoff_base: int = 2,
     routable: Optional[np.ndarray] = None,
+    congestion: Optional["CongestionModel"] = None,
 ) -> DeliveryReport:
     """Run every routed flow through the lossy network with retries.
 
@@ -249,7 +290,17 @@ def deliver(
         routable: optional per-flow bool mask; flows marked False are
             ``ABANDONED`` without any attempt (the degraded-mode hook for
             cross-partition flows).
+        congestion: optional
+            :class:`~repro.traffic.congestion.CongestionModel`; when
+            set, the batch's own offered load is measured against the
+            backbone's link capacities and the resulting fluid-queue
+            drop rates :meth:`combine <LossModel.combine>` with
+            ``loss`` — over-capacity links degrade delivery instead of
+            carrying infinite traffic, and the extra retransmissions
+            land in ``tx``/``rx`` (congested heads burn energy).
     """
+    if congestion is not None:
+        loss = loss.combine(congestion.loss_model(routed))
     if max_attempts < 0:
         raise InvalidParameterError(
             f"max_attempts must be >= 0, got {max_attempts}"

@@ -10,6 +10,10 @@ star: "heavy traffic from millions of users"):
   bit-packed BFS sweeps across thousands of flows;
 * :mod:`~repro.traffic.load` — per-node forwarding load, virtual-link
   utilization, stretch/congestion/fairness accounting;
+* :mod:`~repro.traffic.congestion` — per-link service capacities derived
+  from the backbone and fluid-queue drops, exported as a
+  :class:`~repro.faults.delivery.LossModel` so over-capacity links
+  degrade delivery (and congested heads burn energy on retransmits);
 * :mod:`~repro.traffic.lifetime` — the closed loop where measured load
   drains :class:`~repro.net.energy.EnergyModel`, deaths feed the §3.3
   repair ladder, and flows replay across epochs (rotation vs static);
@@ -19,6 +23,11 @@ star: "heavy traffic from millions of users"):
 * :mod:`~repro.traffic.report` — the ``repro-khop traffic`` experiment.
 """
 
+from .congestion import (
+    CongestionModel,
+    CongestionReport,
+    congestion_report,
+)
 from .lifetime import (
     LifetimeEpoch,
     LifetimeReport,
@@ -56,6 +65,9 @@ __all__ = [
     "RoutedFlows",
     "LoadReport",
     "measure_load",
+    "CongestionModel",
+    "CongestionReport",
+    "congestion_report",
     "LifetimeEpoch",
     "LifetimeReport",
     "simulate_traffic_lifetime",

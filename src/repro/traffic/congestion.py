@@ -1,0 +1,215 @@
+"""Per-link congestion: capacities, fluid-queue drops, loss export.
+
+Load accounting (:mod:`repro.traffic.load`) made the backbone's
+concentration measurable; this module makes it *push back*.  Every
+selected virtual link gets a service capacity derived from the backbone
+itself: a clusterhead/gateway radio forwards at most ``radio_budget``
+packets per epoch, and a virtual link of weight ``w`` (its stored
+gateway path spans ``w`` physical hops) consumes ``w`` radio
+transmissions per packet — so the link's packet capacity is
+``radio_budget / w``.  Wide (short) links are fat pipes, long multi-hop
+links are thin ones, exactly the §3 intuition that gateway chains are
+the scarce resource.
+
+Offered load above capacity drains through a **fluid queue with
+demand-weighted drops**: a link offered ``q > c`` delivers ``c`` and
+drops the excess, i.e. every packet crossing it is lost with probability
+``p = (q - c) / q`` — carried load never exceeds capacity (capacity
+conservation), and ``p`` is monotone in the offered load.  The drop
+probability is exported as a per-*physical-edge* loss rate over the
+link's stored gateway path (``r = 1 - (1 - p)^(1/w)``, so one traversal
+of the whole path is lost with probability ``p``) in the exact
+:class:`~repro.faults.delivery.LossModel` shape the delivery engine
+consumes.  Composed with a fault-injection loss model via
+:meth:`LossModel.combine`, congestion becomes one more loss source in
+:func:`~repro.faults.delivery.deliver` — and because congested heads
+retransmit, they *burn energy faster*, which is how congestion couples
+into the lifetime loop (:mod:`repro.traffic.lifetime`).
+
+The load-adaptive counterweight is the batch router's ``balance=`` mode
+(:meth:`repro.traffic.router.BatchRouter.route_flows`), which spreads
+flows across k-shortest head walks precisely to keep links under their
+capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+from ..core.pipeline import BackboneResult
+from ..errors import InvalidParameterError
+from ..types import Edge, NodeId, normalize_edge
+from .load import link_utilization
+from .router import RoutedFlows
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> traffic)
+    from ..faults.delivery import LossModel
+
+__all__ = [
+    "DEFAULT_RADIO_BUDGET",
+    "CongestionModel",
+    "CongestionReport",
+    "congestion_report",
+]
+
+#: Packets per epoch one backbone radio can forward (the capacity unit).
+DEFAULT_RADIO_BUDGET = 256.0
+
+
+@dataclass(frozen=True)
+class CongestionModel:
+    """Service capacities for every selected virtual link of one backbone.
+
+    Attributes:
+        n: node-ID space of the served graph.
+        radio_budget: packets per epoch a single backbone radio forwards.
+        capacity: selected virtual link -> packet capacity
+            (``radio_budget / link weight``).
+        paths: selected virtual link -> its stored gateway path (the
+            physical edges congestion losses land on).
+    """
+
+    n: int
+    radio_budget: float
+    capacity: dict[Edge, float]
+    paths: dict[Edge, tuple[NodeId, ...]]
+
+    @classmethod
+    def from_backbone(
+        cls,
+        result: BackboneResult,
+        *,
+        radio_budget: float = DEFAULT_RADIO_BUDGET,
+    ) -> "CongestionModel":
+        """Derive per-link capacities from a backbone's virtual links.
+
+        Raises:
+            InvalidParameterError: if ``radio_budget`` is not positive.
+        """
+        if radio_budget <= 0:
+            raise InvalidParameterError(
+                f"radio_budget must be > 0, got {radio_budget}"
+            )
+        capacity: dict[Edge, float] = {}
+        paths: dict[Edge, tuple[NodeId, ...]] = {}
+        for ab in sorted(result.selected_links):
+            link = result.virtual_graph.link(*ab)
+            capacity[ab] = radio_budget / max(link.weight, 1)
+            paths[ab] = link.path
+        return cls(
+            n=result.clustering.graph.n,
+            radio_budget=float(radio_budget),
+            capacity=capacity,
+            paths=paths,
+        )
+
+    @property
+    def num_links(self) -> int:
+        """Selected virtual links with a capacity."""
+        return len(self.capacity)
+
+    def drop_probabilities(
+        self, offered: Mapping[Edge, float]
+    ) -> dict[Edge, float]:
+        """Fluid-queue drop probability per *overloaded* link.
+
+        A link offered ``q`` packets against capacity ``c`` drops each
+        with probability ``max(0, (q - c) / q)`` — the unique rate at
+        which carried load equals ``min(q, c)`` (capacity conservation).
+        Links at or under capacity are omitted; offered load on edges
+        without a capacity (not selected links) is ignored.
+        """
+        out: dict[Edge, float] = {}
+        for e, q in sorted(offered.items()):
+            c = self.capacity.get(e)
+            if c is not None and q > c:
+                out[e] = (q - c) / q
+        return out
+
+    def loss_model(self, routed: RoutedFlows) -> "LossModel":
+        """The congestion loss this batch inflicts on itself.
+
+        Offered per-link load comes from the batch's own head sequences
+        (:func:`~repro.traffic.load.link_utilization`); each overloaded
+        link's drop probability spreads over the ``w`` physical hops of
+        its stored gateway path as ``r = 1 - (1 - p)^(1/w)``, so one end
+        to end traversal survives with probability ``1 - p`` exactly.  A
+        physical edge shared by several congested links takes the worst
+        rate.  Compose with a fault model via
+        :meth:`~repro.faults.delivery.LossModel.combine`.
+        """
+        # Runtime import: faults.delivery imports traffic.router at
+        # module level, so the reverse edge must stay lazy.
+        from ..faults.delivery import LossModel
+
+        drops = self.drop_probabilities(link_utilization(routed, self.n))
+        overrides: dict[Edge, float] = {}
+        for e, p in drops.items():
+            path = self.paths[e]
+            w = max(len(path) - 1, 1)
+            r = 1.0 - (1.0 - p) ** (1.0 / w)
+            for x, y in zip(path, path[1:]):
+                edge = normalize_edge(x, y)
+                prior = overrides.get(edge, 0.0)
+                if r > prior:
+                    overrides[edge] = r
+        return LossModel.from_overrides(self.n, overrides)
+
+
+@dataclass(frozen=True)
+class CongestionReport:
+    """How one routed batch relates to the backbone's capacities.
+
+    Attributes:
+        links: selected virtual links with a capacity.
+        loaded_links: links the batch actually crossed.
+        congested_links: links offered more than their capacity.
+        offered_packets: total demand-weighted link crossings.
+        dropped_packets: fluid-model packet drops (``Σ max(0, q - c)``).
+        worst_utilization: max over loaded links of ``q / c``.
+    """
+
+    links: int
+    loaded_links: int
+    congested_links: int
+    offered_packets: float
+    dropped_packets: float
+    worst_utilization: float
+
+    @property
+    def drop_fraction(self) -> float:
+        """Fluid-model fraction of link crossings dropped."""
+        if self.offered_packets <= 0:
+            return 0.0
+        return self.dropped_packets / self.offered_packets
+
+
+def congestion_report(
+    model: CongestionModel, routed: RoutedFlows
+) -> CongestionReport:
+    """Summarize a routed batch against a congestion model."""
+    offered = link_utilization(routed, model.n)
+    congested = 0
+    dropped = 0.0
+    worst = 0.0
+    total = 0.0
+    for e, q in sorted(offered.items()):
+        c = model.capacity.get(e)
+        total += q
+        if c is None:
+            continue
+        util = q / c
+        if util > worst:
+            worst = util
+        if q > c:
+            congested += 1
+            dropped += q - c
+    return CongestionReport(
+        links=model.num_links,
+        loaded_links=len(offered),
+        congested_links=congested,
+        offered_packets=total,
+        dropped_packets=dropped,
+        worst_utilization=worst,
+    )

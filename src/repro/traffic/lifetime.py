@@ -45,6 +45,7 @@ from ..maintenance.repair import repair
 from ..net.energy import EnergyModel, EnergyParams
 from ..net.graph import Graph
 from ..obs import publish_counters, span
+from .congestion import CongestionModel
 from .load import lossy_load, measure_load
 from .router import BatchRouter
 from .workloads import Workload
@@ -173,6 +174,8 @@ def simulate_traffic_lifetime(
     max_attempts: int = 3,
     backoff_base: int = 2,
     delivery_seed: int = 0,
+    radio_budget: Optional[float] = None,
+    balance: bool = False,
 ) -> LifetimeReport:
     """Replay ``workload`` for up to ``epochs`` epochs of drain + repair.
 
@@ -200,6 +203,16 @@ def simulate_traffic_lifetime(
             backoff base forwarded to the delivery engine.
         delivery_seed: base seed for the per-epoch loss draws (epoch
             ``e`` draws from ``delivery_seed + e``).
+        radio_budget: optional per-radio packet budget; when set, each
+            epoch's backbone gets a
+            :class:`~repro.traffic.congestion.CongestionModel` and the
+            batch's own offered load composes fluid-queue drops into the
+            delivery — congested heads retransmit and therefore *drain
+            faster* (a lossy delivery runs even when ``loss`` is None).
+        balance: route each epoch's flows with the load-adaptive
+            multipath mode
+            (:meth:`~repro.traffic.router.BatchRouter.route_flows`
+            ``balance=True``) instead of canonical single-path walks.
     """
     if scheme not in ("energy", "static"):
         raise InvalidParameterError(f"unknown lifetime scheme {scheme!r}")
@@ -245,20 +258,30 @@ def simulate_traffic_lifetime(
                 report.head_service[h] += 1
 
             routed = router.route_flows(
-                workload.restrict(alive), with_shortest=False
+                workload.restrict(alive), with_shortest=False, balance=balance
             )
             delivered = 1.0
-            if loss is not None:
+            if loss is not None or radio_budget is not None:
                 # Runtime import: faults.delivery imports traffic.router at
                 # module level, so traffic must only pull it lazily.
-                from ..faults.delivery import deliver
+                from ..faults.delivery import LossModel, deliver
 
+                congestion = (
+                    CongestionModel.from_backbone(
+                        backbone, radio_budget=radio_budget
+                    )
+                    if radio_budget is not None
+                    else None
+                )
                 delivery = deliver(
                     routed,
-                    loss,
+                    loss
+                    if loss is not None
+                    else LossModel.uniform(graph.n, 0.0),
                     seed=delivery_seed + epoch,
                     max_attempts=max_attempts,
                     backoff_base=backoff_base,
+                    congestion=congestion,
                 )
                 routed = routed.with_delivery(delivery)
                 load = lossy_load(backbone, routed, delivery)
@@ -340,12 +363,15 @@ def compare_rotation_under_traffic(
     params: EnergyParams | None = None,
     idle_rounds_per_epoch: int = 1,
     loss: Optional["LossModel"] = None,
+    radio_budget: Optional[float] = None,
+    balance: bool = False,
 ) -> dict[str, LifetimeReport]:
     """Run both schemes on identical fresh energy ledgers and workloads.
 
     Returns ``{"energy": ..., "static": ...}`` — the rotation-vs-static
     lifetime comparison the acceptance scenario asserts on.  A ``loss``
-    model applies identically to both schemes (same per-epoch seeds).
+    model (and a ``radio_budget`` congestion regime) applies identically
+    to both schemes (same per-epoch seeds).
     """
     return {
         scheme: simulate_traffic_lifetime(
@@ -358,6 +384,8 @@ def compare_rotation_under_traffic(
             params=params,
             idle_rounds_per_epoch=idle_rounds_per_epoch,
             loss=loss,
+            radio_budget=radio_budget,
+            balance=balance,
         )
         for scheme in ("energy", "static")
     }

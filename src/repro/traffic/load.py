@@ -33,13 +33,13 @@ import numpy as np
 from ..analysis.stats import jain_fairness
 from ..core.pipeline import BackboneResult
 from ..errors import InvalidParameterError
-from ..types import Edge, NodeId, normalize_edge
+from ..types import Edge, NodeId
 from .router import RoutedFlows
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> traffic)
     from ..faults.delivery import DeliveryReport
 
-__all__ = ["LoadReport", "measure_load", "lossy_load"]
+__all__ = ["LoadReport", "measure_load", "lossy_load", "link_utilization"]
 
 
 @dataclass(frozen=True)
@@ -83,10 +83,125 @@ class LoadReport:
         return self.tx + self.rx
 
     def top_loaded(self, count: int = 10) -> list[tuple[NodeId, int]]:
-        """The ``count`` most loaded nodes as ``(node, load)``, heaviest first."""
+        """The ``count`` most loaded nodes as ``(node, load)``, heaviest first.
+
+        Equal loads break ties by ascending node ID (the project's min-ID
+        convention) — ``lexsort`` with ``-load`` as the primary key, so a
+        tie can never surface in descending ID order.
+        """
         load = self.node_load
-        order = np.argsort(load, kind="stable")[::-1][:count]
+        order = np.lexsort((np.arange(load.size), -load))[:count]
         return [(int(u), int(load[u])) for u in order if load[u] > 0]
+
+
+def link_utilization(routed: RoutedFlows, n: int) -> dict[Edge, int]:
+    """Demand-weighted packet count per traversed virtual link.
+
+    One flattened pass over the routed head sequences: consecutive heads
+    are paired up via the same first/last masking the per-node tallies
+    use, encoded as ``min * n + max`` and aggregated with one
+    ``np.unique`` + ``np.bincount`` — no per-flow Python loop.
+    """
+    seq_arrays = [
+        np.asarray(hp, dtype=np.int64) for hp in routed.head_paths if len(hp) > 1
+    ]
+    if not seq_arrays:
+        return {}
+    demands = routed.workload.demands
+    with_links = np.fromiter(
+        (len(hp) > 1 for hp in routed.head_paths),
+        dtype=bool,
+        count=len(routed.head_paths),
+    )
+    flat = np.concatenate(seq_arrays)
+    lengths = np.fromiter(
+        (a.size for a in seq_arrays), dtype=np.int64, count=len(seq_arrays)
+    )
+    ends = np.cumsum(lengths)
+    starts = ends - lengths
+    is_first = np.zeros(flat.size, dtype=bool)
+    is_first[starts] = True
+    is_last = np.zeros(flat.size, dtype=bool)
+    is_last[ends - 1] = True
+    u = flat[~is_last]
+    v = flat[~is_first]
+    codes = np.minimum(u, v) * n + np.maximum(u, v)
+    weights = np.repeat(demands[with_links], lengths - 1).astype(np.float64)
+    uniq, inverse = np.unique(codes, return_inverse=True)
+    totals = np.bincount(inverse, weights=weights, minlength=uniq.size)
+    return {
+        (int(c // n), int(c % n)): int(round(t))
+        for c, t in zip(uniq.tolist(), totals.tolist())
+    }
+
+
+def _finish_report(
+    result: BackboneResult,
+    routed: RoutedFlows,
+    tx: np.ndarray,
+    rx: np.ndarray,
+    transit: np.ndarray,
+) -> LoadReport:
+    """Assemble a :class:`LoadReport` from per-node tallies.
+
+    The shared tail of :func:`measure_load` and :func:`lossy_load`:
+    link utilization, stretch statistics (over *valid* flows only —
+    degraded-mode placeholder walks never pollute them; see
+    :meth:`RoutedFlows.stretches`), node-load percentiles, CDS share
+    and backbone fairness.
+    """
+    n = result.clustering.graph.n
+    link_util = link_utilization(routed, n)
+
+    packet_hops = int(tx.sum())
+    if routed.shortest.size:
+        stretches = routed.stretches()
+        mean_stretch = (
+            float(stretches.mean()) if stretches.size else float("nan")
+        )
+        max_stretch = (
+            float(stretches.max()) if stretches.size else float("nan")
+        )
+        p95_stretch = (
+            float(np.percentile(stretches, 95))
+            if stretches.size
+            else float("nan")
+        )
+    else:
+        mean_stretch = max_stretch = p95_stretch = float("nan")
+
+    load = tx + rx
+    loaded = load[load > 0]
+    if loaded.size:
+        max_node_load = float(loaded.max())
+        p50, p95, p99 = (
+            float(np.percentile(loaded, q)) for q in (50, 95, 99)
+        )
+    else:
+        max_node_load = p50 = p95 = p99 = 0.0
+
+    cds = sorted(result.cds)
+    cds_share = float(tx[cds].sum() / packet_hops) if packet_hops else 0.0
+    backbone_fairness = jain_fairness(load[cds]) if cds else 0.0
+
+    return LoadReport(
+        num_flows=routed.num_flows,
+        total_packets=routed.workload.total_packets,
+        packet_hops=packet_hops,
+        tx=tx,
+        rx=rx,
+        transit=transit,
+        link_util=link_util,
+        mean_stretch=mean_stretch,
+        max_stretch=max_stretch,
+        p95_stretch=p95_stretch,
+        max_node_load=max_node_load,
+        p50_node_load=p50,
+        p95_node_load=p95,
+        p99_node_load=p99,
+        cds_share=cds_share,
+        backbone_fairness=backbone_fairness,
+    )
 
 
 def measure_load(result: BackboneResult, routed: RoutedFlows) -> LoadReport:
@@ -94,7 +209,9 @@ def measure_load(result: BackboneResult, routed: RoutedFlows) -> LoadReport:
 
     All per-node tallies are demand-weighted ``np.bincount`` passes over
     the concatenated walks — O(total walk length), no Python-level
-    per-packet loop.
+    per-packet loop.  Degraded batches are exact: placeholder walks
+    (``routed.valid`` False) are zero-hop, so they contribute no load,
+    and the stretch statistics cover valid flows only.
     """
     n = result.clustering.graph.n
     demands = routed.workload.demands
@@ -127,57 +244,7 @@ def measure_load(result: BackboneResult, routed: RoutedFlows) -> LoadReport:
             flat[interior], weights=weights[interior], minlength=n
         ).astype(np.int64)
 
-    link_util: dict[Edge, int] = {}
-    for seq, d in zip(routed.head_paths, demands.tolist()):
-        for a, b in zip(seq, seq[1:]):
-            e = normalize_edge(a, b)
-            link_util[e] = link_util.get(e, 0) + d
-
-    packet_hops = int(tx.sum())
-    if routed.shortest.size:
-        stretches = routed.stretches()
-        mean_stretch = float(stretches.mean()) if stretches.size else 1.0
-        max_stretch = float(stretches.max()) if stretches.size else 1.0
-        p95_stretch = (
-            float(np.percentile(stretches, 95)) if stretches.size else 1.0
-        )
-    else:
-        mean_stretch = max_stretch = p95_stretch = float("nan")
-
-    load = tx + rx
-    loaded = load[load > 0]
-    if loaded.size:
-        max_node_load = float(loaded.max())
-        p50, p95, p99 = (
-            float(np.percentile(loaded, q)) for q in (50, 95, 99)
-        )
-    else:
-        max_node_load = p50 = p95 = p99 = 0.0
-
-    cds = sorted(result.cds)
-    cds_share = (
-        float(tx[cds].sum() / packet_hops) if packet_hops else 0.0
-    )
-    backbone_fairness = jain_fairness(load[cds]) if cds else 0.0
-
-    return LoadReport(
-        num_flows=routed.num_flows,
-        total_packets=routed.workload.total_packets,
-        packet_hops=packet_hops,
-        tx=tx,
-        rx=rx,
-        transit=transit,
-        link_util=link_util,
-        mean_stretch=mean_stretch,
-        max_stretch=max_stretch,
-        p95_stretch=p95_stretch,
-        max_node_load=max_node_load,
-        p50_node_load=p50,
-        p95_node_load=p95,
-        p99_node_load=p99,
-        cds_share=cds_share,
-        backbone_fairness=backbone_fairness,
-    )
+    return _finish_report(result, routed, tx, rx, transit)
 
 
 def lossy_load(
@@ -216,52 +283,4 @@ def lossy_load(
     )
     transit = rx - np.rint(terminal).astype(np.int64)
 
-    link_util: dict[Edge, int] = {}
-    for seq, d in zip(routed.head_paths, demands.tolist()):
-        for a, b in zip(seq, seq[1:]):
-            e = normalize_edge(a, b)
-            link_util[e] = link_util.get(e, 0) + d
-
-    packet_hops = int(tx.sum())
-    if routed.shortest.size:
-        stretches = routed.stretches()
-        mean_stretch = float(stretches.mean()) if stretches.size else 1.0
-        max_stretch = float(stretches.max()) if stretches.size else 1.0
-        p95_stretch = (
-            float(np.percentile(stretches, 95)) if stretches.size else 1.0
-        )
-    else:
-        mean_stretch = max_stretch = p95_stretch = float("nan")
-
-    load = tx + rx
-    loaded = load[load > 0]
-    if loaded.size:
-        max_node_load = float(loaded.max())
-        p50, p95, p99 = (
-            float(np.percentile(loaded, q)) for q in (50, 95, 99)
-        )
-    else:
-        max_node_load = p50 = p95 = p99 = 0.0
-
-    cds = sorted(result.cds)
-    cds_share = float(tx[cds].sum() / packet_hops) if packet_hops else 0.0
-    backbone_fairness = jain_fairness(load[cds]) if cds else 0.0
-
-    return LoadReport(
-        num_flows=routed.num_flows,
-        total_packets=routed.workload.total_packets,
-        packet_hops=packet_hops,
-        tx=tx,
-        rx=rx,
-        transit=transit,
-        link_util=link_util,
-        mean_stretch=mean_stretch,
-        max_stretch=max_stretch,
-        p95_stretch=p95_stretch,
-        max_node_load=max_node_load,
-        p50_node_load=p50,
-        p95_node_load=p95,
-        p99_node_load=p99,
-        cds_share=cds_share,
-        backbone_fairness=backbone_fairness,
-    )
+    return _finish_report(result, routed, tx, rx, transit)

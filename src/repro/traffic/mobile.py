@@ -378,12 +378,9 @@ def simulate_mobile_traffic(
                         dg_backbone, dg_routed = route_degraded(
                             graph, k, workload, algorithm=algorithm
                         )
+                        # measure_load masks stretch stats by dg_routed.valid
+                        # itself, so the placeholder walks never pollute them.
                         dg_load = measure_load(dg_backbone, dg_routed)
-                        valid = dg_routed.valid
-                        assert valid is not None  # route_degraded always sets it
-                        st = dg_routed.hops[valid] / np.maximum(
-                            dg_routed.shortest[valid], 1
-                        )
                         report.degraded_epochs += 1
                         report.epochs.append(
                             MobileEpoch(
@@ -392,18 +389,10 @@ def simulate_mobile_traffic(
                                 edges_added=len(added),
                                 edges_removed=len(removed),
                                 delivered=delivered,
-                                flows_routed=int(np.count_nonzero(valid)),
-                                mean_stretch=(
-                                    float(st.mean()) if st.size else float("nan")
-                                ),
-                                p95_stretch=(
-                                    float(np.percentile(st, 95))
-                                    if st.size
-                                    else float("nan")
-                                ),
-                                max_stretch=(
-                                    float(st.max()) if st.size else float("nan")
-                                ),
+                                flows_routed=dg_routed.num_valid,
+                                mean_stretch=dg_load.mean_stretch,
+                                p95_stretch=dg_load.p95_stretch,
+                                max_stretch=dg_load.max_stretch,
                                 max_node_load=dg_load.max_node_load,
                                 backbone_fairness=dg_load.backbone_fairness,
                                 cds_share=dg_load.cds_share,

@@ -19,6 +19,11 @@ from ..net.energy import EnergyParams
 from ..net.paths import PathOracle
 from ..net.topology import random_topology
 from ..obs import publish_oracle_stats, span
+from .congestion import (
+    CongestionModel,
+    CongestionReport,
+    congestion_report,
+)
 from .lifetime import LifetimeReport, compare_rotation_under_traffic
 from .load import LoadReport, measure_load
 from .router import BatchRouter
@@ -38,6 +43,10 @@ class TrafficReport:
         routing: sampled table-size/stretch report for context.
         lifetimes: rotation-vs-static lifetime reports (None unless the
             run asked for lifetime epochs).
+        congestion: offered-vs-capacity summary (None unless the run set
+            a radio budget).
+        balance_stats: multipath optimizer counters (None unless the run
+            balanced).
     """
 
     backbone: BackboneResult
@@ -45,6 +54,8 @@ class TrafficReport:
     load: LoadReport
     routing: RoutingReport
     lifetimes: Optional[dict[str, LifetimeReport]]
+    congestion: Optional[CongestionReport] = None
+    balance_stats: Optional[dict[str, int]] = None
 
 
 def run_traffic(
@@ -59,6 +70,8 @@ def run_traffic(
     lifetime_epochs: int = 0,
     energy_params: EnergyParams | None = None,
     backend: str | None = None,
+    balance: bool = False,
+    radio_budget: float | None = None,
 ) -> TrafficReport:
     """Build an instance, route a workload batch, account the load.
 
@@ -76,6 +89,14 @@ def run_traffic(
             ``"landmark"``/``"auto"``); None keeps the graph's policy.
             Batch routing is pair-query-heavy, so the CLI pins
             ``"landmark"`` — results are identical on every backend.
+        balance: route with the load-adaptive multipath mode
+            (``repro-khop traffic --balance``) instead of canonical
+            single-path walks; the optimizer's counters land in
+            ``balance_stats``.
+        radio_budget: when set, derive per-link capacities from the
+            backbone (:class:`~repro.traffic.congestion.CongestionModel`)
+            and report offered load against them; also threads into the
+            lifetime comparison so congested heads drain faster.
 
     The whole run is traced when the observability layer is enabled
     (``repro-khop traffic --trace``): a root ``traffic`` span over
@@ -101,9 +122,17 @@ def run_traffic(
                 graph.use_distance_backend(backend)
         backbone = run_pipeline(graph, k, algorithm)
         wl = make_workload(workload, graph.n, flows, seed=seed)
-        with span("router", flows=wl.num_flows):
+        with span("router", flows=wl.num_flows, balance=balance):
             batch = BatchRouter(backbone)
-            routed = batch.route_flows(wl, with_shortest=True)
+            routed = batch.route_flows(wl, with_shortest=True, balance=balance)
+        congestion = None
+        if radio_budget is not None:
+            congestion = congestion_report(
+                CongestionModel.from_backbone(
+                    backbone, radio_budget=radio_budget
+                ),
+                routed,
+            )
         with span("epochs"):
             # The offered batch is one traffic epoch; the lifetime loop
             # (when requested) adds one child span per drained epoch.
@@ -127,6 +156,8 @@ def run_traffic(
                     epochs=lifetime_epochs,
                     algorithm=algorithm,
                     params=energy_params,
+                    radio_budget=radio_budget,
+                    balance=balance,
                 )
         publish_oracle_stats(graph.oracle.stats())
         publish_oracle_stats(batch.path_oracle.stats(), prefix="paths")
@@ -136,6 +167,8 @@ def run_traffic(
         load=load,
         routing=routing,
         lifetimes=lifetimes,
+        congestion=congestion,
+        balance_stats=dict(batch.last_balance) if balance else None,
     )
 
 
@@ -175,6 +208,30 @@ def render_traffic(report: TrafficReport) -> str:
         f"max {report.routing.max_table} "
         f"(flat baseline {report.routing.flat_table})",
     ]
+    if report.balance_stats is not None:
+        bs = report.balance_stats
+        lines.insert(
+            lines.index("routing tables (sampled):") - 1,
+            f"  multipath balance  {bs.get('flows_rerouted', 0)} flows "
+            f"rerouted across {bs.get('candidates', 0)} candidate walks "
+            f"({bs.get('groups', 0)} head pairs, "
+            f"{bs.get('moves', 0)} hot-link moves)",
+        )
+    if report.congestion is not None:
+        cg = report.congestion
+        lines.append("")
+        lines.append("congestion (offered vs capacity):")
+        lines.append(
+            f"  links              {cg.congested_links} of "
+            f"{cg.loaded_links} loaded links over capacity "
+            f"({cg.links} total)"
+        )
+        lines.append(
+            f"  fluid drops        {cg.dropped_packets:.0f} of "
+            f"{cg.offered_packets:.0f} link crossings "
+            f"({cg.drop_fraction:.1%}); worst utilization "
+            f"{cg.worst_utilization:.2f}x"
+        )
     if report.lifetimes is not None:
         lines.append("")
         lines.append("traffic-driven lifetime (rotation vs static):")
@@ -204,6 +261,8 @@ def main(
     seed: int = 7,
     lifetime_epochs: int = 0,
     backend: str | None = None,
+    balance: bool = False,
+    radio_budget: float | None = None,
 ) -> None:
     """CLI driver: run one traffic experiment and print the summary."""
     report = run_traffic(
@@ -216,5 +275,7 @@ def main(
         seed=seed,
         lifetime_epochs=lifetime_epochs,
         backend=backend,
+        balance=balance,
+        radio_budget=radio_budget,
     )
     print(render_traffic(report))

@@ -34,6 +34,7 @@ what the repair actually changed.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Iterable, Optional
 
@@ -47,6 +48,7 @@ from ..core.pipeline import BackboneResult
 from ..errors import InvalidParameterError
 from ..net.oracle import BATCH_BITS, DIST_DTYPE
 from ..net.paths import PathOracle
+from ..obs import publish_counters
 from ..types import DistArray, FloatArray, NodeId, normalize_edge
 from .workloads import Workload
 
@@ -90,6 +92,13 @@ class RoutedFlows:
         """Number of routed flows."""
         return len(self.walks)
 
+    @property
+    def num_valid(self) -> int:
+        """Flows whose walks are real routes (all of them when ``valid`` is None)."""
+        if self.valid is None:
+            return self.num_flows
+        return int(np.count_nonzero(np.asarray(self.valid, dtype=bool)))
+
     def with_delivery(self, report: "DeliveryReport") -> "RoutedFlows":
         """Copy of the batch annotated with a lossy delivery's outcomes."""
         if report.num_flows != self.num_flows:
@@ -104,24 +113,42 @@ class RoutedFlows:
     def delivered_fraction(self) -> float:
         """Demand-weighted fraction of offered packets delivered.
 
-        1.0 in the binary world (no ``outcome`` recorded — routing
-        succeeded, so everything counts as delivered); otherwise the
-        lossy delivery's packet-weighted success rate.
+        Flows flagged invalid (degraded-mode placeholders — no viable
+        route) always count as *undelivered*: a degraded batch with no
+        lossy delivery reports the routable share, never 1.0.  On top of
+        that, the binary world (no ``outcome`` recorded) delivers every
+        valid flow; the lossy world delivers what the delivery engine
+        says it delivered — masked by validity, so a placeholder walk
+        trivially surviving its zero hops still does not count.
         """
         demands = self.workload.demands
         offered = int(demands.sum())
-        if self.outcome is None or offered == 0:
+        if offered == 0:
             return 1.0
-        return float(demands[self.outcome == 0].sum()) / offered
+        if self.outcome is None:
+            delivered = np.ones(self.num_flows, dtype=bool)
+        else:
+            delivered = self.outcome == 0
+        if self.valid is not None:
+            delivered = delivered & np.asarray(self.valid, dtype=bool)
+        return float(demands[delivered].sum()) / offered
 
     def stretches(self) -> FloatArray:
-        """Per-flow stretch (walk hops / shortest hops), float64."""
+        """Per-valid-flow stretch (walk hops / shortest hops), float64.
+
+        Invalid flows (degraded-mode placeholder walks, whose hop count
+        and shortest distance are both meaningless) are excluded, so the
+        returned array has ``num_valid`` entries.
+        """
         if self.shortest.size != self.hops.size:
             raise InvalidParameterError(
                 "stretches need shortest distances; route with "
                 "with_shortest=True"
             )
-        return self.hops / np.maximum(self.shortest, 1)
+        ratios = self.hops / np.maximum(self.shortest, 1)
+        if self.valid is not None:
+            return ratios[np.asarray(self.valid, dtype=bool)]
+        return ratios
 
 
 class BatchRouter:
@@ -142,6 +169,9 @@ class BatchRouter:
         self._oracle = oracle if oracle is not None else PathOracle(self._graph)
         self._router = HeadRouter(result)
         self._head_of = np.asarray(result.clustering.head_of, dtype=np.int64)
+        #: Counters from the most recent ``balance=True`` routing pass
+        #: (groups / candidates / moves / flows_rerouted); empty before one.
+        self.last_balance: dict[str, int] = {}
 
     @property
     def result(self) -> BackboneResult:
@@ -287,7 +317,16 @@ class BatchRouter:
         return legs
 
     def route_flows(
-        self, workload: Workload, *, with_shortest: bool = True
+        self,
+        workload: Workload,
+        *,
+        with_shortest: bool = True,
+        balance: bool = False,
+        k_paths: int = 4,
+        tie_variants: int = 3,
+        stretch_bound: float = 1.5,
+        max_moves: int | None = None,
+        balance_seed: int = 7,
     ) -> RoutedFlows:
         """Route every flow of ``workload``; returns the full batch.
 
@@ -296,6 +335,14 @@ class BatchRouter:
             with_shortest: also resolve each flow's shortest-path
                 distance (one bulk ``pair_distances`` query) so stretch
                 is measurable; skip for pure load studies.
+            balance: spread inter-cluster flows across up to ``k_paths``
+                candidate head walks per head pair (seeded equal-cost
+                tie-break variants plus Yen k-shortest, weight-bounded by
+                ``stretch_bound``) via iterative load-aware reroutes of
+                the heaviest virtual links — see :meth:`_balance`.  Off
+                by default: every flow takes the canonical walk.
+            k_paths / tie_variants / stretch_bound / max_moves /
+                balance_seed: balance-mode knobs; ignored otherwise.
         """
         n = self._graph.n
         if workload.n != n:
@@ -329,20 +376,75 @@ class BatchRouter:
             return stored if stored[0] == u else tuple(reversed(stored))
 
         router = self._router
+        seq_of: dict[int, tuple[NodeId, ...]] | None = None
+        if balance:
+            # The candidate-independent ("fixed") per-node load: member
+            # legs and intra-cluster walks, charged exactly as the load
+            # accounting will charge them (2·demand per appearance, the
+            # walk's two endpoints at demand).  Seeding the optimizer
+            # with it makes the sum-of-squares deltas track the *true*
+            # node loads, so traffic flows toward genuinely cold CDS
+            # nodes instead of nominally empty ones.
+            fixed = np.zeros(n, dtype=np.float64)
+            dems = workload.demands.astype(np.float64)
+            for i, (s, t, a, b, same) in enumerate(
+                zip(
+                    src.tolist(),
+                    dst.tolist(),
+                    hs.tolist(),
+                    ht.tolist(),
+                    intra.tolist(),
+                )
+            ):
+                d = dems[i]
+                if same:
+                    for u in leg(s, t):
+                        fixed[u] += 2.0 * d
+                else:
+                    for u in leg(s, a)[:-1]:
+                        fixed[u] += 2.0 * d
+                    for u in leg(b, t)[1:]:
+                        fixed[u] += 2.0 * d
+                fixed[s] -= d
+                fixed[t] -= d
+            seq_of = self._balance(
+                hs,
+                ht,
+                intra,
+                workload.demands,
+                fixed,
+                k_paths=k_paths,
+                tie_variants=tie_variants,
+                stretch_bound=stretch_bound,
+                max_moves=max_moves,
+                seed=balance_seed,
+            )
         walks: list[tuple[NodeId, ...]] = []
         head_paths: list[tuple[NodeId, ...]] = []
-        for s, t, a, b, same in zip(
-            src.tolist(), dst.tolist(), hs.tolist(), ht.tolist(), intra.tolist()
+        for i, (s, t, a, b, same) in enumerate(
+            zip(
+                src.tolist(),
+                dst.tolist(),
+                hs.tolist(),
+                ht.tolist(),
+                intra.tolist(),
+            )
         ):
             if same:
                 walks.append(leg(s, t))
                 head_paths.append(())
                 continue
+            if seq_of is None:
+                seq = router.head_sequence(a, b)
+                backbone = router.head_walk(a, b)
+            else:
+                seq = seq_of[i]
+                backbone = router.walk_for_seq(seq)
             walk = list(leg(s, a))
-            walk.extend(router.head_walk(a, b)[1:])
+            walk.extend(backbone[1:])
             walk.extend(leg(b, t)[1:])
             walks.append(tuple(walk))
-            head_paths.append(router.head_sequence(a, b))
+            head_paths.append(seq)
 
         hops = np.fromiter(
             (len(w) - 1 for w in walks), dtype=DIST_DTYPE, count=len(walks)
@@ -361,3 +463,260 @@ class BatchRouter:
             shortest=shortest,
             head_paths=head_paths,
         )
+
+    #: Hottest links examined per balance iteration before declaring
+    #: convergence — links colder than the top this-many never reroute.
+    _BALANCE_SCAN_LINKS = 32
+
+    def _balance(
+        self,
+        hs: np.ndarray,
+        ht: np.ndarray,
+        intra: np.ndarray,
+        demands: np.ndarray,
+        fixed: np.ndarray,
+        *,
+        k_paths: int,
+        tie_variants: int,
+        stretch_bound: float,
+        max_moves: int | None,
+        seed: int,
+    ) -> dict[int, tuple[NodeId, ...]]:
+        """Assign every inter-cluster flow a head sequence, load-aware.
+
+        Flows are grouped by ordered head pair; each group gets up to
+        ``k_paths`` candidate backbone walks — the canonical shortest
+        sequence, seeded equal-cost tie-break variants (zero stretch
+        cost, one shared Dijkstra tree per variant and source head), and
+        Yen k-shortest detours (weight-capped at ``stretch_bound`` times
+        the canonical weight) only when equal-cost diversity runs out.
+        The objective throughout is the **sum of squared per-node loads**
+        over the whole graph, seeded with the candidate-independent
+        ``fixed`` loads: totals are (nearly) constant across assignments,
+        so a smaller sum of squares is exactly a larger Jain fairness
+        index over the loaded backbone.
+
+        Three phases, all deterministic (sorted iteration everywhere; the
+        only randomness is the seeded tie-break permutation):
+
+        1. **greedy water-filling** — flows in descending demand order
+           each take the candidate with the smallest incremental
+           sum-of-squares (one gather + dot product per candidate);
+        2. **refinement sweeps** — each flow is removed and re-placed
+           against current loads (first-fit-decreasing style polish);
+        3. **hot-link reroutes** — repeatedly take the most loaded
+           virtual link and move the first crossing flow whose switch to
+           a candidate avoiding that link strictly lowers the objective;
+           bounded by ``max_moves`` (default 512) and monotone in the
+           objective, so it cannot cycle.
+
+        Returns a map from flow index to its chosen head sequence (every
+        inter-cluster flow is present).
+        """
+        router = self._router
+        n = self._graph.n
+        out: dict[int, tuple[NodeId, ...]] = {}
+        idx = np.flatnonzero(~intra)
+        stats = {
+            "groups": 0,
+            "candidates": 0,
+            "moves": 0,
+            "flows_rerouted": 0,
+        }
+        if idx.size == 0:
+            self.last_balance = stats
+            return out
+        codes = hs[idx].astype(np.int64) * np.int64(n) + ht[idx].astype(
+            np.int64
+        )
+        uniq, inverse = np.unique(codes, return_inverse=True)
+        pair_of = [(int(c // n), int(c % n)) for c in uniq.tolist()]
+        group_of = dict(zip(idx.tolist(), inverse.tolist()))
+
+        # Candidate records, shared across groups by sequence:
+        # (unique walk nodes, appearance counts, normalized links,
+        # sum of squared counts).
+        rec_cache: dict[tuple[NodeId, ...], tuple] = {}
+
+        def record(seq: tuple[NodeId, ...]) -> tuple:
+            rec = rec_cache.get(seq)
+            if rec is None:
+                walk = np.asarray(router.walk_for_seq(seq), dtype=np.int64)
+                un, cnt = np.unique(walk, return_counts=True)
+                cnt = cnt.astype(np.float64)
+                links = tuple(
+                    sorted(
+                        normalize_edge(x, y) for x, y in zip(seq, seq[1:])
+                    )
+                )
+                rec = (un, cnt, links, float(cnt @ cnt))
+                rec_cache[seq] = rec
+            return rec
+
+        cand_seqs: list[list[tuple[NodeId, ...]]] = []
+        cand_recs: list[list[tuple]] = []
+        for a, b in pair_of:
+            seqs = [router.head_sequence(a, b)]
+            for v in range(1, tie_variants + 1):
+                if len(seqs) >= k_paths:
+                    break
+                alt = router.alt_sequence(a, b, seed + v)
+                if alt not in seqs:
+                    seqs.append(alt)
+            want = k_paths
+            if len(seqs) < min(3, k_paths):
+                # Equal-cost diversity ran out: only strictly longer
+                # detours can diversify, so pay for Yen — weight-capped,
+                # which keeps every spur search local to the pair.
+                bound = stretch_bound * max(router.seq_weight(seqs[0]), 1)
+                for seq_k in router.k_shortest_sequences(
+                    a, b, want, max_weight=bound
+                ):
+                    if len(seqs) >= k_paths:
+                        break
+                    if seq_k not in seqs:
+                        seqs.append(seq_k)
+            cand_seqs.append(seqs)
+            cand_recs.append([record(s) for s in seqs])
+
+        node_load = fixed.astype(np.float64, copy=True)
+        link_load: dict[tuple[int, int], float] = {}
+
+        def add(rec: tuple, d: float) -> None:
+            node_load[rec[0]] += 2.0 * d * rec[1]
+            for e in rec[2]:
+                link_load[e] = link_load.get(e, 0.0) + d
+
+        def remove(rec: tuple, d: float) -> None:
+            node_load[rec[0]] -= 2.0 * d * rec[1]
+            for e in rec[2]:
+                link_load[e] -= d
+
+        def best_candidate(g: int, d: float) -> int:
+            # argmin over candidates of the incremental sum-of-squares
+            # Σ (x + 2dc)² - x² = 4d·(x@c) + 4d²·(c@c); ties keep the
+            # earliest candidate (the canonical walk is index 0).
+            recs = cand_recs[g]
+            best_ci = 0
+            best_delta = float("inf")
+            for ci, rec in enumerate(recs):
+                delta = 4.0 * d * float(node_load[rec[0]] @ rec[1]) + (
+                    4.0 * d * d * rec[3]
+                )
+                if delta < best_delta - 1e-9:
+                    best_delta = delta
+                    best_ci = ci
+            return best_ci
+
+        # Phase 1+2: greedy water-filling in descending demand order,
+        # then remove-and-replace refinement sweeps in the same order.
+        dems = demands.astype(np.float64)
+        order = sorted(idx.tolist(), key=lambda f: (-dems[f], f))
+        assign: dict[int, int] = {}
+        for flow in order:
+            g = group_of[flow]
+            ci = best_candidate(g, dems[flow])
+            assign[flow] = ci
+            add(cand_recs[g][ci], dems[flow])
+        for _sweep in range(2):
+            changed = 0
+            for flow in order:
+                g = group_of[flow]
+                d = dems[flow]
+                remove(cand_recs[g][assign[flow]], d)
+                ci = best_candidate(g, d)
+                if ci != assign[flow]:
+                    changed += 1
+                    assign[flow] = ci
+                add(cand_recs[g][ci], d)
+            if changed == 0:
+                break
+
+        # Phase 3: reroutes of the heaviest links.  Lazy max-heap over
+        # link loads; on the hottest link, move the first crossing flow
+        # whose switch to a hot-link-avoiding candidate strictly lowers
+        # the objective.
+        flows_on: dict[tuple[int, int], list[int]] = {}
+        for flow in order:
+            g = group_of[flow]
+            for e in cand_recs[g][assign[flow]][2]:
+                flows_on.setdefault(e, []).append(flow)
+
+        def find_move(e: tuple[int, int]) -> tuple[int, int] | None:
+            for flow in flows_on.get(e, ()):
+                g = group_of[flow]
+                ci = assign[flow]
+                if e not in cand_recs[g][ci][2]:
+                    continue  # stale membership: flow moved off e already
+                d = dems[flow]
+                remove(cand_recs[g][ci], d)
+                best_cj = -1
+                best_delta = -1e-9
+                x0 = 4.0 * d * float(
+                    node_load[cand_recs[g][ci][0]] @ cand_recs[g][ci][1]
+                ) + 4.0 * d * d * cand_recs[g][ci][3]
+                for cj, rec in enumerate(cand_recs[g]):
+                    if cj == ci or e in rec[2]:
+                        continue
+                    delta = (
+                        4.0 * d * float(node_load[rec[0]] @ rec[1])
+                        + 4.0 * d * d * rec[3]
+                        - x0
+                    )
+                    if delta < best_delta:
+                        best_delta = delta
+                        best_cj = cj
+                add(cand_recs[g][ci], d)
+                if best_cj >= 0:
+                    return flow, best_cj
+            return None
+
+        heap = [(-load, e) for e, load in sorted(link_load.items())]
+        heapq.heapify(heap)
+        budget = max_moves if max_moves is not None else 512
+        moves = 0
+        while moves < budget:
+            popped: list[tuple[float, tuple[int, int]]] = []
+            move = None
+            while heap and len(popped) < self._BALANCE_SCAN_LINKS:
+                neg, e = heapq.heappop(heap)
+                cur = link_load.get(e, 0.0)
+                if cur <= 0.0 or -neg != cur:
+                    continue  # stale entry; the fresh one is still queued
+                popped.append((neg, e))
+                move = find_move(e)
+                if move is not None:
+                    break
+            for item in popped:
+                heapq.heappush(heap, item)
+            if move is None:
+                break
+            flow, cj = move
+            g = group_of[flow]
+            d = dems[flow]
+            old_rec = cand_recs[g][assign[flow]]
+            remove(old_rec, d)
+            assign[flow] = cj
+            rec = cand_recs[g][cj]
+            add(rec, d)
+            for e2 in rec[2]:
+                flows_on.setdefault(e2, []).append(flow)
+            for e2 in old_rec[2] + rec[2]:
+                heapq.heappush(heap, (-link_load[e2], e2))
+            moves += 1
+
+        rerouted = 0
+        for flow in idx.tolist():
+            ci = assign[flow]
+            if ci > 0:
+                rerouted += 1
+            out[flow] = cand_seqs[group_of[flow]][ci]
+        stats.update(
+            groups=len(pair_of),
+            candidates=sum(len(c) for c in cand_seqs),
+            moves=moves,
+            flows_rerouted=rerouted,
+        )
+        self.last_balance = stats
+        publish_counters("traffic.balance", stats)
+        return out

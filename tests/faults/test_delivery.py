@@ -58,6 +58,41 @@ class TestLossModel:
             LossModel.from_overrides(5, {(0, 1): -0.1})
 
 
+class TestLossCombine:
+    def test_base_rates_compose(self):
+        m = LossModel.uniform(8, 0.5).combine(LossModel.uniform(8, 0.5))
+        assert m.base_loss == 0.75
+        assert m.link_loss(0, 1) == 0.75
+
+    def test_overrides_union_and_compose(self):
+        a = LossModel.from_overrides(8, {(0, 1): 0.5}, base_loss=0.1)
+        b = LossModel.from_overrides(8, {(0, 1): 0.2, (2, 3): 0.4})
+        m = a.combine(b)
+        # both sides have (0,1): 1 - 0.5*0.8; only b has (2,3): it still
+        # composes with a's base rate, not with zero
+        assert m.link_loss(0, 1) == pytest.approx(1 - 0.5 * 0.8)
+        assert m.link_loss(2, 3) == pytest.approx(1 - 0.9 * 0.6)
+        # a's base composes with b's zero base everywhere else
+        assert m.link_loss(4, 5) == pytest.approx(0.1)
+
+    def test_commutative(self):
+        a = LossModel.from_overrides(6, {(0, 1): 0.3}, base_loss=0.05)
+        b = LossModel.from_overrides(6, {(1, 2): 0.6})
+        ab, ba = a.combine(b), b.combine(a)
+        for u, v in ((0, 1), (1, 2), (3, 4)):
+            assert ab.link_loss(u, v) == pytest.approx(ba.link_loss(u, v))
+
+    def test_zero_model_is_identity(self):
+        a = LossModel.from_overrides(6, {(0, 1): 0.3}, base_loss=0.05)
+        m = a.combine(LossModel.uniform(6, 0.0))
+        assert m.base_loss == pytest.approx(a.base_loss)
+        assert m.link_loss(0, 1) == pytest.approx(0.3)
+
+    def test_mismatched_n_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            LossModel.uniform(5, 0.1).combine(LossModel.uniform(6, 0.1))
+
+
 class TestDeliverLimits:
     def test_zero_loss_matches_binary_load(self, backbone, routed):
         report = deliver(routed, LossModel.uniform(120, 0.0), seed=1)

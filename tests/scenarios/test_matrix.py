@@ -105,6 +105,25 @@ def test_static_cell(gen, kind, backend):
     backbone = build_backbone(clustering, ALGORITHM)
     routed = BatchRouter(backbone).route_flows(wl, with_shortest=True)
     _assert_routed_invariants(graph, backbone, wl, routed)
+    # The balance= mode must keep every invariant while only swapping
+    # inter-cluster head walks within the stretch bound, deterministically.
+    balancer = BatchRouter(backbone)
+    balanced = balancer.route_flows(wl, with_shortest=True, balance=True)
+    _assert_routed_invariants(graph, backbone, wl, balanced)
+    hr = balancer.router
+    for i, (seq, canon) in enumerate(
+        zip(balanced.head_paths, routed.head_paths)
+    ):
+        assert bool(seq) == bool(canon)
+        if not seq:
+            assert balanced.walks[i] == routed.walks[i]
+            continue
+        assert (seq[0], seq[-1]) == (canon[0], canon[-1])
+        assert hr.seq_weight(seq) <= 1.5 * max(hr.seq_weight(canon), 1)
+        walk_iter = iter(balanced.walks[i])
+        assert all(h in walk_iter for h in seq)
+    again = BatchRouter(backbone).route_flows(wl, with_shortest=True, balance=True)
+    assert again.walks == balanced.walks
     # Repaired clusterings re-verify: kill one seeded survivor of each
     # role class that exists and push it through the §3.3 ladder (repair
     # runs the full verification battery internally).

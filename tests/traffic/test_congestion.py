@@ -1,0 +1,152 @@
+"""Congestion model: capacities, fluid-queue drops, loss export."""
+
+import pytest
+
+from repro.core.clustering import khop_cluster
+from repro.core.pipeline import build_backbone
+from repro.errors import InvalidParameterError
+from repro.faults.delivery import LossModel, deliver
+from repro.net.topology import random_topology
+from repro.traffic.congestion import CongestionModel, congestion_report
+from repro.traffic.load import link_utilization
+from repro.traffic.router import BatchRouter
+from repro.traffic.workloads import uniform_pairs
+
+
+@pytest.fixture(scope="module")
+def backbone():
+    topo = random_topology(120, degree=7.0, seed=17)
+    return build_backbone(khop_cluster(topo.graph, 2), "AC-LMST")
+
+
+@pytest.fixture(scope="module")
+def routed(backbone):
+    g = backbone.clustering.graph
+    wl = uniform_pairs(g.n, 800, seed=31, demand=4)
+    return BatchRouter(backbone).route_flows(wl, with_shortest=False)
+
+
+class TestCongestionModel:
+    def test_capacities_derive_from_link_weights(self, backbone):
+        model = CongestionModel.from_backbone(backbone, radio_budget=120.0)
+        assert model.num_links == len(backbone.selected_links)
+        for ab in backbone.selected_links:
+            link = backbone.virtual_graph.link(*ab)
+            assert model.capacity[ab] == 120.0 / max(link.weight, 1)
+            assert model.paths[ab] == link.path
+
+    def test_rejects_non_positive_budget(self, backbone):
+        for bad in (0.0, -2.5):
+            with pytest.raises(InvalidParameterError):
+                CongestionModel.from_backbone(backbone, radio_budget=bad)
+
+    def test_capacity_conservation(self, backbone):
+        """Carried load ``q * (1 - p)`` equals ``min(q, c)`` exactly."""
+        model = CongestionModel.from_backbone(backbone, radio_budget=60.0)
+        e = sorted(model.capacity)[0]
+        c = model.capacity[e]
+        for q in (c / 2, c, 1.5 * c, 10 * c):
+            p = model.drop_probabilities({e: q}).get(e, 0.0)
+            assert q * (1.0 - p) == pytest.approx(min(q, c))
+
+    def test_drops_monotone_in_offered_load(self, backbone):
+        model = CongestionModel.from_backbone(backbone, radio_budget=60.0)
+        e = sorted(model.capacity)[0]
+        c = model.capacity[e]
+        probs = [
+            model.drop_probabilities({e: q}).get(e, 0.0)
+            for q in (0.5 * c, c, 2 * c, 4 * c, 16 * c)
+        ]
+        assert probs == sorted(probs)
+        assert probs[0] == probs[1] == 0.0  # at/under capacity never drops
+        assert 0.0 < probs[2] < probs[4] < 1.0
+
+    def test_non_selected_edges_ignored(self, backbone):
+        model = CongestionModel.from_backbone(backbone, radio_budget=1.0)
+        n = backbone.clustering.graph.n
+        bogus = (n - 2, n - 1)
+        assert bogus not in model.capacity
+        assert model.drop_probabilities({bogus: 1e9}) == {}
+
+    def test_loss_model_spreads_over_gateway_path(self, backbone, routed):
+        """Per-edge rate composes back to the link's drop probability."""
+        model = CongestionModel.from_backbone(backbone, radio_budget=8.0)
+        n = backbone.clustering.graph.n
+        drops = model.drop_probabilities(link_utilization(routed, n))
+        assert drops  # the tiny budget congests this batch
+        lm = model.loss_model(routed)
+        for e, p in drops.items():
+            path = model.paths[e]
+            w = max(len(path) - 1, 1)
+            r = 1.0 - (1.0 - p) ** (1.0 / w)
+            survive = 1.0
+            for x, y in zip(path, path[1:]):
+                # shared physical edges take the worst link's rate
+                assert lm.link_loss(x, y) >= r - 1e-12
+                survive *= 1.0 - lm.link_loss(x, y)
+            assert survive <= (1.0 - p) + 1e-12
+
+    def test_loss_model_clean_under_capacity(self, backbone, routed):
+        """A generous budget yields a zero-loss model."""
+        model = CongestionModel.from_backbone(backbone, radio_budget=1e9)
+        lm = model.loss_model(routed)
+        assert lm.base_loss == 0.0
+        assert lm.num_overrides == 0
+
+
+class TestCongestionReport:
+    def test_report_matches_manual_tallies(self, backbone, routed):
+        model = CongestionModel.from_backbone(backbone, radio_budget=50.0)
+        n = backbone.clustering.graph.n
+        offered = link_utilization(routed, n)
+        report = congestion_report(model, routed)
+        assert report.links == model.num_links
+        assert report.loaded_links == len(offered)
+        assert report.offered_packets == pytest.approx(sum(offered.values()))
+        expect_drop = sum(
+            max(0.0, q - model.capacity[e])
+            for e, q in offered.items()
+            if e in model.capacity
+        )
+        assert report.dropped_packets == pytest.approx(expect_drop)
+        assert report.congested_links == sum(
+            1
+            for e, q in offered.items()
+            if e in model.capacity and q > model.capacity[e]
+        )
+        assert 0.0 <= report.drop_fraction < 1.0
+
+    def test_empty_batch_reports_zero(self, backbone):
+        g = backbone.clustering.graph
+        wl = uniform_pairs(g.n, 1, seed=31)
+        routed_one = BatchRouter(backbone).route_flows(wl, with_shortest=False)
+        model = CongestionModel.from_backbone(backbone, radio_budget=1e9)
+        report = congestion_report(model, routed_one)
+        assert report.congested_links == 0
+        assert report.dropped_packets == 0.0
+        assert report.drop_fraction == 0.0
+
+
+class TestCongestionDelivery:
+    def test_congestion_degrades_delivery(self, backbone, routed):
+        """The same batch delivers less as the radio budget shrinks."""
+        clean = LossModel.uniform(backbone.clustering.graph.n, 0.0)
+        fractions = []
+        for budget in (1e9, 200.0, 20.0):
+            model = CongestionModel.from_backbone(
+                backbone, radio_budget=budget
+            )
+            report = deliver(routed, clean, seed=5, congestion=model)
+            fractions.append(report.delivered_fraction)
+        assert fractions[0] == 1.0
+        assert fractions[0] >= fractions[1] >= fractions[2]
+        assert fractions[2] < 1.0
+
+    def test_congestion_charges_retransmissions(self, backbone, routed):
+        """Congested delivery burns more tx than the congestion-free one."""
+        clean = LossModel.uniform(backbone.clustering.graph.n, 0.0)
+        free = deliver(routed, clean, seed=5)
+        model = CongestionModel.from_backbone(backbone, radio_budget=20.0)
+        squeezed = deliver(routed, clean, seed=5, congestion=model)
+        assert squeezed.lost_packets > free.lost_packets == 0
+        assert squeezed.mean_attempts > free.mean_attempts

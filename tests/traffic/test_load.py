@@ -8,7 +8,7 @@ from repro.core.pipeline import build_backbone
 from repro.net.generators import path_graph
 from repro.net.topology import random_topology
 from repro.traffic.load import measure_load
-from repro.traffic.router import BatchRouter
+from repro.traffic.router import BatchRouter, RoutedFlows
 from repro.traffic.workloads import Workload, hotspot, uniform_pairs
 
 
@@ -106,3 +106,63 @@ class TestCongestionMetrics:
         ld = measure_load(backbone, BatchRouter(backbone).route_flows(wl))
         assert ld.packet_hops == 0
         assert ld.max_node_load == 0.0
+
+
+class TestDegradedAccounting:
+    """Regression: degraded batches must not pollute the statistics."""
+
+    @staticmethod
+    def _degraded_batch():
+        """A real walk plus a valid=False placeholder (see route_degraded)."""
+        from repro.net.oracle import DIST_DTYPE
+
+        g = path_graph(5)
+        bb = build_backbone(khop_cluster(g, 4), "AC-LMST")
+        wl = Workload(
+            name="degraded",
+            n=5,
+            sources=np.array([0, 2]),
+            targets=np.array([4, 3]),
+            demands=np.array([2, 3]),
+        )
+        routed = BatchRouter(bb).route_flows(wl)
+        return bb, RoutedFlows(
+            workload=wl,
+            walks=[routed.walks[0], (2,)],
+            hops=np.array([4, 0], dtype=DIST_DTYPE),
+            shortest=np.array([4, 0], dtype=DIST_DTYPE),
+            head_paths=[routed.head_paths[0], ()],
+            valid=np.array([True, False]),
+        )
+
+    def test_stretch_stats_exclude_placeholders(self):
+        """Zero-hop placeholder walks must not drag the stretch to 0."""
+        bb, routed = self._degraded_batch()
+        ld = measure_load(bb, routed)
+        assert ld.mean_stretch == 1.0
+        assert ld.max_stretch == 1.0
+        assert ld.p95_stretch == 1.0
+
+    def test_placeholders_carry_no_load(self):
+        bb, routed = self._degraded_batch()
+        ld = measure_load(bb, routed)
+        # only the valid flow's demand*hops land anywhere
+        assert ld.packet_hops == 2 * 4
+        assert ld.tx.tolist() == [2, 2, 2, 2, 0]
+        assert ld.rx.tolist() == [0, 2, 2, 2, 2]
+
+    def test_top_loaded_breaks_ties_by_min_id(self):
+        """Equal loads surface in ascending node-ID order, never reversed."""
+        g = path_graph(5)
+        bb = build_backbone(khop_cluster(g, 4), "AC-LMST")
+        wl = Workload(
+            name="one",
+            n=5,
+            sources=np.array([0]),
+            targets=np.array([4]),
+            demands=np.array([2]),
+        )
+        ld = measure_load(bb, BatchRouter(bb).route_flows(wl))
+        # node_load is [2, 4, 4, 4, 2]: two three-way ties
+        assert ld.top_loaded(5) == [(1, 4), (2, 4), (3, 4), (0, 2), (4, 2)]
+        assert ld.top_loaded(2) == [(1, 4), (2, 4)]

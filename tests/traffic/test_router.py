@@ -10,7 +10,7 @@ from repro.errors import InvalidParameterError
 from repro.net.oracle import DIST_DTYPE
 from repro.net.paths import PathOracle
 from repro.net.topology import random_topology
-from repro.traffic.router import BatchRouter
+from repro.traffic.router import BatchRouter, RoutedFlows
 from repro.traffic.workloads import uniform_pairs
 
 
@@ -308,3 +308,45 @@ class TestRouterEdgeDeltaInheritance:
         router2 = BatchRouter(backbone, oracle=paths)  # same oracle object
         stats = router2.inherit_edge_delta(router, set())
         assert stats["legs"] == 0  # legs already live in the shared oracle
+
+
+class TestDegradedValidity:
+    """Regression: the valid mask gates delivery and stretch accounting."""
+
+    @staticmethod
+    def _batch(outcome=None):
+        from repro.traffic.workloads import Workload
+
+        wl = Workload(
+            name="degraded",
+            n=6,
+            sources=np.array([0, 2, 4]),
+            targets=np.array([1, 3, 5]),
+            demands=np.array([2, 3, 5]),
+        )
+        return RoutedFlows(
+            workload=wl,
+            walks=[(0, 1), (2,), (4, 5)],
+            hops=np.array([1, 0, 1], dtype=DIST_DTYPE),
+            shortest=np.array([1, 0, 1], dtype=DIST_DTYPE),
+            head_paths=[(), (), ()],
+            outcome=outcome,
+            valid=np.array([True, False, True]),
+        )
+
+    def test_binary_world_counts_only_valid_demand(self):
+        """A degraded batch never reports 1.0: placeholders are undelivered."""
+        routed = self._batch()
+        assert routed.num_valid == 2
+        assert routed.delivered_fraction() == pytest.approx((2 + 5) / 10)
+
+    def test_lossy_world_masks_placeholder_survivals(self):
+        """A zero-hop placeholder trivially 'delivered' still counts lost."""
+        outcome = np.array([0, 0, 1], dtype=np.int8)
+        routed = self._batch(outcome=outcome)
+        assert routed.delivered_fraction() == pytest.approx(2 / 10)
+
+    def test_stretches_cover_valid_flows_only(self):
+        stretches = self._batch().stretches()
+        assert stretches.shape == (2,)
+        assert stretches.tolist() == [1.0, 1.0]
